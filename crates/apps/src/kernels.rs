@@ -1,0 +1,245 @@
+//! Small calibration kernels and the shared code-layout helper.
+//!
+//! The kernels bracket the workload space: [`AluBurst`] is purely
+//! compute-bound (DVFS hurts it linearly, memory gating not at all),
+//! [`StreamTriad`] is bandwidth-bound, [`PointerChase`] is latency-bound.
+//! The technique detector (future-work item 2) uses them as probes.
+//!
+//! [`CodeLayout`] spreads a workload's "library functions" across many
+//! code pages. Real applications call helpers scattered over the binary
+//! and its shared libraries; cycling through such a footprint is what
+//! makes ITLB-entry shrink visible (the paper's 60–85× ITLB-miss blow-up
+//! at the lowest caps) while costing almost nothing at full TLB size.
+
+use capsim_node::{CodeBlock, Machine};
+
+use crate::workload::{Workload, WorkloadOutput};
+
+/// A set of functions, each on its own code page, called round-robin.
+pub struct CodeLayout {
+    funcs: Vec<CodeBlock>,
+    cursor: usize,
+}
+
+impl CodeLayout {
+    /// Allocate `n_funcs` functions of `instrs` instructions each, one per
+    /// page.
+    pub fn new(m: &mut Machine, n_funcs: usize, instrs: u64) -> Self {
+        assert!(n_funcs >= 1);
+        let mut funcs = Vec::with_capacity(n_funcs);
+        for _ in 0..n_funcs {
+            m.code_page_align();
+            funcs.push(m.code_block(instrs.max(4) * 4, instrs));
+        }
+        CodeLayout { funcs, cursor: 0 }
+    }
+
+    /// Number of functions (== code pages).
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Execute the next function in round-robin order.
+    #[inline]
+    pub fn call_next(&mut self, m: &mut Machine) {
+        let b = self.funcs[self.cursor];
+        self.cursor = (self.cursor + 1) % self.funcs.len();
+        m.exec_block(&b);
+    }
+
+    /// Execute function `i mod len`.
+    #[inline]
+    pub fn call(&self, m: &mut Machine, i: usize) {
+        m.exec_block(&self.funcs[i % self.funcs.len()]);
+    }
+}
+
+/// A pool of rarely-called functions spread across more pages than the
+/// ITLB holds. Real applications take occasional excursions into cold
+/// library code (logging, allocation slow paths, I/O); cycling this pool
+/// once per outer-loop iteration gives a workload the small-but-nonzero
+/// baseline ITLB miss rate the paper's Table II shows (tens of thousands
+/// of misses over a run), against which the low-cap blow-up is measured.
+pub struct ColdCallPool {
+    layout: CodeLayout,
+}
+
+impl ColdCallPool {
+    /// `n_pages` should exceed the full ITLB entry count (128 on the
+    /// paper's platform) so even the unthrottled machine misses here.
+    pub fn new(m: &mut Machine, n_pages: usize) -> Self {
+        ColdCallPool { layout: CodeLayout::new(m, n_pages, 6) }
+    }
+
+    /// One cold excursion.
+    #[inline]
+    pub fn call_next(&mut self, m: &mut Machine) {
+        self.layout.call_next(m);
+    }
+}
+
+/// Pure ALU work: `iters` blocks of dependent arithmetic.
+pub struct AluBurst {
+    pub iters: u64,
+}
+
+impl Workload for AluBurst {
+    fn name(&self) -> &'static str {
+        "ALU Burst"
+    }
+
+    fn run(&mut self, m: &mut Machine) -> WorkloadOutput {
+        let block = m.code_block(128, 32);
+        let mut acc = 1u64;
+        for i in 0..self.iters {
+            m.exec_block(&block);
+            acc = acc.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(7) ^ i;
+            m.branch(&block, i + 1 < self.iters);
+        }
+        WorkloadOutput { checksum: acc as f64, quality: 1.0, items: self.iters }
+    }
+}
+
+/// STREAM-style triad `a[i] = b[i] + s*c[i]` over arrays of `elems` f32s.
+pub struct StreamTriad {
+    pub elems: u64,
+    pub passes: u32,
+}
+
+impl Workload for StreamTriad {
+    fn name(&self) -> &'static str {
+        "Stream Triad"
+    }
+
+    fn run(&mut self, m: &mut Machine) -> WorkloadOutput {
+        let bytes = self.elems * 4;
+        let a = m.alloc(bytes);
+        let b = m.alloc(bytes);
+        let c = m.alloc(bytes);
+        let block = m.code_block(64, 6);
+        let mut host_a = vec![0f32; self.elems as usize];
+        let host_b: Vec<f32> = (0..self.elems).map(|i| i as f32).collect();
+        let host_c: Vec<f32> = (0..self.elems).map(|i| (i as f32).sin()).collect();
+        for _ in 0..self.passes {
+            for i in 0..self.elems {
+                m.exec_block(&block);
+                m.load(b.elem(i, 4));
+                m.load(c.elem(i, 4));
+                m.store(a.elem(i, 4));
+                host_a[i as usize] = host_b[i as usize] + 3.0 * host_c[i as usize];
+            }
+        }
+        let checksum = host_a.iter().step_by(97).map(|&x| x as f64).sum();
+        WorkloadOutput { checksum, quality: 1.0, items: self.elems * self.passes as u64 }
+    }
+}
+
+/// A pointer chase through a shuffled permutation: every access is a
+/// serially dependent cache/DRAM round trip.
+pub struct PointerChase {
+    pub elems: u64,
+    pub hops: u64,
+    pub seed: u64,
+}
+
+impl Workload for PointerChase {
+    fn name(&self) -> &'static str {
+        "Pointer Chase"
+    }
+
+    fn run(&mut self, m: &mut Machine) -> WorkloadOutput {
+        let n = self.elems as usize;
+        let region = m.alloc(self.elems * 8);
+        // Sattolo's algorithm: one cycle through all elements.
+        let mut next: Vec<u32> = (0..n as u32).collect();
+        let mut x = self.seed | 1;
+        let mut rng = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in (1..n).rev() {
+            let j = (rng() % i as u64) as usize;
+            next.swap(i, j);
+        }
+        let block = m.code_block(48, 4);
+        let mut cur = 0u32;
+        for _ in 0..self.hops {
+            m.exec_block(&block);
+            m.load_serial(region.elem(cur as u64, 8));
+            cur = next[cur as usize];
+        }
+        WorkloadOutput { checksum: cur as f64, quality: 1.0, items: self.hops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsim_node::MachineConfig;
+
+    fn m() -> Machine {
+        Machine::new(MachineConfig::tiny(3))
+    }
+
+    #[test]
+    fn code_layout_spreads_functions_across_pages() {
+        let mut m = m();
+        let layout = CodeLayout::new(&mut m, 8, 12);
+        let pages: std::collections::HashSet<u64> =
+            (0..8).map(|i| layout.funcs[i].addr().vpn()).collect();
+        assert_eq!(pages.len(), 8, "each function on its own page");
+    }
+
+    #[test]
+    fn code_layout_cycles_round_robin() {
+        let mut mach = m();
+        let mut layout = CodeLayout::new(&mut mach, 3, 8);
+        for _ in 0..7 {
+            layout.call_next(&mut mach);
+        }
+        assert_eq!(layout.cursor, 7 % 3);
+        let s = mach.finish_run();
+        assert_eq!(s.counters.instructions_committed, 7 * 8);
+    }
+
+    #[test]
+    fn alu_burst_is_compute_bound() {
+        let mut mach = m();
+        let out = AluBurst { iters: 5_000 }.run(&mut mach);
+        assert_eq!(out.items, 5_000);
+        let s = mach.finish_run();
+        // Practically no DRAM traffic.
+        assert!(s.mem.dram_reads < 100, "{}", s.mem.dram_reads);
+    }
+
+    #[test]
+    fn stream_triad_produces_correct_host_result_and_streams() {
+        let mut mach = m();
+        let out = StreamTriad { elems: 20_000, passes: 1 }.run(&mut mach);
+        // a[0] = 0 + 3*sin(0) = 0; checksum is a deterministic sum.
+        let expect: f64 = (0..20_000u64)
+            .step_by(97)
+            .map(|i| (i as f32 + 3.0 * (i as f32).sin()) as f64)
+            .sum();
+        assert!((out.checksum - expect).abs() < 1e-3);
+        let s = mach.finish_run();
+        assert!(s.mem.dram_reads > 1000, "tiny caches force streaming");
+    }
+
+    #[test]
+    fn pointer_chase_visits_the_whole_cycle() {
+        let mut mach = m();
+        let n = 512;
+        let out = PointerChase { elems: n, hops: n, seed: 9 }.run(&mut mach);
+        // Sattolo's produces a single n-cycle: after n hops we are back.
+        assert_eq!(out.checksum, 0.0);
+        let s = mach.finish_run();
+        assert_eq!(s.counters.loads, n);
+    }
+}

@@ -1,0 +1,133 @@
+//! An unpredictable, phase-alternating workload (future-work item 3).
+//!
+//! The paper's discussion (§IV-C) argues power capping earns its keep when
+//! "the workload is unpredictable in terms of its power consumption". This
+//! workload alternates compute-bound bursts, memory-bound bursts and idle
+//! gaps with seeded-random durations, so its instantaneous power swings
+//! between ~101 W (idle) and ~155 W (hot loop) — the regime where the
+//! BMC's dithering actually has something to chase.
+
+use capsim_node::Machine;
+
+use crate::workload::{Workload, WorkloadOutput};
+
+/// Phase types the generator cycles through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    Compute,
+    Memory,
+    Idle,
+}
+
+/// The phased workload.
+#[derive(Clone, Debug)]
+pub struct PhasedWorkload {
+    /// Number of phases to execute.
+    pub phases: usize,
+    /// Work quantum per phase: iterations for busy phases; idle phases
+    /// last `quantum × 12.5 ns`, roughly one busy phase's duration, so
+    /// the three phase kinds get comparable wall-time shares.
+    pub quantum: u64,
+    pub seed: u64,
+    /// Phase trace for post-run analysis (filled during `run`).
+    pub trace: Vec<Phase>,
+}
+
+impl PhasedWorkload {
+    pub fn new(phases: usize, quantum: u64, seed: u64) -> Self {
+        PhasedWorkload { phases, quantum, seed, trace: Vec::new() }
+    }
+}
+
+impl Workload for PhasedWorkload {
+    fn name(&self) -> &'static str {
+        "Phased (unpredictable)"
+    }
+
+    fn run(&mut self, m: &mut Machine) -> WorkloadOutput {
+        let mut x = self.seed | 1;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let buf = m.alloc(8 << 20); // memory phases stream 8 MiB
+        let hot = m.code_block(96, 24);
+        self.trace.clear();
+        let mut checksum = 0u64;
+        for _ in 0..self.phases {
+            let r = rng();
+            let phase = match r % 3 {
+                0 => Phase::Compute,
+                1 => Phase::Memory,
+                _ => Phase::Idle,
+            };
+            self.trace.push(phase);
+            // Durations vary ×1–×4 so power is genuinely unpredictable.
+            let len = self.quantum * (1 + (r >> 8) % 4);
+            match phase {
+                Phase::Compute => {
+                    for i in 0..len {
+                        m.exec_block(&hot);
+                        checksum = checksum.wrapping_add(i).rotate_left(3);
+                        m.branch(&hot, i + 1 < len);
+                    }
+                }
+                Phase::Memory => {
+                    let mut off = (r >> 16) % buf.bytes();
+                    for _ in 0..len {
+                        off = (off + 64) % buf.bytes();
+                        m.load(buf.at(off));
+                    }
+                }
+                Phase::Idle => {
+                    m.idle(len as f64 * 12.5e-9);
+                }
+            }
+        }
+        WorkloadOutput {
+            checksum: checksum as f64,
+            quality: 1.0,
+            items: self.phases as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsim_node::MachineConfig;
+
+    #[test]
+    fn produces_a_mixed_phase_trace() {
+        let mut m = Machine::new(MachineConfig::tiny(3));
+        let mut w = PhasedWorkload::new(60, 200, 3);
+        w.run(&mut m);
+        assert_eq!(w.trace.len(), 60);
+        let kinds: std::collections::HashSet<_> = w.trace.iter().copied().collect();
+        assert_eq!(kinds.len(), 3, "all three phase kinds occur");
+    }
+
+    #[test]
+    fn power_swings_between_idle_and_busy() {
+        let mut m = Machine::new(MachineConfig::e5_2680(5));
+        let mut w = PhasedWorkload::new(40, 3000, 5);
+        w.run(&mut m);
+        let s = m.finish_run();
+        assert!(s.min_power_w < 112.0, "idle dips: {}", s.min_power_w);
+        assert!(s.max_power_w > 135.0, "busy spikes: {}", s.max_power_w);
+    }
+
+    #[test]
+    fn deterministic_trace_per_seed() {
+        let trace = |seed| {
+            let mut m = Machine::new(MachineConfig::tiny(1));
+            let mut w = PhasedWorkload::new(30, 100, seed);
+            w.run(&mut m);
+            w.trace
+        };
+        assert_eq!(trace(9), trace(9));
+        assert_ne!(trace(9), trace(10));
+    }
+}

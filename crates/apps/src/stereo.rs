@@ -1,0 +1,373 @@
+//! Stereo matching via simulated annealing on the "three-layer wedding
+//! cake" scene.
+//!
+//! After Shires, *Exploiting Parallelism in a Monte Carlo Image-Matching
+//! Algorithm* (the paper's reference [5]): disparity estimation is cast as
+//! an energy minimization solved by simulated annealing. The energy of a
+//! disparity field `D` is
+//!
+//! ```text
+//! E(D) = Σ_p |L(p) − R(p − D(p))|          (data term, patch SAD)
+//!      + λ Σ_{p,q neighbours} |D(p) − D(q)| (smoothness term)
+//! ```
+//!
+//! Each sweep proposes per-pixel disparity moves, accepting uphill moves
+//! with probability `exp(−ΔE/T)` under a geometric cooling schedule.
+//!
+//! The input is synthesized exactly as the paper names it: a three-layer
+//! wedding cake — three stacked plateaus of increasing disparity on a
+//! ground plane — textured with deterministic noise so matching is
+//! well-posed. Ground truth is known, so the result is verifiable.
+//!
+//! Memory behaviour (the paper's §IV-B contrast with SIRE/RSM): the whole
+//! working set (left, right, disparity, cached data-cost) is sized to fit
+//! the full 20 MiB L3 but *not* the way-gated one — which is why Table II
+//! shows this application's L2/L3 misses exploding at the 125/120 W caps
+//! while SIRE/RSM's stay flat.
+
+use capsim_node::Machine;
+
+use crate::kernels::{CodeLayout, ColdCallPool};
+use crate::workload::{Workload, WorkloadOutput};
+
+/// Configuration of one stereo-matching run.
+#[derive(Clone, Debug)]
+pub struct StereoMatching {
+    pub width: usize,
+    pub height: usize,
+    /// Maximum disparity (wedding-cake top layer).
+    pub max_disparity: u32,
+    /// Annealing sweeps over the image.
+    pub sweeps: usize,
+    /// Smoothness weight λ.
+    pub lambda: f32,
+    /// Initial temperature (geometric cooling to ~1 % of it).
+    pub t0: f32,
+    pub seed: u64,
+}
+
+impl StereoMatching {
+    /// Table II / Figure 2 scale: the working set (4 image-sized f32
+    /// arrays ≈ 16 MiB) is L3-resident at 20 ways, thrashing at ≤8.
+    pub fn paper_scale(seed: u64) -> Self {
+        StereoMatching {
+            // Wide rows: the 3-row matching window (~150 KiB of left,
+            // right, cost and disparity rows) is resident in the full
+            // 8-way 256 KiB L2 but thrashes the 2-way gated one — the L2
+            // blow-up of Table II rows A8/A9.
+            width: 4096,
+            height: 256,
+            max_disparity: 12,
+            sweeps: 3,
+            lambda: 2.0,
+            t0: 4.0,
+            seed,
+        }
+    }
+
+    /// Small instance for tests.
+    pub fn test_scale(seed: u64) -> Self {
+        StereoMatching {
+            width: 96,
+            height: 72,
+            max_disparity: 6,
+            sweeps: 10,
+            lambda: 2.0,
+            t0: 4.0,
+            seed,
+        }
+    }
+
+    /// Simulated footprint: left, right, cost (f32) + disparity (u8).
+    pub fn footprint_bytes(&self) -> u64 {
+        (self.width * self.height) as u64 * (4 + 4 + 4 + 1)
+    }
+
+    /// The three-layer wedding cake: ground plane plus three stacked
+    /// plateaus of increasing disparity.
+    pub fn ground_truth(&self, x: usize, y: usize) -> u32 {
+        let (w, h) = (self.width as f64, self.height as f64);
+        let (fx, fy) = (x as f64 / w, y as f64 / h);
+        let d = self.max_disparity as f64;
+        let layer = |inset: f64| {
+            (fx > inset && fx < 1.0 - inset && fy > inset && fy < 1.0 - inset) as u32
+        };
+        // Ground (d/4) + three layers up to max_disparity.
+        let steps = layer(0.15) + layer(0.27) + layer(0.39);
+        (d / 4.0 + steps as f64 * (d - d / 4.0) / 3.0).round() as u32
+    }
+}
+
+/// Host-side state for one run.
+struct Field {
+    w: usize,
+    h: usize,
+    left: Vec<f32>,
+    right: Vec<f32>,
+    disp: Vec<u8>,
+    /// Cached per-pixel data cost for the current disparity.
+    cost: Vec<f32>,
+}
+
+impl Field {
+    #[inline]
+    fn idx(&self, x: usize, y: usize) -> usize {
+        y * self.w + x
+    }
+}
+
+impl Workload for StereoMatching {
+    fn name(&self) -> &'static str {
+        "Stereo Matching"
+    }
+
+    fn run(&mut self, m: &mut Machine) -> WorkloadOutput {
+        let (w, h) = (self.width, self.height);
+        let dmax = self.max_disparity;
+        let mut x_rng = self.seed | 1;
+        let mut rng = move || {
+            x_rng ^= x_rng << 13;
+            x_rng ^= x_rng >> 7;
+            x_rng ^= x_rng << 17;
+            x_rng
+        };
+
+        // --- Synthesize the scene. ----------------------------------------
+        // Texture the left image with deterministic band-limited noise,
+        // then shift by the ground-truth disparity to form the right image.
+        let mut left = vec![0f32; w * h];
+        for y in 0..h {
+            for x in 0..w {
+                let n = ((x as f32 * 12.9898 + y as f32 * 78.233).sin() * 43758.547).fract();
+                let bands = ((x as f32) * 0.37).sin() + ((y as f32) * 0.23).cos();
+                left[y * w + x] = n * 0.6 + bands * 0.4;
+            }
+        }
+        let mut right = vec![0f32; w * h];
+        for y in 0..h {
+            for x in 0..w {
+                let d = self.ground_truth(x, y) as usize;
+                let sx = x.saturating_sub(d);
+                right[y * w + sx] = left[y * w + x];
+            }
+        }
+        let mut f = Field {
+            w,
+            h,
+            left,
+            right,
+            disp: (0..w * h).map(|_| (rng() % (dmax as u64 + 1)) as u8).collect(),
+            cost: vec![0.0; w * h],
+        };
+
+        // --- Simulated address space. --------------------------------------
+        let left_r = m.alloc((w * h * 4) as u64);
+        let right_r = m.alloc((w * h * 4) as u64);
+        let disp_r = m.alloc((w * h) as u64);
+        let cost_r = m.alloc((w * h * 4) as u64);
+        let prop_block = m.code_block(128, 26);
+        let accept_block = m.code_block(64, 9);
+        let mut libs = CodeLayout::new(m, 40, 8);
+        let mut cold = ColdCallPool::new(m, 192);
+
+        // Patch SAD data cost at (x, y) for disparity d, charging the
+        // machine for the patch loads.
+        let patch = 1isize; // 3x3 patch
+        let data_cost = |m: &mut Machine, f: &Field, x: usize, y: usize, d: u32| -> f32 {
+            let mut sad = 0f32;
+            for dy in -patch..=patch {
+                for dx in -patch..=patch {
+                    let yy = (y as isize + dy).clamp(0, f.h as isize - 1) as usize;
+                    let xx = (x as isize + dx).clamp(0, f.w as isize - 1) as usize;
+                    let sx = xx.saturating_sub(d as usize);
+                    m.load(left_r.elem(f.idx(xx, yy) as u64, 4));
+                    m.load(right_r.elem(f.idx(sx, yy) as u64, 4));
+                    sad += (f.left[f.idx(xx, yy)] - f.right[f.idx(sx, yy)]).abs();
+                }
+            }
+            sad
+        };
+
+        // Initialize the cached costs (one streaming pass).
+        for y in 0..h {
+            for x in 0..w {
+                let pix = f.idx(x, y);
+                let d = f.disp[pix] as u32;
+                let c = data_cost(m, &f, x, y, d);
+                f.cost[pix] = c;
+                m.store(cost_r.elem(pix as u64, 4));
+                m.branch(&prop_block, x + 1 < w);
+            }
+        }
+
+        // --- Annealing sweeps. ----------------------------------------------
+        let total_sweeps = self.sweeps.max(1);
+        let mut accepted = 0u64;
+        for sweep in 0..total_sweeps {
+            let t = self.t0
+                * (0.01f32).powf(sweep as f32 / (total_sweeps.saturating_sub(1).max(1)) as f32);
+            for y in 0..h {
+                // Once per row: an excursion into cold library code.
+                cold.call_next(m);
+                for x in 0..w {
+                    let pix = f.idx(x, y);
+                    m.exec_block(&prop_block);
+                    let d_old = f.disp[pix] as u32;
+                    // Propose a local move (±1) or a random jump.
+                    let r = rng();
+                    let d_new = if r & 0x7 == 0 {
+                        (r >> 8) as u32 % (dmax + 1)
+                    } else if r & 1 == 0 {
+                        d_old.saturating_sub(1)
+                    } else {
+                        (d_old + 1).min(dmax)
+                    };
+                    if d_new == d_old {
+                        continue;
+                    }
+                    // ΔE = Δdata + λ·Δsmoothness (4-neighbourhood).
+                    m.load(cost_r.elem(pix as u64, 4));
+                    let c_old = f.cost[pix];
+                    let c_new = data_cost(m, &f, x, y, d_new);
+                    let mut smooth_old = 0f32;
+                    let mut smooth_new = 0f32;
+                    for (nx, ny) in
+                        [(x.wrapping_sub(1), y), (x + 1, y), (x, y.wrapping_sub(1)), (x, y + 1)]
+                    {
+                        if nx < w && ny < h {
+                            m.load(disp_r.elem(f.idx(nx, ny) as u64, 1));
+                            let dn = f.disp[f.idx(nx, ny)] as f32;
+                            smooth_old += (d_old as f32 - dn).abs();
+                            smooth_new += (d_new as f32 - dn).abs();
+                        }
+                    }
+                    let de = (c_new - c_old) + self.lambda * (smooth_new - smooth_old);
+                    m.exec_block(&accept_block);
+                    let accept = de < 0.0 || {
+                        let u = (rng() % (1 << 24)) as f32 / (1 << 24) as f32;
+                        u < (-de / t.max(1e-6)).exp()
+                    };
+                    m.branch(&accept_block, accept);
+                    if accept {
+                        accepted += 1;
+                        f.disp[pix] = d_new as u8;
+                        f.cost[pix] = c_new;
+                        m.store(disp_r.elem(pix as u64, 1));
+                        m.store(cost_r.elem(pix as u64, 4));
+                    }
+                    // Scattered helper call (ITLB footprint).
+                    if pix & 0x7 == 0 {
+                        libs.call_next(m);
+                    }
+                }
+            }
+        }
+
+        // --- Verify against ground truth. ------------------------------------
+        let mut abs_err = 0f64;
+        for y in 0..h {
+            for x in 0..w {
+                abs_err +=
+                    (f.disp[f.idx(x, y)] as f64 - self.ground_truth(x, y) as f64).abs();
+            }
+        }
+        let mae = abs_err / (w * h) as f64;
+        let checksum: f64 = f.disp.iter().step_by(113).map(|&d| d as f64).sum();
+        WorkloadOutput {
+            checksum,
+            // Quality: 1 / (1 + mean-absolute-disparity-error), plus a
+            // pinch of the acceptance activity for diagnostics.
+            quality: 1.0 / (1.0 + mae),
+            items: accepted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsim_node::MachineConfig;
+
+    #[test]
+    fn annealing_recovers_the_wedding_cake() {
+        let mut m = Machine::new(MachineConfig::tiny(4));
+        let mut app = StereoMatching::test_scale(4);
+        let out = app.run(&mut m);
+        let mae = 1.0 / out.quality - 1.0;
+        // Random init would have MAE ≈ dmax/3 ≈ 2; annealing must do much
+        // better on a textured synthetic scene.
+        assert!(mae < 1.0, "mean abs disparity error {mae}");
+        assert!(out.items > 0, "moves were accepted");
+    }
+
+    #[test]
+    fn more_sweeps_do_not_hurt() {
+        let run = |sweeps| {
+            let mut m = Machine::new(MachineConfig::tiny(6));
+            let mut app = StereoMatching::test_scale(9);
+            app.sweeps = sweeps;
+            app.run(&mut m).quality
+        };
+        let short = run(2);
+        let long = run(12);
+        assert!(long >= short * 0.9, "long {long} vs short {short}");
+    }
+
+    #[test]
+    fn ground_truth_has_three_layers_plus_ground() {
+        let app = StereoMatching::paper_scale(1);
+        let mut levels: Vec<u32> = (0..app.height)
+            .flat_map(|y| (0..app.width).map(move |x| (x, y)))
+            .map(|(x, y)| app.ground_truth(x, y))
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        assert_eq!(levels.len(), 4, "ground + 3 cake layers: {levels:?}");
+        assert_eq!(*levels.last().unwrap(), app.max_disparity);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut m = Machine::new(MachineConfig::tiny(2));
+            StereoMatching::test_scale(seed).run(&mut m).checksum
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn cache_resident_profile_thrashes_under_way_gating() {
+        // The inverse of the SIRE test: this working set fits the tiny
+        // machine's full L3 but not the gated one.
+        let run = |l3_ways: u32| {
+            let mut cfg = MachineConfig::tiny(8);
+            // Size the tiny L3 so the test working set is resident at
+            // full ways and thrashing at 2.
+            cfg.hierarchy.l3.size_bytes = 512 * 1024;
+            cfg.hierarchy.l3.ways = 16;
+            let mut m = Machine::new(cfg);
+            let mut r = capsim_mem::MemReconfig::full();
+            r.l3_ways = l3_ways;
+            m.apply_mem_reconfig(r);
+            let mut app = StereoMatching::test_scale(8);
+            app.sweeps = 4;
+            app.run(&mut m);
+            m.finish_run().mem.l3_misses
+        };
+        let full = run(16);
+        let gated = run(2);
+        assert!(
+            gated as f64 > full as f64 * 1.5,
+            "gating must inflate L3 misses: {full} -> {gated}"
+        );
+    }
+
+    #[test]
+    fn paper_scale_fits_l3_but_not_gated_l3() {
+        let app = StereoMatching::paper_scale(1);
+        let fp = app.footprint_bytes();
+        assert!(fp < 20 * 1024 * 1024, "resident at full L3");
+        assert!(fp > 4 * 1024 * 1024, "thrashes the 4-way gated L3");
+    }
+}

@@ -1,0 +1,221 @@
+//! Multi-core stereo matching (future-work item 1).
+//!
+//! The paper's first future-work direction: "explore how multi-core
+//! applications are affected by power capping". This variant partitions
+//! the image into horizontal stripes, one per core, and interleaves the
+//! per-core sweeps in load-balanced rounds (the machine's multi-core
+//! timing model assumes balanced partitions; see `capsim-node`).
+//!
+//! The algorithm is the same annealing as [`crate::stereo`], restricted to
+//! independent stripes with a fixed boundary (a standard domain
+//! decomposition for Monte-Carlo relaxation): each core proposes moves
+//! only for its own rows, reading neighbour disparities across the seam
+//! read-only.
+
+use capsim_node::Machine;
+
+use crate::kernels::CodeLayout;
+use crate::stereo::StereoMatching;
+use crate::workload::{Workload, WorkloadOutput};
+
+/// Parallel stereo: wraps the sequential configuration with a core count.
+#[derive(Clone, Debug)]
+pub struct ParallelStereo {
+    pub inner: StereoMatching,
+    /// Number of cores to stripe across (must equal the machine's).
+    pub cores: usize,
+    /// Rows processed per interleave round per core.
+    pub tile_rows: usize,
+}
+
+impl ParallelStereo {
+    pub fn new(inner: StereoMatching, cores: usize) -> Self {
+        ParallelStereo { inner, cores, tile_rows: 4 }
+    }
+}
+
+impl Workload for ParallelStereo {
+    fn name(&self) -> &'static str {
+        "Stereo Matching (multi-core)"
+    }
+
+    fn run(&mut self, m: &mut Machine) -> WorkloadOutput {
+        assert_eq!(m.n_cores(), self.cores, "machine must have {} cores", self.cores);
+        let (w, h) = (self.inner.width, self.inner.height);
+        let dmax = self.inner.max_disparity;
+        let mut x_rng = self.inner.seed | 1;
+        let mut rng = move || {
+            x_rng ^= x_rng << 13;
+            x_rng ^= x_rng >> 7;
+            x_rng ^= x_rng << 17;
+            x_rng
+        };
+
+        // Scene synthesis (identical to the sequential version).
+        let mut left = vec![0f32; w * h];
+        for y in 0..h {
+            for x in 0..w {
+                let n = ((x as f32 * 12.9898 + y as f32 * 78.233).sin() * 43758.547).fract();
+                let bands = ((x as f32) * 0.37).sin() + ((y as f32) * 0.23).cos();
+                left[y * w + x] = n * 0.6 + bands * 0.4;
+            }
+        }
+        let mut right = vec![0f32; w * h];
+        for y in 0..h {
+            for x in 0..w {
+                let d = self.inner.ground_truth(x, y) as usize;
+                right[y * w + x.saturating_sub(d)] = left[y * w + x];
+            }
+        }
+        let mut disp: Vec<u8> =
+            (0..w * h).map(|_| (rng() % (dmax as u64 + 1)) as u8).collect();
+
+        let left_r = m.alloc((w * h * 4) as u64);
+        let right_r = m.alloc((w * h * 4) as u64);
+        let disp_r = m.alloc((w * h) as u64);
+        let prop_block = m.code_block(128, 26);
+        let mut libs = CodeLayout::new(m, 40, 8);
+
+        let stripe = h.div_ceil(self.cores);
+        let lambda = self.inner.lambda;
+        let idx = |x: usize, y: usize| y * w + x;
+
+        // Charged 3×3 SAD (same cost structure as the sequential app).
+        let data_cost = |m: &mut Machine,
+                         left: &[f32],
+                         right: &[f32],
+                         x: usize,
+                         y: usize,
+                         d: u32|
+         -> f32 {
+            let mut sad = 0f32;
+            for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    let yy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
+                    let xx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
+                    let sx = xx.saturating_sub(d as usize);
+                    m.load(left_r.elem(idx(xx, yy) as u64, 4));
+                    m.load(right_r.elem(idx(sx, yy) as u64, 4));
+                    sad += (left[idx(xx, yy)] - right[idx(sx, yy)]).abs();
+                }
+            }
+            sad
+        };
+
+        let total_sweeps = self.inner.sweeps.max(1);
+        let mut accepted = 0u64;
+        for sweep in 0..total_sweeps {
+            let t = self.inner.t0
+                * (0.01f32)
+                    .powf(sweep as f32 / (total_sweeps.saturating_sub(1).max(1)) as f32);
+            // Interleave: each round gives every core `tile_rows` rows of
+            // its own stripe, keeping the cores in lockstep.
+            let rounds = stripe.div_ceil(self.tile_rows);
+            for round in 0..rounds {
+                for core in 0..self.cores {
+                    m.set_active_core(core);
+                    let y0 = core * stripe + round * self.tile_rows;
+                    let y1 = (y0 + self.tile_rows).min(((core + 1) * stripe).min(h));
+                    for y in y0..y1.max(y0) {
+                        if y >= h {
+                            continue;
+                        }
+                        for x in 0..w {
+                            m.exec_block(&prop_block);
+                            let pix = idx(x, y);
+                            let d_old = disp[pix] as u32;
+                            let r = rng();
+                            let d_new = if r & 1 == 0 {
+                                d_old.saturating_sub(1)
+                            } else {
+                                (d_old + 1).min(dmax)
+                            };
+                            if d_new == d_old {
+                                continue;
+                            }
+                            let c_old = data_cost(m, &left, &right, x, y, d_old);
+                            let c_new = data_cost(m, &left, &right, x, y, d_new);
+                            let mut sm_old = 0f32;
+                            let mut sm_new = 0f32;
+                            for (nx, ny) in [
+                                (x.wrapping_sub(1), y),
+                                (x + 1, y),
+                                (x, y.wrapping_sub(1)),
+                                (x, y + 1),
+                            ] {
+                                if nx < w && ny < h {
+                                    m.load(disp_r.elem(idx(nx, ny) as u64, 1));
+                                    let dn = disp[idx(nx, ny)] as f32;
+                                    sm_old += (d_old as f32 - dn).abs();
+                                    sm_new += (d_new as f32 - dn).abs();
+                                }
+                            }
+                            let de = (c_new - c_old) + lambda * (sm_new - sm_old);
+                            let accept = de < 0.0
+                                || ((rng() % (1 << 24)) as f32 / (1 << 24) as f32)
+                                    < (-de / t.max(1e-6)).exp();
+                            if accept {
+                                accepted += 1;
+                                disp[pix] = d_new as u8;
+                                m.store(disp_r.elem(pix as u64, 1));
+                            }
+                            if pix & 0x7 == 0 {
+                                libs.call_next(m);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        m.set_active_core(0);
+
+        let mut abs_err = 0f64;
+        for y in 0..h {
+            for x in 0..w {
+                abs_err += (disp[idx(x, y)] as f64 - self.inner.ground_truth(x, y) as f64).abs();
+            }
+        }
+        let mae = abs_err / (w * h) as f64;
+        let checksum: f64 = disp.iter().step_by(113).map(|&d| d as f64).sum();
+        WorkloadOutput { checksum, quality: 1.0 / (1.0 + mae), items: accepted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsim_node::MachineConfig;
+
+    fn machine(cores: usize) -> Machine {
+        let mut cfg = MachineConfig::tiny(13);
+        cfg.n_cores = cores;
+        Machine::new(cfg)
+    }
+
+    #[test]
+    fn parallel_run_improves_disparity_on_all_stripes() {
+        let mut m = machine(2);
+        let mut app = ParallelStereo::new(StereoMatching::test_scale(13), 2);
+        let out = app.run(&mut m);
+        let mae = 1.0 / out.quality - 1.0;
+        assert!(mae < 1.4, "mae {mae}");
+        assert!(out.items > 0);
+    }
+
+    #[test]
+    fn work_is_balanced_across_cores() {
+        let mut m = machine(2);
+        let mut app = ParallelStereo::new(StereoMatching::test_scale(21), 2);
+        app.run(&mut m);
+        let a = m.core_counters(0).instructions_committed as f64;
+        let b = m.core_counters(1).instructions_committed as f64;
+        assert!((a / b - 1.0).abs() < 0.1, "imbalance {a} vs {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "machine must have")]
+    fn core_count_mismatch_is_detected() {
+        let mut m = machine(1);
+        ParallelStereo::new(StereoMatching::test_scale(1), 2).run(&mut m);
+    }
+}

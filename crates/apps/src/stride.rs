@@ -1,0 +1,179 @@
+//! The Hennessy–Patterson stride microbenchmark (paper reference [6]).
+//!
+//! "The code includes a nested loop that reads and writes memory at
+//! different strides and cache sizes. The results … can be used to
+//! identify the configuration of the memory hierarchy … as well as the
+//! access times of the various levels." (§III)
+//!
+//! For every array size and stride the benchmark performs serially
+//! dependent accesses across the array and reports the average simulated
+//! nanoseconds per access — Figure 3 without a cap, Figure 4 under the
+//! 120 W cap. All accesses use [`Machine::load_serial`], whose full
+//! hierarchy latency lands on the critical path, exactly what the paper's
+//! code measures.
+
+use capsim_node::{Machine, Region};
+
+use crate::workload::{Workload, WorkloadOutput};
+
+/// One cell of the memory mountain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MountainPoint {
+    pub size_bytes: u64,
+    pub stride_bytes: u64,
+    /// Average simulated nanoseconds per access.
+    pub avg_ns: f64,
+}
+
+/// The sweep configuration.
+#[derive(Clone, Debug)]
+pub struct StrideBench {
+    /// Array sizes to test (paper: 4 KiB … 64 MiB).
+    pub sizes: Vec<u64>,
+    /// Strides to test (paper: 8 B … 32 MiB).
+    pub strides: Vec<u64>,
+    /// Cap on accesses per (size, stride) cell so huge cells stay
+    /// tractable; the window still exceeds the L3 for large arrays.
+    pub max_accesses_per_cell: u64,
+    /// Collected results (filled by `run`).
+    pub results: Vec<MountainPoint>,
+}
+
+impl StrideBench {
+    /// The paper's Figure 3/4 sweep: sizes 4 KiB–64 MiB, strides 8 B–32 MiB.
+    pub fn paper_scale() -> Self {
+        let sizes = (0..15).map(|i| 4 * 1024u64 << i).collect(); // 4K..64M
+        let strides = (0..23).map(|i| 8u64 << i).collect(); // 8B..32M
+        StrideBench { sizes, strides, max_accesses_per_cell: 400_000, results: Vec::new() }
+    }
+
+    /// A reduced sweep for tests.
+    pub fn test_scale() -> Self {
+        let sizes = vec![4 * 1024, 64 * 1024, 1024 * 1024];
+        let strides = vec![8, 64, 4096];
+        StrideBench { sizes, strides, max_accesses_per_cell: 20_000, results: Vec::new() }
+    }
+
+    /// Result lookup.
+    pub fn point(&self, size: u64, stride: u64) -> Option<&MountainPoint> {
+        self.results
+            .iter()
+            .find(|p| p.size_bytes == size && p.stride_bytes == stride)
+    }
+
+    fn measure_cell(&self, m: &mut Machine, region: &Region, size: u64, stride: u64) -> f64 {
+        // Warm pass over the window, then the timed pass — the classic
+        // structure of the H&P loop.
+        let accesses = (size / stride).max(1).min(self.max_accesses_per_cell);
+        let mut off = 0u64;
+        for _ in 0..accesses {
+            m.load_serial(region.at(off % size));
+            off += stride;
+        }
+        let mut total_ns = 0.0;
+        let mut off = 0u64;
+        for _ in 0..accesses {
+            total_ns += m.timed_load_serial(region.at(off % size));
+            off += stride;
+        }
+        total_ns / accesses as f64
+    }
+}
+
+impl Workload for StrideBench {
+    fn name(&self) -> &'static str {
+        "Stride Microbenchmark"
+    }
+
+    fn run(&mut self, m: &mut Machine) -> WorkloadOutput {
+        let max_size = *self.sizes.iter().max().expect("non-empty sizes");
+        let region = m.alloc(max_size);
+        self.results.clear();
+        for &size in &self.sizes {
+            for &stride in &self.strides {
+                if stride > size / 2 {
+                    continue; // the paper's plots stop at stride = size/2
+                }
+                let avg_ns = self.measure_cell(m, &region, size, stride);
+                self.results.push(MountainPoint { size_bytes: size, stride_bytes: stride, avg_ns });
+            }
+        }
+        let checksum = self.results.iter().map(|p| p.avg_ns).sum();
+        WorkloadOutput { checksum, quality: 1.0, items: self.results.len() as u64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsim_node::MachineConfig;
+
+    /// Run the paper sweep restricted to the cells the assertions need.
+    fn mountain(sizes: Vec<u64>, strides: Vec<u64>) -> StrideBench {
+        let mut b = StrideBench { sizes, strides, max_accesses_per_cell: 50_000, results: Vec::new() };
+        let mut m = Machine::new(MachineConfig::e5_2680(1));
+        b.run(&mut m);
+        b
+    }
+
+    #[test]
+    fn l1_resident_array_reads_l1_latency() {
+        // 4 KiB array at 64 B stride: 64 lines, resident in L1 after the
+        // warm pass → ≈1.5 ns (Figure 3's bottom plateau).
+        let b = mountain(vec![4 * 1024], vec![64]);
+        let p = b.point(4 * 1024, 64).unwrap();
+        assert!((1.2..2.2).contains(&p.avg_ns), "L1 plateau at {} ns", p.avg_ns);
+    }
+
+    #[test]
+    fn l2_resident_array_reads_l2_latency() {
+        // 128 KiB at 64 B stride: misses L1 (32 K), fits L2 (256 K) → ≈3.5 ns.
+        let b = mountain(vec![128 * 1024], vec![64]);
+        let p = b.point(128 * 1024, 64).unwrap();
+        assert!((2.8..5.0).contains(&p.avg_ns), "L2 plateau at {} ns", p.avg_ns);
+    }
+
+    #[test]
+    fn l3_resident_array_reads_l3_latency() {
+        // 4 MiB at 256 B stride (defeats the next-line prefetcher):
+        // misses L2, fits L3 (20 M) → ≈8.6 ns.
+        let b = mountain(vec![4 * 1024 * 1024], vec![256]);
+        let p = b.point(4 * 1024 * 1024, 256).unwrap();
+        assert!((7.0..11.0).contains(&p.avg_ns), "L3 plateau at {} ns", p.avg_ns);
+    }
+
+    #[test]
+    fn next_line_prefetcher_softens_the_sequential_l3_plateau() {
+        // At 64 B forward stride the L2 prefetcher hides part of the L3
+        // latency, exactly like the real hardware streamers.
+        let b = mountain(vec![4 * 1024 * 1024], vec![64, 256]);
+        let seq = b.point(4 * 1024 * 1024, 64).unwrap().avg_ns;
+        let skip = b.point(4 * 1024 * 1024, 256).unwrap().avg_ns;
+        assert!(seq < skip, "prefetch helps streams: {seq} vs {skip}");
+    }
+
+    #[test]
+    fn dram_sized_array_reads_memory_latency() {
+        // 64 MiB at 4 KiB stride: every access misses everything → ≈60 ns.
+        let b = mountain(vec![64 * 1024 * 1024], vec![4096]);
+        let p = b.point(64 * 1024 * 1024, 4096).unwrap();
+        assert!((40.0..90.0).contains(&p.avg_ns), "DRAM at {} ns", p.avg_ns);
+    }
+
+    #[test]
+    fn sub_line_strides_amortize_misses() {
+        // At 8 B stride eight consecutive accesses share a line: the
+        // average is far below the full miss latency.
+        let b = mountain(vec![8 * 1024 * 1024], vec![8, 64]);
+        let fine = b.point(8 * 1024 * 1024, 8).unwrap().avg_ns;
+        let coarse = b.point(8 * 1024 * 1024, 64).unwrap().avg_ns;
+        assert!(fine < coarse / 2.0, "amortization: {fine} vs {coarse}");
+    }
+
+    #[test]
+    fn strides_beyond_half_size_are_skipped() {
+        let b = mountain(vec![4 * 1024], vec![64, 4 * 1024]);
+        assert!(b.point(4 * 1024, 4 * 1024).is_none());
+        assert!(b.point(4 * 1024, 64).is_some());
+    }
+}

@@ -1,0 +1,55 @@
+//! The workload abstraction the study runner drives.
+
+use capsim_node::Machine;
+
+/// Result of one workload execution: enough to verify the computation
+/// actually happened and was correct.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkloadOutput {
+    /// A content checksum of the result (image, disparity map, …);
+    /// deterministic for a given seed and scale.
+    pub checksum: f64,
+    /// Domain-specific quality metric (peak-to-background ratio for SAR,
+    /// disparity accuracy for stereo); higher is better.
+    pub quality: f64,
+    /// Number of output items produced (pixels, samples, …).
+    pub items: u64,
+}
+
+/// A program that can run on the simulated machine.
+pub trait Workload {
+    /// Short name used in tables ("SIRE/RSM", "Stereo Matching").
+    fn name(&self) -> &'static str;
+
+    /// Execute on `m`, mirroring all memory traffic through it. Must be
+    /// deterministic given the workload's own seed/scale configuration.
+    fn run(&mut self, m: &mut Machine) -> WorkloadOutput;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsim_node::MachineConfig;
+
+    struct Nop;
+
+    impl Workload for Nop {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+
+        fn run(&mut self, m: &mut Machine) -> WorkloadOutput {
+            m.compute(10);
+            WorkloadOutput { checksum: 1.0, quality: 1.0, items: 0 }
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut w: Box<dyn Workload> = Box::new(Nop);
+        let mut m = Machine::new(MachineConfig::tiny(1));
+        let out = w.run(&mut m);
+        assert_eq!(out.checksum, 1.0);
+        assert_eq!(w.name(), "nop");
+    }
+}

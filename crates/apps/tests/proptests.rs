@@ -1,0 +1,52 @@
+//! Property-based tests over the workloads: determinism, correctness of
+//! the computed results, and cap-invariance of outputs.
+
+use proptest::prelude::*;
+
+use capsim_apps::{SireRsm, StereoMatching, Workload};
+use capsim_node::{Machine, MachineConfig, PowerCap};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// SAR imaging focuses its scatterers for any seed.
+    #[test]
+    fn sar_focuses_for_any_seed(seed in 1u64..500) {
+        let mut m = Machine::new(MachineConfig::tiny(seed));
+        let mut app = SireRsm::test_scale(seed);
+        app.rsm_passes = 1;
+        let out = app.run(&mut m);
+        prop_assert!(out.quality > 3.0, "contrast {} at seed {seed}", out.quality);
+    }
+
+    /// The stereo result is identical regardless of the power cap: the
+    /// cap changes timing, never data.
+    #[test]
+    fn stereo_output_is_cap_invariant(seed in 1u64..200, cap in 122.0f64..160.0) {
+        let run = |c: Option<f64>| {
+            let mut m = Machine::new(MachineConfig::tiny(seed));
+            if let Some(w) = c {
+                m.set_power_cap(Some(PowerCap::new(w)));
+            }
+            let mut app = StereoMatching::test_scale(seed);
+            app.sweeps = 2;
+            app.run(&mut m).checksum
+        };
+        prop_assert_eq!(run(None), run(Some(cap)));
+    }
+
+    /// Workload runs are seed-deterministic end to end (checksum and
+    /// machine counters).
+    #[test]
+    fn runs_are_deterministic(seed in 1u64..300) {
+        let go = || {
+            let mut m = Machine::new(MachineConfig::tiny(seed));
+            let mut app = SireRsm::test_scale(seed);
+            app.rsm_passes = 1;
+            let out = app.run(&mut m);
+            let s = m.finish_run();
+            (out.checksum, s.counters.instructions_committed, s.mem.l2_misses, s.wall_s)
+        };
+        prop_assert_eq!(go(), go());
+    }
+}

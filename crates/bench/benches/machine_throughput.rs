@@ -1,0 +1,78 @@
+//! Criterion benches for the assembled machine: per-operation charge
+//! costs with and without an active cap (the control loop must stay cheap
+//! relative to the work it meters).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use capsim_node::{Machine, MachineConfig, PowerCap};
+
+fn machine(capped: bool) -> Machine {
+    let mut m = Machine::new(MachineConfig::e5_2680(1));
+    if capped {
+        m.set_power_cap(Some(PowerCap::new(135.0)));
+    }
+    m
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine");
+    g.throughput(Throughput::Elements(1));
+
+    let mut m = machine(false);
+    let r = m.alloc(1 << 20);
+    let mut i = 0u64;
+    g.bench_function("load_uncapped", |b| {
+        b.iter(|| {
+            i = (i + 64) % (1 << 20);
+            m.load(r.at(i));
+        })
+    });
+
+    let mut m = machine(true);
+    let r = m.alloc(1 << 20);
+    let mut i = 0u64;
+    g.bench_function("load_capped_135w", |b| {
+        b.iter(|| {
+            i = (i + 64) % (1 << 20);
+            m.load(r.at(i));
+        })
+    });
+
+    let mut m = machine(false);
+    let block = m.code_block(96, 24);
+    g.bench_function("exec_block", |b| b.iter(|| m.exec_block(black_box(&block))));
+
+    let mut m = machine(false);
+    let block = m.code_block(64, 8);
+    let mut i = 0u64;
+    g.bench_function("branch", |b| {
+        b.iter(|| {
+            i += 1;
+            m.branch(black_box(&block), i % 5 != 0)
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // A fixed small capped run: measures total harness cost per simulated
+    // workload unit (control loop + power model + hierarchy together).
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("capped_run_100k_ops", |b| {
+        b.iter(|| {
+            let mut m = machine(true);
+            let r = m.alloc(1 << 20);
+            let block = m.code_block(96, 24);
+            for i in 0..100_000u64 {
+                m.exec_block(&block);
+                m.load(r.at((i * 64) % (1 << 20)));
+            }
+            black_box(m.finish_run().wall_s)
+        })
+    });
+}
+
+criterion_group!(benches, bench_ops, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Criterion benches for the substrate layers: cache, TLB + page walk,
+//! DRAM model, branch predictor, IPMI codec. These guard the simulator's
+//! own throughput — every Table II point is millions of these operations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use capsim_cpu::GsharePredictor;
+use capsim_ipmi::dcmi::{ExceptionAction, PowerLimit};
+use capsim_mem::{
+    AccessKind, DramModel, HierarchyConfig, MemoryHierarchy, SetAssocCache, Tlb, VAddr,
+};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1));
+    let geom = HierarchyConfig::e5_2680().l2;
+    let mut cache = SetAssocCache::new(geom, 1);
+    let mut line = 0u64;
+    g.bench_function("l2_access_stream", |b| {
+        b.iter(|| {
+            line = (line + 1) % 100_000;
+            black_box(cache.access(line, AccessKind::Read))
+        })
+    });
+    let mut hot = SetAssocCache::new(geom, 2);
+    for l in 0..64 {
+        hot.access(l, AccessKind::Read);
+    }
+    let mut i = 0u64;
+    g.bench_function("l2_access_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(hot.access(i, AccessKind::Read))
+        })
+    });
+    g.finish();
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tlb");
+    g.throughput(Throughput::Elements(1));
+    let mut tlb = Tlb::new(HierarchyConfig::e5_2680().dtlb, 3);
+    for vpn in 0..48u64 {
+        tlb.insert(vpn, vpn);
+    }
+    let mut vpn = 0u64;
+    g.bench_function("lookup_hit", |b| {
+        b.iter(|| {
+            vpn = (vpn + 1) % 48;
+            black_box(tlb.lookup(vpn))
+        })
+    });
+    g.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchy");
+    g.throughput(Throughput::Elements(1));
+    let mut h = MemoryHierarchy::new(HierarchyConfig::e5_2680(), 1, 7);
+    let mut off = 0u64;
+    g.bench_function("data_access_stream_8MiB", |b| {
+        b.iter(|| {
+            off = (off + 64) % (8 << 20);
+            black_box(h.data_access(0, VAddr(0x100_0000 + off), false))
+        })
+    });
+    let mut h2 = MemoryHierarchy::new(HierarchyConfig::e5_2680(), 1, 8);
+    let mut i = 0u64;
+    g.bench_function("data_access_l1_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(h2.data_access(0, VAddr(0x100_0000 + i * 64), false))
+        })
+    });
+    g.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut d = DramModel::new(51.0);
+    let mut line = 0u64;
+    c.bench_function("dram_access", |b| {
+        b.iter(|| {
+            line = line.wrapping_add(977);
+            black_box(d.access(line, false))
+        })
+    });
+}
+
+fn bench_branch(c: &mut Criterion) {
+    let mut p = GsharePredictor::new(14);
+    let mut i = 0u64;
+    c.bench_function("gshare_execute", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(p.execute(0x4000 + (i % 16) * 4, i % 3 != 0))
+        })
+    });
+}
+
+fn bench_ipmi_codec(c: &mut Criterion) {
+    let limit = PowerLimit {
+        limit_w: 135,
+        correction_ms: 1000,
+        sampling_s: 1,
+        action: ExceptionAction::LogOnly,
+    };
+    c.bench_function("dcmi_power_limit_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = black_box(&limit).encode();
+            black_box(PowerLimit::decode(&bytes).unwrap())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_tlb,
+    bench_hierarchy,
+    bench_dram,
+    bench_branch,
+    bench_ipmi_codec
+);
+criterion_main!(benches);

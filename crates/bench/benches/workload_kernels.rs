@@ -1,0 +1,46 @@
+//! Criterion benches for complete workload runs at test scale — the cost
+//! of regenerating one Table II cell.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use capsim_apps::{SireRsm, StereoMatching, StrideBench, Workload};
+use capsim_node::{Machine, MachineConfig, PowerCap};
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_runs");
+    g.sample_size(10);
+
+    g.bench_function("sire_rsm_test_scale", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::e5_2680(1));
+            black_box(SireRsm::test_scale(1).run(&mut m))
+        })
+    });
+
+    g.bench_function("stereo_test_scale", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::e5_2680(2));
+            black_box(StereoMatching::test_scale(2).run(&mut m))
+        })
+    });
+
+    g.bench_function("stereo_test_scale_capped_130w", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::e5_2680(3));
+            m.set_power_cap(Some(PowerCap::new(130.0)));
+            black_box(StereoMatching::test_scale(3).run(&mut m))
+        })
+    });
+
+    g.bench_function("stride_bench_test_scale", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::e5_2680(4));
+            black_box(StrideBench::test_scale().run(&mut m))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! **Ablation X1**: the full throttle ladder vs a DVFS-only firmware.
+//!
+//! The paper's conclusion (1)/(3): at low caps DVFS is *not* the mechanism
+//! — deeper techniques take over, buying small power reductions for large
+//! performance losses. This ablation shows what Table II would look like
+//! if the firmware stopped at P-min: the low caps simply cannot be
+//! honoured, and execution time stops degrading past the DVFS floor.
+//!
+//! Usage: `cargo run -p capsim-bench --bin ablation_ladder --release`
+
+use capsim_bench::{experiment_config, stereo_factory, Scale};
+use capsim_core::report::markdown_table;
+use capsim_core::{CapSweep, LadderKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running ladder ablation at {scale:?} scale …");
+    let mut rows = Vec::new();
+    let mut sweeps = Vec::new();
+    for (label, ladder) in [("full ladder", LadderKind::Full), ("DVFS only", LadderKind::DvfsOnly)]
+    {
+        let mut cfg = experiment_config(scale);
+        cfg.caps_w = vec![150.0, 140.0, 130.0, 125.0, 120.0];
+        cfg.ladder = ladder;
+        let sweep = CapSweep::new(cfg).run("Stereo Matching", stereo_factory(scale));
+        sweeps.push((label, sweep));
+    }
+    for (label, sweep) in &sweeps {
+        for r in sweep.all_rows() {
+            rows.push(vec![
+                label.to_string(),
+                r.cap_w.map_or("baseline".into(), |c| format!("{c:.0}")),
+                format!("{:.1}", r.avg_power_w),
+                format!("{:.0}", r.pct_diff(&sweep.baseline, |m| m.time_s)),
+                format!("{:.0}", r.pct_diff(&sweep.baseline, |m| m.energy_j)),
+                format!(
+                    "{}",
+                    if r.cap_w.map_or(false, |c| r.avg_power_w > c + 0.5) { "VIOLATED" } else { "met" }
+                ),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["firmware", "cap (W)", "measured power (W)", "time %", "energy %", "cap status"],
+            &rows,
+        )
+    );
+    println!(
+        "Expected shape: the DVFS-only firmware violates every cap below\n\
+         its ~131 W floor while its slowdown saturates; the full ladder\n\
+         keeps shaving watts (down to its ~124 W floor) at enormous cost in\n\
+         execution time — the paper's conclusion (3)."
+    );
+}

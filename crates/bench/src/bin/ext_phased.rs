@@ -1,0 +1,66 @@
+//! **Extension X5** (future-work item 3): an unpredictable workload under
+//! power capping.
+//!
+//! §IV-C: "Power capping is best used when the workload is unpredictable
+//! in terms of its power consumption." The phased workload alternates
+//! compute/memory/idle bursts; this harness compares its behaviour
+//! uncapped vs under mid and low caps, reporting the time penalty and how
+//! often the BMC had to move (dithering activity).
+//!
+//! Usage: `cargo run -p capsim-bench --bin ext_phased --release`
+
+use capsim_apps::phased::PhasedWorkload;
+use capsim_apps::Workload;
+use capsim_core::report::markdown_table;
+use capsim_node::{Machine, MachineConfig, PowerCap};
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut base_time = 0.0;
+    for cap in [None, Some(150.0), Some(140.0), Some(130.0)] {
+        let mut m = Machine::new(MachineConfig::e5_2680(11));
+        if let Some(c) = cap {
+            m.set_power_cap(Some(PowerCap::new(c)));
+        }
+        let mut w = PhasedWorkload::new(120, 40_000, 11);
+        w.run(&mut m);
+        let s = m.finish_run();
+        if cap.is_none() {
+            base_time = s.wall_s;
+        }
+        let (esc, deesc, exc) = s.bmc_stats;
+        rows.push(vec![
+            cap.map_or("none".into(), |c| format!("{c:.0}")),
+            format!("{:.3}", s.wall_s),
+            format!("{:+.0} %", (s.wall_s / base_time - 1.0) * 100.0),
+            format!("{:.1}", s.avg_power_w),
+            format!("{:.1}", s.min_power_w),
+            format!("{:.1}", s.max_power_w),
+            format!("{}", esc + deesc),
+            format!("{exc}"),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "cap (W)",
+                "time (s)",
+                "time vs uncapped",
+                "avg power (W)",
+                "min W",
+                "max W",
+                "rung moves",
+                "exceptions",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "Expected shape: uncapped power swings widely (idle ~101 W to busy\n\
+         ~155 W); a cap clips only the busy bursts, so the controller\n\
+         dithers constantly (high rung-move counts) and the time penalty\n\
+         is smaller than for a steady workload at the same cap — the\n\
+         regime §IV-C argues capping is actually for."
+    );
+}

@@ -1,0 +1,68 @@
+//! **Extension X8**: fidelity check with the Sandy Bridge STLB enabled.
+//!
+//! The Table II calibration runs without a second-level TLB (the paper's
+//! counters don't constrain one). Real E5-2680s have a 512-entry STLB;
+//! this harness re-runs the stereo workload with it enabled and shows
+//! that the study's qualitative conclusions are insensitive to the
+//! simplification: walks drop (the STLB absorbs first-level misses), but
+//! time/power/frequency shapes under capping are unchanged.
+//!
+//! Usage: `cargo run -p capsim-bench --bin ext_stlb --release`
+
+use capsim_apps::{StereoMatching, Workload};
+use capsim_core::report::markdown_table;
+use capsim_node::{Machine, MachineConfig, PowerCap};
+
+fn run(stlb: bool, cap: Option<f64>) -> (f64, f64, u64, u64) {
+    let mut cfg = MachineConfig::e5_2680(15);
+    cfg.control_period_us = 5.0;
+    cfg.meter_window_s = 1e-4;
+    if stlb {
+        cfg.hierarchy = cfg.hierarchy.with_stlb();
+    }
+    let mut m = Machine::new(cfg);
+    if let Some(c) = cap {
+        m.set_power_cap(Some(PowerCap::new(c)));
+    }
+    let mut app = StereoMatching::test_scale(15);
+    app.width = 224;
+    app.height = 224;
+    app.sweeps = 2;
+    app.run(&mut m);
+    let s = m.finish_run();
+    (s.wall_s, s.avg_power_w, s.mem.dtlb_misses, s.mem.walk_reads)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut base: Option<f64> = None;
+    for stlb in [false, true] {
+        for cap in [None, Some(140.0), Some(125.0)] {
+            let (t, p, dtlb, walks) = run(stlb, cap);
+            if base.is_none() {
+                base = Some(t);
+            }
+            rows.push(vec![
+                if stlb { "with STLB" } else { "no STLB" }.to_string(),
+                cap.map_or("none".into(), |c| format!("{c:.0}")),
+                format!("{:+.0} %", (t / base.unwrap() - 1.0) * 100.0),
+                format!("{p:.1}"),
+                dtlb.to_string(),
+                walks.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["hierarchy", "cap (W)", "time vs no-STLB base", "power (W)", "dTLB misses", "walk reads"],
+            &rows,
+        )
+    );
+    println!(
+        "Expected: walk reads collapse with the STLB while dTLB misses are\n\
+         unchanged (they are first-level events either way), and the capped\n\
+         time/power columns shift by at most a few percent — the Table II\n\
+         shapes do not depend on the STLB simplification."
+    );
+}

@@ -1,0 +1,58 @@
+//! Regenerates **Table I**: baseline (uncapped) node power and execution
+//! time for SIRE/RSM and Stereo Matching.
+//!
+//! Usage: `cargo run -p capsim-bench --bin table1 --release`
+//! (`CAPSIM_SCALE=test` for a fast smoke run).
+
+use capsim_apps::Workload;
+use capsim_bench::{paper, sire_factory, stereo_factory, Scale};
+use capsim_core::report::hms;
+use capsim_core::runner::RunMetrics;
+use capsim_core::table::table1;
+use capsim_core::SweepResult;
+use capsim_node::{Machine, MachineConfig};
+
+fn baseline(name: &str, factory: impl Fn(u64) -> Box<dyn Workload>) -> SweepResult {
+    let mut m = Machine::new(MachineConfig::e5_2680(1));
+    let mut w = factory(1);
+    w.run(&mut m);
+    let s = m.finish_run();
+    SweepResult {
+        workload: name.to_string(),
+        baseline: RunMetrics {
+            cap_w: None,
+            avg_power_w: s.avg_power_w,
+            energy_j: s.energy_j,
+            avg_freq_mhz: s.avg_freq_mhz,
+            time_s: s.wall_s,
+            ..Default::default()
+        },
+        rows: Vec::new(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Table I: baseline power consumption and execution time ==\n");
+    let sire = baseline("SIRE/RSM (synthetic large image)", sire_factory(scale));
+    let stereo = baseline(
+        "Stereo Matching w/ simulated annealing (three-layer wedding cake)",
+        stereo_factory(scale),
+    );
+    println!("{}", table1(&[&sire, &stereo]));
+    println!("Paper reference:");
+    println!(
+        "  SIRE/RSM        : {} W, {}",
+        paper::SIRE.baseline_power_w,
+        hms(paper::SIRE.baseline_time_s)
+    );
+    println!(
+        "  Stereo Matching : {} W, {}",
+        paper::STEREO.baseline_power_w,
+        hms(paper::STEREO.baseline_time_s)
+    );
+    println!(
+        "\nNote: our instances are scaled (simulator, not silicon); the\n\
+         power anchors should match, absolute times are proportional."
+    );
+}

@@ -1,0 +1,53 @@
+//! Regenerates **Table II**: both applications at the baseline plus nine
+//! power caps (160…120 W), averaged over seeded runs, with the paper's
+//! %-difference columns — followed by a paper-vs-measured comparison of
+//! every %-diff row.
+//!
+//! Usage: `cargo run -p capsim-bench --bin table2 --release`
+//! (`CAPSIM_SCALE=test CAPSIM_RUNS=1` for a smoke run).
+
+use capsim_bench::{comparison_row, paper, run_both_sweeps, Scale};
+use capsim_core::persist::{maybe_write, OutputDir};
+use capsim_core::runner::RunMetrics;
+use capsim_core::table::{table2_memory, table2_performance};
+use capsim_core::{LadderKind, SweepResult};
+
+fn pct(s: &SweepResult, f: impl Fn(&RunMetrics) -> f64 + Copy) -> Vec<f64> {
+    s.rows.iter().map(|r| r.pct_diff(&s.baseline, f)).collect()
+}
+
+fn compare(s: &SweepResult, p: &paper::PaperBlock) {
+    println!("--- {} : paper vs measured (%-diff per cap 160→120) ---", s.workload);
+    println!("{}", comparison_row("time %", &p.time_pct, &pct(s, |m| m.time_s)));
+    println!("{}", comparison_row("energy %", &p.energy_pct, &pct(s, |m| m.energy_j)));
+    let freq: Vec<f64> = s.rows.iter().map(|r| r.avg_freq_mhz).collect();
+    let pf: Vec<i64> = p.freq_mhz.iter().map(|&f| f as i64).collect();
+    println!("{}", comparison_row("freq MHz (abs)", &pf, &freq));
+    let power: Vec<f64> = s.rows.iter().map(|r| r.avg_power_w).collect();
+    let pp: Vec<i64> = p.power_w.iter().map(|&w| w.round() as i64).collect();
+    println!("{}", comparison_row("power W (abs)", &pp, &power));
+    println!("{}", comparison_row("L1 miss %", &p.l1_pct, &pct(s, |m| m.l1_misses)));
+    println!("{}", comparison_row("L2 miss %", &p.l2_pct, &pct(s, |m| m.l2_misses)));
+    println!("{}", comparison_row("L3 miss %", &p.l3_pct, &pct(s, |m| m.l3_misses)));
+    println!("{}", comparison_row("dTLB miss %", &p.dtlb_pct, &pct(s, |m| m.dtlb_misses)));
+    println!("{}", comparison_row("iTLB miss %", &p.itlb_pct, &pct(s, |m| m.itlb_misses)));
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running Table II sweep at {scale:?} scale …");
+    let (stereo, sire) = run_both_sweeps(scale, LadderKind::Full);
+
+    let out = OutputDir::from_env();
+    let a = format!("{}\n{}", table2_performance(&stereo, "A"), table2_memory(&stereo, "A"));
+    let b = format!("{}\n{}", table2_performance(&sire, "B"), table2_memory(&sire, "B"));
+    println!("== Table II (A rows): Stereo Matching ==\n");
+    println!("{a}");
+    println!("== Table II (B rows): SIRE/RSM ==\n");
+    println!("{b}");
+    maybe_write(&out, "table2_stereo.md", "Table II rows A0-A9 (Stereo Matching)", &a);
+    maybe_write(&out, "table2_sire.md", "Table II rows B0-B9 (SIRE/RSM)", &b);
+
+    compare(&stereo, &paper::STEREO);
+    compare(&sire, &paper::SIRE);
+}

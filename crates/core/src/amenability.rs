@@ -1,0 +1,145 @@
+//! Amenability characterization (future-work item 4).
+//!
+//! §V: "we would like to develop a methodology for characterizing
+//! applications with regard to their amenability to power capped
+//! execution." The paper's own data points the way: in the DVFS region
+//! (caps ≥ 135 W) the slowdown of a CPU-bound code tracks the frequency
+//! drop one-for-one, while memory-bound time does not scale with
+//! frequency — which is why SIRE/RSM (partially memory-bound) tolerates
+//! mid-range caps better than Stereo Matching (CPU-bound): +7 % vs +9 %
+//! at 150 W, +14 % vs +21 % at 145 W, +21 % vs +40 % at 140 W.
+//!
+//! The profile below is extracted from a single *uncapped* run: the wall
+//! time splits into a core-clocked share (unhalted cycles / frequency) and
+//! a memory share (the rest). The amenability score is the memory share —
+//! the fraction of time that DVFS cannot hurt — and the slowdown predictor
+//! applies the frequency ratio to the core share only:
+//!
+//! ```text
+//! T(f) / T(f0) = cpu_frac · f0/f + (1 − cpu_frac)
+//! ```
+
+use capsim_node::RunStats;
+
+/// Counter-derived characterization of one application.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AmenabilityProfile {
+    /// Instructions per unhalted cycle.
+    pub ipc: f64,
+    /// DRAM line transfers per thousand instructions.
+    pub mem_per_kinstr: f64,
+    /// Fraction of wall time spent in core-clocked work.
+    pub cpu_frac: f64,
+    /// Amenability score in [0, 1]: higher = more tolerant of DVFS-driven
+    /// capping (the memory-bound share of execution).
+    pub score: f64,
+}
+
+impl AmenabilityProfile {
+    /// Predicted time ratio `T(f)/T(f0)` if the cap is honoured purely by
+    /// DVFS dropping the clock from `f0_mhz` to `f_mhz`.
+    pub fn predicted_slowdown(&self, f0_mhz: f64, f_mhz: f64) -> f64 {
+        assert!(f0_mhz > 0.0 && f_mhz > 0.0);
+        self.cpu_frac * (f0_mhz / f_mhz) + (1.0 - self.cpu_frac)
+    }
+}
+
+/// Build the profile from an uncapped run's statistics.
+pub fn amenability_score(stats: &RunStats) -> AmenabilityProfile {
+    let wall_ns = stats.wall_s * 1e9;
+    let core_ns = if stats.avg_freq_mhz > 0.0 {
+        stats.counters.unhalted_cycles as f64 * 1e3 / stats.avg_freq_mhz
+    } else {
+        0.0
+    };
+    let cpu_frac = if wall_ns > 0.0 { (core_ns / wall_ns).clamp(0.0, 1.0) } else { 1.0 };
+    let instr = stats.counters.instructions_committed.max(1) as f64;
+    AmenabilityProfile {
+        ipc: stats.counters.ipc(),
+        mem_per_kinstr: stats.mem.dram_accesses() as f64 / instr * 1e3,
+        cpu_frac,
+        score: 1.0 - cpu_frac,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsim_apps::kernels::{AluBurst, PointerChase};
+    use capsim_apps::Workload;
+    use capsim_node::{Machine, MachineConfig};
+
+    fn profile(w: &mut dyn Workload, seed: u64) -> AmenabilityProfile {
+        let mut m = Machine::new(MachineConfig::e5_2680(seed));
+        w.run(&mut m);
+        amenability_score(&m.finish_run())
+    }
+
+    #[test]
+    fn compute_bound_code_scores_low() {
+        let p = profile(&mut AluBurst { iters: 100_000 }, 1);
+        assert!(p.cpu_frac > 0.9, "cpu_frac {}", p.cpu_frac);
+        assert!(p.score < 0.1);
+        assert!(p.mem_per_kinstr < 1.0);
+    }
+
+    #[test]
+    fn memory_bound_code_scores_high() {
+        let p = profile(&mut PointerChase { elems: 2 << 20, hops: 100_000, seed: 2 }, 2);
+        assert!(p.score > 0.5, "score {}", p.score);
+        assert!(p.mem_per_kinstr > 10.0);
+    }
+
+    #[test]
+    fn predictor_matches_measured_dvfs_slowdown_for_cpu_bound_code() {
+        // Run the same workload at P0 and forced P-min; the prediction
+        // from the P0 profile must match the measured ratio.
+        let run = |pstate: u8| {
+            let mut m = Machine::new(MachineConfig::e5_2680(3));
+            m.force_throttle(pstate, 16);
+            AluBurst { iters: 100_000 }.run(&mut m);
+            m.finish_run()
+        };
+        let base = run(0);
+        let slow = run(15);
+        let measured = slow.wall_s / base.wall_s;
+        let predicted = amenability_score(&base).predicted_slowdown(2700.0, 1200.0);
+        assert!(
+            (measured / predicted - 1.0).abs() < 0.05,
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn memory_bound_code_slows_less_than_the_frequency_ratio() {
+        let run = |pstate: u8| {
+            let mut m = Machine::new(MachineConfig::e5_2680(4));
+            m.force_throttle(pstate, 16);
+            PointerChase { elems: 2 << 20, hops: 60_000, seed: 4 }.run(&mut m);
+            m.finish_run()
+        };
+        let base = run(0);
+        let slow = run(15);
+        let measured = slow.wall_s / base.wall_s;
+        let fratio = 2700.0 / 1200.0;
+        assert!(measured < fratio * 0.8, "measured {measured} vs {fratio}");
+        let predicted = amenability_score(&base).predicted_slowdown(2700.0, 1200.0);
+        assert!((measured / predicted - 1.0).abs() < 0.15, "{measured} vs {predicted}");
+    }
+
+    #[test]
+    fn score_orders_the_papers_two_applications() {
+        // SIRE/RSM must score as more amenable than Stereo Matching, the
+        // paper's §IV-A conclusion.
+        let mut sar = capsim_apps::SireRsm::test_scale(7);
+        let mut stereo = capsim_apps::StereoMatching::test_scale(7);
+        let p_sar = profile(&mut sar, 7);
+        let p_stereo = profile(&mut stereo, 7);
+        assert!(
+            p_sar.score > p_stereo.score,
+            "SIRE {} vs Stereo {}",
+            p_sar.score,
+            p_stereo.score
+        );
+    }
+}

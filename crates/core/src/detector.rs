@@ -1,0 +1,248 @@
+//! The technique detector (future-work item 2).
+//!
+//! §V: "We would like to … determine, using microbenchmarks, what
+//! techniques other than DVFS are being used to manage power
+//! consumption." This module does that determination: it runs a battery
+//! of targeted probes on a (possibly throttled) machine and infers which
+//! mechanisms are active, using only what real user-level software could
+//! observe — wall time, APERF/MPERF-style frequency readings, and PMU
+//! counters.
+//!
+//! | probe | observable | technique inferred |
+//! |---|---|---|
+//! | ALU burst | unhalted freq vs nominal | DVFS |
+//! | ALU burst | unhalted time / wall time | T-state duty cycling |
+//! | 160 KiB serial loop | cycles per access | L2 way gating |
+//! | 12 MiB serial loop | L3 miss ratio | L3 way gating |
+//! | 56-page stride loop | DTLB miss ratio | DTLB shrink |
+//! | 100-page call loop | ITLB miss ratio | ITLB shrink |
+//! | 64 MiB pointer chase | non-core ns per hop | memory gating |
+
+use capsim_apps::kernels::CodeLayout;
+use capsim_node::Machine;
+
+/// What the probes concluded.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DetectedTechniques {
+    pub dvfs: bool,
+    pub duty_cycling: bool,
+    pub l2_gating: bool,
+    pub l3_gating: bool,
+    pub dtlb_shrink: bool,
+    pub itlb_shrink: bool,
+    pub mem_gating: bool,
+    /// Raw estimates backing the booleans.
+    pub est_freq_mhz: f64,
+    pub est_duty: f64,
+    pub est_l2_cycles: f64,
+    pub est_l3_miss_ratio: f64,
+    pub est_dtlb_miss_ratio: f64,
+    pub est_itlb_miss_ratio: f64,
+    pub est_dram_ns: f64,
+}
+
+impl DetectedTechniques {
+    /// True if any throttling beyond plain DVFS is active.
+    pub fn beyond_dvfs(&self) -> bool {
+        self.duty_cycling
+            || self.l2_gating
+            || self.l3_gating
+            || self.dtlb_shrink
+            || self.itlb_shrink
+            || self.mem_gating
+    }
+}
+
+/// The probe battery.
+pub struct TechniqueDetector {
+    /// Nominal (P0) frequency used as the DVFS reference.
+    pub nominal_mhz: f64,
+}
+
+impl Default for TechniqueDetector {
+    fn default() -> Self {
+        TechniqueDetector { nominal_mhz: 2700.0 }
+    }
+}
+
+impl TechniqueDetector {
+    /// Run all probes on `m`. The probes execute on the machine (they are
+    /// microbenchmarks, not introspection) and consume a few simulated
+    /// milliseconds.
+    pub fn probe(&self, m: &mut Machine) -> DetectedTechniques {
+        let mut d = DetectedTechniques::default();
+
+        // --- Probe 1: frequency + duty (ALU burst). ----------------------
+        let (c0, n0) = m.freq_meter().totals();
+        let t0 = m.now_s();
+        let block = m.code_block(128, 32);
+        for _ in 0..40_000 {
+            m.exec_block(&block);
+        }
+        let (c1, n1) = m.freq_meter().totals();
+        let wall = (m.now_s() - t0).max(1e-12);
+        d.est_freq_mhz = if n1 > n0 { (c1 - c0) / (n1 - n0) * 1e3 } else { 0.0 };
+        d.est_duty = ((n1 - n0) * 1e-9 / wall).clamp(0.0, 1.0);
+        d.dvfs = d.est_freq_mhz < self.nominal_mhz - 150.0;
+        d.duty_cycling = d.est_duty < 0.85;
+
+        // --- Probe 2: L2 capacity. A 480 KiB buffer walked at 192 B
+        // stride (defeats the next-line prefetcher) touches 160 KiB of
+        // distinct lines: resident in the 8-way 256 KiB L2, thrashing in
+        // a ≤4-way gated one. --------------------------------------------
+        let buf = m.alloc(480 * 1024);
+        let accesses = 480 * 1024 / 192;
+        for pass in 0..3 {
+            let (cy0, _) = m.freq_meter().totals();
+            for i in 0..accesses {
+                m.load_serial(buf.at(i * 192));
+            }
+            if pass == 2 {
+                let (cy1, _) = m.freq_meter().totals();
+                d.est_l2_cycles = (cy1 - cy0) / accesses as f64;
+            }
+        }
+        d.l2_gating = d.est_l2_cycles > 16.0;
+
+        // --- Probe 3: L3 capacity (12 MiB fits 20-way, not ≤10-way). -----
+        let big = m.alloc(12 << 20);
+        let big_lines = (12u64 << 20) / 64;
+        let mut miss_base = m.mem_stats_now();
+        for pass in 0..2 {
+            if pass == 1 {
+                miss_base = m.mem_stats_now();
+            }
+            let mut i = 0u64;
+            while i < big_lines {
+                m.load(big.at(i * 64));
+                i += 4; // 256 B stride defeats the prefetcher
+            }
+        }
+        let dm = m.mem_stats_now() - miss_base;
+        d.est_l3_miss_ratio = dm.l3_misses as f64 / dm.l3_accesses.max(1) as f64;
+        d.l3_gating = d.est_l3_miss_ratio > 0.30;
+
+        // --- Probe 4: DTLB (56 pages fit 64 entries, not ≤48). -----------
+        let pages = m.alloc(56 * 4096);
+        let before = m.mem_stats_now();
+        for r in 0..40u64 {
+            for p in 0..56u64 {
+                m.load(pages.at(p * 4096 + (r % 64) * 64));
+            }
+        }
+        let dm = m.mem_stats_now() - before;
+        d.est_dtlb_miss_ratio = dm.dtlb_misses as f64 / dm.dtlb_lookups.max(1) as f64;
+        d.dtlb_shrink = d.est_dtlb_miss_ratio > 0.05;
+
+        // --- Probe 5: ITLB (100 code pages fit 128 entries, not ≤96). ----
+        let mut layout = CodeLayout::new(m, 100, 6);
+        let before = m.mem_stats_now();
+        for _ in 0..100 * 30 {
+            layout.call_next(m);
+        }
+        let dm = m.mem_stats_now() - before;
+        d.est_itlb_miss_ratio = dm.itlb_misses as f64 / dm.itlb_lookups.max(1) as f64;
+        d.itlb_shrink = d.est_itlb_miss_ratio > 0.05;
+
+        // --- Probe 6: DRAM latency (pointer-chase style, 64 MiB). --------
+        // Estimate the non-core (DRAM) share of wall time by subtracting
+        // the core share implied by the frequency/duty estimates.
+        let huge = m.alloc(64 << 20);
+        let hops = 20_000u64;
+        let (cc0, _) = m.freq_meter().totals();
+        let t0 = m.now_s();
+        let mut addr = 0u64;
+        for i in 0..hops {
+            m.load_serial(huge.at(addr));
+            // A large-stride walk that defeats caches and row buffers.
+            addr = (addr + 64 * 1021 + i * 4096) % (64 << 20);
+        }
+        let (cc1, _) = m.freq_meter().totals();
+        let wall_ns = (m.now_s() - t0) * 1e9;
+        let core_ns = (cc1 - cc0) * 1e3 / d.est_freq_mhz.max(1.0) / d.est_duty.max(1e-3);
+        d.est_dram_ns = ((wall_ns - core_ns) / hops as f64).max(0.0);
+        d.mem_gating = d.est_dram_ns > 130.0;
+
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsim_mem::{MemGateLevel, MemReconfig};
+    use capsim_node::MachineConfig;
+
+    fn machine(seed: u64) -> Machine {
+        Machine::new(MachineConfig::e5_2680(seed))
+    }
+
+    #[test]
+    fn clean_machine_triggers_nothing() {
+        let mut m = machine(1);
+        let d = TechniqueDetector::default().probe(&mut m);
+        assert!(!d.dvfs, "freq {}", d.est_freq_mhz);
+        assert!(!d.duty_cycling, "duty {}", d.est_duty);
+        assert!(!d.l2_gating, "l2 {}", d.est_l2_cycles);
+        assert!(!d.l3_gating, "l3 {}", d.est_l3_miss_ratio);
+        assert!(!d.dtlb_shrink, "dtlb {}", d.est_dtlb_miss_ratio);
+        assert!(!d.itlb_shrink, "itlb {}", d.est_itlb_miss_ratio);
+        assert!(!d.mem_gating, "dram {}", d.est_dram_ns);
+        assert!(!d.beyond_dvfs());
+    }
+
+    #[test]
+    fn detects_dvfs() {
+        let mut m = machine(2);
+        m.force_throttle(10, 16); // 1700 MHz, full duty
+        let d = TechniqueDetector::default().probe(&mut m);
+        assert!(d.dvfs, "freq {}", d.est_freq_mhz);
+        assert!((d.est_freq_mhz - 1700.0).abs() < 50.0);
+        assert!(!d.duty_cycling);
+    }
+
+    #[test]
+    fn detects_duty_cycling() {
+        let mut m = machine(3);
+        m.force_throttle(15, 4); // P-min at 4/16 duty
+        let d = TechniqueDetector::default().probe(&mut m);
+        assert!(d.duty_cycling, "duty {}", d.est_duty);
+        assert!((d.est_duty - 0.25).abs() < 0.1);
+        assert!((d.est_freq_mhz - 1200.0).abs() < 50.0, "reading stays at P-state");
+    }
+
+    #[test]
+    fn detects_l2_and_l3_way_gating() {
+        let mut m = machine(4);
+        let mut r = MemReconfig::full();
+        r.l2_ways = 2;
+        r.l3_ways = 6;
+        m.apply_mem_reconfig(r);
+        let d = TechniqueDetector::default().probe(&mut m);
+        assert!(d.l2_gating, "l2 cycles {}", d.est_l2_cycles);
+        assert!(d.l3_gating, "l3 ratio {}", d.est_l3_miss_ratio);
+    }
+
+    #[test]
+    fn detects_tlb_shrink() {
+        let mut m = machine(5);
+        let mut r = MemReconfig::full();
+        r.itlb_entries = 32;
+        r.dtlb_entries = 32;
+        m.apply_mem_reconfig(r);
+        let d = TechniqueDetector::default().probe(&mut m);
+        assert!(d.itlb_shrink, "itlb {}", d.est_itlb_miss_ratio);
+        assert!(d.dtlb_shrink, "dtlb {}", d.est_dtlb_miss_ratio);
+    }
+
+    #[test]
+    fn detects_memory_gating() {
+        let mut m = machine(6);
+        let mut r = MemReconfig::full();
+        r.mem_gate = MemGateLevel::Severe;
+        m.apply_mem_reconfig(r);
+        let d = TechniqueDetector::default().probe(&mut m);
+        assert!(d.mem_gating, "dram {}", d.est_dram_ns);
+        assert!(d.beyond_dvfs());
+    }
+}

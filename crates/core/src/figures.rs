@@ -1,0 +1,164 @@
+//! Figures 1 and 2: normalized per-cap series.
+//!
+//! The paper plots each metric normalized so its largest value is 1.0
+//! (all series fit the same 0–1.2 axis). Figure 1 (SIRE/RSM) shows TLB
+//! instruction misses, frequency, time, power and energy; Figure 2
+//! (Stereo Matching) adds the L2 and L3 miss rates.
+
+use crate::report::{ascii_plot, csv};
+use crate::runner::SweepResult;
+
+/// A named series over the experiment points (baseline + caps).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FigureSeries {
+    pub name: &'static str,
+    /// Values normalized to the series' own maximum.
+    pub values: Vec<f64>,
+}
+
+/// Normalize `raw` to its max (all-zero stays all-zero).
+pub fn normalized_series(name: &'static str, raw: &[f64]) -> FigureSeries {
+    let max = raw.iter().copied().fold(f64::MIN, f64::max);
+    let values = if max <= 0.0 {
+        vec![0.0; raw.len()]
+    } else {
+        raw.iter().map(|v| v / max).collect()
+    };
+    FigureSeries { name, values }
+}
+
+/// The x-axis labels: "baseline", then the caps.
+pub fn x_labels(s: &SweepResult) -> Vec<String> {
+    s.all_rows()
+        .iter()
+        .map(|r| match r.cap_w {
+            Some(c) => format!("{c:.0}"),
+            None => "base".to_string(),
+        })
+        .collect()
+}
+
+/// Build the Figure 1 series set (SIRE/RSM: iTLB misses, frequency, time,
+/// power, energy).
+pub fn figure1_series(s: &SweepResult) -> Vec<FigureSeries> {
+    let rows = s.all_rows();
+    let grab = |f: fn(&crate::runner::RunMetrics) -> f64| -> Vec<f64> {
+        rows.iter().map(|r| f(r)).collect()
+    };
+    vec![
+        normalized_series("TLB Instruction Misses", &grab(|r| r.itlb_misses)),
+        normalized_series("Frequency", &grab(|r| r.avg_freq_mhz)),
+        normalized_series("Time", &grab(|r| r.time_s)),
+        normalized_series("Power Consumption", &grab(|r| r.avg_power_w)),
+        normalized_series("Energy Consumption", &grab(|r| r.energy_j)),
+    ]
+}
+
+/// Build the Figure 2 series set (Stereo Matching: adds L2/L3 miss rates).
+pub fn figure2_series(s: &SweepResult) -> Vec<FigureSeries> {
+    let rows = s.all_rows();
+    let grab = |f: fn(&crate::runner::RunMetrics) -> f64| -> Vec<f64> {
+        rows.iter().map(|r| f(r)).collect()
+    };
+    let mut v = vec![
+        normalized_series("L2 Miss Rate", &grab(|r| r.l2_misses)),
+        normalized_series("L3 Miss Rate", &grab(|r| r.l3_misses)),
+    ];
+    v.extend(figure1_series(s));
+    v
+}
+
+/// Render a figure as CSV (one column per series).
+pub fn figure_csv(labels: &[String], series: &[FigureSeries]) -> String {
+    let mut header: Vec<&str> = vec!["cap"];
+    header.extend(series.iter().map(|s| s.name));
+    let rows: Vec<Vec<String>> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let mut row = vec![l.clone()];
+            row.extend(series.iter().map(|s| format!("{:.4}", s.values[i])));
+            row
+        })
+        .collect();
+    csv(&header, &rows)
+}
+
+/// Render a figure as an ASCII plot.
+pub fn figure_ascii(labels: &[String], series: &[FigureSeries]) -> String {
+    let plot_series: Vec<(&str, Vec<f64>)> =
+        series.iter().map(|s| (s.name, s.values.clone())).collect();
+    ascii_plot(labels, &plot_series, 14)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunMetrics;
+
+    fn sweep() -> SweepResult {
+        let mk = |cap, t, f, p| RunMetrics {
+            cap_w: cap,
+            time_s: t,
+            avg_freq_mhz: f,
+            avg_power_w: p,
+            energy_j: t * p,
+            itlb_misses: 100.0,
+            l2_misses: 10.0,
+            l3_misses: 5.0,
+            ..Default::default()
+        };
+        SweepResult {
+            workload: "w".into(),
+            baseline: mk(None, 89.0, 2701.0, 153.0),
+            rows: vec![mk(Some(140.0), 124.0, 2168.0, 136.0), mk(Some(120.0), 3168.0, 1200.0, 124.0)],
+        }
+    }
+
+    #[test]
+    fn normalization_puts_the_max_at_one() {
+        let s = normalized_series("x", &[2.0, 8.0, 4.0]);
+        assert_eq!(s.values, vec![0.25, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn all_zero_series_stays_zero() {
+        let s = normalized_series("x", &[0.0, 0.0]);
+        assert_eq!(s.values, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn time_series_peaks_at_the_lowest_cap() {
+        let sw = sweep();
+        let figs = figure1_series(&sw);
+        let time = figs.iter().find(|f| f.name == "Time").unwrap();
+        assert_eq!(*time.values.last().unwrap(), 1.0);
+        assert!(time.values[0] < 0.05, "baseline tiny relative to 120 W");
+    }
+
+    #[test]
+    fn figure2_includes_miss_rate_series() {
+        let sw = sweep();
+        let names: Vec<_> = figure2_series(&sw).iter().map(|f| f.name).collect();
+        assert!(names.contains(&"L2 Miss Rate"));
+        assert!(names.contains(&"L3 Miss Rate"));
+        assert!(names.contains(&"Energy Consumption"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_point() {
+        let sw = sweep();
+        let labels = x_labels(&sw);
+        let c = figure_csv(&labels, &figure1_series(&sw));
+        assert_eq!(c.lines().count(), 1 + labels.len());
+        assert!(c.starts_with("cap,TLB Instruction Misses"));
+    }
+
+    #[test]
+    fn x_labels_start_at_baseline() {
+        let sw = sweep();
+        let l = x_labels(&sw);
+        assert_eq!(l[0], "base");
+        assert_eq!(l[1], "140");
+    }
+}

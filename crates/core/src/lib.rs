@@ -1,0 +1,36 @@
+//! `capsim-core` — the power-capping study itself.
+//!
+//! Reusable machinery that reproduces every artifact of the paper's
+//! evaluation:
+//!
+//! * [`runner`] — the cap-sweep experiment: N seeded runs per power cap,
+//!   averaged like the paper's five runs, executed in parallel with Rayon
+//!   (parallelism is across independent deterministic simulations, so
+//!   results are identical to a sequential sweep),
+//! * [`table`] — Table I and Table II renderers with the paper's
+//!   %-difference columns,
+//! * [`figures`] — the normalized Figure 1/2 series,
+//! * [`mountain`] — the Figure 3/4 stride-microbenchmark matrices,
+//! * [`report`] — markdown/CSV/ASCII-plot rendering helpers,
+//! * [`detector`] — future-work item 2: microbenchmark probes that
+//!   identify *which* throttling techniques are currently active,
+//! * [`amenability`] — future-work item 4: a counter-profile score that
+//!   predicts how amenable an application is to power-capped execution.
+
+pub mod amenability;
+pub mod detector;
+pub mod figures;
+pub mod mountain;
+pub mod persist;
+pub mod report;
+pub mod runner;
+pub mod sensitivity;
+pub mod table;
+
+pub use amenability::{amenability_score, AmenabilityProfile};
+pub use detector::{DetectedTechniques, TechniqueDetector};
+pub use figures::{normalized_series, FigureSeries};
+pub use mountain::{MountainMatrix, MountainRun};
+pub use persist::OutputDir;
+pub use runner::{CapSweep, ExperimentConfig, LadderKind, RunMetrics, SweepResult};
+pub use sensitivity::{Knob, SensitivityOutcome};

@@ -1,0 +1,150 @@
+//! Figures 3 and 4: the stride-microbenchmark memory mountain, with and
+//! without a power cap.
+
+use capsim_apps::{StrideBench, Workload};
+use capsim_node::{Machine, MachineConfig, PowerCap};
+
+use crate::report::csv;
+
+/// The collected matrix for one machine condition.
+#[derive(Clone, Debug)]
+pub struct MountainMatrix {
+    pub label: String,
+    pub sizes: Vec<u64>,
+    pub strides: Vec<u64>,
+    /// `ns[size_idx][stride_idx]`; `None` where stride > size/2.
+    pub ns: Vec<Vec<Option<f64>>>,
+}
+
+impl MountainMatrix {
+    /// Average ns at the given cell.
+    pub fn at(&self, size: u64, stride: u64) -> Option<f64> {
+        let si = self.sizes.iter().position(|&s| s == size)?;
+        let ti = self.strides.iter().position(|&s| s == stride)?;
+        self.ns[si][ti]
+    }
+
+    /// CSV rendering: rows = sizes, columns = strides.
+    pub fn to_csv(&self) -> String {
+        let mut header: Vec<String> = vec!["size\\stride".to_string()];
+        header.extend(self.strides.iter().map(|s| human(*s)));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let rows: Vec<Vec<String>> = self
+            .sizes
+            .iter()
+            .zip(&self.ns)
+            .map(|(size, row)| {
+                let mut cells = vec![human(*size)];
+                cells.extend(row.iter().map(|v| match v {
+                    Some(ns) => format!("{ns:.2}"),
+                    None => String::new(),
+                }));
+                cells
+            })
+            .collect();
+        csv(&header_refs, &rows)
+    }
+}
+
+/// Pretty byte sizes ("4K", "64M") like the paper's axis labels.
+pub fn human(bytes: u64) -> String {
+    if bytes >= 1 << 20 && bytes % (1 << 20) == 0 {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 && bytes % (1 << 10) == 0 {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Driver for one Figure 3/4 run.
+pub struct MountainRun {
+    pub bench: StrideBench,
+    /// `None` → Figure 3 (no cap); `Some(120.0)` → Figure 4.
+    pub cap_w: Option<f64>,
+    pub seed: u64,
+}
+
+impl MountainRun {
+    /// Execute and collect the matrix. Under a cap, a warm-up workload
+    /// first drives the BMC to its equilibrium rung, as the paper's capped
+    /// microbenchmark runs happened on an already-throttled node.
+    pub fn collect(mut self, label: &str) -> MountainMatrix {
+        let mut m = Machine::new(MachineConfig::e5_2680(self.seed));
+        if let Some(w) = self.cap_w {
+            m.set_power_cap(Some(PowerCap::new(w)));
+            // Drive the control loop to equilibrium before measuring.
+            let block = m.code_block(96, 24);
+            let scratch = m.alloc(1 << 20);
+            for i in 0..400_000u64 {
+                m.exec_block(&block);
+                m.load(scratch.at((i * 64) % (1 << 20)));
+            }
+        }
+        self.bench.run(&mut m);
+        let sizes = self.bench.sizes.clone();
+        let strides = self.bench.strides.clone();
+        let ns = sizes
+            .iter()
+            .map(|&size| {
+                strides
+                    .iter()
+                    .map(|&stride| self.bench.point(size, stride).map(|p| p.avg_ns))
+                    .collect()
+            })
+            .collect();
+        MountainMatrix { label: label.to_string(), sizes, strides, ns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_bench() -> StrideBench {
+        StrideBench {
+            sizes: vec![4 * 1024, 256 * 1024],
+            strides: vec![64, 1024],
+            max_accesses_per_cell: 5_000,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn uncapped_matrix_shows_the_hierarchy() {
+        let m = MountainRun { bench: small_bench(), cap_w: None, seed: 1 }.collect("fig3");
+        let l1 = m.at(4 * 1024, 64).unwrap();
+        let l2plus = m.at(256 * 1024, 1024).unwrap();
+        assert!(l2plus > l1 * 2.0, "{l1} vs {l2plus}");
+    }
+
+    #[test]
+    fn capped_matrix_is_uniformly_slower() {
+        // The Figure 4 signature: every level slower under the 120 W cap.
+        let f3 = MountainRun { bench: small_bench(), cap_w: None, seed: 2 }.collect("fig3");
+        let f4 = MountainRun { bench: small_bench(), cap_w: Some(120.0), seed: 2 }.collect("fig4");
+        for (&size, (r3, r4)) in f3.sizes.iter().zip(f3.ns.iter().zip(&f4.ns)) {
+            for (c3, c4) in r3.iter().zip(r4) {
+                if let (Some(a), Some(b)) = (c3, c4) {
+                    assert!(b > &(a * 1.5), "size {size}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csv_has_axis_labels() {
+        let m = MountainRun { bench: small_bench(), cap_w: None, seed: 3 }.collect("fig3");
+        let c = m.to_csv();
+        assert!(c.contains("4K"));
+        assert!(c.contains("256K"));
+        assert!(c.starts_with("size\\stride,64B,1K"));
+    }
+
+    #[test]
+    fn human_sizes() {
+        assert_eq!(human(8), "8B");
+        assert_eq!(human(4096), "4K");
+        assert_eq!(human(32 << 20), "32M");
+    }
+}

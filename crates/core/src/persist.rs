@@ -1,0 +1,103 @@
+//! Artifact persistence: write the regenerated tables/figures to disk so
+//! they can be plotted or diffed across runs.
+//!
+//! Harness binaries call [`OutputDir::from_env`]; when `CAPSIM_OUT` is
+//! set they mirror everything they print into that directory and append
+//! each file to a `MANIFEST.txt` with a short description — a plain-text
+//! provenance record of what produced what.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A directory artifacts are written into.
+#[derive(Clone, Debug)]
+pub struct OutputDir {
+    root: PathBuf,
+}
+
+impl OutputDir {
+    /// From `CAPSIM_OUT`; `None` when unset (binaries then only print).
+    pub fn from_env() -> Option<OutputDir> {
+        std::env::var_os("CAPSIM_OUT").map(|p| OutputDir { root: PathBuf::from(p) })
+    }
+
+    /// Open/create an explicit directory.
+    pub fn at(path: impl Into<PathBuf>) -> OutputDir {
+        OutputDir { root: path.into() }
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Write `contents` to `name` under the output root and log it in the
+    /// manifest. Returns the full path.
+    pub fn write(
+        &self,
+        name: &str,
+        description: &str,
+        contents: &str,
+    ) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(&self.root)?;
+        let path = self.root.join(name);
+        fs::write(&path, contents)?;
+        let mut manifest = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.root.join("MANIFEST.txt"))?;
+        writeln!(manifest, "{name}\t{description}")?;
+        Ok(path)
+    }
+}
+
+/// Convenience: write if an output dir is configured, otherwise no-op.
+/// IO errors are reported to stderr rather than killing a long harness
+/// run whose numbers are already printed.
+pub fn maybe_write(out: &Option<OutputDir>, name: &str, description: &str, contents: &str) {
+    if let Some(dir) = out {
+        if let Err(e) = dir.write(name, description, contents) {
+            eprintln!("warning: could not write {name}: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("capsim-persist-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn write_creates_files_and_manifest() {
+        let dir = tmpdir("a");
+        let out = OutputDir::at(&dir);
+        let p1 = out.write("fig1.csv", "figure 1 series", "cap,x\n120,1\n").unwrap();
+        out.write("table2.md", "table 2", "| a |\n").unwrap();
+        assert!(p1.exists());
+        let manifest = fs::read_to_string(dir.join("MANIFEST.txt")).unwrap();
+        assert!(manifest.contains("fig1.csv\tfigure 1 series"));
+        assert!(manifest.contains("table2.md"));
+        assert_eq!(fs::read_to_string(p1).unwrap(), "cap,x\n120,1\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn maybe_write_is_a_noop_without_a_dir() {
+        maybe_write(&None, "x.csv", "d", "data"); // must not panic or write
+    }
+
+    #[test]
+    fn rewriting_a_file_replaces_contents() {
+        let dir = tmpdir("b");
+        let out = OutputDir::at(&dir);
+        out.write("f.csv", "first", "1").unwrap();
+        out.write("f.csv", "second", "2").unwrap();
+        assert_eq!(fs::read_to_string(dir.join("f.csv")).unwrap(), "2");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

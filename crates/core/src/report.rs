@@ -1,0 +1,138 @@
+//! Rendering helpers: markdown tables, CSV, and ASCII line plots.
+//!
+//! The bench binaries print their reproduced tables/figures through these
+//! so EXPERIMENTS.md can quote them verbatim.
+
+/// Build a markdown table from a header and rows of cells.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in header {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push_str("\n|");
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        debug_assert_eq!(row.len(), header.len());
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Build a CSV string (no quoting needed for our numeric tables).
+pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = header.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format seconds as the paper's `h:m:s`.
+pub fn hms(seconds: f64) -> String {
+    let total = seconds.round() as u64;
+    format!("{}:{:02}:{:02}", total / 3600, (total % 3600) / 60, total % 60)
+}
+
+/// Simple fixed-width ASCII line plot of several named series sharing an
+/// x-axis (used for the Figure 1/2 normalized plots).
+pub fn ascii_plot(x_labels: &[String], series: &[(&str, Vec<f64>)], height: usize) -> String {
+    let height = height.max(4);
+    let width = x_labels.len();
+    if width == 0 || series.is_empty() {
+        return String::new();
+    }
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
+    let mut grid = vec![vec![' '; width * 6]; height];
+    let marks = ['*', 'o', '+', 'x', '#', '@', '%'];
+    for (si, (_, vals)) in series.iter().enumerate() {
+        for (xi, &v) in vals.iter().enumerate() {
+            let row = ((1.0 - (v / max).clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
+            let col = xi * 6 + 2;
+            grid[row][col] = marks[si % marks.len()];
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let y = max * (1.0 - i as f64 / (height - 1) as f64);
+        out.push_str(&format!("{y:5.2} |"));
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str("      +");
+    out.push_str(&"-".repeat(width * 6));
+    out.push('\n');
+    out.push_str("       ");
+    for l in x_labels {
+        out.push_str(&format!("{l:<6}"));
+    }
+    out.push('\n');
+    out.push_str("legend: ");
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("{}={name}  ", marks[si % marks.len()]));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("| a |"));
+        assert!(lines[1].starts_with("|---|"));
+        assert!(lines[3].contains("| 3 |"));
+    }
+
+    #[test]
+    fn csv_roundtrips_cells() {
+        let c = csv(&["x", "y"], &[vec!["1".into(), "2.5".into()]]);
+        assert_eq!(c, "x,y\n1,2.5\n");
+    }
+
+    #[test]
+    fn hms_formats_like_the_paper() {
+        assert_eq!(hms(89.0), "0:01:29");
+        assert_eq!(hms(378.0), "0:06:18");
+        assert_eq!(hms(10139.0), "2:48:59");
+    }
+
+    #[test]
+    fn ascii_plot_renders_all_series() {
+        let p = ascii_plot(
+            &["a".into(), "b".into(), "c".into()],
+            &[("up", vec![0.1, 0.5, 1.0]), ("down", vec![1.0, 0.5, 0.1])],
+            8,
+        );
+        assert!(p.contains('*'));
+        assert!(p.contains('o'));
+        assert!(p.contains("legend"));
+        assert!(p.lines().count() > 8);
+    }
+
+    #[test]
+    fn empty_plot_is_empty() {
+        assert!(ascii_plot(&[], &[], 5).is_empty());
+    }
+}

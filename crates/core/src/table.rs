@@ -1,0 +1,175 @@
+//! Table I and Table II renderers.
+//!
+//! Table I: baseline power and execution time for both applications.
+//! Table II: per-cap power/energy/frequency/time and cache/TLB misses,
+//! each with the paper's "% Diff (rounded to the closest integer) between
+//! each datum and the baseline datum" column.
+
+use crate::report::{hms, markdown_table};
+use crate::runner::{RunMetrics, SweepResult};
+
+/// Render Table I from the baselines of the two sweeps.
+pub fn table1(sweeps: &[&SweepResult]) -> String {
+    let rows: Vec<Vec<String>> = sweeps
+        .iter()
+        .map(|s| {
+            vec![
+                s.workload.clone(),
+                format!("{:.0}", s.baseline.avg_power_w),
+                hms(s.baseline.time_s),
+            ]
+        })
+        .collect();
+    markdown_table(
+        &["Code", "Average Node Power Consumption (Watts)", "Execution Time"],
+        &rows,
+    )
+}
+
+fn pd(row: &RunMetrics, base: &RunMetrics, f: impl Fn(&RunMetrics) -> f64) -> String {
+    format!("{:.0}", row.pct_diff(base, f))
+}
+
+/// Render one application's half of Table II (performance block:
+/// power / energy / frequency / time).
+pub fn table2_performance(s: &SweepResult, label_prefix: &str) -> String {
+    let base = &s.baseline;
+    let mut rows = Vec::new();
+    for (i, row) in s.all_rows().iter().enumerate() {
+        let label = format!("{label_prefix}{i}");
+        let cap = match row.cap_w {
+            Some(c) => format!("{c:.0}"),
+            None => "baseline".to_string(),
+        };
+        rows.push(vec![
+            label,
+            cap,
+            format!("{:.1}", row.avg_power_w),
+            pd(row, base, |m| m.avg_power_w),
+            format!("{:.1}", row.energy_j),
+            pd(row, base, |m| m.energy_j),
+            format!("{:.0}", row.avg_freq_mhz),
+            pd(row, base, |m| m.avg_freq_mhz),
+            hms(row.time_s),
+            pd(row, base, |m| m.time_s),
+        ]);
+    }
+    markdown_table(
+        &[
+            "Expt. Label",
+            "Power Cap (W)",
+            "Avg Node Power (W)",
+            "% Diff",
+            "Energy (J)",
+            "% Diff",
+            "Avg Freq (MHz)",
+            "% Diff",
+            "Exec Time",
+            "% Diff",
+        ],
+        &rows,
+    )
+}
+
+/// Render one application's memory block of Table II (L1/L2/L3 and TLB
+/// misses with % diffs).
+pub fn table2_memory(s: &SweepResult, label_prefix: &str) -> String {
+    let base = &s.baseline;
+    let mut rows = Vec::new();
+    for (i, row) in s.all_rows().iter().enumerate() {
+        rows.push(vec![
+            format!("{label_prefix}{i}"),
+            format!("{:.0}", row.l1_misses),
+            pd(row, base, |m| m.l1_misses),
+            format!("{:.0}", row.l2_misses),
+            pd(row, base, |m| m.l2_misses),
+            format!("{:.0}", row.l3_misses),
+            pd(row, base, |m| m.l3_misses),
+            format!("{:.0}", row.dtlb_misses),
+            pd(row, base, |m| m.dtlb_misses),
+            format!("{:.0}", row.itlb_misses),
+            pd(row, base, |m| m.itlb_misses),
+        ]);
+    }
+    markdown_table(
+        &[
+            "Expt. Label",
+            "L1 Misses",
+            "% Diff",
+            "L2 Misses",
+            "% Diff",
+            "L3 Misses",
+            "% Diff",
+            "TLB Data Misses",
+            "% Diff",
+            "TLB Instr Misses",
+            "% Diff",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunMetrics;
+
+    fn fake_sweep() -> SweepResult {
+        let base = RunMetrics {
+            cap_w: None,
+            avg_power_w: 153.1,
+            energy_j: 13626.2,
+            avg_freq_mhz: 2701.0,
+            time_s: 89.0,
+            l1_misses: 1000.0,
+            l2_misses: 100.0,
+            l3_misses: 10.0,
+            dtlb_misses: 50.0,
+            itlb_misses: 5.0,
+            ..Default::default()
+        };
+        let capped = RunMetrics {
+            cap_w: Some(120.0),
+            avg_power_w: 124.9,
+            energy_j: 395921.2,
+            avg_freq_mhz: 1200.0,
+            time_s: 3168.0,
+            l1_misses: 1020.0,
+            l2_misses: 344.0,
+            l3_misses: 45.0,
+            dtlb_misses: 53.0,
+            itlb_misses: 325.0,
+            ..Default::default()
+        };
+        SweepResult { workload: "Stereo Matching".into(), baseline: base, rows: vec![capped] }
+    }
+
+    #[test]
+    fn table1_contains_baseline_power_and_time() {
+        let s = fake_sweep();
+        let t = table1(&[&s]);
+        assert!(t.contains("Stereo Matching"));
+        assert!(t.contains("153"));
+        assert!(t.contains("0:01:29"));
+    }
+
+    #[test]
+    fn table2_performance_pct_diffs_match_the_paper_arithmetic() {
+        let s = fake_sweep();
+        let t = table2_performance(&s, "A");
+        // time: 3168/89 - 1 = +3460 %; power: 124.9/153.1 - 1 ≈ -18 %.
+        assert!(t.contains("3460"), "{t}");
+        assert!(t.contains("-18"), "{t}");
+        assert!(t.contains("baseline"));
+        assert!(t.contains("A0") && t.contains("A1"));
+    }
+
+    #[test]
+    fn table2_memory_shows_miss_blowups() {
+        let s = fake_sweep();
+        let t = table2_memory(&s, "A");
+        // L2: 344/100 → +244 %; iTLB: 325/5 → +6400 %.
+        assert!(t.contains("244"), "{t}");
+        assert!(t.contains("6400"), "{t}");
+    }
+}

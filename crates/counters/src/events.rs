@@ -1,0 +1,137 @@
+//! Preset events, named after their PAPI equivalents.
+
+use capsim_cpu::CounterFile;
+use capsim_mem::MemStats;
+
+/// A preset countable event. Names mirror PAPI's presets; the mapping to
+/// simulator counters is exact (no approximation like real PMU presets
+/// sometimes need).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// `PAPI_TOT_INS` — instructions committed.
+    TotIns,
+    /// Instructions executed including squashed wrong-path work
+    /// (native event; the paper compares it against `TOT_INS`).
+    TotInsExec,
+    /// `PAPI_TOT_CYC` — unhalted core cycles.
+    TotCyc,
+    /// `PAPI_LD_INS` / `PAPI_SR_INS`.
+    LdIns,
+    SrIns,
+    /// `PAPI_BR_INS` / `PAPI_BR_MSP`.
+    BrIns,
+    BrMsp,
+    /// `PAPI_L1_DCM` — L1 data-cache misses (Table II "L1 Misses").
+    L1Dcm,
+    /// `PAPI_L1_ICM` — L1 instruction-cache misses.
+    L1Icm,
+    /// `PAPI_L2_TCM` — L2 total misses (Table II "L2 Misses").
+    L2Tcm,
+    /// `PAPI_L3_TCM` — L3 total misses (Table II "L3 Misses").
+    L3Tcm,
+    /// `PAPI_TLB_DM` — data TLB misses (Table II "TLB Data Misses").
+    TlbDm,
+    /// `PAPI_TLB_IM` — instruction TLB misses (Table II "TLB Instruction
+    /// Misses").
+    TlbIm,
+    /// Speculative (wrong-path) loads executed (native event).
+    SpecLd,
+    /// DRAM line transfers (native uncore event).
+    DramAccess,
+}
+
+impl Event {
+    /// All defined events.
+    pub const ALL: [Event; 15] = [
+        Event::TotIns,
+        Event::TotInsExec,
+        Event::TotCyc,
+        Event::LdIns,
+        Event::SrIns,
+        Event::BrIns,
+        Event::BrMsp,
+        Event::L1Dcm,
+        Event::L1Icm,
+        Event::L2Tcm,
+        Event::L3Tcm,
+        Event::TlbDm,
+        Event::TlbIm,
+        Event::SpecLd,
+        Event::DramAccess,
+    ];
+
+    /// The PAPI-style name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::TotIns => "PAPI_TOT_INS",
+            Event::TotInsExec => "NATIVE_INS_EXEC",
+            Event::TotCyc => "PAPI_TOT_CYC",
+            Event::LdIns => "PAPI_LD_INS",
+            Event::SrIns => "PAPI_SR_INS",
+            Event::BrIns => "PAPI_BR_INS",
+            Event::BrMsp => "PAPI_BR_MSP",
+            Event::L1Dcm => "PAPI_L1_DCM",
+            Event::L1Icm => "PAPI_L1_ICM",
+            Event::L2Tcm => "PAPI_L2_TCM",
+            Event::L3Tcm => "PAPI_L3_TCM",
+            Event::TlbDm => "PAPI_TLB_DM",
+            Event::TlbIm => "PAPI_TLB_IM",
+            Event::SpecLd => "NATIVE_SPEC_LD",
+            Event::DramAccess => "NATIVE_DRAM_ACCESS",
+        }
+    }
+
+    /// Extract the event's value from a (core, memory) counter snapshot.
+    pub fn extract(&self, core: &CounterFile, mem: &MemStats) -> u64 {
+        match self {
+            Event::TotIns => core.instructions_committed,
+            Event::TotInsExec => core.instructions_executed,
+            Event::TotCyc => core.unhalted_cycles,
+            Event::LdIns => core.loads,
+            Event::SrIns => core.stores,
+            Event::BrIns => core.branches,
+            Event::BrMsp => core.branch_mispredicts,
+            Event::L1Dcm => mem.l1d_misses,
+            Event::L1Icm => mem.l1i_misses,
+            Event::L2Tcm => mem.l2_misses,
+            Event::L3Tcm => mem.l3_misses,
+            Event::TlbDm => mem.dtlb_misses,
+            Event::TlbIm => mem.itlb_misses,
+            Event::SpecLd => core.spec_loads,
+            Event::DramAccess => mem.dram_reads + mem.dram_writes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Event::ALL.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Event::ALL.len());
+    }
+
+    #[test]
+    fn extraction_pulls_the_right_fields() {
+        let core = CounterFile {
+            instructions_committed: 10,
+            instructions_executed: 11,
+            loads: 3,
+            stores: 2,
+            branches: 4,
+            branch_mispredicts: 1,
+            spec_loads: 1,
+            unhalted_cycles: 100,
+        };
+        let mem = MemStats { l1d_misses: 7, l3_misses: 5, itlb_misses: 2, ..Default::default() };
+        assert_eq!(Event::TotIns.extract(&core, &mem), 10);
+        assert_eq!(Event::TotCyc.extract(&core, &mem), 100);
+        assert_eq!(Event::L1Dcm.extract(&core, &mem), 7);
+        assert_eq!(Event::L3Tcm.extract(&core, &mem), 5);
+        assert_eq!(Event::TlbIm.extract(&core, &mem), 2);
+    }
+}

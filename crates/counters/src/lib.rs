@@ -1,0 +1,18 @@
+//! `capsim-counters` — a PAPI-like performance-counter facade.
+//!
+//! The paper collected its Table II data "using PAPI and the Romley's
+//! performance counters". This crate reproduces that interface over the
+//! simulated machine: preset events ([`Event`]) are grouped into an
+//! [`EventSet`], started, and read/stopped around a code region. The
+//! simulated PMU has [`HW_COUNTERS`] programmable slots, like real
+//! hardware; oversubscribing a set fails with [`CounterError::Conflict`]
+//! (PAPI's `PAPI_ECNFLCT`) unless multiplexing is enabled, in which case
+//! reads are scaled estimates, as with `PAPI_multiplex_init`.
+
+pub mod derived;
+pub mod events;
+pub mod set;
+
+pub use derived::{derive, DerivedMetrics};
+pub use events::Event;
+pub use set::{CounterError, EventSet, HW_COUNTERS};

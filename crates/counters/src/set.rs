@@ -1,0 +1,221 @@
+//! Event sets: PAPI's unit of counter scheduling.
+
+use capsim_cpu::CounterFile;
+use capsim_mem::MemStats;
+use capsim_node::Machine;
+
+use crate::events::Event;
+
+/// Programmable counter slots on the simulated PMU (Sandy Bridge exposes
+/// 8 general-purpose counters with hyperthreading off).
+pub const HW_COUNTERS: usize = 8;
+
+/// Errors from event-set operations (PAPI error-code analogues).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CounterError {
+    /// More events than hardware counters and multiplexing is off
+    /// (`PAPI_ECNFLCT`).
+    Conflict,
+    /// Operation requires a started set (`PAPI_ENOTRUN`).
+    NotRunning,
+    /// Operation requires a stopped set (`PAPI_EISRUN`).
+    AlreadyRunning,
+    /// Event already present in the set.
+    Duplicate,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Snapshot {
+    core: CounterFile,
+    mem: MemStats,
+}
+
+/// A set of events counted together.
+///
+/// ```
+/// use capsim_counters::{Event, EventSet};
+/// use capsim_node::{Machine, MachineConfig};
+///
+/// let mut m = Machine::new(MachineConfig::tiny(1));
+/// let mut set = EventSet::new();
+/// set.add(Event::TotIns).unwrap();
+/// set.add(Event::L1Dcm).unwrap();
+/// set.start(&m).unwrap();
+/// m.compute(500);
+/// let counts = set.stop(&m).unwrap();
+/// assert_eq!(counts[0], 500); // PAPI_TOT_INS
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventSet {
+    events: Vec<Event>,
+    multiplexed: bool,
+    running: bool,
+    start: Snapshot,
+}
+
+impl EventSet {
+    pub fn new() -> Self {
+        EventSet { events: Vec::new(), multiplexed: false, running: false, start: Snapshot::default() }
+    }
+
+    /// Enable multiplexing: more than [`HW_COUNTERS`] events are allowed;
+    /// reads become estimates (exact in the simulator, but the API keeps
+    /// PAPI's shape).
+    pub fn set_multiplex(&mut self, on: bool) -> Result<(), CounterError> {
+        if self.running {
+            return Err(CounterError::AlreadyRunning);
+        }
+        self.multiplexed = on;
+        Ok(())
+    }
+
+    /// Add an event to the set.
+    pub fn add(&mut self, e: Event) -> Result<(), CounterError> {
+        if self.running {
+            return Err(CounterError::AlreadyRunning);
+        }
+        if self.events.contains(&e) {
+            return Err(CounterError::Duplicate);
+        }
+        if !self.multiplexed && self.events.len() == HW_COUNTERS {
+            return Err(CounterError::Conflict);
+        }
+        self.events.push(e);
+        Ok(())
+    }
+
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Start counting: snapshot the machine's counters.
+    pub fn start(&mut self, m: &Machine) -> Result<(), CounterError> {
+        if self.running {
+            return Err(CounterError::AlreadyRunning);
+        }
+        self.start = Snapshot { core: m.counters_now(), mem: m.mem_stats_now() };
+        self.running = true;
+        Ok(())
+    }
+
+    /// Read the per-event deltas since `start`, in insertion order,
+    /// without stopping.
+    pub fn read(&self, m: &Machine) -> Result<Vec<u64>, CounterError> {
+        if !self.running {
+            return Err(CounterError::NotRunning);
+        }
+        let core = m.counters_now().since(&self.start.core);
+        let mem = m.mem_stats_now() - self.start.mem;
+        Ok(self.events.iter().map(|e| e.extract(&core, &mem)).collect())
+    }
+
+    /// Stop and return the final deltas.
+    pub fn stop(&mut self, m: &Machine) -> Result<Vec<u64>, CounterError> {
+        let v = self.read(m)?;
+        self.running = false;
+        Ok(v)
+    }
+}
+
+impl Default for EventSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsim_node::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::tiny(11))
+    }
+
+    #[test]
+    fn counts_a_simple_region() {
+        let mut m = machine();
+        let r = m.alloc(4096);
+        let mut set = EventSet::new();
+        set.add(Event::TotIns).unwrap();
+        set.add(Event::LdIns).unwrap();
+        set.add(Event::L1Dcm).unwrap();
+        // Pre-set work must not be counted.
+        m.compute(500);
+        set.start(&m).unwrap();
+        m.compute(100);
+        m.load(r.at(0));
+        let v = set.stop(&m).unwrap();
+        assert_eq!(v[0], 101, "100 ALU + 1 load committed");
+        assert_eq!(v[1], 1);
+        assert_eq!(v[2], 1, "cold load misses L1");
+    }
+
+    #[test]
+    fn read_without_start_fails() {
+        let m = machine();
+        let set = EventSet::new();
+        assert_eq!(set.read(&m), Err(CounterError::NotRunning));
+    }
+
+    #[test]
+    fn oversubscription_requires_multiplexing() {
+        let mut set = EventSet::new();
+        for e in Event::ALL.iter().take(HW_COUNTERS) {
+            set.add(*e).unwrap();
+        }
+        assert_eq!(set.add(Event::DramAccess), Err(CounterError::Conflict));
+        set.set_multiplex(true).unwrap();
+        for e in Event::ALL.iter().skip(HW_COUNTERS) {
+            set.add(*e).unwrap();
+        }
+        assert_eq!(set.events().len(), Event::ALL.len());
+    }
+
+    #[test]
+    fn duplicate_events_are_rejected() {
+        let mut set = EventSet::new();
+        set.add(Event::TotCyc).unwrap();
+        assert_eq!(set.add(Event::TotCyc), Err(CounterError::Duplicate));
+    }
+
+    #[test]
+    fn mutation_while_running_is_rejected() {
+        let mut m = machine();
+        m.compute(1);
+        let mut set = EventSet::new();
+        set.add(Event::TotIns).unwrap();
+        set.start(&m).unwrap();
+        assert_eq!(set.add(Event::LdIns), Err(CounterError::AlreadyRunning));
+        assert_eq!(set.set_multiplex(true), Err(CounterError::AlreadyRunning));
+        assert_eq!(set.start(&m), Err(CounterError::AlreadyRunning));
+    }
+
+    #[test]
+    fn intermediate_reads_are_monotone() {
+        let mut m = machine();
+        let mut set = EventSet::new();
+        set.add(Event::TotIns).unwrap();
+        set.start(&m).unwrap();
+        m.compute(10);
+        let a = set.read(&m).unwrap()[0];
+        m.compute(10);
+        let b = set.read(&m).unwrap()[0];
+        assert!(b > a);
+        assert_eq!(set.stop(&m).unwrap()[0], 20);
+    }
+
+    #[test]
+    fn restart_after_stop_rebaselines() {
+        let mut m = machine();
+        let mut set = EventSet::new();
+        set.add(Event::TotIns).unwrap();
+        set.start(&m).unwrap();
+        m.compute(10);
+        set.stop(&m).unwrap();
+        m.compute(1000);
+        set.start(&m).unwrap();
+        m.compute(5);
+        assert_eq!(set.stop(&m).unwrap()[0], 5);
+    }
+}

@@ -1,0 +1,79 @@
+//! The simulated clock.
+//!
+//! Simulated time is a monotonically increasing `f64` of nanoseconds.
+//! Cycles executed at a given frequency advance time by `cycles / f`;
+//! DRAM time advances it directly. `f64` nanoseconds carry ~53 bits of
+//! mantissa — exact to the picosecond for runs up to days of simulated
+//! time, far beyond anything the harness produces.
+
+/// Monotonic simulated time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimClock {
+    now_ns: f64,
+}
+
+impl SimClock {
+    pub fn new() -> Self {
+        SimClock { now_ns: 0.0 }
+    }
+
+    /// Current simulated time in nanoseconds.
+    #[inline]
+    pub fn now_ns(&self) -> f64 {
+        self.now_ns
+    }
+
+    /// Current simulated time in seconds.
+    #[inline]
+    pub fn now_s(&self) -> f64 {
+        self.now_ns * 1e-9
+    }
+
+    /// Advance by `cycles` executed at `freq_mhz`. Returns the elapsed ns.
+    #[inline]
+    pub fn advance_cycles(&mut self, cycles: f64, freq_mhz: f64) -> f64 {
+        debug_assert!(freq_mhz > 0.0);
+        let dt = cycles * 1e3 / freq_mhz; // MHz → cycles/µs → ns
+        self.now_ns += dt;
+        dt
+    }
+
+    /// Advance by raw nanoseconds (DRAM or idle time).
+    #[inline]
+    pub fn advance_ns(&mut self, ns: f64) {
+        debug_assert!(ns >= 0.0);
+        self.now_ns += ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_at_2700mhz_take_the_right_time() {
+        let mut c = SimClock::new();
+        let dt = c.advance_cycles(2700.0, 2700.0);
+        assert!((dt - 1000.0).abs() < 1e-9, "2700 cycles at 2.7 GHz = 1 µs");
+        assert!((c.now_ns() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_frequency_stretches_time() {
+        let mut hi = SimClock::new();
+        let mut lo = SimClock::new();
+        hi.advance_cycles(1e6, 2700.0);
+        lo.advance_cycles(1e6, 1200.0);
+        assert!((lo.now_ns() / hi.now_ns() - 2700.0 / 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ns_advance_accumulates() {
+        let mut c = SimClock::new();
+        c.advance_ns(50.0);
+        c.advance_ns(0.0);
+        c.advance_ns(10.0);
+        assert_eq!(c.now_ns(), 60.0);
+        assert!((c.now_s() - 60e-9).abs() < 1e-20);
+    }
+}

@@ -1,0 +1,91 @@
+//! ACPI C-states: idle states for cores with nothing to run.
+//!
+//! §II of the paper: "C-states allow an idle processor (in any other
+//! C-state besides C0) to turn off unused components to save power. Higher
+//! C-state numbers represent deeper CPU sleep states (with slower wake-up
+//! times)." The race-to-idle ablation (EXPERIMENTS.md X2) uses these
+//! numbers to compare "sprint at P0 then park in C6" against "crawl at
+//! P-min in C0".
+
+/// Idle states of a Sandy Bridge core. Power fractions are relative to the
+/// core's active power at P-min; wake latencies follow public SNB data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CState {
+    /// Executing (not idle).
+    C0,
+    /// Halt: clocks stopped, caches live.
+    C1,
+    /// Deeper sleep: clocks off, L1/L2 flushed.
+    C3,
+    /// Power gate: core voltage removed.
+    C6,
+}
+
+impl CState {
+    /// Residual power as a fraction of the core's P-min active power.
+    pub fn power_frac(self) -> f64 {
+        match self {
+            CState::C0 => 1.0,
+            CState::C1 => 0.30,
+            CState::C3 => 0.12,
+            CState::C6 => 0.02,
+        }
+    }
+
+    /// Wake-up latency in nanoseconds.
+    pub fn wake_ns(self) -> f64 {
+        match self {
+            CState::C0 => 0.0,
+            CState::C1 => 1_000.0,
+            CState::C3 => 50_000.0,
+            CState::C6 => 100_000.0,
+        }
+    }
+
+    /// Whether entering this state flushes the core's private caches.
+    pub fn flushes_caches(self) -> bool {
+        matches!(self, CState::C3 | CState::C6)
+    }
+
+    /// The deepest state whose wake latency fits within `budget_ns` —
+    /// the classic idle-governor decision.
+    pub fn deepest_within(budget_ns: f64) -> CState {
+        if budget_ns >= CState::C6.wake_ns() * 3.0 {
+            CState::C6
+        } else if budget_ns >= CState::C3.wake_ns() * 3.0 {
+            CState::C3
+        } else if budget_ns >= CState::C1.wake_ns() * 3.0 {
+            CState::C1
+        } else {
+            CState::C0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deeper_states_save_more_power_but_wake_slower() {
+        let order = [CState::C0, CState::C1, CState::C3, CState::C6];
+        for w in order.windows(2) {
+            assert!(w[1].power_frac() < w[0].power_frac());
+            assert!(w[1].wake_ns() > w[0].wake_ns());
+        }
+    }
+
+    #[test]
+    fn governor_picks_deepest_affordable_state() {
+        assert_eq!(CState::deepest_within(1e9), CState::C6);
+        assert_eq!(CState::deepest_within(200_000.0), CState::C3);
+        assert_eq!(CState::deepest_within(5_000.0), CState::C1);
+        assert_eq!(CState::deepest_within(100.0), CState::C0);
+    }
+
+    #[test]
+    fn cache_flush_semantics() {
+        assert!(!CState::C1.flushes_caches());
+        assert!(CState::C6.flushes_caches());
+    }
+}

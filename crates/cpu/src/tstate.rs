@@ -1,0 +1,89 @@
+//! T-states: duty-cycle clock modulation.
+//!
+//! When DVFS bottoms out at P-min and the node is still over its cap, the
+//! firmware modulates the clock: the core runs for `on` of every 16 clock
+//! windows and is halted for the rest. Crucially, halted windows do not
+//! advance the APERF-style unhalted-cycle counter, so a frequency meter
+//! that divides unhalted cycles by unhalted time keeps reading the P-state
+//! frequency — the paper's Table II shows exactly that signature (frequency
+//! pinned at 1200 while execution time grows another order of magnitude).
+
+/// Clock-modulation setting: the core is clocked `on_16/16` of the time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TState {
+    on_16: u8,
+}
+
+impl TState {
+    /// Full speed (no modulation).
+    pub const FULL: TState = TState { on_16: 16 };
+    /// The deepest modulation the firmware will use (1/16 duty).
+    pub const MIN: TState = TState { on_16: 1 };
+
+    /// Construct from a numerator of 16; clamped to `1..=16`.
+    pub fn of_16(on: u8) -> TState {
+        TState { on_16: on.clamp(1, 16) }
+    }
+
+    /// Duty fraction in `(0, 1]`.
+    pub fn duty(self) -> f64 {
+        self.on_16 as f64 / 16.0
+    }
+
+    /// The numerator of the duty fraction.
+    pub fn on_16(self) -> u8 {
+        self.on_16
+    }
+
+    /// One step deeper (slower), saturating at 1/16.
+    pub fn deeper(self) -> TState {
+        TState::of_16(self.on_16.saturating_sub(1).max(1))
+    }
+
+    /// One step shallower (faster), saturating at 16/16.
+    pub fn shallower(self) -> TState {
+        TState::of_16((self.on_16 + 1).min(16))
+    }
+
+    /// Wall-time stretch factor relative to unmodulated execution.
+    pub fn stretch(self) -> f64 {
+        16.0 / self.on_16 as f64
+    }
+}
+
+impl Default for TState {
+    fn default() -> Self {
+        TState::FULL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_duty_has_no_stretch() {
+        assert_eq!(TState::FULL.duty(), 1.0);
+        assert_eq!(TState::FULL.stretch(), 1.0);
+    }
+
+    #[test]
+    fn min_duty_stretches_16x() {
+        assert_eq!(TState::MIN.duty(), 1.0 / 16.0);
+        assert_eq!(TState::MIN.stretch(), 16.0);
+    }
+
+    #[test]
+    fn deeper_and_shallower_saturate() {
+        assert_eq!(TState::MIN.deeper(), TState::MIN);
+        assert_eq!(TState::FULL.shallower(), TState::FULL);
+        assert_eq!(TState::of_16(8).deeper(), TState::of_16(7));
+        assert_eq!(TState::of_16(8).shallower(), TState::of_16(9));
+    }
+
+    #[test]
+    fn construction_clamps() {
+        assert_eq!(TState::of_16(0), TState::MIN);
+        assert_eq!(TState::of_16(200), TState::FULL);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the CPU-side substrate.
+
+use proptest::prelude::*;
+
+use capsim_cpu::{CounterFile, FreqMeter, GsharePredictor, PStateTable, SimClock, TState};
+
+proptest! {
+    /// The clock is monotone and cycle→time conversion is exact.
+    #[test]
+    fn clock_monotonicity(steps in proptest::collection::vec((1.0f64..1e7, 1200.0f64..2700.0), 1..100)) {
+        let mut c = SimClock::new();
+        let mut prev = 0.0;
+        let mut expected = 0.0;
+        for &(cycles, mhz) in &steps {
+            c.advance_cycles(cycles, mhz);
+            expected += cycles * 1e3 / mhz;
+            prop_assert!(c.now_ns() > prev);
+            prev = c.now_ns();
+        }
+        prop_assert!((c.now_ns() - expected).abs() / expected < 1e-12);
+    }
+
+    /// The frequency meter's reading is always within the range of the
+    /// frequencies it saw.
+    #[test]
+    fn freq_meter_bounded_by_inputs(bursts in proptest::collection::vec((1e3f64..1e7, 1200.0f64..2700.0), 1..50)) {
+        let mut m = FreqMeter::new();
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for &(cycles, mhz) in &bursts {
+            m.record(cycles, cycles * 1e3 / mhz);
+            lo = lo.min(mhz);
+            hi = hi.max(mhz);
+        }
+        let avg = m.avg_mhz();
+        prop_assert!(avg >= lo - 1e-6 && avg <= hi + 1e-6, "{lo} <= {avg} <= {hi}");
+    }
+
+    /// T-state stepping: deeper/shallower are inverses inside the range,
+    /// and duty × stretch == 1 exactly.
+    #[test]
+    fn tstate_algebra(on in 1u8..=16) {
+        let t = TState::of_16(on);
+        prop_assert!((t.duty() * t.stretch() - 1.0).abs() < 1e-12);
+        if on > 1 && on < 16 {
+            prop_assert_eq!(t.deeper().shallower(), t);
+            prop_assert_eq!(t.shallower().deeper(), t);
+        }
+    }
+
+    /// P-state table lookups are total and ordered.
+    #[test]
+    fn pstate_lookup_total(idx in any::<u8>()) {
+        let t = PStateTable::e5_2680();
+        let s = t.get(idx);
+        prop_assert!(s.freq_mhz >= t.slowest().freq_mhz);
+        prop_assert!(s.freq_mhz <= t.fastest().freq_mhz);
+        prop_assert!(s.volts > 0.5 && s.volts < 1.2);
+    }
+
+    /// The predictor never reports more mispredictions than branches and
+    /// handles any PC/outcome stream without panicking.
+    #[test]
+    fn predictor_counts_consistent(stream in proptest::collection::vec((any::<u64>(), any::<bool>()), 1..500)) {
+        let mut p = GsharePredictor::new(12);
+        for &(pc, taken) in &stream {
+            p.execute(pc, taken);
+        }
+        let (b, m) = p.stats();
+        prop_assert_eq!(b, stream.len() as u64);
+        prop_assert!(m <= b);
+        prop_assert!((0.0..=1.0).contains(&p.miss_rate()));
+    }
+
+    /// Counter windows: since() of a later snapshot is non-negative in
+    /// every field and adds back up.
+    #[test]
+    fn counter_windows_add_up(a in 0u64..1000, b in 0u64..1000) {
+        let first = CounterFile { instructions_committed: a, ..Default::default() };
+        let second = CounterFile { instructions_committed: a + b, ..Default::default() };
+        let w = second.since(&first);
+        prop_assert_eq!(w.instructions_committed, b);
+    }
+}

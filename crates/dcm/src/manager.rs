@@ -1,0 +1,212 @@
+//! The manager itself: per-node DCMI transactions and group budgeting.
+
+use capsim_ipmi::dcmi::{
+    ActivatePowerLimit, ExceptionAction, GetPowerLimit, GetPowerReading, PowerLimit,
+    PowerReading, SetPowerLimit,
+};
+use capsim_ipmi::{IpmiError, ManagerPort};
+
+use crate::policy::{allocate, AllocationPolicy};
+
+/// A node registered with the manager.
+pub struct NodeHandle {
+    pub name: String,
+    port: ManagerPort,
+}
+
+/// The Data Center Manager.
+pub struct Dcm {
+    nodes: Vec<NodeHandle>,
+    /// Caps below this are pointless (the node's throttle floor).
+    pub floor_w: f64,
+    /// DCMI correction time pushed with every limit (how long a node may
+    /// exceed its cap before the exception action fires).
+    pub correction_ms: u32,
+}
+
+impl Dcm {
+    pub fn new() -> Self {
+        Dcm { nodes: Vec::new(), floor_w: 110.0, correction_ms: 1000 }
+    }
+
+    /// Register a node's management port; returns its index.
+    pub fn add_node(&mut self, name: impl Into<String>, port: ManagerPort) -> usize {
+        self.nodes.push(NodeHandle { name: name.into(), port });
+        self.nodes.len() - 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn node_name(&self, idx: usize) -> &str {
+        &self.nodes[idx].name
+    }
+
+    /// Direct access to a node's management port (the monitoring layer
+    /// issues its own command sequences).
+    pub fn port_mut(&mut self, idx: usize) -> &mut ManagerPort {
+        &mut self.nodes[idx].port
+    }
+
+    /// DCMI *Get Power Reading* from one node.
+    pub fn read_power(&mut self, idx: usize) -> Result<PowerReading, IpmiError> {
+        let node = &mut self.nodes[idx];
+        let seq = node.port.next_seq();
+        let resp = node.port.transact(&GetPowerReading::request(seq))?;
+        PowerReading::decode(&resp.into_ok()?)
+    }
+
+    /// Set and activate a cap on one node.
+    pub fn cap_node(&mut self, idx: usize, watts: f64) -> Result<(), IpmiError> {
+        let node = &mut self.nodes[idx];
+        let limit = PowerLimit {
+            limit_w: watts.round() as u16,
+            correction_ms: self.correction_ms,
+            sampling_s: 1,
+            action: ExceptionAction::LogOnly,
+        };
+        let seq = node.port.next_seq();
+        node.port.transact(&SetPowerLimit(limit).request(seq))?.into_ok()?;
+        let seq = node.port.next_seq();
+        node.port
+            .transact(&ActivatePowerLimit { activate: true }.request(seq))?
+            .into_ok()?;
+        Ok(())
+    }
+
+    /// Deactivate a node's cap.
+    pub fn uncap_node(&mut self, idx: usize) -> Result<(), IpmiError> {
+        let node = &mut self.nodes[idx];
+        let seq = node.port.next_seq();
+        node.port
+            .transact(&ActivatePowerLimit { activate: false }.request(seq))?
+            .into_ok()?;
+        Ok(())
+    }
+
+    /// Read back the limit stored on a node.
+    pub fn node_limit(&mut self, idx: usize) -> Result<PowerLimit, IpmiError> {
+        let node = &mut self.nodes[idx];
+        let seq = node.port.next_seq();
+        let resp = node.port.transact(&GetPowerLimit::request(seq))?;
+        PowerLimit::decode(&resp.into_ok()?)
+    }
+
+    /// Divide `budget_w` across all nodes per `policy` (using fresh power
+    /// readings as demand) and push the resulting caps. Returns the caps.
+    pub fn apply_group_budget(
+        &mut self,
+        budget_w: f64,
+        policy: &AllocationPolicy,
+    ) -> Result<Vec<f64>, IpmiError> {
+        let mut demand = Vec::with_capacity(self.nodes.len());
+        for i in 0..self.nodes.len() {
+            demand.push(self.read_power(i)?.current_w as f64);
+        }
+        let caps = allocate(policy, budget_w, &demand, self.floor_w);
+        for (i, &cap) in caps.iter().enumerate() {
+            self.cap_node(i, cap)?;
+        }
+        Ok(caps)
+    }
+}
+
+impl Default for Dcm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsim_cpu::PStateTable;
+    use capsim_ipmi::LanChannel;
+    use capsim_mem::MemReconfig;
+    use capsim_node::bmc::{Bmc, BmcTelemetry};
+    use capsim_node::ThrottleLadder;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    /// Run a standalone BMC service loop on a thread until `stop` is set.
+    fn spawn_bmc(
+        power_w: f64,
+        port: capsim_ipmi::BmcPort,
+        stop: Arc<AtomicBool>,
+    ) -> std::thread::JoinHandle<Bmc> {
+        std::thread::spawn(move || {
+            let ladder =
+                ThrottleLadder::e5_2680(&PStateTable::e5_2680(), MemReconfig::full());
+            let mut bmc = Bmc::new(ladder);
+            bmc.control(BmcTelemetry {
+                window_avg_w: power_w,
+                run_avg_w: power_w,
+                min_w: power_w,
+                max_w: power_w,
+                die_temp_c: 60.0,
+                inlet_temp_c: 27.0,
+                now_ms: 0.0,
+            });
+            while !stop.load(Ordering::Relaxed) {
+                bmc.serve(&port).unwrap();
+                std::thread::yield_now();
+            }
+            bmc
+        })
+    }
+
+    #[test]
+    fn manager_reads_power_and_pushes_caps_over_ipmi() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut dcm = Dcm::new();
+        let mut handles = Vec::new();
+        for (i, w) in [150.0, 130.0].into_iter().enumerate() {
+            let (mgr, bmc_port) = LanChannel::pair();
+            dcm.add_node(format!("node{i}"), mgr);
+            handles.push(spawn_bmc(w, bmc_port, stop.clone()));
+        }
+        let r0 = dcm.read_power(0).unwrap();
+        assert_eq!(r0.current_w, 150);
+        let caps = dcm
+            .apply_group_budget(300.0, &AllocationPolicy::ProportionalToDemand)
+            .unwrap();
+        assert_eq!(caps.len(), 2);
+        assert!(caps[0] > caps[1]);
+        // The cap is stored and active on the node.
+        let limit = dcm.node_limit(0).unwrap();
+        assert_eq!(limit.limit_w, caps[0].round() as u16);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            let bmc = h.join().unwrap();
+            assert!(bmc.cap().is_some(), "cap active after group budgeting");
+        }
+    }
+
+    #[test]
+    fn uncap_deactivates() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let (mgr, bmc_port) = LanChannel::pair();
+        let mut dcm = Dcm::new();
+        dcm.add_node("n", mgr);
+        let h = spawn_bmc(150.0, bmc_port, stop.clone());
+        dcm.cap_node(0, 140.0).unwrap();
+        dcm.uncap_node(0).unwrap();
+        stop.store(true, Ordering::Relaxed);
+        let bmc = h.join().unwrap();
+        assert!(bmc.cap().is_none());
+    }
+
+    #[test]
+    fn dead_node_surfaces_channel_errors() {
+        let (mgr, bmc_port) = LanChannel::pair();
+        drop(bmc_port);
+        let mut dcm = Dcm::new();
+        dcm.add_node("ghost", mgr);
+        assert!(dcm.read_power(0).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Fleet monitoring: power history, trend estimation and violation
+//! auditing via each node's SEL.
+//!
+//! DCM's dashboard function (§II-A: "gather system diagnostics
+//! information"): the manager polls DCMI power readings into per-node
+//! ring-buffer histories, computes moving averages and trends, and reads
+//! the SEL to audit how often caps were violated — the data-center-side
+//! view of the paper's "measured power above the cap" rows.
+
+use capsim_ipmi::sel::{get_sel_entry_request, get_sel_info_request, SelEntry};
+use capsim_ipmi::{IpmiError, SelEventType};
+
+use crate::manager::Dcm;
+
+/// Bounded power history for one node.
+#[derive(Clone, Debug)]
+pub struct PowerHistory {
+    samples: Vec<f64>,
+    capacity: usize,
+}
+
+impl PowerHistory {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2);
+        PowerHistory { samples: Vec::new(), capacity }
+    }
+
+    pub fn push(&mut self, watts: f64) {
+        if self.samples.len() == self.capacity {
+            self.samples.remove(0);
+        }
+        self.samples.push(watts);
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the stored window.
+    pub fn mean(&self) -> Option<f64> {
+        (!self.samples.is_empty())
+            .then(|| self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Least-squares slope in watts per sample: positive = ramping up.
+    pub fn trend_w_per_sample(&self) -> Option<f64> {
+        let n = self.samples.len();
+        if n < 2 {
+            return None;
+        }
+        let nf = n as f64;
+        let mean_x = (nf - 1.0) / 2.0;
+        let mean_y = self.mean().expect("non-empty");
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &y) in self.samples.iter().enumerate() {
+            let dx = i as f64 - mean_x;
+            num += dx * (y - mean_y);
+            den += dx * dx;
+        }
+        Some(num / den)
+    }
+}
+
+/// The monitoring layer over a [`Dcm`].
+pub struct FleetMonitor {
+    histories: Vec<PowerHistory>,
+}
+
+impl FleetMonitor {
+    pub fn new(nodes: usize, window: usize) -> Self {
+        FleetMonitor { histories: (0..nodes).map(|_| PowerHistory::new(window)).collect() }
+    }
+
+    /// Poll every node once, appending to its history.
+    pub fn poll(&mut self, dcm: &mut Dcm) -> Result<(), IpmiError> {
+        assert_eq!(dcm.len(), self.histories.len());
+        for i in 0..dcm.len() {
+            let r = dcm.read_power(i)?;
+            self.histories[i].push(r.current_w as f64);
+        }
+        Ok(())
+    }
+
+    pub fn history(&self, node: usize) -> &PowerHistory {
+        &self.histories[node]
+    }
+
+    /// Nodes whose recent mean exceeds `budget_w` (rebalancing candidates).
+    pub fn hotspots(&self, budget_w: f64) -> Vec<usize> {
+        self.histories
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.mean().is_some_and(|m| m > budget_w))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Read a node's full SEL over IPMI (entry ids are probed from the info
+/// count downward through the latest pointer).
+pub fn read_sel(dcm: &mut Dcm, node: usize) -> Result<Vec<SelEntry>, IpmiError> {
+    let port = dcm.port_mut(node);
+    let seq = port.next_seq();
+    port.send(&get_sel_info_request(seq))?;
+    let info = loop {
+        let resp = port.recv()?;
+        if resp.seq == seq {
+            break resp.into_ok()?;
+        }
+    };
+    if info.len() != 2 {
+        return Err(IpmiError::Malformed("sel info"));
+    }
+    let count = u16::from_le_bytes([info[0], info[1]]);
+    let mut out = Vec::new();
+    // Entry ids are monotonic from the newest backwards; ask for the
+    // latest first to learn the current id, then walk down.
+    if count == 0 {
+        return Ok(out);
+    }
+    let seq = port.next_seq();
+    port.send(&get_sel_entry_request(seq, 0xffff))?;
+    let latest = loop {
+        let resp = port.recv()?;
+        if resp.seq == seq {
+            break SelEntry::decode(&resp.into_ok()?)?;
+        }
+    };
+    // The SEL may grow between the info and entry reads (the node keeps
+    // logging while being audited), so don't trust `count` to locate the
+    // first id; walk the whole ring-bounded range below the anchor and
+    // let missing ids fall through.
+    let first_id = latest.id.saturating_sub(4095);
+    for id in first_id..=latest.id {
+        let seq = port.next_seq();
+        port.send(&get_sel_entry_request(seq, id))?;
+        let resp = loop {
+            let r = port.recv()?;
+            if r.seq == seq {
+                break r;
+            }
+        };
+        if let Ok(payload) = resp.into_ok() {
+            out.push(SelEntry::decode(&payload)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Count cap violations recorded in a SEL slice.
+pub fn violation_count(entries: &[SelEntry]) -> usize {
+    entries.iter().filter(|e| e.event == SelEventType::PowerLimitExceeded).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_is_bounded_and_averages() {
+        let mut h = PowerHistory::new(4);
+        for w in [100.0, 110.0, 120.0, 130.0, 140.0] {
+            h.push(w);
+        }
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.mean(), Some(125.0));
+    }
+
+    #[test]
+    fn trend_detects_ramps() {
+        let mut up = PowerHistory::new(10);
+        let mut flat = PowerHistory::new(10);
+        for i in 0..10 {
+            up.push(100.0 + i as f64 * 5.0);
+            flat.push(150.0);
+        }
+        assert!((up.trend_w_per_sample().unwrap() - 5.0).abs() < 1e-9);
+        assert!(flat.trend_w_per_sample().unwrap().abs() < 1e-9);
+        assert!(PowerHistory::new(2).trend_w_per_sample().is_none());
+    }
+
+    #[test]
+    fn hotspots_pick_the_right_nodes() {
+        let mut m = FleetMonitor::new(3, 4);
+        for (i, w) in [120.0, 155.0, 130.0].into_iter().enumerate() {
+            m.histories[i].push(w);
+        }
+        assert_eq!(m.hotspots(140.0), vec![1]);
+        assert_eq!(m.hotspots(160.0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn violation_counting() {
+        let entries = vec![
+            SelEntry { id: 0, timestamp_ms: 1, event: SelEventType::PowerLimitConfigured, datum: 135 },
+            SelEntry { id: 1, timestamp_ms: 2, event: SelEventType::PowerLimitExceeded, datum: 140 },
+            SelEntry { id: 2, timestamp_ms: 3, event: SelEventType::PowerLimitExceeded, datum: 139 },
+        ];
+        assert_eq!(violation_count(&entries), 2);
+    }
+}

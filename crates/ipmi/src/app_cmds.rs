@@ -1,0 +1,130 @@
+//! Application NetFn commands: `Get Device ID` and DCMI capability
+//! discovery — the first things a manager sends when it adopts a node.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::message::{IpmiError, NetFn, Request};
+
+/// Command codes.
+pub const CMD_GET_DEVICE_ID: u8 = 0x01;
+pub const CMD_GET_DCMI_CAPABILITIES: u8 = 0x06;
+
+/// `Get Device ID` request.
+pub fn get_device_id_request(seq: u8) -> Request {
+    Request::new(NetFn::App, CMD_GET_DEVICE_ID, seq, Bytes::new())
+}
+
+/// The BMC's identity block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeviceId {
+    pub device_id: u8,
+    pub firmware_major: u8,
+    pub firmware_minor: u8,
+    /// IPMI version in BCD (0x20 = 2.0).
+    pub ipmi_version: u8,
+    /// 20-bit IANA manufacturer id (Intel = 343).
+    pub manufacturer: u32,
+}
+
+impl DeviceId {
+    /// The simulated platform's identity.
+    pub fn capsim_bmc() -> Self {
+        DeviceId {
+            device_id: 0x20,
+            firmware_major: 1,
+            firmware_minor: 0,
+            ipmi_version: 0x20,
+            manufacturer: 343,
+        }
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u8(self.device_id);
+        b.put_u8(self.firmware_major);
+        b.put_u8(self.firmware_minor);
+        b.put_u8(self.ipmi_version);
+        b.put_u32_le(self.manufacturer);
+        b.freeze()
+    }
+
+    pub fn decode(p: &[u8]) -> Result<DeviceId, IpmiError> {
+        if p.len() != 8 {
+            return Err(IpmiError::Malformed("device id"));
+        }
+        Ok(DeviceId {
+            device_id: p[0],
+            firmware_major: p[1],
+            firmware_minor: p[2],
+            ipmi_version: p[3],
+            manufacturer: u32::from_le_bytes([p[4], p[5], p[6], p[7]]),
+        })
+    }
+}
+
+/// DCMI capabilities advertisement (subset: power management).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DcmiCapabilities {
+    /// Power management (capping) supported.
+    pub power_management: bool,
+    /// Minimum and maximum settable limits in watts.
+    pub min_limit_w: u16,
+    pub max_limit_w: u16,
+}
+
+impl DcmiCapabilities {
+    /// The simulated node: caps make sense between the idle floor and a
+    /// little above the unconstrained draw.
+    pub fn capsim_node() -> Self {
+        DcmiCapabilities { power_management: true, min_limit_w: 105, max_limit_w: 250 }
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(5);
+        b.put_u8(self.power_management as u8);
+        b.put_u16_le(self.min_limit_w);
+        b.put_u16_le(self.max_limit_w);
+        b.freeze()
+    }
+
+    pub fn decode(p: &[u8]) -> Result<DcmiCapabilities, IpmiError> {
+        if p.len() != 5 {
+            return Err(IpmiError::Malformed("dcmi capabilities"));
+        }
+        Ok(DcmiCapabilities {
+            power_management: p[0] != 0,
+            min_limit_w: u16::from_le_bytes([p[1], p[2]]),
+            max_limit_w: u16::from_le_bytes([p[3], p[4]]),
+        })
+    }
+}
+
+/// `Get DCMI Capabilities` request.
+pub fn get_capabilities_request(seq: u8) -> Request {
+    Request::new(NetFn::App, CMD_GET_DCMI_CAPABILITIES, seq, Bytes::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_id_roundtrip() {
+        let d = DeviceId::capsim_bmc();
+        assert_eq!(DeviceId::decode(&d.encode()).unwrap(), d);
+        assert_eq!(d.manufacturer, 343, "Intel IANA id");
+    }
+
+    #[test]
+    fn capabilities_roundtrip() {
+        let c = DcmiCapabilities::capsim_node();
+        assert_eq!(DcmiCapabilities::decode(&c.encode()).unwrap(), c);
+        assert!(c.min_limit_w < c.max_limit_w);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(DeviceId::decode(&[1, 2, 3]).is_err());
+        assert!(DcmiCapabilities::decode(&[]).is_err());
+    }
+}

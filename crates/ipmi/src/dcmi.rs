@@ -1,0 +1,261 @@
+//! DCMI power-management commands.
+//!
+//! DCMI rides on NetFn 0x2C (Group Extension) with group-extension ID
+//! 0xDC as the first payload byte. The four commands here are the ones
+//! Intel DCM uses to monitor and cap a node:
+//!
+//! | cmd  | name                      |
+//! |------|---------------------------|
+//! | 0x02 | Get Power Reading         |
+//! | 0x03 | Get Power Limit           |
+//! | 0x04 | Set Power Limit           |
+//! | 0x05 | Activate/Deactivate Limit |
+//!
+//! Each struct encodes to the payload of a [`Request`] and decodes from a
+//! [`Response`] payload.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::message::{IpmiError, NetFn, Request};
+
+/// DCMI group-extension identifier (first byte of every DCMI payload).
+pub const DCMI_GROUP_EXT: u8 = 0xdc;
+
+/// Command codes.
+pub const CMD_GET_POWER_READING: u8 = 0x02;
+pub const CMD_GET_POWER_LIMIT: u8 = 0x03;
+pub const CMD_SET_POWER_LIMIT: u8 = 0x04;
+pub const CMD_ACTIVATE_POWER_LIMIT: u8 = 0x05;
+
+/// What the BMC should do if the cap cannot be met within the correction
+/// time. The paper's platform logs and keeps trying (`LogOnly`), which is
+/// why Table II's 120 W rows show measured power *above* the cap instead
+/// of a shutdown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ExceptionAction {
+    /// No action, keep throttling as hard as possible.
+    LogOnly = 0x00,
+    /// Hard power-off.
+    HardPowerOff = 0x01,
+}
+
+impl ExceptionAction {
+    pub fn from_u8(v: u8) -> Result<Self, IpmiError> {
+        match v {
+            0x00 => Ok(ExceptionAction::LogOnly),
+            0x01 => Ok(ExceptionAction::HardPowerOff),
+            _ => Err(IpmiError::Malformed("exception action")),
+        }
+    }
+}
+
+/// `Get Power Reading` request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GetPowerReading;
+
+impl GetPowerReading {
+    pub fn request(seq: u8) -> Request {
+        Request::new(NetFn::GroupExt, CMD_GET_POWER_READING, seq, vec![DCMI_GROUP_EXT, 0x01])
+    }
+}
+
+/// `Get Power Reading` response body.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerReading {
+    /// Current node power in watts.
+    pub current_w: u16,
+    /// Minimum/maximum/average over the sampling window.
+    pub min_w: u16,
+    pub max_w: u16,
+    pub avg_w: u16,
+    /// Sampling window in milliseconds.
+    pub window_ms: u32,
+    /// Whether power measurement is active.
+    pub active: bool,
+}
+
+impl PowerReading {
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(14);
+        b.put_u8(DCMI_GROUP_EXT);
+        b.put_u16_le(self.current_w);
+        b.put_u16_le(self.min_w);
+        b.put_u16_le(self.max_w);
+        b.put_u16_le(self.avg_w);
+        b.put_u32_le(self.window_ms);
+        b.put_u8(if self.active { 0x40 } else { 0x00 });
+        b.freeze()
+    }
+
+    pub fn decode(p: &[u8]) -> Result<PowerReading, IpmiError> {
+        if p.len() != 14 || p[0] != DCMI_GROUP_EXT {
+            return Err(IpmiError::Malformed("power reading"));
+        }
+        let u16le = |i: usize| u16::from_le_bytes([p[i], p[i + 1]]);
+        Ok(PowerReading {
+            current_w: u16le(1),
+            min_w: u16le(3),
+            max_w: u16le(5),
+            avg_w: u16le(7),
+            window_ms: u32::from_le_bytes([p[9], p[10], p[11], p[12]]),
+            active: p[13] & 0x40 != 0,
+        })
+    }
+}
+
+/// A power limit, used by both `Set Power Limit` and `Get Power Limit`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PowerLimit {
+    /// Cap in watts.
+    pub limit_w: u16,
+    /// How long the BMC may exceed the cap before declaring an exception.
+    pub correction_ms: u32,
+    /// Statistics sampling period in seconds.
+    pub sampling_s: u16,
+    pub action: ExceptionAction,
+}
+
+impl PowerLimit {
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(10);
+        b.put_u8(DCMI_GROUP_EXT);
+        b.put_u8(self.action as u8);
+        b.put_u16_le(self.limit_w);
+        b.put_u32_le(self.correction_ms);
+        b.put_u16_le(self.sampling_s);
+        b.freeze()
+    }
+
+    pub fn decode(p: &[u8]) -> Result<PowerLimit, IpmiError> {
+        if p.len() != 10 || p[0] != DCMI_GROUP_EXT {
+            return Err(IpmiError::Malformed("power limit"));
+        }
+        Ok(PowerLimit {
+            action: ExceptionAction::from_u8(p[1])?,
+            limit_w: u16::from_le_bytes([p[2], p[3]]),
+            correction_ms: u32::from_le_bytes([p[4], p[5], p[6], p[7]]),
+            sampling_s: u16::from_le_bytes([p[8], p[9]]),
+        })
+    }
+}
+
+/// `Set Power Limit` request wrapper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SetPowerLimit(pub PowerLimit);
+
+impl SetPowerLimit {
+    pub fn request(&self, seq: u8) -> Request {
+        Request::new(NetFn::GroupExt, CMD_SET_POWER_LIMIT, seq, self.0.encode())
+    }
+
+    pub fn parse(req: &Request) -> Result<PowerLimit, IpmiError> {
+        PowerLimit::decode(&req.payload)
+    }
+}
+
+/// `Get Power Limit` request wrapper.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GetPowerLimit;
+
+impl GetPowerLimit {
+    pub fn request(seq: u8) -> Request {
+        Request::new(NetFn::GroupExt, CMD_GET_POWER_LIMIT, seq, vec![DCMI_GROUP_EXT])
+    }
+}
+
+/// `Activate/Deactivate Power Limit` request wrapper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ActivatePowerLimit {
+    pub activate: bool,
+}
+
+impl ActivatePowerLimit {
+    pub fn request(&self, seq: u8) -> Request {
+        Request::new(
+            NetFn::GroupExt,
+            CMD_ACTIVATE_POWER_LIMIT,
+            seq,
+            vec![DCMI_GROUP_EXT, self.activate as u8],
+        )
+    }
+
+    pub fn parse(req: &Request) -> Result<bool, IpmiError> {
+        if req.payload.len() != 2 || req.payload[0] != DCMI_GROUP_EXT {
+            return Err(IpmiError::Malformed("activate power limit"));
+        }
+        Ok(req.payload[1] != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_reading_roundtrip() {
+        let r = PowerReading {
+            current_w: 153,
+            min_w: 120,
+            max_w: 160,
+            avg_w: 150,
+            window_ms: 1000,
+            active: true,
+        };
+        assert_eq!(PowerReading::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn power_limit_roundtrip() {
+        let l = PowerLimit {
+            limit_w: 135,
+            correction_ms: 2000,
+            sampling_s: 1,
+            action: ExceptionAction::LogOnly,
+        };
+        assert_eq!(PowerLimit::decode(&l.encode()).unwrap(), l);
+    }
+
+    #[test]
+    fn set_power_limit_request_parses_back() {
+        let l = PowerLimit {
+            limit_w: 120,
+            correction_ms: 5000,
+            sampling_s: 2,
+            action: ExceptionAction::HardPowerOff,
+        };
+        let req = SetPowerLimit(l).request(9);
+        assert_eq!(req.cmd, CMD_SET_POWER_LIMIT);
+        assert_eq!(SetPowerLimit::parse(&req).unwrap(), l);
+    }
+
+    #[test]
+    fn activate_roundtrip_both_ways() {
+        for on in [true, false] {
+            let req = ActivatePowerLimit { activate: on }.request(0);
+            assert_eq!(ActivatePowerLimit::parse(&req).unwrap(), on);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(PowerReading::decode(&[0u8; 3]).is_err());
+        assert!(PowerLimit::decode(&[0xdc, 0x07, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        let mut good = PowerLimit {
+            limit_w: 1,
+            correction_ms: 1,
+            sampling_s: 1,
+            action: ExceptionAction::LogOnly,
+        }
+        .encode()
+        .to_vec();
+        good[0] = 0x00; // wrong group extension
+        assert!(PowerLimit::decode(&good).is_err());
+    }
+
+    #[test]
+    fn requests_carry_dcmi_group_extension() {
+        assert_eq!(GetPowerReading::request(1).payload[0], DCMI_GROUP_EXT);
+        assert_eq!(GetPowerLimit::request(2).payload[0], DCMI_GROUP_EXT);
+    }
+}

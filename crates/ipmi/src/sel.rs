@@ -1,0 +1,204 @@
+//! The System Event Log (SEL).
+//!
+//! DCMI's `LogOnly` exception action logs a SEL entry each time a power
+//! limit cannot be honoured within its correction time — on the paper's
+//! platform this is the paper trail for the 120 W rows whose measured
+//! power sits above the cap. The manager reads entries with
+//! `Get SEL Entry` (NetFn Storage in real IPMI; folded into App here for
+//! the simulator's reduced NetFn set).
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::message::{IpmiError, NetFn, Request};
+
+/// Command codes (App NetFn).
+pub const CMD_GET_SEL_INFO: u8 = 0x40;
+pub const CMD_GET_SEL_ENTRY: u8 = 0x43;
+pub const CMD_CLEAR_SEL: u8 = 0x47;
+
+/// Event types the simulated BMC logs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SelEventType {
+    /// Power limit exceeded beyond its correction time.
+    PowerLimitExceeded = 0x01,
+    /// Power limit activated/deactivated.
+    PowerLimitConfigured = 0x02,
+    /// Node throttled to the deepest rung (ladder exhausted).
+    ThrottleFloorReached = 0x03,
+}
+
+impl SelEventType {
+    pub fn from_u8(v: u8) -> Result<SelEventType, IpmiError> {
+        match v {
+            0x01 => Ok(SelEventType::PowerLimitExceeded),
+            0x02 => Ok(SelEventType::PowerLimitConfigured),
+            0x03 => Ok(SelEventType::ThrottleFloorReached),
+            _ => Err(IpmiError::Malformed("sel event type")),
+        }
+    }
+}
+
+/// One SEL record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SelEntry {
+    /// Record id (monotonic, assigned by the BMC).
+    pub id: u16,
+    /// Simulated timestamp in milliseconds.
+    pub timestamp_ms: u64,
+    pub event: SelEventType,
+    /// Event datum (e.g. the measured watts when the cap was exceeded).
+    pub datum: u16,
+}
+
+impl SelEntry {
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(13);
+        b.put_u16_le(self.id);
+        b.put_u64_le(self.timestamp_ms);
+        b.put_u8(self.event as u8);
+        b.put_u16_le(self.datum);
+        b.freeze()
+    }
+
+    pub fn decode(p: &[u8]) -> Result<SelEntry, IpmiError> {
+        if p.len() != 13 {
+            return Err(IpmiError::Malformed("sel entry"));
+        }
+        Ok(SelEntry {
+            id: u16::from_le_bytes([p[0], p[1]]),
+            timestamp_ms: u64::from_le_bytes([p[2], p[3], p[4], p[5], p[6], p[7], p[8], p[9]]),
+            event: SelEventType::from_u8(p[10])?,
+            datum: u16::from_le_bytes([p[11], p[12]]),
+        })
+    }
+}
+
+/// `Get SEL Info` request; the response payload is
+/// `[entries_lo, entries_hi]`.
+pub fn get_sel_info_request(seq: u8) -> Request {
+    Request::new(NetFn::App, CMD_GET_SEL_INFO, seq, Bytes::new())
+}
+
+/// `Get SEL Entry` request by record id (0xFFFF = latest).
+pub fn get_sel_entry_request(seq: u8, id: u16) -> Request {
+    Request::new(NetFn::App, CMD_GET_SEL_ENTRY, seq, id.to_le_bytes().to_vec())
+}
+
+/// `Clear SEL` request.
+pub fn clear_sel_request(seq: u8) -> Request {
+    Request::new(NetFn::App, CMD_CLEAR_SEL, seq, Bytes::new())
+}
+
+/// The log itself (lives inside the BMC).
+#[derive(Clone, Debug, Default)]
+pub struct SystemEventLog {
+    entries: Vec<SelEntry>,
+    next_id: u16,
+}
+
+impl SystemEventLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event; returns its record id.
+    pub fn log(&mut self, timestamp_ms: u64, event: SelEventType, datum: u16) -> u16 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        self.entries.push(SelEntry { id, timestamp_ms, event, datum });
+        // A real SEL is a bounded ring; keep the newest 4096 records.
+        if self.entries.len() > 4096 {
+            self.entries.remove(0);
+        }
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry by record id; `0xFFFF` returns the latest.
+    pub fn get(&self, id: u16) -> Option<&SelEntry> {
+        if id == 0xffff {
+            self.entries.last()
+        } else {
+            self.entries.iter().find(|e| e.id == id)
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &SelEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_roundtrip() {
+        let e = SelEntry {
+            id: 7,
+            timestamp_ms: 123_456_789,
+            event: SelEventType::PowerLimitExceeded,
+            datum: 124,
+        };
+        assert_eq!(SelEntry::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn log_assigns_monotonic_ids_and_latest_lookup_works() {
+        let mut sel = SystemEventLog::new();
+        let a = sel.log(100, SelEventType::PowerLimitConfigured, 135);
+        let b = sel.log(200, SelEventType::PowerLimitExceeded, 124);
+        assert_eq!(b, a + 1);
+        assert_eq!(sel.get(0xffff).unwrap().id, b);
+        assert_eq!(sel.get(a).unwrap().datum, 135);
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn log_is_bounded() {
+        let mut sel = SystemEventLog::new();
+        for i in 0..5000u64 {
+            sel.log(i, SelEventType::ThrottleFloorReached, 0);
+        }
+        assert_eq!(sel.len(), 4096);
+        // Oldest entries dropped.
+        assert!(sel.get(0).is_none());
+        assert!(sel.get(4999).is_some());
+    }
+
+    #[test]
+    fn clear_empties_the_log() {
+        let mut sel = SystemEventLog::new();
+        sel.log(1, SelEventType::PowerLimitExceeded, 1);
+        sel.clear();
+        assert!(sel.is_empty());
+        assert!(sel.get(0xffff).is_none());
+    }
+
+    #[test]
+    fn malformed_entries_rejected() {
+        assert!(SelEntry::decode(&[0u8; 5]).is_err());
+        let mut good = SelEntry {
+            id: 1,
+            timestamp_ms: 2,
+            event: SelEventType::PowerLimitExceeded,
+            datum: 3,
+        }
+        .encode()
+        .to_vec();
+        good[10] = 0x99;
+        assert!(SelEntry::decode(&good).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Sensor reads over IPMI (NetFn 0x04, `Get Sensor Reading` 0x2d).
+//!
+//! The DCM dashboard polls a handful of sensors besides the DCMI power
+//! reading; the study uses inlet temperature, die temperature and the PSU
+//! power rail.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::message::{IpmiError, NetFn, Request};
+
+/// Command code for `Get Sensor Reading`.
+pub const CMD_GET_SENSOR_READING: u8 = 0x2d;
+
+/// Sensor numbers exposed by the simulated BMC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SensorId {
+    InletTempC = 0x01,
+    DieTempC = 0x02,
+    NodePowerW = 0x03,
+}
+
+impl SensorId {
+    pub fn from_u8(v: u8) -> Result<SensorId, IpmiError> {
+        match v {
+            0x01 => Ok(SensorId::InletTempC),
+            0x02 => Ok(SensorId::DieTempC),
+            0x03 => Ok(SensorId::NodePowerW),
+            _ => Err(IpmiError::Malformed("sensor id")),
+        }
+    }
+}
+
+/// Request wrapper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SensorRead {
+    pub sensor: SensorId,
+}
+
+impl SensorRead {
+    pub fn request(&self, seq: u8) -> Request {
+        Request::new(NetFn::Sensor, CMD_GET_SENSOR_READING, seq, vec![self.sensor as u8])
+    }
+
+    pub fn parse(req: &Request) -> Result<SensorId, IpmiError> {
+        if req.payload.len() != 1 {
+            return Err(IpmiError::Malformed("sensor read"));
+        }
+        SensorId::from_u8(req.payload[0])
+    }
+}
+
+/// A sensor value: fixed-point `value = raw / 100`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SensorValue {
+    pub sensor: SensorId,
+    raw_centi: i32,
+}
+
+impl SensorValue {
+    pub fn new(sensor: SensorId, value: f64) -> Self {
+        SensorValue { sensor, raw_centi: (value * 100.0).round() as i32 }
+    }
+
+    pub fn value(&self) -> f64 {
+        self.raw_centi as f64 / 100.0
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(5);
+        b.put_u8(self.sensor as u8);
+        b.put_i32_le(self.raw_centi);
+        b.freeze()
+    }
+
+    pub fn decode(p: &[u8]) -> Result<SensorValue, IpmiError> {
+        if p.len() != 5 {
+            return Err(IpmiError::Malformed("sensor value"));
+        }
+        Ok(SensorValue {
+            sensor: SensorId::from_u8(p[0])?,
+            raw_centi: i32::from_le_bytes([p[1], p[2], p[3], p[4]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensor_value_roundtrip_preserves_centi_precision() {
+        let v = SensorValue::new(SensorId::NodePowerW, 153.13);
+        let d = SensorValue::decode(&v.encode()).unwrap();
+        assert_eq!(d, v);
+        assert!((d.value() - 153.13).abs() < 1e-9);
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = SensorRead { sensor: SensorId::DieTempC }.request(4);
+        assert_eq!(SensorRead::parse(&req).unwrap(), SensorId::DieTempC);
+    }
+
+    #[test]
+    fn unknown_sensor_rejected() {
+        assert!(SensorId::from_u8(0x77).is_err());
+    }
+
+    #[test]
+    fn negative_values_survive() {
+        let v = SensorValue::new(SensorId::InletTempC, -12.5);
+        assert_eq!(SensorValue::decode(&v.encode()).unwrap().value(), -12.5);
+    }
+}

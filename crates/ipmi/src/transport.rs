@@ -1,0 +1,161 @@
+//! The out-of-band management "LAN": an in-memory channel pair standing in
+//! for the BMC's dedicated NIC.
+//!
+//! [`LanChannel::pair`] creates a [`ManagerPort`] (DCM side) and a
+//! [`BmcPort`] (node side). Frames cross as raw bytes — everything is
+//! encoded/decoded through [`crate::message`], so a protocol bug shows up
+//! as a checksum or parse failure exactly as it would on a real wire.
+
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
+
+use crate::message::{IpmiError, Request, Response};
+
+/// Constructor namespace for the channel pair.
+pub struct LanChannel;
+
+impl LanChannel {
+    /// Create a connected manager/BMC port pair.
+    pub fn pair() -> (ManagerPort, BmcPort) {
+        let (req_tx, req_rx) = unbounded::<Bytes>();
+        let (resp_tx, resp_rx) = unbounded::<Bytes>();
+        (
+            ManagerPort { tx: req_tx, rx: resp_rx, next_seq: 0 },
+            BmcPort { rx: req_rx, tx: resp_tx },
+        )
+    }
+}
+
+/// The manager (DCM) end: sends requests, receives responses.
+pub struct ManagerPort {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+    next_seq: u8,
+}
+
+impl ManagerPort {
+    /// Allocate the next sequence number (wrapping).
+    pub fn next_seq(&mut self) -> u8 {
+        let s = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        s
+    }
+
+    /// Send a request frame.
+    pub fn send(&self, req: &Request) -> Result<(), IpmiError> {
+        self.tx.send(req.encode()).map_err(|_| IpmiError::ChannelClosed)
+    }
+
+    /// Blocking receive of the next response frame.
+    pub fn recv(&self) -> Result<Response, IpmiError> {
+        let bytes = self.rx.recv().map_err(|_| IpmiError::ChannelClosed)?;
+        Response::decode(&bytes)
+    }
+
+    /// Send `req` and wait for the matching response (by sequence number;
+    /// out-of-order responses for other sequences are discarded, as a
+    /// single-outstanding-request manager would).
+    pub fn transact(&self, req: &Request) -> Result<Response, IpmiError> {
+        self.send(req)?;
+        loop {
+            let resp = self.recv()?;
+            if resp.seq == req.seq {
+                return Ok(resp);
+            }
+        }
+    }
+}
+
+/// The BMC end: receives requests, sends responses.
+pub struct BmcPort {
+    rx: Receiver<Bytes>,
+    tx: Sender<Bytes>,
+}
+
+impl BmcPort {
+    /// Non-blocking poll for a pending request. `Ok(None)` when idle.
+    pub fn poll(&self) -> Result<Option<Request>, IpmiError> {
+        match self.rx.try_recv() {
+            Ok(bytes) => Request::decode(&bytes).map(Some),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(IpmiError::ChannelClosed),
+        }
+    }
+
+    /// Blocking receive (used by threaded BMC loops).
+    pub fn recv(&self) -> Result<Request, IpmiError> {
+        let bytes = self.rx.recv().map_err(|_| IpmiError::ChannelClosed)?;
+        Request::decode(&bytes)
+    }
+
+    /// Send a response frame.
+    pub fn send(&self, resp: &Response) -> Result<(), IpmiError> {
+        self.tx.send(resp.encode()).map_err(|_| IpmiError::ChannelClosed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{CompletionCode, NetFn};
+
+    #[test]
+    fn request_crosses_the_wire_intact() {
+        let (mgr, bmc) = LanChannel::pair();
+        let req = Request::new(NetFn::GroupExt, 0x02, 5, vec![0xdc, 0x01]);
+        mgr.send(&req).unwrap();
+        let got = bmc.poll().unwrap().unwrap();
+        assert_eq!(got, req);
+        assert!(bmc.poll().unwrap().is_none(), "queue drained");
+    }
+
+    #[test]
+    fn transact_matches_sequence_numbers() {
+        let (mut mgr, bmc) = LanChannel::pair();
+        let seq = mgr.next_seq();
+        let req = Request::new(NetFn::App, 0x01, seq, Bytes::new());
+        // Service on another thread.
+        let t = std::thread::spawn(move || {
+            let r = bmc.recv().unwrap();
+            // A stale response for a different seq first…
+            let mut stale = Response::ok(&r, Bytes::new());
+            stale.seq = r.seq.wrapping_add(100);
+            bmc.send(&stale).unwrap();
+            bmc.send(&Response::ok(&r, vec![0x99])).unwrap();
+        });
+        let resp = mgr.transact(&req).unwrap();
+        t.join().unwrap();
+        assert_eq!(resp.seq, seq);
+        assert_eq!(&resp.payload[..], &[0x99]);
+    }
+
+    #[test]
+    fn closed_channel_reports_error() {
+        let (mgr, bmc) = LanChannel::pair();
+        drop(bmc);
+        let req = Request::new(NetFn::App, 0x01, 0, Bytes::new());
+        assert_eq!(mgr.send(&req), Err(IpmiError::ChannelClosed));
+    }
+
+    #[test]
+    fn sequence_numbers_wrap() {
+        let (mut mgr, _bmc) = LanChannel::pair();
+        mgr.next_seq = 255;
+        assert_eq!(mgr.next_seq(), 255);
+        assert_eq!(mgr.next_seq(), 0);
+    }
+
+    #[test]
+    fn error_completion_propagates() {
+        let (mut mgr, bmc) = LanChannel::pair();
+        let req = Request::new(NetFn::App, 0x42, mgr.next_seq(), Bytes::new());
+        mgr.send(&req).unwrap();
+        let r = bmc.recv().unwrap();
+        bmc.send(&Response::err(&r, CompletionCode::InvalidCommand)).unwrap();
+        let resp = mgr.recv().unwrap();
+        assert_eq!(
+            resp.into_ok().unwrap_err(),
+            IpmiError::Completion(CompletionCode::InvalidCommand)
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Address newtypes and page/line arithmetic.
+//!
+//! The simulator uses 64-bit virtual and physical addresses. Pages are the
+//! classic 4 KiB of the paper's Sandy Bridge platform; cache-line size is a
+//! property of each cache (see [`crate::config::CacheGeometry`]), but the
+//! helpers here default to the platform's 64-byte line.
+
+use std::fmt;
+
+/// log2 of the page size (4 KiB pages).
+pub const PAGE_BITS: u32 = 12;
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_BITS;
+/// The platform line size used by all three cache levels (Table in §III:
+/// "block sizes of the L1 data, L2, and L3 caches are identical, i.e. 64B").
+pub const LINE_BYTES: u64 = 64;
+
+/// A virtual address in the simulated address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(pub u64);
+
+/// A physical address produced by [`crate::paging::PageTable`] translation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PAddr(pub u64);
+
+impl VAddr {
+    /// Virtual page number (address >> 12).
+    #[inline]
+    pub fn vpn(self) -> u64 {
+        self.0 >> PAGE_BITS
+    }
+
+    /// Offset within the 4 KiB page.
+    #[inline]
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// The address advanced by `bytes`.
+    #[inline]
+    pub fn add(self, bytes: u64) -> VAddr {
+        VAddr(self.0 + bytes)
+    }
+}
+
+impl PAddr {
+    /// Physical page number.
+    #[inline]
+    pub fn ppn(self) -> u64 {
+        self.0 >> PAGE_BITS
+    }
+
+    /// 64-byte line address (i.e. address with the low 6 bits cleared).
+    #[inline]
+    pub fn line(self) -> u64 {
+        self.0 / LINE_BYTES
+    }
+}
+
+impl fmt::Debug for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{:#x}", self.0)
+    }
+}
+
+impl fmt::Debug for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{:#x}", self.0)
+    }
+}
+
+/// Compose a physical address from a physical page number and page offset.
+#[inline]
+pub fn compose(ppn: u64, offset: u64) -> PAddr {
+    debug_assert!(offset < PAGE_SIZE);
+    PAddr((ppn << PAGE_BITS) | offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpn_and_offset_partition_the_address() {
+        let a = VAddr(0x1234_5678);
+        assert_eq!(a.vpn() << PAGE_BITS | a.page_offset(), a.0);
+        assert_eq!(a.page_offset(), 0x678);
+        assert_eq!(a.vpn(), 0x12345);
+    }
+
+    #[test]
+    fn compose_inverts_decomposition() {
+        let p = PAddr(0xdead_beef);
+        assert_eq!(compose(p.ppn(), p.0 & (PAGE_SIZE - 1)), p);
+    }
+
+    #[test]
+    fn line_numbers_change_every_64_bytes() {
+        assert_eq!(PAddr(0).line(), PAddr(63).line());
+        assert_ne!(PAddr(63).line(), PAddr(64).line());
+    }
+
+    #[test]
+    fn addresses_in_same_page_share_vpn() {
+        let base = VAddr(7 * PAGE_SIZE);
+        for off in [0u64, 1, 63, 4095] {
+            assert_eq!(base.add(off).vpn(), base.vpn());
+        }
+        assert_eq!(base.add(PAGE_SIZE).vpn(), base.vpn() + 1);
+    }
+}

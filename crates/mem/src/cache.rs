@@ -1,0 +1,370 @@
+//! A generic set-associative, write-back, write-allocate cache with
+//! runtime way gating.
+//!
+//! The cache stores no data, only tags: capsim workloads keep their real
+//! data in host memory and mirror addresses through the hierarchy, so the
+//! cache's job is purely to decide hit/miss/writeback and account for them.
+//!
+//! *Way gating* (`set_active_ways`) is the dynamic-cache-reconfiguration
+//! mechanism the paper infers at low power caps: disabling ways reduces
+//! array power at the cost of effective associativity/capacity. Gated ways
+//! are flushed (dirty lines count as writebacks) and are ignored by lookup
+//! until re-enabled.
+
+use crate::config::CacheGeometry;
+use crate::replacement::{SetState, XorShift64};
+
+/// Whether an access is a read or a write (write-allocate either way).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// Outcome of a single cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheResponse {
+    /// True if the line was resident (in an *active* way).
+    pub hit: bool,
+    /// Line address of a dirty line evicted to make room, if any. The
+    /// caller is responsible for charging the writeback to the next level.
+    pub writeback: Option<u64>,
+}
+
+#[derive(Clone, Debug)]
+struct Set {
+    tags: Vec<u64>,
+    valid: u64,
+    dirty: u64,
+    repl: SetState,
+}
+
+/// One cache level. Addresses passed in are **line numbers** (physical
+/// address / line size); the caller does the division once.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    geom: CacheGeometry,
+    active_ways: u32,
+    set_mask: u64,
+    set_shift: u32,
+    sets: Vec<Set>,
+    rng: XorShift64,
+    // statistics
+    accesses: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl SetAssocCache {
+    pub fn new(geom: CacheGeometry, seed: u64) -> Self {
+        geom.validate();
+        let n_sets = geom.sets();
+        let sets = (0..n_sets)
+            .map(|_| Set {
+                tags: vec![0; geom.ways as usize],
+                valid: 0,
+                dirty: 0,
+                repl: SetState::new(geom.policy, geom.ways),
+            })
+            .collect();
+        SetAssocCache {
+            geom,
+            active_ways: geom.ways,
+            set_mask: n_sets - 1,
+            set_shift: n_sets.trailing_zeros(),
+            sets,
+            rng: XorShift64::new(seed),
+            accesses: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// Ways currently enabled.
+    pub fn active_ways(&self) -> u32 {
+        self.active_ways
+    }
+
+    /// Hit latency in core cycles.
+    pub fn hit_cycles(&self) -> u32 {
+        self.geom.hit_cycles
+    }
+
+    #[inline]
+    fn index(&self, line: u64) -> (usize, u64) {
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_shift;
+        (set, tag)
+    }
+
+    /// Access `line`; fill on miss. Returns hit/miss and any dirty victim.
+    pub fn access(&mut self, line: u64, kind: AccessKind) -> CacheResponse {
+        self.accesses += 1;
+        let active = self.active_ways;
+        let (si, tag) = self.index(line);
+        let set = &mut self.sets[si];
+        // Lookup among active ways only.
+        for way in 0..active {
+            let bit = 1u64 << way;
+            if set.valid & bit != 0 && set.tags[way as usize] == tag {
+                set.repl.touch(way);
+                if kind == AccessKind::Write {
+                    set.dirty |= bit;
+                }
+                return CacheResponse { hit: true, writeback: None };
+            }
+        }
+        self.misses += 1;
+        // Fill: prefer an invalid active way, else evict the policy victim.
+        let way = (0..active)
+            .find(|&w| set.valid & (1 << w) == 0)
+            .unwrap_or_else(|| set.repl.victim(active, &mut self.rng));
+        let bit = 1u64 << way;
+        let mut writeback = None;
+        if set.valid & bit != 0 && set.dirty & bit != 0 {
+            let victim_line = (set.tags[way as usize] << self.set_shift) | si as u64;
+            writeback = Some(victim_line);
+            self.writebacks += 1;
+        }
+        set.tags[way as usize] = tag;
+        set.valid |= bit;
+        if kind == AccessKind::Write {
+            set.dirty |= bit;
+        } else {
+            set.dirty &= !bit;
+        }
+        set.repl.touch(way);
+        CacheResponse { hit: false, writeback }
+    }
+
+    /// Probe without filling or updating statistics/replacement. Used by
+    /// tests and by the technique detector.
+    pub fn probe(&self, line: u64) -> bool {
+        let (si, tag) = self.index(line);
+        let set = &self.sets[si];
+        (0..self.active_ways)
+            .any(|w| set.valid & (1 << w) != 0 && set.tags[w as usize] == tag)
+    }
+
+    /// Install a line without classifying the access (used by prefetchers).
+    /// Returns a dirty victim line if one was evicted.
+    pub fn fill(&mut self, line: u64) -> Option<u64> {
+        if self.probe(line) {
+            return None;
+        }
+        let active = self.active_ways;
+        let (si, tag) = self.index(line);
+        let set = &mut self.sets[si];
+        let way = (0..active)
+            .find(|&w| set.valid & (1 << w) == 0)
+            .unwrap_or_else(|| set.repl.victim(active, &mut self.rng));
+        let bit = 1u64 << way;
+        let mut writeback = None;
+        if set.valid & bit != 0 && set.dirty & bit != 0 {
+            writeback = Some((set.tags[way as usize] << self.set_shift) | si as u64);
+            self.writebacks += 1;
+        }
+        set.tags[way as usize] = tag;
+        set.valid |= bit;
+        set.dirty &= !bit;
+        set.repl.touch(way);
+        writeback
+    }
+
+    /// Gate or un-gate ways. Shrinking flushes the disabled ways: their
+    /// valid bits are cleared and dirty lines are counted as writebacks.
+    /// Returns the number of dirty lines flushed.
+    pub fn set_active_ways(&mut self, ways: u32) -> u64 {
+        let ways = ways.clamp(1, self.geom.ways);
+        let mut flushed = 0;
+        if ways < self.active_ways {
+            for set in &mut self.sets {
+                for w in ways..self.active_ways {
+                    let bit = 1u64 << w;
+                    if set.valid & bit != 0 {
+                        if set.dirty & bit != 0 {
+                            flushed += 1;
+                            self.writebacks += 1;
+                        }
+                        set.valid &= !bit;
+                        set.dirty &= !bit;
+                    }
+                }
+            }
+        }
+        self.active_ways = ways;
+        flushed
+    }
+
+    /// Invalidate everything (e.g. on machine reset).
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            set.valid = 0;
+            set.dirty = 0;
+        }
+    }
+
+    /// (accesses, misses, writebacks) since construction.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.accesses, self.misses, self.writebacks)
+    }
+
+    /// Effective capacity in bytes given current way gating.
+    pub fn effective_bytes(&self) -> u64 {
+        self.geom.sets() * self.geom.line_bytes * self.active_ways as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HierarchyConfig;
+    use crate::replacement::ReplacementPolicy;
+
+    fn small(ways: u32, policy: ReplacementPolicy) -> SetAssocCache {
+        let geom = CacheGeometry {
+            size_bytes: 64 * ways as u64 * 4, // 4 sets
+            line_bytes: 64,
+            ways,
+            hit_cycles: 4,
+            policy,
+        };
+        SetAssocCache::new(geom, 99)
+    }
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut c = small(4, ReplacementPolicy::Lru);
+        assert!(!c.access(10, AccessKind::Read).hit);
+        assert!(c.access(10, AccessKind::Read).hit);
+        assert_eq!(c.stats(), (2, 1, 0));
+    }
+
+    #[test]
+    fn capacity_eviction_follows_lru() {
+        let mut c = small(2, ReplacementPolicy::Lru);
+        // Lines mapping to set 0: multiples of 4.
+        c.access(0, AccessKind::Read);
+        c.access(4, AccessKind::Read);
+        c.access(8, AccessKind::Read); // evicts line 0
+        assert!(!c.probe(0));
+        assert!(c.probe(4));
+        assert!(c.probe(8));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_of_correct_line() {
+        let mut c = small(1, ReplacementPolicy::Lru);
+        c.access(0, AccessKind::Write);
+        let r = c.access(4, AccessKind::Read); // conflicts in set 0
+        assert_eq!(r.writeback, Some(0));
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = small(1, ReplacementPolicy::Lru);
+        c.access(0, AccessKind::Read);
+        let r = c.access(4, AccessKind::Read);
+        assert_eq!(r.writeback, None);
+    }
+
+    #[test]
+    fn way_gating_halves_effective_capacity_and_flushes() {
+        let mut c = small(4, ReplacementPolicy::Lru);
+        for l in [0u64, 4, 8, 12] {
+            c.access(l, AccessKind::Write); // fill 4 ways of set 0, dirty
+        }
+        let flushed = c.set_active_ways(2);
+        assert_eq!(flushed, 2, "two dirty ways gated off in set 0");
+        assert_eq!(c.effective_bytes(), c.geometry().sets() * 64 * 2);
+        // Only 2 lines can now live in set 0.
+        c.flush_all();
+        c.access(0, AccessKind::Read);
+        c.access(4, AccessKind::Read);
+        c.access(8, AccessKind::Read);
+        assert!(!c.probe(0), "gated set holds only 2 lines");
+    }
+
+    #[test]
+    fn gated_cache_still_functions_with_one_way() {
+        let mut c = small(8, ReplacementPolicy::TreePlru);
+        c.set_active_ways(1);
+        assert!(!c.access(3, AccessKind::Read).hit);
+        assert!(c.access(3, AccessKind::Read).hit);
+        assert!(!c.access(7, AccessKind::Read).hit);
+        assert!(!c.access(3, AccessKind::Read).hit, "direct-mapped conflict");
+    }
+
+    #[test]
+    fn ungating_restores_associativity_without_resurrecting_lines() {
+        let mut c = small(4, ReplacementPolicy::Lru);
+        c.access(0, AccessKind::Read); // fills way 0
+        c.access(4, AccessKind::Read); // fills way 1 (same set)
+        c.set_active_ways(1); // way 1 flushed, way 0 survives
+        c.set_active_ways(4);
+        assert!(c.probe(0), "line in a surviving way remains");
+        assert!(!c.probe(4), "flushed lines stay flushed after ungating");
+    }
+
+    #[test]
+    fn prefetch_fill_does_not_count_as_demand_access() {
+        let mut c = small(4, ReplacementPolicy::Lru);
+        c.fill(5);
+        assert_eq!(c.stats().0, 0);
+        assert!(c.access(5, AccessKind::Read).hit);
+    }
+
+    #[test]
+    fn streaming_through_e5_l3_misses_every_new_line() {
+        // A working set far larger than the cache produces ~100% misses:
+        // the regime that makes SIRE/RSM insensitive to way gating.
+        let geom = HierarchyConfig::e5_2680().l3;
+        let mut c = SetAssocCache::new(geom, 1);
+        let lines = (geom.size_bytes / 64) * 4;
+        let mut misses = 0;
+        for l in 0..lines {
+            if !c.access(l, AccessKind::Read).hit {
+                misses += 1;
+            }
+        }
+        assert_eq!(misses, lines);
+        // Second sweep of a >4x working set still misses everything (LRU).
+        let (_, m0, _) = c.stats();
+        for l in 0..lines {
+            c.access(l, AccessKind::Read);
+        }
+        let (_, m1, _) = c.stats();
+        assert_eq!(m1 - m0, lines);
+    }
+
+    #[test]
+    fn cache_resident_set_hits_after_warmup_then_suffers_under_gating() {
+        let geom = HierarchyConfig::e5_2680().l2; // 256 KiB, 8-way
+        let mut c = SetAssocCache::new(geom, 1);
+        let lines = geom.size_bytes / 64 / 2; // half capacity
+        for l in 0..lines {
+            c.access(l, AccessKind::Read);
+        }
+        let (_, m_warm, _) = c.stats();
+        for l in 0..lines {
+            assert!(c.access(l, AccessKind::Read).hit);
+        }
+        assert_eq!(c.stats().1, m_warm, "no misses while resident");
+        // Gate to 2 ways: capacity below working set -> misses return.
+        c.set_active_ways(2);
+        let mut miss = 0u64;
+        for _ in 0..3 {
+            for l in 0..lines {
+                if !c.access(l, AccessKind::Read).hit {
+                    miss += 1;
+                }
+            }
+        }
+        assert!(miss > lines, "gating reintroduces capacity misses");
+    }
+}

@@ -1,0 +1,46 @@
+//! `capsim-mem` — the memory-hierarchy substrate of the capsim simulator.
+//!
+//! This crate models everything between a core's load/store port and the
+//! DRAM pins of the simulated node:
+//!
+//! * set-associative caches with selectable replacement policies and
+//!   write-back + write-allocate semantics ([`cache`]),
+//! * instruction/data TLBs and a charged hardware page walk ([`tlb`],
+//!   [`paging`]),
+//! * a DRAM model with duty-cycled *memory gating* ([`dram`]),
+//! * a next-line prefetcher ([`prefetch`]),
+//! * and the glue that assembles per-core private levels plus a shared L3
+//!   into a full hierarchy ([`hierarchy`]).
+//!
+//! The crate exists because the paper under reproduction (McCartney et al.,
+//! ICPP-W 2012) infers from performance counters that, at low power caps,
+//! Intel Node Manager reconfigures the memory hierarchy (cache-way gating,
+//! TLB shrink, memory gating) in addition to DVFS. Those mechanisms are
+//! first-class, runtime-reconfigurable operations here — see
+//! [`hierarchy::MemoryHierarchy::apply`] and [`reconfig::MemReconfig`].
+//!
+//! All state is deterministic: no wall clock, no global RNG. Random
+//! replacement uses a per-cache xorshift stream seeded at construction.
+
+pub mod addr;
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod hierarchy;
+pub mod paging;
+pub mod prefetch;
+pub mod reconfig;
+pub mod replacement;
+pub mod stats;
+pub mod tlb;
+
+pub use addr::{PAddr, VAddr, PAGE_BITS, PAGE_SIZE};
+pub use cache::{AccessKind, CacheResponse, SetAssocCache};
+pub use config::{CacheGeometry, HierarchyConfig, TlbGeometry};
+pub use dram::{DramModel, MemGateLevel};
+pub use hierarchy::{AccessOutcome, CoreId, MemoryHierarchy};
+pub use paging::PageTable;
+pub use reconfig::MemReconfig;
+pub use replacement::ReplacementPolicy;
+pub use stats::MemStats;
+pub use tlb::Tlb;

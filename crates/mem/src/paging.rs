@@ -1,0 +1,156 @@
+//! Virtual memory: a deterministic page table plus the physical addresses
+//! a hardware page walker would touch.
+//!
+//! The simulated OS maps pages on first touch. The VPN→PPN assignment is a
+//! mixing function rather than identity so that physically-indexed caches
+//! (L2/L3) don't see artificially perfect conflict behaviour, yet every
+//! translation is reproducible without storing a map for the whole address
+//! space — only pages actually touched are recorded (for invertibility
+//! checks and stats).
+//!
+//! On a TLB miss the walker issues [`PageTable::walk_addrs`] reads; the
+//! hierarchy charges them through L2/L3/DRAM like real radix-tree walks.
+
+use std::collections::HashMap;
+
+use crate::addr::{PAddr, VAddr, PAGE_BITS};
+
+/// Fibonacci-hash multiplier used to scatter walker node addresses.
+const MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// splitmix64 finalizer: a bijective mix with full avalanche, so the low
+/// PPN bits (which select the physically-indexed L2/L3 set "chunk") are
+/// uniform even for consecutive VPNs. A single multiply is not enough —
+/// it visibly biases the low output bits and collapses cache associativity.
+#[inline]
+fn splitmix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A per-machine page table.
+#[derive(Clone, Debug)]
+pub struct PageTable {
+    salt: u64,
+    /// Pages touched so far: VPN → PPN (recorded for stats/verification;
+    /// the mapping itself is functional and needs no storage).
+    mapped: HashMap<u64, u64>,
+    walks: u64,
+}
+
+impl PageTable {
+    /// `salt` distinguishes address spaces (one per machine/process).
+    pub fn new(salt: u64) -> Self {
+        PageTable { salt, mapped: HashMap::new(), walks: 0 }
+    }
+
+    /// Translate a virtual address, recording the page as mapped.
+    ///
+    /// The VPN→PPN assignment mixes the VPN with the address-space salt and
+    /// keeps the top 36 bits — a 64 GiB physical page space, matching the
+    /// paper platform's DIMM capacity.
+    pub fn translate(&mut self, v: VAddr) -> PAddr {
+        let vpn = v.vpn();
+        let salt = self.salt;
+        let ppn = *self.mapped.entry(vpn).or_insert_with(|| splitmix(vpn ^ salt) >> 28);
+        PAddr((ppn << PAGE_BITS) | v.page_offset())
+    }
+
+    /// The physical addresses a 4-level radix walk touches for `vpn`.
+    ///
+    /// Each level's entry address is derived from the VPN bits that index
+    /// that level; entries are 8 bytes, so **eight neighbouring pages
+    /// share one 64-byte leaf line** — exactly like x86 page tables, and
+    /// the reason real walkers mostly hit in the cache hierarchy instead
+    /// of polluting it with one line per page.
+    pub fn walk_addrs(&mut self, vpn: u64, levels: u32) -> Vec<PAddr> {
+        self.walks += 1;
+        let mut out = Vec::with_capacity(levels as usize);
+        for lvl in 0..levels {
+            // Strip the low (9 * (levels-1-lvl)) bits: upper levels cover
+            // wider ranges and thus dedupe across neighbouring pages.
+            let span = 9 * (levels - 1 - lvl);
+            let node_index = vpn >> span;
+            // Walker structures live in a reserved physical region, one
+            // sub-region per level; 8-byte entries pack 8 per line.
+            let node = 0x0f00_0000_0000u64
+                + (lvl as u64) * 0x10_0000_0000
+                + (node_index.wrapping_mul(8)) % (1 << 32);
+            out.push(PAddr(node));
+        }
+        out
+    }
+
+    /// Number of pages touched so far.
+    pub fn pages_mapped(&self) -> usize {
+        self.mapped.len()
+    }
+
+    /// Number of walks performed.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_is_stable() {
+        let mut pt = PageTable::new(42);
+        let a = VAddr(0x1234_5678);
+        let p1 = pt.translate(a);
+        let p2 = pt.translate(a);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn offset_is_preserved() {
+        let mut pt = PageTable::new(1);
+        let v = VAddr(0xabc_def);
+        let p = pt.translate(v);
+        assert_eq!(p.0 & 0xfff, v.0 & 0xfff);
+    }
+
+    #[test]
+    fn distinct_pages_map_to_distinct_frames() {
+        let mut pt = PageTable::new(7);
+        let mut seen = std::collections::HashSet::new();
+        for vpn in 0..10_000u64 {
+            let p = pt.translate(VAddr(vpn << PAGE_BITS));
+            assert!(seen.insert(p.ppn()), "collision at vpn {vpn}");
+        }
+        assert_eq!(pt.pages_mapped(), 10_000);
+    }
+
+    #[test]
+    fn different_address_spaces_differ() {
+        let mut a = PageTable::new(1);
+        let mut b = PageTable::new(2);
+        let v = VAddr(0x8000);
+        assert_ne!(a.translate(v), b.translate(v));
+    }
+
+    #[test]
+    fn walk_addresses_share_upper_levels_for_neighbouring_pages() {
+        let mut pt = PageTable::new(0);
+        let w1 = pt.walk_addrs(100, 4);
+        let w2 = pt.walk_addrs(101, 4);
+        assert_eq!(w1.len(), 4);
+        // Top 3 levels identical, leaf level differs.
+        assert_eq!(&w1[..3], &w2[..3]);
+        assert_ne!(w1[3], w2[3]);
+        assert_eq!(pt.walks(), 2);
+    }
+
+    #[test]
+    fn far_apart_pages_diverge_higher_up() {
+        let mut pt = PageTable::new(0);
+        let w1 = pt.walk_addrs(0, 4);
+        let w2 = pt.walk_addrs(1 << 27, 4); // differs at the root level
+        assert_ne!(w1[0], w2[0]);
+    }
+}

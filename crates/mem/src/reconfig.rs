@@ -1,0 +1,92 @@
+//! Runtime memory-hierarchy reconfiguration requests.
+//!
+//! A [`MemReconfig`] is the unit the BMC firmware applies when the capping
+//! ladder goes beyond DVFS: it names the active way counts for each cache
+//! level, the active TLB entry counts, and the memory-gating level. The
+//! hierarchy applies it atomically (flushing whatever gating removes).
+
+use crate::dram::MemGateLevel;
+
+/// A complete memory-side configuration. `Default`/[`MemReconfig::full`]
+/// is the un-throttled machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemReconfig {
+    /// Active ways in each L1 data cache (1..=provisioned).
+    pub l1d_ways: u32,
+    /// Active ways in each L1 instruction cache.
+    pub l1i_ways: u32,
+    /// Active ways in each private L2.
+    pub l2_ways: u32,
+    /// Active ways in the shared L3.
+    pub l3_ways: u32,
+    /// Active ITLB entries.
+    pub itlb_entries: u32,
+    /// Active DTLB entries.
+    pub dtlb_entries: u32,
+    /// Memory-gating level.
+    pub mem_gate: MemGateLevel,
+}
+
+impl MemReconfig {
+    /// The full (unthrottled) configuration of the paper's platform.
+    pub fn full() -> Self {
+        MemReconfig {
+            l1d_ways: 8,
+            l1i_ways: 8,
+            l2_ways: 8,
+            l3_ways: 20,
+            itlb_entries: 128,
+            dtlb_entries: 64,
+            mem_gate: MemGateLevel::Off,
+        }
+    }
+
+    /// True if nothing is throttled.
+    pub fn is_full(&self) -> bool {
+        *self == Self::full()
+    }
+
+    /// A coarse "how much of the memory system is gated" metric in
+    /// `[0, 1]`, used by the power model to estimate array-power savings.
+    pub fn gating_fraction(&self) -> f64 {
+        let full = Self::full();
+        let way_frac = |active: u32, total: u32| 1.0 - active as f64 / total as f64;
+        let mut f = 0.0;
+        f += way_frac(self.l1d_ways, full.l1d_ways);
+        f += way_frac(self.l1i_ways, full.l1i_ways);
+        f += way_frac(self.l2_ways, full.l2_ways);
+        f += way_frac(self.l3_ways, full.l3_ways);
+        f += way_frac(self.itlb_entries, full.itlb_entries);
+        f += way_frac(self.dtlb_entries, full.dtlb_entries);
+        f / 6.0
+    }
+}
+
+impl Default for MemReconfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_config_has_zero_gating_fraction() {
+        assert!(MemReconfig::full().is_full());
+        assert_eq!(MemReconfig::full().gating_fraction(), 0.0);
+    }
+
+    #[test]
+    fn gating_fraction_grows_with_throttling() {
+        let mut c = MemReconfig::full();
+        c.l3_ways = 10;
+        let f1 = c.gating_fraction();
+        assert!(f1 > 0.0);
+        c.itlb_entries = 16;
+        let f2 = c.gating_fraction();
+        assert!(f2 > f1);
+        assert!(f2 <= 1.0);
+    }
+}

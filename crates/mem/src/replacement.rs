@@ -1,0 +1,211 @@
+//! Replacement policies for set-associative structures.
+//!
+//! Three policies are provided:
+//!
+//! * **LRU** — exact least-recently-used, kept as an ordering over ways.
+//! * **Tree-PLRU** — the binary-tree pseudo-LRU used by real Sandy Bridge
+//!   L1/L2 arrays.
+//! * **Random** — xorshift-driven victim choice (deterministic per seed).
+//!
+//! A [`SetState`] instance tracks one set. Policies must cope with *way
+//! gating*: at any time only ways `0..active_ways` are eligible, and the
+//! victim returned is always within the active range.
+
+/// Which replacement policy a cache or TLB uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplacementPolicy {
+    Lru,
+    TreePlru,
+    Random,
+}
+
+/// Per-set replacement state.
+#[derive(Clone, Debug)]
+pub enum SetState {
+    /// `order[0]` is the most recently used way; last is the LRU victim.
+    Lru { order: Vec<u8> },
+    /// Tree-PLRU bits, stored as a flat array of internal nodes.
+    TreePlru { bits: u32, ways: u8 },
+    /// No state; victim is drawn from the shared xorshift stream.
+    Random,
+}
+
+impl SetState {
+    pub fn new(policy: ReplacementPolicy, ways: u32) -> SetState {
+        debug_assert!(ways >= 1 && ways <= 64);
+        match policy {
+            ReplacementPolicy::Lru => SetState::Lru { order: (0..ways as u8).collect() },
+            ReplacementPolicy::TreePlru => SetState::TreePlru { bits: 0, ways: ways as u8 },
+            ReplacementPolicy::Random => SetState::Random,
+        }
+    }
+
+    /// Record a touch (hit or fill) of `way`.
+    pub fn touch(&mut self, way: u32) {
+        match self {
+            SetState::Lru { order } => {
+                let pos = order.iter().position(|&w| w as u32 == way).expect("way tracked");
+                let w = order.remove(pos);
+                order.insert(0, w);
+            }
+            SetState::TreePlru { bits, ways } => {
+                // Walk from the root to the leaf for `way`, setting each
+                // internal node to point *away* from the path taken.
+                let ways = *ways as u32;
+                let mut lo = 0u32;
+                let mut hi = ways;
+                let mut node = 0u32;
+                while hi - lo > 1 {
+                    let mid = lo + (hi - lo) / 2;
+                    if way < mid {
+                        *bits |= 1 << node; // point right (away)
+                        node = 2 * node + 1;
+                        hi = mid;
+                    } else {
+                        *bits &= !(1 << node); // point left (away)
+                        node = 2 * node + 2;
+                        lo = mid;
+                    }
+                }
+            }
+            SetState::Random => {}
+        }
+    }
+
+    /// Choose a victim among ways `0..active_ways`.
+    ///
+    /// `rng` supplies randomness for the `Random` policy (and is advanced
+    /// regardless, to keep streams aligned across policies in A/B tests).
+    pub fn victim(&self, active_ways: u32, rng: &mut XorShift64) -> u32 {
+        let r = rng.next();
+        debug_assert!(active_ways >= 1);
+        match self {
+            SetState::Lru { order } => {
+                // The least recently used way within the active range.
+                *order
+                    .iter()
+                    .rev()
+                    .find(|&&w| (w as u32) < active_ways)
+                    .expect("at least one active way tracked") as u32
+            }
+            SetState::TreePlru { bits, ways } => {
+                let ways = *ways as u32;
+                let mut lo = 0u32;
+                let mut hi = ways;
+                let mut node = 0u32;
+                while hi - lo > 1 {
+                    let mid = lo + (hi - lo) / 2;
+                    let go_left = (*bits >> node) & 1 == 0;
+                    if go_left {
+                        node = 2 * node + 1;
+                        hi = mid;
+                    } else {
+                        node = 2 * node + 2;
+                        lo = mid;
+                    }
+                }
+                // If gating pushed the PLRU leaf out of range, clamp into
+                // the active ways (hardware gating invalidates high ways).
+                lo.min(active_ways - 1)
+            }
+            SetState::Random => (r % active_ways as u64) as u32,
+        }
+    }
+}
+
+/// Minimal deterministic xorshift64* stream.
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    pub fn new(seed: u64) -> Self {
+        XorShift64 { state: seed.max(1) }
+    }
+
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_touched() {
+        let mut s = SetState::new(ReplacementPolicy::Lru, 4);
+        let mut rng = XorShift64::new(1);
+        for w in [0u32, 1, 2, 3] {
+            s.touch(w);
+        }
+        // 0 is oldest now.
+        assert_eq!(s.victim(4, &mut rng), 0);
+        s.touch(0);
+        assert_eq!(s.victim(4, &mut rng), 1);
+    }
+
+    #[test]
+    fn lru_respects_way_gating() {
+        let mut s = SetState::new(ReplacementPolicy::Lru, 8);
+        let mut rng = XorShift64::new(1);
+        for w in 0..8 {
+            s.touch(w);
+        }
+        // With only 2 active ways the victim must be way 0 or 1.
+        let v = s.victim(2, &mut rng);
+        assert!(v < 2);
+        assert_eq!(v, 0, "way 0 is least recent among active ways");
+    }
+
+    #[test]
+    fn treeplru_never_immediately_victimizes_the_touched_way() {
+        let mut rng = XorShift64::new(7);
+        for ways in [2u32, 4, 8, 16, 20] {
+            let mut s = SetState::new(ReplacementPolicy::TreePlru, ways);
+            for w in 0..ways {
+                s.touch(w);
+                assert_ne!(s.victim(ways, &mut rng), w, "ways={ways} touched={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn treeplru_victim_in_active_range_under_gating() {
+        let mut s = SetState::new(ReplacementPolicy::TreePlru, 8);
+        let mut rng = XorShift64::new(3);
+        for w in 0..8 {
+            s.touch(w);
+            for active in 1..=8u32 {
+                assert!(s.victim(active, &mut rng) < active);
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let s = SetState::new(ReplacementPolicy::Random, 8);
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            let va = s.victim(5, &mut a);
+            assert_eq!(va, s.victim(5, &mut b));
+            assert!(va < 5);
+        }
+    }
+
+    #[test]
+    fn xorshift_produces_distinct_values() {
+        let mut r = XorShift64::new(9);
+        let a = r.next();
+        let b = r.next();
+        assert_ne!(a, b);
+    }
+}

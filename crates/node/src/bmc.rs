@@ -1,0 +1,582 @@
+//! The BMC firmware model: closed-loop power capping plus the IPMI
+//! service endpoint.
+//!
+//! Every control period the machine hands the BMC the windowed average
+//! node power; the BMC escalates one rung when over the cap and
+//! de-escalates when comfortably under it. With a cap that falls between
+//! the power levels of two adjacent rungs the loop never settles — it
+//! dithers, exactly as §II-A describes for P-states ("the BMC switches
+//! between the two states in an attempt to honor the power cap"), which is
+//! what produces the paper's fractional average frequencies (2168, 1274,
+//! 2422 MHz…).
+//!
+//! If the ladder is exhausted and the node still exceeds the cap, the BMC
+//! keeps the deepest rung and (with the DCMI `LogOnly` exception action)
+//! simply logs — the reason Table II's 120 W rows report ~124 W measured.
+
+use capsim_ipmi::app_cmds::{
+    DcmiCapabilities, DeviceId, CMD_GET_DCMI_CAPABILITIES, CMD_GET_DEVICE_ID,
+};
+use capsim_ipmi::dcmi::{
+    self, ActivatePowerLimit, ExceptionAction, PowerLimit, PowerReading, SetPowerLimit,
+};
+use capsim_ipmi::sel::{
+    SelEventType, SystemEventLog, CMD_CLEAR_SEL, CMD_GET_SEL_ENTRY, CMD_GET_SEL_INFO,
+};
+use capsim_ipmi::sensor::{SensorId, SensorRead, SensorValue, CMD_GET_SENSOR_READING};
+use capsim_ipmi::{BmcPort, CompletionCode, IpmiError, NetFn, Request, Response};
+
+use crate::ladder::{Rung, ThrottleLadder};
+
+/// An active power cap in watts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerCap {
+    pub watts: f64,
+}
+
+impl PowerCap {
+    pub fn new(watts: f64) -> Self {
+        assert!(watts > 0.0);
+        PowerCap { watts }
+    }
+}
+
+/// Telemetry the machine exposes to the BMC each control tick (and that
+/// the BMC forwards over IPMI).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BmcTelemetry {
+    pub window_avg_w: f64,
+    pub run_avg_w: f64,
+    pub min_w: f64,
+    pub max_w: f64,
+    pub die_temp_c: f64,
+    pub inlet_temp_c: f64,
+    /// Simulated time of the sample in milliseconds (drives the DCMI
+    /// correction-time clock and SEL timestamps).
+    pub now_ms: f64,
+}
+
+/// The BMC firmware state.
+#[derive(Clone, Debug)]
+pub struct Bmc {
+    ladder: ThrottleLadder,
+    cap: Option<PowerCap>,
+    cap_active: bool,
+    rung: usize,
+    /// De-escalate only when below `cap - hysteresis_w`.
+    hysteresis_w: f64,
+    escalations: u64,
+    deescalations: u64,
+    exceptions: u64,
+    stored_limit: Option<PowerLimit>,
+    last_telemetry: BmcTelemetry,
+    /// DCMI correction-time tracking: when the node first went over the
+    /// active cap (cleared whenever it dips back under).
+    over_cap_since_ms: Option<f64>,
+    /// Time of the last correction-time exception, to log one SEL entry
+    /// per correction interval rather than per tick.
+    last_exception_ms: f64,
+    sel: SystemEventLog,
+    chassis_on: bool,
+    floor_logged: bool,
+}
+
+impl Bmc {
+    pub fn new(ladder: ThrottleLadder) -> Self {
+        Bmc {
+            ladder,
+            cap: None,
+            cap_active: false,
+            rung: 0,
+            hysteresis_w: 1.0,
+            escalations: 0,
+            deescalations: 0,
+            exceptions: 0,
+            stored_limit: None,
+            last_telemetry: BmcTelemetry::default(),
+            over_cap_since_ms: None,
+            last_exception_ms: f64::NEG_INFINITY,
+            sel: SystemEventLog::new(),
+            chassis_on: true,
+            floor_logged: false,
+        }
+    }
+
+    /// The System Event Log (the paper trail for cap violations).
+    pub fn sel(&self) -> &SystemEventLog {
+        &self.sel
+    }
+
+    /// False once a `HardPowerOff` exception action has fired.
+    pub fn chassis_on(&self) -> bool {
+        self.chassis_on
+    }
+
+    /// Set (or clear) the cap directly — the in-band shortcut tests and
+    /// single-node experiments use. IPMI management uses [`Bmc::serve`].
+    pub fn set_cap(&mut self, cap: Option<PowerCap>) {
+        self.cap = cap;
+        self.cap_active = cap.is_some();
+        if cap.is_none() {
+            self.rung = 0;
+        }
+    }
+
+    pub fn cap(&self) -> Option<PowerCap> {
+        self.cap.filter(|_| self.cap_active)
+    }
+
+    /// Current rung setting.
+    pub fn current(&self) -> Rung {
+        self.ladder.get(self.rung)
+    }
+
+    pub fn rung_index(&self) -> usize {
+        self.rung
+    }
+
+    /// (escalations, de-escalations, exhausted-ladder exceptions).
+    pub fn control_stats(&self) -> (u64, u64, u64) {
+        (self.escalations, self.deescalations, self.exceptions)
+    }
+
+    /// One control-loop iteration. Returns the rung to apply if it
+    /// changed.
+    pub fn control(&mut self, telemetry: BmcTelemetry) -> Option<Rung> {
+        self.last_telemetry = telemetry;
+        let cap = match self.cap() {
+            Some(c) => c.watts,
+            None => {
+                if self.rung != 0 {
+                    self.rung = 0;
+                    return Some(self.current());
+                }
+                return None;
+            }
+        };
+        let avg = telemetry.window_avg_w;
+        let old = self.rung;
+        if avg > cap {
+            if self.rung == self.ladder.deepest() {
+                // Ladder exhausted: count an exception, keep throttling.
+                self.exceptions += 1;
+                if !self.floor_logged {
+                    self.floor_logged = true;
+                    self.sel.log(
+                        telemetry.now_ms as u64,
+                        SelEventType::ThrottleFloorReached,
+                        avg.round() as u16,
+                    );
+                }
+            } else {
+                self.rung += 1;
+                self.escalations += 1;
+            }
+        } else if avg < cap - self.hysteresis_w && self.rung > 0 {
+            self.rung -= 1;
+            self.deescalations += 1;
+        }
+        self.track_correction_time(cap, avg, telemetry.now_ms);
+        (self.rung != old).then(|| self.current())
+    }
+
+    /// DCMI correction-time semantics: if the node stays above the cap
+    /// for longer than the limit's correction time, raise the exception
+    /// action — log a SEL record (`LogOnly`) or cut chassis power
+    /// (`HardPowerOff`). One exception per correction interval.
+    fn track_correction_time(&mut self, cap: f64, avg: f64, now_ms: f64) {
+        if avg <= cap {
+            self.over_cap_since_ms = None;
+            return;
+        }
+        let since = *self.over_cap_since_ms.get_or_insert(now_ms);
+        let correction_ms = self.stored_limit.map_or(1000.0, |l| l.correction_ms as f64);
+        if now_ms - since >= correction_ms && now_ms - self.last_exception_ms >= correction_ms {
+            self.last_exception_ms = now_ms;
+            self.sel.log(now_ms as u64, SelEventType::PowerLimitExceeded, avg.round() as u16);
+            if self.stored_limit.map(|l| l.action) == Some(ExceptionAction::HardPowerOff) {
+                self.chassis_on = false;
+            }
+        }
+    }
+
+    /// Service pending IPMI requests on `port`. Called from the machine's
+    /// control tick — the out-of-band path shares no state with the
+    /// workload.
+    pub fn serve(&mut self, port: &BmcPort) -> Result<(), IpmiError> {
+        while let Some(req) = port.poll()? {
+            let resp = self.handle(&req);
+            port.send(&resp)?;
+        }
+        Ok(())
+    }
+
+    fn handle(&mut self, req: &Request) -> Response {
+        match (req.netfn, req.cmd) {
+            (NetFn::GroupExt, dcmi::CMD_GET_POWER_READING) => {
+                let t = self.last_telemetry;
+                let reading = PowerReading {
+                    current_w: t.window_avg_w.round() as u16,
+                    min_w: t.min_w.round() as u16,
+                    max_w: t.max_w.round() as u16,
+                    avg_w: t.run_avg_w.round() as u16,
+                    window_ms: 1000,
+                    active: true,
+                };
+                Response::ok(req, reading.encode())
+            }
+            (NetFn::GroupExt, dcmi::CMD_SET_POWER_LIMIT) => match SetPowerLimit::parse(req) {
+                Ok(limit) if limit.limit_w == 0 => {
+                    Response::err(req, CompletionCode::ParameterOutOfRange)
+                }
+                Ok(limit) => {
+                    self.stored_limit = Some(limit);
+                    self.cap = Some(PowerCap::new(limit.limit_w as f64));
+                    self.sel.log(
+                        self.last_telemetry.now_ms as u64,
+                        SelEventType::PowerLimitConfigured,
+                        limit.limit_w,
+                    );
+                    // DCMI semantics: the limit takes effect once activated.
+                    Response::ok(req, vec![dcmi::DCMI_GROUP_EXT])
+                }
+                Err(_) => Response::err(req, CompletionCode::RequestDataLengthInvalid),
+            },
+            (NetFn::GroupExt, dcmi::CMD_GET_POWER_LIMIT) => match self.stored_limit {
+                Some(limit) => Response::ok(req, limit.encode()),
+                None => Response::err(req, CompletionCode::DestinationUnavailable),
+            },
+            (NetFn::GroupExt, dcmi::CMD_ACTIVATE_POWER_LIMIT) => {
+                match ActivatePowerLimit::parse(req) {
+                    Ok(on) => {
+                        if on && self.cap.is_none() {
+                            Response::err(req, CompletionCode::DestinationUnavailable)
+                        } else {
+                            self.cap_active = on;
+                            if !on {
+                                self.rung = 0;
+                            }
+                            Response::ok(req, vec![dcmi::DCMI_GROUP_EXT])
+                        }
+                    }
+                    Err(_) => Response::err(req, CompletionCode::RequestDataLengthInvalid),
+                }
+            }
+            (NetFn::Sensor, CMD_GET_SENSOR_READING) => match SensorRead::parse(req) {
+                Ok(id) => {
+                    let t = self.last_telemetry;
+                    let v = match id {
+                        SensorId::InletTempC => t.inlet_temp_c,
+                        SensorId::DieTempC => t.die_temp_c,
+                        SensorId::NodePowerW => t.window_avg_w,
+                    };
+                    Response::ok(req, SensorValue::new(id, v).encode())
+                }
+                Err(_) => Response::err(req, CompletionCode::RequestDataLengthInvalid),
+            },
+            (NetFn::App, CMD_GET_DEVICE_ID) => {
+                Response::ok(req, DeviceId::capsim_bmc().encode())
+            }
+            (NetFn::App, CMD_GET_DCMI_CAPABILITIES) => {
+                Response::ok(req, DcmiCapabilities::capsim_node().encode())
+            }
+            (NetFn::App, CMD_GET_SEL_INFO) => {
+                Response::ok(req, (self.sel.len() as u16).to_le_bytes().to_vec())
+            }
+            (NetFn::App, CMD_GET_SEL_ENTRY) => {
+                if req.payload.len() != 2 {
+                    return Response::err(req, CompletionCode::RequestDataLengthInvalid);
+                }
+                let id = u16::from_le_bytes([req.payload[0], req.payload[1]]);
+                match self.sel.get(id) {
+                    Some(e) => Response::ok(req, e.encode()),
+                    None => Response::err(req, CompletionCode::ParameterOutOfRange),
+                }
+            }
+            (NetFn::App, CMD_CLEAR_SEL) => {
+                self.sel.clear();
+                Response::ok(req, bytes::Bytes::new())
+            }
+            _ => Response::err(req, CompletionCode::InvalidCommand),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsim_cpu::PStateTable;
+    use capsim_ipmi::dcmi::{ExceptionAction, GetPowerReading};
+    use capsim_ipmi::LanChannel;
+    use capsim_mem::MemReconfig;
+
+    fn bmc() -> Bmc {
+        Bmc::new(ThrottleLadder::e5_2680(&PStateTable::e5_2680(), MemReconfig::full()))
+    }
+
+    fn tele(w: f64) -> BmcTelemetry {
+        BmcTelemetry { window_avg_w: w, run_avg_w: w, min_w: w, max_w: w, ..Default::default() }
+    }
+
+    #[test]
+    fn no_cap_means_no_throttle() {
+        let mut b = bmc();
+        assert!(b.control(tele(200.0)).is_none());
+        assert_eq!(b.rung_index(), 0);
+    }
+
+    #[test]
+    fn over_cap_escalates_one_rung_per_tick() {
+        let mut b = bmc();
+        b.set_cap(Some(PowerCap::new(140.0)));
+        for i in 1..=5 {
+            let r = b.control(tele(150.0));
+            assert!(r.is_some());
+            assert_eq!(b.rung_index(), i);
+        }
+    }
+
+    #[test]
+    fn dithers_around_a_cap_between_two_rungs() {
+        let mut b = bmc();
+        b.set_cap(Some(PowerCap::new(150.0)));
+        b.control(tele(155.0)); // up to rung 1
+        b.control(tele(145.0)); // comfortably below cap-hysteresis: down
+        assert_eq!(b.rung_index(), 0);
+        b.control(tele(155.0));
+        assert_eq!(b.rung_index(), 1);
+        let (esc, deesc, _) = b.control_stats();
+        assert!(esc >= 2 && deesc >= 1);
+    }
+
+    #[test]
+    fn hysteresis_prevents_deescalation_just_under_the_cap() {
+        let mut b = bmc();
+        b.set_cap(Some(PowerCap::new(150.0)));
+        b.control(tele(151.0));
+        assert_eq!(b.rung_index(), 1);
+        // 149 is under the cap but within the 2 W hysteresis band: hold.
+        assert!(b.control(tele(149.0)).is_none());
+        assert_eq!(b.rung_index(), 1);
+    }
+
+    #[test]
+    fn exhausted_ladder_logs_exceptions_and_holds_deepest() {
+        let mut b = bmc();
+        b.set_cap(Some(PowerCap::new(50.0))); // unreachable
+        for _ in 0..100 {
+            b.control(tele(124.0));
+        }
+        assert_eq!(b.rung_index(), b.ladder.deepest());
+        let (_, _, ex) = b.control_stats();
+        assert!(ex > 0, "exceptions logged once pinned at the deepest rung");
+    }
+
+    #[test]
+    fn clearing_the_cap_returns_to_full_speed() {
+        let mut b = bmc();
+        b.set_cap(Some(PowerCap::new(120.0)));
+        for _ in 0..10 {
+            b.control(tele(150.0));
+        }
+        assert!(b.rung_index() > 0);
+        b.set_cap(None);
+        assert_eq!(b.rung_index(), 0);
+        assert!(b.control(tele(150.0)).is_none());
+    }
+
+    #[test]
+    fn ipmi_set_and_activate_limit_roundtrip() {
+        let mut b = bmc();
+        let (mut mgr, port) = LanChannel::pair();
+        let limit = PowerLimit {
+            limit_w: 135,
+            correction_ms: 1000,
+            sampling_s: 1,
+            action: ExceptionAction::LogOnly,
+        };
+        let seq = mgr.next_seq();
+        mgr.send(&SetPowerLimit(limit).request(seq)).unwrap();
+        b.serve(&port).unwrap();
+        mgr.recv().unwrap().into_ok().unwrap();
+        // Limit stored but capping starts at activation.
+        assert!(b.cap().is_none());
+        let seq = mgr.next_seq();
+        mgr.send(&ActivatePowerLimit { activate: true }.request(seq)).unwrap();
+        b.serve(&port).unwrap();
+        mgr.recv().unwrap().into_ok().unwrap();
+        assert_eq!(b.cap().unwrap().watts, 135.0);
+    }
+
+    #[test]
+    fn ipmi_power_reading_reflects_telemetry() {
+        let mut b = bmc();
+        b.control(tele(153.0));
+        let (mut mgr, port) = LanChannel::pair();
+        let seq = mgr.next_seq();
+        mgr.send(&GetPowerReading::request(seq)).unwrap();
+        b.serve(&port).unwrap();
+        let payload = mgr.recv().unwrap().into_ok().unwrap();
+        let r = PowerReading::decode(&payload).unwrap();
+        assert_eq!(r.current_w, 153);
+        assert!(r.active);
+    }
+
+    #[test]
+    fn ipmi_activate_without_limit_fails() {
+        let mut b = bmc();
+        let (mut mgr, port) = LanChannel::pair();
+        let seq = mgr.next_seq();
+        mgr.send(&ActivatePowerLimit { activate: true }.request(seq)).unwrap();
+        b.serve(&port).unwrap();
+        assert!(mgr.recv().unwrap().into_ok().is_err());
+    }
+
+    #[test]
+    fn ipmi_unknown_command_gets_invalid_command() {
+        let mut b = bmc();
+        let (mut mgr, port) = LanChannel::pair();
+        let seq = mgr.next_seq();
+        mgr.send(&Request::new(NetFn::App, 0x77, seq, Vec::new())).unwrap();
+        b.serve(&port).unwrap();
+        let resp = mgr.recv().unwrap();
+        assert_eq!(resp.completion, CompletionCode::InvalidCommand);
+    }
+
+    #[test]
+    fn correction_time_logs_sel_entries_for_sustained_violations() {
+        let mut b = bmc();
+        let (mut mgr, port) = LanChannel::pair();
+        let limit = PowerLimit {
+            limit_w: 120,
+            correction_ms: 50,
+            sampling_s: 1,
+            action: ExceptionAction::LogOnly,
+        };
+        let seq = mgr.next_seq();
+        mgr.send(&SetPowerLimit(limit).request(seq)).unwrap();
+        b.serve(&port).unwrap();
+        mgr.recv().unwrap().into_ok().unwrap();
+        let seq = mgr.next_seq();
+        mgr.send(&ActivatePowerLimit { activate: true }.request(seq)).unwrap();
+        b.serve(&port).unwrap();
+        mgr.recv().unwrap().into_ok().unwrap();
+        // Sustained 124 W against a 120 W cap: one exceeded entry per
+        // 50 ms correction interval, plus the configured + floor entries.
+        for t in 0..400u64 {
+            let mut tel = tele(124.0);
+            tel.now_ms = t as f64;
+            b.control(tel);
+        }
+        assert!(b.chassis_on(), "LogOnly never powers off");
+        let exceeded: Vec<_> = b
+            .sel()
+            .iter()
+            .filter(|e| e.event == capsim_ipmi::SelEventType::PowerLimitExceeded)
+            .collect();
+        assert!(
+            (6..=9).contains(&exceeded.len()),
+            "~one per 50 ms over 400 ms, got {}",
+            exceeded.len()
+        );
+        assert_eq!(exceeded[0].datum, 124);
+        assert!(b
+            .sel()
+            .iter()
+            .any(|e| e.event == capsim_ipmi::SelEventType::ThrottleFloorReached));
+    }
+
+    #[test]
+    fn hard_power_off_action_cuts_the_chassis() {
+        let mut b = bmc();
+        b.stored_limit = Some(PowerLimit {
+            limit_w: 110,
+            correction_ms: 20,
+            sampling_s: 1,
+            action: ExceptionAction::HardPowerOff,
+        });
+        b.set_cap(Some(PowerCap::new(110.0)));
+        for t in 0..100u64 {
+            let mut tel = tele(125.0);
+            tel.now_ms = t as f64;
+            b.control(tel);
+        }
+        assert!(!b.chassis_on(), "sustained violation with HardPowerOff");
+    }
+
+    #[test]
+    fn dipping_under_the_cap_resets_the_correction_clock() {
+        let mut b = bmc();
+        b.stored_limit = Some(PowerLimit {
+            limit_w: 140,
+            correction_ms: 100,
+            sampling_s: 1,
+            action: ExceptionAction::LogOnly,
+        });
+        b.set_cap(Some(PowerCap::new(140.0)));
+        // Alternate over/under faster than the correction time.
+        for t in 0..300u64 {
+            let w = if t % 4 < 2 { 145.0 } else { 130.0 };
+            let mut tel = tele(w);
+            tel.now_ms = t as f64;
+            b.control(tel);
+        }
+        let exceeded = b
+            .sel()
+            .iter()
+            .filter(|e| e.event == capsim_ipmi::SelEventType::PowerLimitExceeded)
+            .count();
+        assert_eq!(exceeded, 0, "violations never sustained long enough");
+    }
+
+    #[test]
+    fn ipmi_sel_and_identity_commands() {
+        use capsim_ipmi::app_cmds::{get_capabilities_request, get_device_id_request};
+        use capsim_ipmi::sel::{clear_sel_request, get_sel_entry_request, get_sel_info_request};
+        let mut b = bmc();
+        let (mut mgr, port) = LanChannel::pair();
+        // Identity.
+        let seq = mgr.next_seq();
+        mgr.send(&get_device_id_request(seq)).unwrap();
+        b.serve(&port).unwrap();
+        let id = capsim_ipmi::DeviceId::decode(&mgr.recv().unwrap().into_ok().unwrap()).unwrap();
+        assert_eq!(id.manufacturer, 343);
+        // Capabilities.
+        let seq = mgr.next_seq();
+        mgr.send(&get_capabilities_request(seq)).unwrap();
+        b.serve(&port).unwrap();
+        let caps =
+            capsim_ipmi::DcmiCapabilities::decode(&mgr.recv().unwrap().into_ok().unwrap())
+                .unwrap();
+        assert!(caps.power_management);
+        // Log something, read it back, clear it.
+        b.sel.log(5, capsim_ipmi::SelEventType::PowerLimitExceeded, 124);
+        let seq = mgr.next_seq();
+        mgr.send(&get_sel_info_request(seq)).unwrap();
+        b.serve(&port).unwrap();
+        let info = mgr.recv().unwrap().into_ok().unwrap();
+        assert_eq!(u16::from_le_bytes([info[0], info[1]]), 1);
+        let seq = mgr.next_seq();
+        mgr.send(&get_sel_entry_request(seq, 0xffff)).unwrap();
+        b.serve(&port).unwrap();
+        let e = capsim_ipmi::SelEntry::decode(&mgr.recv().unwrap().into_ok().unwrap()).unwrap();
+        assert_eq!(e.datum, 124);
+        let seq = mgr.next_seq();
+        mgr.send(&clear_sel_request(seq)).unwrap();
+        b.serve(&port).unwrap();
+        mgr.recv().unwrap().into_ok().unwrap();
+        assert!(b.sel().is_empty());
+    }
+
+    #[test]
+    fn ipmi_sensor_reads_report_temperatures() {
+        let mut b = bmc();
+        b.control(BmcTelemetry { die_temp_c: 61.25, inlet_temp_c: 27.0, ..tele(150.0) });
+        let (mut mgr, port) = LanChannel::pair();
+        let seq = mgr.next_seq();
+        mgr.send(&SensorRead { sensor: SensorId::DieTempC }.request(seq)).unwrap();
+        b.serve(&port).unwrap();
+        let v = SensorValue::decode(&mgr.recv().unwrap().into_ok().unwrap()).unwrap();
+        assert_eq!(v.value(), 61.25);
+    }
+}

@@ -1,0 +1,105 @@
+//! Machine configuration.
+
+use capsim_cpu::{PStateTable, TimingParams};
+use capsim_mem::{HierarchyConfig, MemReconfig};
+use capsim_power::PowerParams;
+
+/// Everything needed to build a [`crate::Machine`].
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Memory-hierarchy geometry and latencies.
+    pub hierarchy: HierarchyConfig,
+    /// DVFS operating points.
+    pub pstates: PStateTable,
+    /// Core timing knobs.
+    pub timing: TimingParams,
+    /// Node power calibration.
+    pub power: PowerParams,
+    /// Number of cores executing workload code (the paper uses 1).
+    pub n_cores: usize,
+    /// BMC control-loop period in microseconds of simulated time.
+    pub control_period_us: f64,
+    /// Power-meter averaging window in seconds (the BMC's view).
+    pub meter_window_s: f64,
+    /// Branch-predictor table size (log2 entries).
+    pub predictor_bits: u32,
+    /// Seed for everything stochastic in the machine (replacement streams,
+    /// wrong-path addresses). The study averages over several seeds like
+    /// the paper averages over five runs.
+    pub seed: u64,
+}
+
+impl MachineConfig {
+    /// The paper's platform with a given seed.
+    pub fn e5_2680(seed: u64) -> Self {
+        MachineConfig {
+            hierarchy: HierarchyConfig::e5_2680(),
+            pstates: PStateTable::e5_2680(),
+            timing: TimingParams::e5_2680(),
+            power: PowerParams::e5_2680_node(),
+            n_cores: 1,
+            control_period_us: 200.0,
+            meter_window_s: 0.002,
+            predictor_bits: 14,
+            seed,
+        }
+    }
+
+    /// The paper's platform with single-core Turbo Boost enabled (the
+    /// testbed ran with turbo off — baseline frequency reads 2701 MHz in
+    /// Table II — so this variant exists for the turbo ablation).
+    pub fn e5_2680_turbo(seed: u64) -> Self {
+        let mut c = Self::e5_2680(seed);
+        c.pstates = capsim_cpu::PStateTable::e5_2680_turbo();
+        c
+    }
+
+    /// A tiny machine for fast unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        let mut c = Self::e5_2680(seed);
+        c.hierarchy = HierarchyConfig::tiny();
+        c.predictor_bits = 10;
+        c
+    }
+
+    /// The full (ungated) memory configuration implied by the hierarchy.
+    pub fn full_mem(&self) -> MemReconfig {
+        MemReconfig {
+            l1d_ways: self.hierarchy.l1d.ways,
+            l1i_ways: self.hierarchy.l1i.ways,
+            l2_ways: self.hierarchy.l2.ways,
+            l3_ways: self.hierarchy.l3.ways,
+            itlb_entries: self.hierarchy.itlb.entries,
+            dtlb_entries: self.hierarchy.dtlb.entries,
+            mem_gate: capsim_mem::MemGateLevel::Off,
+        }
+    }
+
+    pub fn validate(&self) {
+        self.hierarchy.validate();
+        self.timing.validate();
+        assert!(self.n_cores >= 1);
+        assert!(self.control_period_us > 0.0);
+        assert!(self.meter_window_s > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        MachineConfig::e5_2680(1).validate();
+        MachineConfig::tiny(1).validate();
+    }
+
+    #[test]
+    fn full_mem_matches_hierarchy_geometry() {
+        let c = MachineConfig::e5_2680(1);
+        let m = c.full_mem();
+        assert_eq!(m.l3_ways, 20);
+        assert_eq!(m.itlb_entries, 128);
+        assert!(m.is_full());
+    }
+}

@@ -1,0 +1,911 @@
+//! The simulated node: cores + hierarchy + power + BMC, and the API
+//! workloads execute against.
+//!
+//! # Execution model
+//!
+//! A workload calls [`Machine::exec_block`], [`Machine::load`],
+//! [`Machine::store`], [`Machine::branch`] and [`Machine::compute`] as it
+//! performs its real computation on host data. Each call charges the
+//! timing model:
+//!
+//! * committed instructions cost `n / issue_width` core cycles,
+//! * memory operations traverse the simulated hierarchy; latency beyond
+//!   the (pipelined, hidden) L1 hit is charged with a memory-level-
+//!   parallelism exposure factor, DRAM nanoseconds likewise,
+//! * [`Machine::load_serial`] charges the *full* dependent-load latency —
+//!   that is what a pointer chase or the paper's stride microbenchmark
+//!   measures,
+//! * mispredicted branches cost a pipeline refill and execute wrong-path
+//!   instructions (and one wrong-path load that can pollute the caches) —
+//!   the paper's executed-vs-committed gap.
+//!
+//! Core cycles stretch with the active P-state and T-state duty; DRAM time
+//! does not scale with frequency. Every `control_period_us` of simulated
+//! time the machine computes node power from the window's activity, feeds
+//! the meter/energy/thermal models, services the out-of-band IPMI port and
+//! runs the BMC control loop, applying whatever rung it selects.
+//!
+//! # Multi-core runs
+//!
+//! For the multi-core extension (future-work item 1) the machine tracks
+//! per-core private cache slices and counters. The workload must keep the
+//! cores load-balanced (static partitioning): the global clock follows
+//! core 0, which is exact when every core performs the same work per
+//! round and a documented approximation otherwise.
+
+use capsim_cpu::{CounterFile, FreqMeter, GsharePredictor, PStateTable, SimClock, TimingParams};
+use capsim_ipmi::BmcPort;
+use capsim_mem::{MemStats, MemoryHierarchy, VAddr, PAGE_SIZE};
+use capsim_power::{
+    ActivityWindow, EnergyIntegrator, NodePowerModel, PowerMeter, RaplCounters, ThermalModel,
+};
+
+use crate::bmc::{Bmc, BmcTelemetry, PowerCap};
+use crate::config::MachineConfig;
+use crate::ladder::{Rung, ThrottleLadder};
+use crate::region::{CodeBlock, Region};
+use crate::trace::{RunTrace, TraceSample};
+
+/// Summary of one completed run.
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// Simulated wall-clock execution time in seconds.
+    pub wall_s: f64,
+    /// Node energy over the run in joules.
+    pub energy_j: f64,
+    /// Time-weighted average node power (the Watts Up! number).
+    pub avg_power_w: f64,
+    /// APERF/MPERF-style average frequency in MHz (the Table II column).
+    pub avg_freq_mhz: f64,
+    /// Minimum/maximum windowed power seen.
+    pub min_power_w: f64,
+    pub max_power_w: f64,
+    /// Core-side counters summed over cores.
+    pub counters: CounterFile,
+    /// Memory-side counters summed over cores.
+    pub mem: MemStats,
+    /// Final die temperature.
+    pub die_temp_c: f64,
+    /// (escalations, de-escalations, exceptions) from the BMC.
+    pub bmc_stats: (u64, u64, u64),
+    /// Rung index the BMC ended on.
+    pub final_rung: usize,
+    /// RAPL-style per-domain energy (package / PP0 / DRAM).
+    pub rapl: RaplCounters,
+}
+
+struct CoreState {
+    counters: CounterFile,
+    unhalted_cycles_f: f64,
+    /// Wall time this core has accumulated in the current window.
+    win_wall_ns: f64,
+    predictor: GsharePredictor,
+}
+
+/// The simulated node.
+///
+/// ```
+/// use capsim_node::{Machine, MachineConfig, PowerCap};
+///
+/// let mut m = Machine::new(MachineConfig::tiny(42));
+/// m.set_power_cap(Some(PowerCap::new(135.0)));
+/// let data = m.alloc(4096);
+/// let hot = m.code_block(96, 24);
+/// for i in 0..1_000u64 {
+///     m.exec_block(&hot);
+///     m.load(data.at((i * 64) % 4096));
+/// }
+/// let stats = m.finish_run();
+/// assert!(stats.wall_s > 0.0);
+/// assert_eq!(stats.counters.loads, 1_000);
+/// assert!((stats.energy_j - stats.avg_power_w * stats.wall_s).abs() < 1e-6);
+/// ```
+pub struct Machine {
+    cfg: MachineConfig,
+    timing: TimingParams,
+    pstates: PStateTable,
+    hier: MemoryHierarchy,
+    clock: SimClock,
+    cores: Vec<CoreState>,
+    active_core: usize,
+    rung: Rung,
+    bmc: Bmc,
+    bmc_port: Option<BmcPort>,
+    freq_meter: FreqMeter,
+    power_model: NodePowerModel,
+    meter: PowerMeter,
+    energy: EnergyIntegrator,
+    rapl: RaplCounters,
+    thermal: ThermalModel,
+    // Control-loop bookkeeping.
+    tick_period_ns: f64,
+    next_tick_ns: f64,
+    window_start_ns: f64,
+    win_instr: u64,
+    win_cycles: f64,
+    win_idle_ns: f64,
+    win_mem_snapshot: MemStats,
+    min_power_w: f64,
+    max_power_w: f64,
+    // Bump allocators for data and code address spaces.
+    data_brk: u64,
+    code_brk: u64,
+    // Wrong-path address scrambler and the last committed data address
+    // (wrong paths run plausible nearby code, so their loads land close
+    // to real ones — the paper's executed-load drift is ≤0.36 %).
+    rng_state: u64,
+    last_data_vaddr: u64,
+    trace: Option<RunTrace>,
+}
+
+/// Data space starts at 16 MiB, code space at 256 GiB — far apart so the
+/// two never collide.
+const DATA_BASE: u64 = 16 << 20;
+const CODE_BASE: u64 = 256 << 30;
+
+impl Machine {
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.validate();
+        let ladder = ThrottleLadder::e5_2680(&cfg.pstates, cfg.full_mem());
+        Self::with_ladder(cfg, ladder)
+    }
+
+    /// Build with a custom throttle ladder (ablations swap in
+    /// [`ThrottleLadder::dvfs_only`]).
+    pub fn with_ladder(cfg: MachineConfig, ladder: ThrottleLadder) -> Self {
+        cfg.validate();
+        let hier = MemoryHierarchy::new(cfg.hierarchy, cfg.n_cores, cfg.seed);
+        let cores = (0..cfg.n_cores)
+            .map(|_| CoreState {
+                counters: CounterFile::default(),
+                unhalted_cycles_f: 0.0,
+                win_wall_ns: 0.0,
+                predictor: GsharePredictor::new(cfg.predictor_bits),
+            })
+            .collect();
+        let rung = ladder.get(0);
+        let tick_period_ns = cfg.control_period_us * 1e3;
+        Machine {
+            timing: cfg.timing,
+            pstates: cfg.pstates.clone(),
+            hier,
+            clock: SimClock::new(),
+            cores,
+            active_core: 0,
+            rung,
+            bmc: Bmc::new(ladder),
+            bmc_port: None,
+            freq_meter: FreqMeter::new(),
+            power_model: NodePowerModel::new(cfg.power),
+            meter: PowerMeter::new(cfg.meter_window_s),
+            energy: EnergyIntegrator::new(),
+            rapl: RaplCounters::new(),
+            thermal: ThermalModel::e5_2680(),
+            tick_period_ns,
+            next_tick_ns: tick_period_ns,
+            window_start_ns: 0.0,
+            win_instr: 0,
+            win_cycles: 0.0,
+            win_idle_ns: 0.0,
+            win_mem_snapshot: MemStats::default(),
+            min_power_w: f64::INFINITY,
+            max_power_w: 0.0,
+            data_brk: DATA_BASE,
+            code_brk: CODE_BASE,
+            rng_state: cfg.seed | 1,
+            last_data_vaddr: DATA_BASE,
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// Attach the out-of-band management port (from
+    /// `capsim_ipmi::LanChannel::pair`). The BMC services it each control
+    /// tick.
+    pub fn attach_bmc_port(&mut self, port: BmcPort) {
+        self.bmc_port = Some(port);
+    }
+
+    /// Set or clear the power cap directly (single-node experiments; DCM
+    /// does the same over IPMI).
+    pub fn set_power_cap(&mut self, cap: Option<PowerCap>) {
+        self.bmc.set_cap(cap);
+    }
+
+    /// The active power cap, if any.
+    pub fn power_cap(&self) -> Option<PowerCap> {
+        self.bmc.cap()
+    }
+
+    /// Service pending out-of-band requests once, outside the control
+    /// loop. Normally the BMC serves during control ticks; after a run
+    /// finishes (no more ticks) a management thread can keep the node
+    /// answerable with this.
+    pub fn service_bmc(&mut self) {
+        if let Some(port) = &self.bmc_port {
+            let _ = self.bmc.serve(port);
+        }
+    }
+
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Simulated time now, in seconds.
+    pub fn now_s(&self) -> f64 {
+        self.clock.now_s()
+    }
+
+    /// The rung the machine is currently executing at.
+    pub fn current_rung(&self) -> Rung {
+        self.rung
+    }
+
+    /// Select the core subsequent charges are attributed to (multi-core
+    /// workloads interleave their stripes with this).
+    pub fn set_active_core(&mut self, core: usize) {
+        assert!(core < self.cores.len());
+        self.active_core = core;
+    }
+
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    // ---------------------------------------------------------- allocation
+
+    /// Allocate a page-aligned data region.
+    pub fn alloc(&mut self, bytes: u64) -> Region {
+        let size = bytes.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let base = self.data_brk;
+        self.data_brk += size + PAGE_SIZE; // guard page between regions
+        Region::new(VAddr(base), size)
+    }
+
+    /// Allocate a code block of `bytes` holding `instrs` instructions.
+    /// Blocks allocate sequentially, so a workload's blocks form a compact
+    /// code footprint like a real text segment.
+    pub fn code_block(&mut self, bytes: u64, instrs: u64) -> CodeBlock {
+        let addr = VAddr(self.code_brk);
+        self.code_brk += bytes;
+        CodeBlock::new(addr, bytes, instrs)
+    }
+
+    /// Pad the code cursor to the next page boundary (places the following
+    /// blocks on fresh pages — used to shape ITLB footprints).
+    pub fn code_page_align(&mut self) {
+        self.code_brk = self.code_brk.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+    }
+
+    // ------------------------------------------------------------- charges
+
+    #[inline]
+    fn freq_mhz(&self) -> f64 {
+        self.pstates.get(self.rung.pstate).freq_mhz
+    }
+
+    /// Charge `cycles` core cycles plus `ns` fixed nanoseconds to the
+    /// active core and advance time.
+    #[inline]
+    fn charge(&mut self, cycles: f64, ns: f64) {
+        let f = self.freq_mhz();
+        let duty = self.rung.tstate.duty();
+        let unhalted_ns = cycles * 1e3 / f;
+        let wall_ns = unhalted_ns / duty + ns;
+        self.freq_meter.record(cycles, unhalted_ns);
+        let core = &mut self.cores[self.active_core];
+        core.unhalted_cycles_f += cycles;
+        core.win_wall_ns += wall_ns;
+        self.win_cycles += cycles;
+        if self.active_core == 0 {
+            self.clock.advance_ns(wall_ns);
+            while self.clock.now_ns() >= self.next_tick_ns {
+                self.tick();
+            }
+        }
+    }
+
+    /// Execute a basic block: fetch its lines, commit its instructions.
+    pub fn exec_block(&mut self, block: &CodeBlock) {
+        let core = self.active_core;
+        let mut fetch_cycles = 0.0;
+        let mut fetch_ns = 0.0;
+        let mut addr = block.addr.0;
+        let end = block.addr.0 + block.bytes;
+        while addr < end {
+            let out = self.hier.fetch_access(core, VAddr(addr));
+            // The first-line fetch of a hit is hidden by the pipeline;
+            // misses expose their penalty like data misses.
+            let penalty =
+                (out.cycles as f64 - self.cfg.hierarchy.l1i.hit_cycles as f64).max(0.0);
+            fetch_cycles += penalty * self.timing.cache_exposed;
+            fetch_ns += out.ns * self.timing.dram_exposed;
+            addr += self.cfg.hierarchy.l1i.line_bytes;
+        }
+        let c = &mut self.cores[core].counters;
+        c.instructions_committed += block.instrs;
+        c.instructions_executed += block.instrs;
+        self.win_instr += block.instrs;
+        let cycles = self.timing.base_cycles(block.instrs) + fetch_cycles;
+        self.charge(cycles, fetch_ns);
+    }
+
+    /// Commit `n` pure-ALU instructions (no instruction-fetch modelling;
+    /// pair with [`Machine::exec_block`] for fetched loops).
+    pub fn compute(&mut self, n: u64) {
+        let c = &mut self.cores[self.active_core].counters;
+        c.instructions_committed += n;
+        c.instructions_executed += n;
+        self.win_instr += n;
+        self.charge(self.timing.base_cycles(n), 0.0);
+    }
+
+    #[inline]
+    fn data_op(&mut self, addr: VAddr, write: bool, serial: bool) {
+        let core = self.active_core;
+        self.last_data_vaddr = addr.0;
+        let out = self.hier.data_access(core, addr, write);
+        let c = &mut self.cores[core].counters;
+        c.instructions_committed += 1;
+        c.instructions_executed += 1;
+        if write {
+            c.stores += 1;
+        } else {
+            c.loads += 1;
+        }
+        self.win_instr += 1;
+        let (cycles, ns) = if serial {
+            (out.cycles as f64, out.ns)
+        } else {
+            let hidden = self.cfg.hierarchy.l1d.hit_cycles as f64;
+            (
+                self.timing.base_cycles(1)
+                    + (out.cycles as f64 - hidden).max(0.0) * self.timing.cache_exposed,
+                out.ns * self.timing.dram_exposed,
+            )
+        };
+        self.charge(cycles, ns);
+    }
+
+    /// A pipelined load: L1 hits are free beyond the issue slot; miss
+    /// penalties are partially overlapped.
+    #[inline]
+    pub fn load(&mut self, addr: VAddr) {
+        self.data_op(addr, false, false);
+    }
+
+    /// A pipelined store (write-allocate; latency hidden by the store
+    /// buffer like a pipelined load).
+    #[inline]
+    pub fn store(&mut self, addr: VAddr) {
+        self.data_op(addr, true, false);
+    }
+
+    /// A serially dependent load: the full hierarchy latency lands on the
+    /// critical path. Pointer chases and latency microbenchmarks use this.
+    #[inline]
+    pub fn load_serial(&mut self, addr: VAddr) {
+        self.data_op(addr, false, true);
+    }
+
+    /// The wall-clock latency of one serial load, measured. Used by the
+    /// stride microbenchmark (Figures 3/4) — measures exactly what the
+    /// paper's code measured: elapsed time per dependent access.
+    pub fn timed_load_serial(&mut self, addr: VAddr) -> f64 {
+        let before = self.clock.now_ns();
+        // Attribute to core 0 semantics: only core 0 advances the clock.
+        assert_eq!(self.active_core, 0, "timed loads must run on core 0");
+        self.load_serial(addr);
+        self.clock.now_ns() - before
+    }
+
+    /// Execute a conditional branch at the end of `block`. On a
+    /// misprediction the pipeline refills and wrong-path work executes.
+    pub fn branch(&mut self, block: &CodeBlock, taken: bool) {
+        let core = self.active_core;
+        let o = self.cores[core].predictor.execute(block.addr.0 + block.bytes, taken);
+        let c = &mut self.cores[core].counters;
+        c.branches += 1;
+        c.instructions_committed += 1;
+        c.instructions_executed += 1;
+        self.win_instr += 1;
+        let mut cycles = self.timing.base_cycles(1);
+        if o.mispredicted {
+            c.branch_mispredicts += 1;
+            c.instructions_executed += self.timing.wrong_path_instrs;
+            c.spec_loads += 1;
+            cycles += self.timing.mispredict_cycles as f64;
+            // One wrong-path load pollutes the hierarchy; its latency is
+            // squashed, its cache side effects are not. Wrong paths run
+            // plausible nearby code, so the load lands within ±2 KiB of
+            // the last committed access.
+            let jitter = (self.next_rng() % 4096) as i64 - 2048;
+            let raw = self.last_data_vaddr.saturating_add_signed(jitter);
+            let addr = VAddr(raw.clamp(DATA_BASE, self.data_brk.max(DATA_BASE + 1) - 1));
+            let _ = self.hier.data_access(core, addr, false);
+        }
+        self.charge(cycles, 0.0);
+    }
+
+    /// Let the node sit idle for `seconds` of simulated time (phased and
+    /// race-to-idle experiments). Power windows during idleness see
+    /// `busy_frac = 0`.
+    pub fn idle(&mut self, seconds: f64) {
+        assert_eq!(self.active_core, 0, "idle must be driven from core 0");
+        let mut remaining_ns = seconds * 1e9;
+        while remaining_ns > 0.0 {
+            let step = remaining_ns.min(self.next_tick_ns - self.clock.now_ns()).max(1.0);
+            self.clock.advance_ns(step);
+            self.win_idle_ns += step;
+            remaining_ns -= step;
+            while self.clock.now_ns() >= self.next_tick_ns {
+                self.tick();
+            }
+        }
+    }
+
+    #[inline]
+    fn next_rng(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        x
+    }
+
+    // --------------------------------------------------------- control tick
+
+    fn tick(&mut self) {
+        self.next_tick_ns += self.tick_period_ns;
+        let now = self.clock.now_ns();
+        let window_ns = now - self.window_start_ns;
+        if window_ns <= 0.0 {
+            // A single charge can overshoot several periods; empty catch-up
+            // windows carry no activity and must not pollute the meter.
+            return;
+        }
+        let window_s = window_ns * 1e-9;
+        let mem_now = self.hier.total_stats();
+        let delta = mem_now - self.win_mem_snapshot;
+        let pstate = self.pstates.get(self.rung.pstate);
+        // Activity factor from the achieved issue rate (see capsim-power).
+        let issue_ratio = if self.win_cycles > 0.0 {
+            (self.win_instr as f64 / (self.win_cycles * self.timing.issue_width)).min(1.0)
+        } else {
+            0.0
+        };
+        let activity = 0.45 + 0.55 * issue_ratio;
+        let busy_frac = (1.0 - self.win_idle_ns / window_ns.max(1.0)).clamp(0.0, 1.0);
+        let active_cores = if busy_frac > 0.0 { self.cores.len() as u32 } else { 0 };
+        let window = ActivityWindow {
+            f_ghz: pstate.freq_mhz / 1e3,
+            volts: pstate.volts,
+            duty: self.rung.tstate.duty(),
+            busy_frac,
+            activity,
+            active_cores,
+            l3_accesses_per_s: delta.l3_accesses as f64 / window_s,
+            dram_lines_per_s: delta.dram_accesses() as f64 / window_s,
+            cache_gated_frac: self.rung.mem.gating_fraction(),
+            mem_gate_power_frac: self.rung.mem.mem_gate.background_power_frac(),
+            temp_c: self.thermal.temp_c(),
+        };
+        let breakdown = self.power_model.power(&window);
+        let watts = breakdown.total_w();
+        self.meter.record(window_s, watts);
+        self.energy.add(window_s, watts);
+        self.rapl.add(&breakdown, window_s);
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceSample {
+                t_s: now * 1e-9,
+                watts,
+                rung: self.bmc.rung_index(),
+                freq_mhz: pstate.freq_mhz,
+                duty: self.rung.tstate.duty(),
+                temp_c: self.thermal.temp_c(),
+            });
+        }
+        // Package power (what heats the die) excludes platform overhead.
+        self.thermal.step(watts - breakdown.platform_w, window_s);
+        self.min_power_w = self.min_power_w.min(watts);
+        self.max_power_w = self.max_power_w.max(watts);
+
+        // Out-of-band management.
+        if let Some(port) = &self.bmc_port {
+            // A dead manager is not fatal to the node.
+            let _ = self.bmc.serve(port);
+        }
+        let telemetry = BmcTelemetry {
+            window_avg_w: self.meter.window_avg_w(),
+            run_avg_w: self.meter.run_avg_w(),
+            min_w: self.min_power_w,
+            max_w: self.max_power_w,
+            die_temp_c: self.thermal.temp_c(),
+            inlet_temp_c: 27.0,
+            now_ms: now * 1e-6,
+        };
+        if let Some(rung) = self.bmc.control(telemetry) {
+            self.apply_rung(rung);
+        }
+
+        // Open the next window.
+        self.window_start_ns = now;
+        self.win_instr = 0;
+        self.win_cycles = 0.0;
+        self.win_idle_ns = 0.0;
+        self.win_mem_snapshot = mem_now;
+        for c in &mut self.cores {
+            c.win_wall_ns = 0.0;
+        }
+    }
+
+    /// The APERF/MPERF-style frequency meter (snapshot `totals()` around a
+    /// probe to get a windowed frequency reading, as real tools do).
+    pub fn freq_meter(&self) -> &FreqMeter {
+        &self.freq_meter
+    }
+
+    /// The BMC's System Event Log (cap-violation paper trail).
+    pub fn sel(&self) -> &capsim_ipmi::SystemEventLog {
+        self.bmc.sel()
+    }
+
+    /// False once a `HardPowerOff` exception action fired. The study's
+    /// DCMI limits use `LogOnly`, so simulation continues either way; the
+    /// flag is the observable.
+    pub fn chassis_on(&self) -> bool {
+        self.bmc.chassis_on()
+    }
+
+    /// Force a P-state/T-state directly, bypassing the BMC (ground truth
+    /// for detector tests; capped experiments let the BMC decide).
+    pub fn force_throttle(&mut self, pstate: u8, duty_16: u8) {
+        self.rung.pstate = pstate;
+        self.rung.tstate = capsim_cpu::TState::of_16(duty_16);
+    }
+
+    /// Apply a memory-side reconfiguration directly, bypassing the BMC.
+    /// Ablations and the technique detector's probes use this; capped
+    /// experiments let the BMC drive reconfiguration instead.
+    pub fn apply_mem_reconfig(&mut self, r: capsim_mem::MemReconfig) {
+        self.hier.apply(r);
+        self.rung.mem = r;
+    }
+
+    fn apply_rung(&mut self, rung: Rung) {
+        if rung.mem != self.rung.mem {
+            self.hier.apply(rung.mem);
+        }
+        self.rung = rung;
+    }
+
+    // -------------------------------------------------------------- results
+
+    /// Close the final partial window and summarize the run.
+    pub fn finish_run(&mut self) -> RunStats {
+        if self.clock.now_ns() > self.window_start_ns {
+            // Flush the trailing partial window so energy covers the run.
+            self.tick();
+        }
+        let mut counters = CounterFile::default();
+        for core in &mut self.cores {
+            core.counters.unhalted_cycles = core.unhalted_cycles_f.round() as u64;
+            let c = &core.counters;
+            counters.instructions_committed += c.instructions_committed;
+            counters.instructions_executed += c.instructions_executed;
+            counters.loads += c.loads;
+            counters.stores += c.stores;
+            counters.spec_loads += c.spec_loads;
+            counters.branches += c.branches;
+            counters.branch_mispredicts += c.branch_mispredicts;
+            counters.unhalted_cycles += c.unhalted_cycles;
+        }
+        RunStats {
+            wall_s: self.clock.now_s(),
+            energy_j: self.energy.joules(),
+            avg_power_w: self.meter.run_avg_w(),
+            avg_freq_mhz: self.freq_meter.avg_mhz(),
+            min_power_w: if self.min_power_w.is_finite() { self.min_power_w } else { 0.0 },
+            max_power_w: self.max_power_w,
+            counters,
+            mem: self.hier.total_stats(),
+            die_temp_c: self.thermal.temp_c(),
+            bmc_stats: self.bmc.control_stats(),
+            final_rung: self.bmc.rung_index(),
+            rapl: self.rapl,
+        }
+    }
+
+    /// Live RAPL counters (snapshot and difference like the real MSRs).
+    pub fn rapl(&self) -> &RaplCounters {
+        &self.rapl
+    }
+
+    /// Enable per-control-tick tracing, keeping the most recent
+    /// `capacity` samples.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(RunTrace::new(capacity));
+    }
+
+    /// The trace, if enabled.
+    pub fn trace(&self) -> Option<&RunTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Live core-side counters summed over cores (PAPI-style mid-run
+    /// reads; cheap, no side effects).
+    pub fn counters_now(&self) -> CounterFile {
+        let mut t = CounterFile::default();
+        for core in &self.cores {
+            let c = &core.counters;
+            t.instructions_committed += c.instructions_committed;
+            t.instructions_executed += c.instructions_executed;
+            t.loads += c.loads;
+            t.stores += c.stores;
+            t.spec_loads += c.spec_loads;
+            t.branches += c.branches;
+            t.branch_mispredicts += c.branch_mispredicts;
+            t.unhalted_cycles += core.unhalted_cycles_f.round() as u64;
+        }
+        t
+    }
+
+    /// Live memory-side counters summed over cores.
+    pub fn mem_stats_now(&self) -> MemStats {
+        self.hier.total_stats()
+    }
+
+    /// Per-core counters (multi-core analyses).
+    pub fn core_counters(&self, core: usize) -> CounterFile {
+        let mut c = self.cores[core].counters;
+        c.unhalted_cycles = self.cores[core].unhalted_cycles_f.round() as u64;
+        c
+    }
+
+    /// Memory counters of one core slice.
+    pub fn core_mem_stats(&self, core: usize) -> MemStats {
+        self.hier.stats(core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::tiny(7))
+    }
+
+    #[test]
+    fn compute_advances_time_at_the_nominal_frequency() {
+        let mut m = machine();
+        m.compute(2_700_000 * 3); // 2.7M cycles at issue width 3
+        // 2.7M cycles at 2.7 GHz = 1 ms.
+        assert!((m.now_s() - 1e-3).abs() < 1e-5, "{}", m.now_s());
+    }
+
+    #[test]
+    fn committed_instructions_are_tracked() {
+        let mut m = machine();
+        let r = m.alloc(4096);
+        m.compute(100);
+        m.load(r.at(0));
+        m.store(r.at(64));
+        let s = m.finish_run();
+        assert_eq!(s.counters.instructions_committed, 102);
+        assert_eq!(s.counters.loads, 1);
+        assert_eq!(s.counters.stores, 1);
+    }
+
+    #[test]
+    fn uncapped_run_reports_baseline_power_band() {
+        let mut m = Machine::new(MachineConfig::e5_2680(1));
+        let r = m.alloc(64 * 1024);
+        let block = m.code_block(96, 24);
+        for i in 0..200_000u64 {
+            m.exec_block(&block);
+            m.load(r.at((i * 64) % r.bytes()));
+        }
+        let s = m.finish_run();
+        assert!(
+            (140.0..165.0).contains(&s.avg_power_w),
+            "baseline power {}",
+            s.avg_power_w
+        );
+        assert!((s.avg_freq_mhz - 2700.0).abs() < 1.0, "{}", s.avg_freq_mhz);
+    }
+
+    /// Speed up controller convergence for short unit-test runs.
+    fn fast_control(seed: u64) -> MachineConfig {
+        let mut c = MachineConfig::e5_2680(seed);
+        c.control_period_us = 10.0;
+        c.meter_window_s = 0.0002;
+        c
+    }
+
+    #[test]
+    fn capped_run_throttles_and_meets_a_reachable_cap() {
+        let mut m = Machine::new(fast_control(2));
+        m.set_power_cap(Some(PowerCap::new(140.0)));
+        let r = m.alloc(64 * 1024);
+        let block = m.code_block(96, 24);
+        for i in 0..400_000u64 {
+            m.exec_block(&block);
+            m.load(r.at((i * 64) % r.bytes()));
+        }
+        let s = m.finish_run();
+        assert!(s.avg_power_w < 143.0, "avg {} exceeds cap band", s.avg_power_w);
+        assert!(s.avg_freq_mhz < 2690.0, "throttled: {}", s.avg_freq_mhz);
+        assert!(s.bmc_stats.0 > 0, "escalations happened");
+    }
+
+    #[test]
+    fn unreachable_cap_pins_the_deepest_rung_and_floors_near_124() {
+        let mut m = Machine::new(fast_control(3));
+        m.set_power_cap(Some(PowerCap::new(110.0)));
+        let r = m.alloc(64 * 1024);
+        let block = m.code_block(96, 24);
+        for i in 0..200_000u64 {
+            m.exec_block(&block);
+            m.load(r.at((i * 64) % r.bytes()));
+        }
+        let s = m.finish_run();
+        assert!(s.avg_power_w > 115.0, "floor {}", s.avg_power_w);
+        assert!(s.bmc_stats.2 > 0, "exceptions logged");
+        // Average frequency includes the brief escalation transient at
+        // higher P-states; once pinned it reads 1200 MHz.
+        assert!(s.avg_freq_mhz < 1350.0, "pinned at P-min: {}", s.avg_freq_mhz);
+        let deepest = ThrottleLadder::e5_2680(
+            &m.config().pstates,
+            m.config().full_mem(),
+        )
+        .deepest();
+        assert_eq!(s.final_rung, deepest);
+    }
+
+    #[test]
+    fn energy_equals_avg_power_times_time() {
+        let mut m = machine();
+        m.compute(10_000_000);
+        let s = m.finish_run();
+        assert!((s.energy_j - s.avg_power_w * s.wall_s).abs() / s.energy_j < 1e-6);
+    }
+
+    #[test]
+    fn capped_run_takes_longer_than_uncapped() {
+        let work = |m: &mut Machine| {
+            let r = m.alloc(1 << 20);
+            let block = m.code_block(128, 32);
+            for i in 0..100_000u64 {
+                m.exec_block(&block);
+                m.load(r.at((i * 64) % r.bytes()));
+                m.branch(&block, i % 7 != 0);
+            }
+        };
+        let mut base = Machine::new(fast_control(4));
+        work(&mut base);
+        let base = base.finish_run();
+        let mut capped = Machine::new(fast_control(4));
+        capped.set_power_cap(Some(PowerCap::new(130.0)));
+        work(&mut capped);
+        let capped = capped.finish_run();
+        assert!(capped.wall_s > base.wall_s * 1.5, "{} vs {}", capped.wall_s, base.wall_s);
+        assert_eq!(
+            capped.counters.instructions_committed,
+            base.counters.instructions_committed,
+            "commits are cap-invariant"
+        );
+        assert!(capped.energy_j > base.energy_j, "capping wastes energy");
+    }
+
+    #[test]
+    fn executed_exceeds_committed_by_under_half_a_percent() {
+        let mut m = machine();
+        let block = m.code_block(64, 16);
+        for i in 0..50_000u64 {
+            m.exec_block(&block);
+            // A mostly-predictable loop branch, like real application code:
+            // the gap stays well under a percent (paper: ≤0.36 %).
+            m.branch(&block, i % 97 != 0);
+        }
+        let s = m.finish_run();
+        let gap = s.counters.instructions_executed as f64
+            / s.counters.instructions_committed as f64
+            - 1.0;
+        assert!(gap > 0.0, "speculation happened");
+        assert!(gap < 0.02, "gap {gap} too large");
+    }
+
+    #[test]
+    fn serial_loads_charge_full_latency() {
+        let mut m = Machine::new(MachineConfig::e5_2680(5));
+        let r = m.alloc(PAGE_SIZE);
+        // Warm the line and TLB.
+        m.load_serial(r.at(0));
+        let dt = m.timed_load_serial(r.at(0));
+        // L1 hit = 4 cycles at 2.7 GHz ≈ 1.48 ns.
+        assert!((dt - 1.48).abs() < 0.1, "L1 serial latency {dt} ns");
+    }
+
+    #[test]
+    fn idle_time_draws_idle_power() {
+        let mut m = Machine::new(MachineConfig::e5_2680(6));
+        m.idle(0.05);
+        let s = m.finish_run();
+        assert!(
+            (99.0..=104.0).contains(&s.avg_power_w),
+            "idle power {}",
+            s.avg_power_w
+        );
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut m = machine();
+        let a = m.alloc(100);
+        let b = m.alloc(100);
+        assert!(a.base().0 + a.bytes() <= b.base().0);
+    }
+
+    #[test]
+    fn trace_captures_controller_dithering() {
+        let mut m = Machine::new(fast_control(12));
+        m.enable_trace(100_000);
+        m.set_power_cap(Some(PowerCap::new(144.0)));
+        let r = m.alloc(64 * 1024);
+        let block = m.code_block(96, 24);
+        for i in 0..400_000u64 {
+            m.exec_block(&block);
+            m.load(r.at((i * 64) % r.bytes()));
+        }
+        m.finish_run();
+        let trace = m.trace().expect("enabled");
+        assert!(trace.len() > 100);
+        // A cap between two rung power levels makes the controller move
+        // repeatedly between adjacent rungs — the paper's dithering.
+        assert!(trace.rung_changes() > 10, "changes {}", trace.rung_changes());
+        let visited = trace.rungs_visited();
+        assert!(visited.len() >= 2, "{visited:?}");
+        let csv = trace.to_csv();
+        assert!(csv.lines().count() > 100);
+    }
+
+    #[test]
+    fn rapl_domains_are_consistent_with_the_wall_meter() {
+        let mut m = Machine::new(MachineConfig::e5_2680(13));
+        let r = m.alloc(1 << 20);
+        let block = m.code_block(96, 24);
+        for i in 0..100_000u64 {
+            m.exec_block(&block);
+            m.load(r.at((i * 64) % (1 << 20)));
+        }
+        let s = m.finish_run();
+        use capsim_power::RaplDomain;
+        let pkg = s.rapl.joules(RaplDomain::Package);
+        let pp0 = s.rapl.joules(RaplDomain::Pp0);
+        let dram = s.rapl.joules(RaplDomain::Dram);
+        assert!(pp0 > 0.0 && pp0 <= pkg);
+        assert!(pkg + dram < s.energy_j, "RAPL excludes platform overhead");
+        assert!(pkg > s.energy_j * 0.15, "package is a real share of wall energy");
+    }
+
+    #[test]
+    fn multicore_attribution_is_per_core() {
+        let mut cfg = MachineConfig::tiny(9);
+        cfg.n_cores = 2;
+        let mut m = Machine::new(cfg);
+        let r = m.alloc(1 << 16);
+        for i in 0..1000u64 {
+            m.set_active_core(0);
+            m.load(r.at((i * 64) % r.bytes()));
+            m.set_active_core(1);
+            m.load(r.at((i * 64) % r.bytes()));
+        }
+        m.set_active_core(0);
+        let s = m.finish_run();
+        assert_eq!(m.core_counters(0).loads, 1000);
+        assert_eq!(m.core_counters(1).loads, 1000);
+        assert_eq!(s.counters.loads, 2000);
+    }
+}

@@ -1,0 +1,232 @@
+//! A Linux `powercap`/`intel-rapl` sysfs-style **in-band** capping
+//! interface.
+//!
+//! The paper's capping is out-of-band (DCM → IPMI → BMC). The same
+//! Sandy Bridge generation introduced RAPL, which Linux later exposed
+//! through `/sys/class/powercap/intel-rapl:0/...` — the interface today's
+//! open-source tools (powertop, tuned, Kubernetes power operators) drive.
+//! This module implements that ABI's core files over the simulated node,
+//! so both control paths of the 2012-vs-now story exist:
+//!
+//! | sysfs file | semantics here |
+//! |---|---|
+//! | `name` | `"package-0"` |
+//! | `enabled` | cap active (`0`/`1`) |
+//! | `constraint_0_name` | `"long_term"` |
+//! | `constraint_0_power_limit_uw` | the cap, in microwatts |
+//! | `constraint_0_time_window_us` | correction window |
+//! | `energy_uj` | RAPL package energy counter, microjoules |
+//! | `max_energy_range_uj` | counter wrap range |
+//!
+//! Real RAPL caps the *package*; the study's BMC caps the *node*. The
+//! shim converts: a package limit of `P_uw` maps to a node cap of
+//! `P + platform overhead` using the machine's calibrated idle split, the
+//! same arithmetic operators use when they translate board budgets into
+//! RAPL limits.
+
+use capsim_power::{RaplDomain, ENERGY_UNIT_J};
+
+use crate::bmc::PowerCap;
+use crate::machine::Machine;
+
+/// Errors mirroring `-EINVAL`/`-ENOENT` from the sysfs store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PowercapError {
+    /// Unknown attribute path.
+    NoEnt(String),
+    /// Unparsable or out-of-range value.
+    Inval(String),
+    /// Attribute is read-only.
+    ReadOnly(String),
+}
+
+/// Offset between a package limit and the node cap the BMC enforces:
+/// platform + second socket idle + DRAM background (see
+/// `capsim_power::PowerParams`).
+fn node_overhead_w(m: &Machine) -> f64 {
+    let p = &m.config().power;
+    p.platform_w + p.socket_idle_w * p.n_sockets as f64 + p.dram_background_w
+}
+
+/// The sysfs-like view over one machine.
+///
+/// ```
+/// use capsim_node::{Machine, MachineConfig, PowercapFs};
+///
+/// let mut m = Machine::new(MachineConfig::tiny(1));
+/// let mut fs = PowercapFs::new(&mut m);
+/// assert_eq!(fs.read("name").unwrap(), "package-0");
+/// fs.write("constraint_0_power_limit_uw", "35000000").unwrap();
+/// assert_eq!(fs.read("enabled").unwrap(), "1");
+/// ```
+pub struct PowercapFs<'m> {
+    machine: &'m mut Machine,
+    time_window_us: u64,
+}
+
+impl<'m> PowercapFs<'m> {
+    pub fn new(machine: &'m mut Machine) -> Self {
+        PowercapFs { machine, time_window_us: 1_000_000 }
+    }
+
+    /// Read an attribute (path relative to `intel-rapl:0/`).
+    pub fn read(&self, attr: &str) -> Result<String, PowercapError> {
+        match attr {
+            "name" => Ok("package-0".to_string()),
+            "enabled" => Ok(if self.machine.power_cap().is_some() { "1" } else { "0" }.into()),
+            "constraint_0_name" => Ok("long_term".to_string()),
+            "constraint_0_power_limit_uw" => {
+                let node_cap = self
+                    .machine
+                    .power_cap()
+                    .map(|c| c.watts)
+                    .unwrap_or_else(|| node_overhead_w(self.machine) + 130.0);
+                let pkg_w = (node_cap - node_overhead_w(self.machine)).max(0.0);
+                Ok(format!("{}", (pkg_w * 1e6).round() as u64))
+            }
+            "constraint_0_time_window_us" => Ok(self.time_window_us.to_string()),
+            "energy_uj" => {
+                let j = self.machine.rapl().joules(RaplDomain::Package);
+                Ok(format!("{}", (j * 1e6) as u64))
+            }
+            "max_energy_range_uj" => {
+                Ok(format!("{}", (u32::MAX as f64 * ENERGY_UNIT_J * 1e6) as u64))
+            }
+            other => Err(PowercapError::NoEnt(other.to_string())),
+        }
+    }
+
+    /// Write an attribute.
+    pub fn write(&mut self, attr: &str, value: &str) -> Result<(), PowercapError> {
+        match attr {
+            "enabled" => match value.trim() {
+                "0" => {
+                    self.machine.set_power_cap(None);
+                    Ok(())
+                }
+                "1" => {
+                    if self.machine.power_cap().is_none() {
+                        return Err(PowercapError::Inval(
+                            "no limit set; write constraint_0_power_limit_uw first".into(),
+                        ));
+                    }
+                    Ok(())
+                }
+                v => Err(PowercapError::Inval(v.to_string())),
+            },
+            "constraint_0_power_limit_uw" => {
+                let uw: u64 = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| PowercapError::Inval(value.to_string()))?;
+                let pkg_w = uw as f64 / 1e6;
+                if !(1.0..=500.0).contains(&pkg_w) {
+                    return Err(PowercapError::Inval(format!("{pkg_w} W out of range")));
+                }
+                let node_cap = pkg_w + node_overhead_w(self.machine);
+                self.machine.set_power_cap(Some(PowerCap::new(node_cap)));
+                Ok(())
+            }
+            "constraint_0_time_window_us" => {
+                self.time_window_us = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| PowercapError::Inval(value.to_string()))?;
+                Ok(())
+            }
+            "name" | "constraint_0_name" | "energy_uj" | "max_energy_range_uj" => {
+                Err(PowercapError::ReadOnly(attr.to_string()))
+            }
+            other => Err(PowercapError::NoEnt(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn fast(seed: u64) -> MachineConfig {
+        let mut c = MachineConfig::e5_2680(seed);
+        c.control_period_us = 10.0;
+        c.meter_window_s = 2e-4;
+        c
+    }
+
+    #[test]
+    fn identity_attributes_read_back() {
+        let mut m = Machine::new(MachineConfig::tiny(1));
+        let fs = PowercapFs::new(&mut m);
+        assert_eq!(fs.read("name").unwrap(), "package-0");
+        assert_eq!(fs.read("constraint_0_name").unwrap(), "long_term");
+        assert_eq!(fs.read("enabled").unwrap(), "0");
+        assert!(fs.read("nonsense").is_err());
+    }
+
+    #[test]
+    fn writing_a_package_limit_caps_the_node() {
+        let mut m = Machine::new(fast(2));
+        {
+            let mut fs = PowercapFs::new(&mut m);
+            // 34 W package ≈ 135 W node on this platform (101 W overhead).
+            fs.write("constraint_0_power_limit_uw", "34000000").unwrap();
+            fs.write("enabled", "1").unwrap();
+            let back: u64 = fs.read("constraint_0_power_limit_uw").unwrap().parse().unwrap();
+            assert_eq!(back, 34_000_000);
+        }
+        assert!((m.power_cap().unwrap().watts - 135.0).abs() < 1.0);
+        // And it actually throttles.
+        let r = m.alloc(1 << 20);
+        let block = m.code_block(96, 24);
+        for i in 0..300_000u64 {
+            m.exec_block(&block);
+            m.load(r.at((i * 64) % (1 << 20)));
+        }
+        let s = m.finish_run();
+        assert!(s.avg_power_w < 140.0, "in-band cap enforced: {}", s.avg_power_w);
+        assert!(s.avg_freq_mhz < 2650.0);
+    }
+
+    #[test]
+    fn disabling_uncaps() {
+        let mut m = Machine::new(MachineConfig::tiny(3));
+        let mut fs = PowercapFs::new(&mut m);
+        fs.write("constraint_0_power_limit_uw", "30000000").unwrap();
+        assert_eq!(fs.read("enabled").unwrap(), "1");
+        fs.write("enabled", "0").unwrap();
+        assert_eq!(fs.read("enabled").unwrap(), "0");
+        assert!(m.power_cap().is_none());
+    }
+
+    #[test]
+    fn energy_counter_advances_in_microjoules() {
+        let mut m = Machine::new(MachineConfig::tiny(4));
+        m.compute(5_000_000);
+        let before: u64 = PowercapFs::new(&mut m).read("energy_uj").unwrap().parse().unwrap();
+        m.compute(5_000_000);
+        // Force a tick so the window is accounted.
+        let _ = m.finish_run();
+        let after: u64 = PowercapFs::new(&mut m).read("energy_uj").unwrap().parse().unwrap();
+        assert!(after > before, "{after} vs {before}");
+    }
+
+    #[test]
+    fn invalid_writes_are_rejected() {
+        let mut m = Machine::new(MachineConfig::tiny(5));
+        let mut fs = PowercapFs::new(&mut m);
+        assert!(matches!(
+            fs.write("constraint_0_power_limit_uw", "bogus"),
+            Err(PowercapError::Inval(_))
+        ));
+        assert!(matches!(
+            fs.write("constraint_0_power_limit_uw", "999000000000"),
+            Err(PowercapError::Inval(_))
+        ));
+        assert!(matches!(fs.write("energy_uj", "0"), Err(PowercapError::ReadOnly(_))));
+        assert!(matches!(
+            fs.write("enabled", "1"),
+            Err(PowercapError::Inval(_)) // no limit set yet
+        ));
+    }
+}

@@ -1,0 +1,93 @@
+//! Virtual-address regions and code blocks.
+//!
+//! Workloads allocate [`Region`]s for their data (a bump allocator in the
+//! machine hands out page-aligned virtual ranges) and [`CodeBlock`]s for
+//! their hot loops. A code block is the unit of instruction-fetch
+//! modelling: executing it touches its I-cache lines and charges its
+//! instruction count.
+
+use capsim_mem::{VAddr, PAGE_SIZE};
+
+/// A page-aligned virtual data range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    base: VAddr,
+    bytes: u64,
+}
+
+impl Region {
+    pub(crate) fn new(base: VAddr, bytes: u64) -> Self {
+        debug_assert_eq!(base.0 % PAGE_SIZE, 0);
+        Region { base, bytes }
+    }
+
+    pub fn base(&self) -> VAddr {
+        self.base
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Address of byte `offset` within the region (bounds-checked in
+    /// debug builds).
+    #[inline]
+    pub fn at(&self, offset: u64) -> VAddr {
+        debug_assert!(offset < self.bytes, "offset {offset} out of region ({})", self.bytes);
+        self.base.add(offset)
+    }
+
+    /// Address of element `i` of an array of `elem_bytes`-sized items.
+    #[inline]
+    pub fn elem(&self, i: u64, elem_bytes: u64) -> VAddr {
+        self.at(i * elem_bytes)
+    }
+}
+
+/// A straight-line code sequence with a fixed footprint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodeBlock {
+    pub(crate) addr: VAddr,
+    pub(crate) bytes: u64,
+    pub(crate) instrs: u64,
+}
+
+impl CodeBlock {
+    pub(crate) fn new(addr: VAddr, bytes: u64, instrs: u64) -> Self {
+        debug_assert!(bytes >= 1 && instrs >= 1);
+        CodeBlock { addr, bytes, instrs }
+    }
+
+    pub fn addr(&self) -> VAddr {
+        self.addr
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Committed instructions per execution of the block.
+    pub fn instrs(&self) -> u64 {
+        self.instrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_addressing() {
+        let r = Region::new(VAddr(PAGE_SIZE * 4), PAGE_SIZE);
+        assert_eq!(r.elem(3, 8), VAddr(PAGE_SIZE * 4 + 24));
+        assert_eq!(r.at(0), r.base());
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn out_of_bounds_offset_panics_in_debug() {
+        let r = Region::new(VAddr(0), 64);
+        r.at(64);
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-tick run tracing: the time series behind the controller's
+//! behaviour.
+//!
+//! The paper can only report run-level averages; the simulator can show
+//! the control loop *moving* — every sample records the instant's power,
+//! the rung the BMC chose, the P-state frequency and duty. The phased
+//! extension uses it to count dithering, tests use it to verify
+//! equilibrium properties, and it renders to CSV for plotting.
+
+/// One control-tick sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceSample {
+    /// Simulated time at the end of the window, seconds.
+    pub t_s: f64,
+    /// Node power over the window, watts.
+    pub watts: f64,
+    /// Ladder rung in force during the window.
+    pub rung: usize,
+    /// P-state frequency in MHz.
+    pub freq_mhz: f64,
+    /// T-state duty fraction.
+    pub duty: f64,
+    /// Die temperature.
+    pub temp_c: f64,
+}
+
+/// A bounded trace (keeps the most recent `capacity` samples).
+#[derive(Clone, Debug)]
+pub struct RunTrace {
+    samples: Vec<TraceSample>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RunTrace {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 16);
+        RunTrace { samples: Vec::new(), capacity, dropped: 0 }
+    }
+
+    pub(crate) fn push(&mut self, s: TraceSample) {
+        if self.samples.len() == self.capacity {
+            self.samples.remove(0);
+            self.dropped += 1;
+        }
+        self.samples.push(s);
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &TraceSample> {
+        self.samples.iter()
+    }
+
+    /// Number of rung changes across the retained window — the dithering
+    /// activity a cap between two rungs produces.
+    pub fn rung_changes(&self) -> usize {
+        self.samples.windows(2).filter(|w| w[0].rung != w[1].rung).count()
+    }
+
+    /// Distinct rungs visited in the retained window.
+    pub fn rungs_visited(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.samples.iter().map(|s| s.rung).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Render to CSV (`t_s,watts,rung,freq_mhz,duty,temp_c`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_s,watts,rung,freq_mhz,duty,temp_c\n");
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:.6},{:.2},{},{:.0},{:.4},{:.2}\n",
+                s.t_s, s.watts, s.rung, s.freq_mhz, s.duty, s.temp_c
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, rung: usize) -> TraceSample {
+        TraceSample { t_s: t, watts: 130.0, rung, freq_mhz: 1200.0, duty: 1.0, temp_c: 60.0 }
+    }
+
+    #[test]
+    fn bounded_capacity_drops_oldest() {
+        let mut tr = RunTrace::new(16);
+        for i in 0..20 {
+            tr.push(sample(i as f64, 0));
+        }
+        assert_eq!(tr.len(), 16);
+        assert_eq!(tr.dropped(), 4);
+        assert_eq!(tr.iter().next().unwrap().t_s, 4.0);
+    }
+
+    #[test]
+    fn rung_change_counting_detects_dithering() {
+        let mut tr = RunTrace::new(64);
+        for i in 0..10 {
+            tr.push(sample(i as f64, 3 + (i % 2)));
+        }
+        assert_eq!(tr.rung_changes(), 9);
+        assert_eq!(tr.rungs_visited(), vec![3, 4]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut tr = RunTrace::new(16);
+        tr.push(sample(0.1, 2));
+        let csv = tr.to_csv();
+        assert!(csv.starts_with("t_s,watts"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+}

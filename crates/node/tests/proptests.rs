@@ -1,0 +1,109 @@
+//! Property-based tests for the node: ladder ordering, BMC control-loop
+//! safety, and machine accounting invariants.
+
+use proptest::prelude::*;
+
+use capsim_cpu::PStateTable;
+use capsim_mem::MemReconfig;
+use capsim_node::bmc::{Bmc, BmcTelemetry};
+use capsim_node::{Machine, MachineConfig, PowerCap, ThrottleLadder};
+
+fn tele(w: f64) -> BmcTelemetry {
+    BmcTelemetry { window_avg_w: w, run_avg_w: w, min_w: w, max_w: w, ..Default::default() }
+}
+
+proptest! {
+    // Machine-level properties spin up full simulations; bound the case
+    // count so debug-mode runs stay fast.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever power readings arrive, the BMC's rung index stays within
+    /// the ladder and moves by at most one per control tick.
+    #[test]
+    fn bmc_rung_moves_are_bounded(
+        cap in 100.0f64..170.0,
+        readings in proptest::collection::vec(95.0f64..175.0, 1..300),
+    ) {
+        let ladder = ThrottleLadder::e5_2680(&PStateTable::e5_2680(), MemReconfig::full());
+        let deepest = ladder.deepest();
+        let mut bmc = Bmc::new(ladder);
+        bmc.set_cap(Some(PowerCap::new(cap)));
+        let mut prev = bmc.rung_index();
+        for &r in &readings {
+            bmc.control(tele(r));
+            let now = bmc.rung_index();
+            prop_assert!(now <= deepest);
+            prop_assert!((now as i64 - prev as i64).abs() <= 1, "one rung per tick");
+            prev = now;
+        }
+    }
+
+    /// Clearing the cap always returns the BMC to rung 0 regardless of
+    /// history.
+    #[test]
+    fn clearing_cap_always_resets(readings in proptest::collection::vec(95.0f64..175.0, 1..100)) {
+        let ladder = ThrottleLadder::e5_2680(&PStateTable::e5_2680(), MemReconfig::full());
+        let mut bmc = Bmc::new(ladder);
+        bmc.set_cap(Some(PowerCap::new(110.0)));
+        for &r in &readings {
+            bmc.control(tele(r));
+        }
+        bmc.set_cap(None);
+        prop_assert_eq!(bmc.rung_index(), 0);
+    }
+
+    /// Machine accounting: committed ≤ executed, loads+stores ≤ committed,
+    /// time strictly increases with work, energy = avg power × time.
+    #[test]
+    fn machine_accounting_invariants(
+        ops in proptest::collection::vec(0u8..4, 1..200),
+        seed in 1u64..1000,
+    ) {
+        let mut m = Machine::new(MachineConfig::tiny(seed));
+        let r = m.alloc(1 << 16);
+        let block = m.code_block(64, 8);
+        let mut t_prev = 0.0;
+        for (i, &op) in ops.iter().enumerate() {
+            match op {
+                0 => m.compute(5),
+                1 => m.load(r.at((i as u64 * 64) % (1 << 16))),
+                2 => m.store(r.at((i as u64 * 64) % (1 << 16))),
+                _ => m.branch(&block, i % 3 == 0),
+            }
+            prop_assert!(m.now_s() > t_prev);
+            t_prev = m.now_s();
+        }
+        let s = m.finish_run();
+        prop_assert!(s.counters.instructions_executed >= s.counters.instructions_committed);
+        prop_assert!(s.counters.loads + s.counters.stores <= s.counters.instructions_committed);
+        prop_assert!(s.counters.branch_mispredicts <= s.counters.branches);
+        prop_assert!((s.energy_j - s.avg_power_w * s.wall_s).abs() <= s.energy_j * 1e-6 + 1e-12);
+        prop_assert!(s.min_power_w <= s.avg_power_w + 1e-9);
+        prop_assert!(s.avg_power_w <= s.max_power_w + 1e-9);
+    }
+
+    /// Capped runs never report an average frequency above nominal, and
+    /// tighter caps never yield faster runs (same work, same seed).
+    #[test]
+    fn tighter_caps_never_run_faster(cap_hi in 140.0f64..160.0, delta in 5.0f64..30.0) {
+        let cap_lo = cap_hi - delta;
+        let run = |cap: f64| {
+            let mut cfg = MachineConfig::e5_2680(3);
+            cfg.control_period_us = 10.0;
+            cfg.meter_window_s = 0.0002;
+            let mut m = Machine::new(cfg);
+            m.set_power_cap(Some(PowerCap::new(cap)));
+            let r = m.alloc(1 << 20);
+            let block = m.code_block(96, 24);
+            for i in 0..120_000u64 {
+                m.exec_block(&block);
+                m.load(r.at((i * 64) % (1 << 20)));
+            }
+            m.finish_run()
+        };
+        let hi = run(cap_hi);
+        let lo = run(cap_lo);
+        prop_assert!(hi.avg_freq_mhz <= 2700.5);
+        prop_assert!(lo.wall_s >= hi.wall_s * 0.98, "lo {} vs hi {}", lo.wall_s, hi.wall_s);
+    }
+}

@@ -1,0 +1,52 @@
+//! Dynamic (switching) power: `P = α · C · f · V²`.
+//!
+//! §II-B of the paper quotes the classic CMOS equation from Rabaey et al.
+//! `C` (switched capacitance) is folded into a per-core coefficient; `α`
+//! is the activity factor derived from how hard the core is actually
+//! issuing (a halted or stalled core clocks less logic).
+
+/// Dynamic power of one core in watts.
+///
+/// * `k_dyn_w` — watts at 1 GHz, 1 V, full activity (per-core effective
+///   capacitance constant).
+/// * `f_ghz`, `volts` — current P-state operating point.
+/// * `activity` — `[0, 1]` fraction of logic switching per cycle.
+/// * `duty` — T-state duty fraction (halted windows switch ~nothing).
+#[inline]
+pub fn dynamic_power_w(k_dyn_w: f64, f_ghz: f64, volts: f64, activity: f64, duty: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&activity));
+    debug_assert!((0.0..=1.0).contains(&duty));
+    k_dyn_w * f_ghz * volts * volts * activity * duty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_in_frequency_quadratic_in_voltage() {
+        let base = dynamic_power_w(10.0, 1.0, 1.0, 1.0, 1.0);
+        assert!((dynamic_power_w(10.0, 2.0, 1.0, 1.0, 1.0) / base - 2.0).abs() < 1e-12);
+        assert!((dynamic_power_w(10.0, 1.0, 2.0, 1.0, 1.0) / base - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_core_draws_no_dynamic_power() {
+        assert_eq!(dynamic_power_w(10.0, 2.7, 1.05, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn duty_cycling_scales_proportionally() {
+        let full = dynamic_power_w(10.0, 2.7, 1.05, 0.8, 1.0);
+        let half = dynamic_power_w(10.0, 2.7, 1.05, 0.8, 0.5);
+        assert!((half / full - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dvfs_sweep_covers_a_wide_power_range() {
+        // The E5-2680 V/f curve end points (see capsim-cpu::pstate).
+        let p0 = dynamic_power_w(13.0, 2.7, 1.05, 1.0, 1.0);
+        let pmin = dynamic_power_w(13.0, 1.2, 0.78, 1.0, 1.0);
+        assert!(p0 / pmin > 3.5, "{p0} vs {pmin}");
+    }
+}

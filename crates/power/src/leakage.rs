@@ -1,0 +1,57 @@
+//! Static (leakage) power.
+//!
+//! §II-B: "dynamic power does not account for the total power of the chip;
+//! there also is static power, which is primarily due to various leakage
+//! currents. The amount of static power is related to, among other things,
+//! the heat of the processor." Leakage here scales linearly with voltage
+//! and exponentially (gently) with temperature, and is reduced by gating:
+//! powered-down cache ways and gated arrays stop leaking — the power the
+//! deep capping rungs actually recover.
+
+/// Leakage power of one socket in watts.
+///
+/// * `k_leak_w` — watts at 1 V and the reference temperature.
+/// * `volts` — current rail voltage.
+/// * `temp_c` — die temperature; reference is 50 °C, doubling every ~25 °C.
+/// * `gated_frac` — `[0, 1]` fraction of leaky arrays currently power-gated
+///   (cache ways, TLB banks); gated arrays leak ~nothing.
+#[inline]
+pub fn leakage_power_w(k_leak_w: f64, volts: f64, temp_c: f64, gated_frac: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&gated_frac));
+    let thermal = ((temp_c - 50.0) / 25.0).exp2();
+    k_leak_w * volts * thermal * (1.0 - gated_frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_every_25_degrees() {
+        let a = leakage_power_w(5.0, 1.0, 50.0, 0.0);
+        let b = leakage_power_w(5.0, 1.0, 75.0, 0.0);
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scales_with_voltage() {
+        let a = leakage_power_w(5.0, 1.05, 50.0, 0.0);
+        let b = leakage_power_w(5.0, 0.78, 50.0, 0.0);
+        assert!((a / b - 1.05 / 0.78).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gating_recovers_leakage() {
+        let full = leakage_power_w(5.0, 1.0, 60.0, 0.0);
+        let half = leakage_power_w(5.0, 1.0, 60.0, 0.5);
+        assert!((half / full - 0.5).abs() < 1e-12);
+        assert_eq!(leakage_power_w(5.0, 1.0, 60.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn cooler_die_leaks_less() {
+        assert!(
+            leakage_power_w(5.0, 1.0, 40.0, 0.0) < leakage_power_w(5.0, 1.0, 50.0, 0.0)
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Power metering and energy integration.
+//!
+//! [`PowerMeter`] stands in for the paper's Watts Up! wall meter: it
+//! receives (duration, watts) samples and can report the average over the
+//! whole run or over a recent window (the BMC uses the windowed view for
+//! its control loop). [`EnergyIntegrator`] accumulates joules — the
+//! paper's "Computed Energy Consumption" column is average power ×
+//! execution time, which the integrator reproduces exactly for piecewise-
+//! constant power.
+
+use std::collections::VecDeque;
+
+/// Time-weighted power averaging.
+#[derive(Clone, Debug)]
+pub struct PowerMeter {
+    window_s: f64,
+    samples: VecDeque<(f64, f64)>, // (duration_s, watts)
+    window_sum_ws: f64,
+    window_dur_s: f64,
+    total_ws: f64,
+    total_s: f64,
+}
+
+impl PowerMeter {
+    /// `window_s` bounds the "recent" view used by the control loop.
+    pub fn new(window_s: f64) -> Self {
+        assert!(window_s > 0.0);
+        PowerMeter {
+            window_s,
+            samples: VecDeque::new(),
+            window_sum_ws: 0.0,
+            window_dur_s: 0.0,
+            total_ws: 0.0,
+            total_s: 0.0,
+        }
+    }
+
+    /// Record `watts` sustained for `duration_s`.
+    pub fn record(&mut self, duration_s: f64, watts: f64) {
+        debug_assert!(duration_s >= 0.0 && watts >= 0.0);
+        if duration_s == 0.0 {
+            return;
+        }
+        self.samples.push_back((duration_s, watts));
+        self.window_sum_ws += duration_s * watts;
+        self.window_dur_s += duration_s;
+        self.total_ws += duration_s * watts;
+        self.total_s += duration_s;
+        while self.window_dur_s > self.window_s && self.samples.len() > 1 {
+            let (d, w) = self.samples.pop_front().expect("non-empty");
+            self.window_sum_ws -= d * w;
+            self.window_dur_s -= d;
+        }
+    }
+
+    /// Time-weighted average over the recent window.
+    pub fn window_avg_w(&self) -> f64 {
+        if self.window_dur_s == 0.0 {
+            0.0
+        } else {
+            self.window_sum_ws / self.window_dur_s
+        }
+    }
+
+    /// Time-weighted average over the entire recording.
+    pub fn run_avg_w(&self) -> f64 {
+        if self.total_s == 0.0 {
+            0.0
+        } else {
+            self.total_ws / self.total_s
+        }
+    }
+
+    /// Total recorded time in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.total_s
+    }
+}
+
+/// Joule accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EnergyIntegrator {
+    joules: f64,
+}
+
+impl EnergyIntegrator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `watts` sustained for `duration_s`.
+    pub fn add(&mut self, duration_s: f64, watts: f64) {
+        debug_assert!(duration_s >= 0.0 && watts >= 0.0);
+        self.joules += duration_s * watts;
+    }
+
+    pub fn joules(&self) -> f64 {
+        self.joules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_average_is_time_weighted() {
+        let mut m = PowerMeter::new(10.0);
+        m.record(1.0, 100.0);
+        m.record(3.0, 200.0);
+        assert!((m.run_avg_w() - 175.0).abs() < 1e-12);
+        assert_eq!(m.total_s(), 4.0);
+    }
+
+    #[test]
+    fn window_forgets_old_samples() {
+        let mut m = PowerMeter::new(2.0);
+        m.record(5.0, 100.0); // will be evicted once newer data arrives
+        m.record(2.0, 200.0);
+        assert!((m.window_avg_w() - 200.0).abs() < 1e-12);
+        assert!((m.run_avg_w() - (5.0 * 100.0 + 2.0 * 200.0) / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_meter_reads_zero() {
+        let m = PowerMeter::new(1.0);
+        assert_eq!(m.window_avg_w(), 0.0);
+        assert_eq!(m.run_avg_w(), 0.0);
+    }
+
+    #[test]
+    fn energy_equals_avg_power_times_time() {
+        // The identity the paper uses: energy = power × execution time.
+        let mut m = PowerMeter::new(100.0);
+        let mut e = EnergyIntegrator::new();
+        for (d, w) in [(2.0, 150.0), (3.0, 130.0), (1.0, 160.0)] {
+            m.record(d, w);
+            e.add(d, w);
+        }
+        assert!((e.joules() - m.run_avg_w() * m.total_s()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,101 @@
+//! First-order RC thermal model of the package.
+//!
+//! `C_th · dT/dt = P − (T − T_amb) / R_th`. The die temperature feeds back
+//! into leakage (§II-B: static power "is related to, among other things,
+//! the heat of the processor"), which is why a power-capped node settles a
+//! little lower than a naive model would predict: cooler die → less
+//! leakage → more headroom.
+
+/// Package thermal state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThermalModel {
+    /// Current die temperature in °C.
+    temp_c: f64,
+    /// Ambient/inlet temperature in °C.
+    pub t_amb_c: f64,
+    /// Thermal resistance junction→ambient in °C/W (package power share).
+    pub r_th: f64,
+    /// Thermal capacitance in J/°C.
+    pub c_th: f64,
+}
+
+impl ThermalModel {
+    /// A 130 W-TDP Sandy Bridge package under a stock heatsink: steady
+    /// state ≈ 27 + 0.55 °C/W × P_pkg. The time constant is compressed to
+    /// ~1 s (real packages take tens of seconds) so that scaled-down runs
+    /// reach thermal equilibrium the way the paper's minutes-long runs
+    /// did; the initial temperature is the steady state of a typical
+    /// single-core load (~60 °C).
+    pub fn e5_2680() -> Self {
+        ThermalModel { temp_c: 60.0, t_amb_c: 27.0, r_th: 0.55, c_th: 2.0 }
+    }
+
+    pub fn temp_c(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// Advance by `dt_s` seconds with `pkg_watts` dissipated in the package.
+    pub fn step(&mut self, pkg_watts: f64, dt_s: f64) {
+        debug_assert!(dt_s >= 0.0);
+        // Exact solution of the linear ODE over the step (unconditionally
+        // stable for large dt, unlike forward Euler).
+        let t_ss = self.t_amb_c + pkg_watts * self.r_th;
+        let tau = self.r_th * self.c_th;
+        let k = (-dt_s / tau).exp();
+        self.temp_c = t_ss + (self.temp_c - t_ss) * k;
+    }
+
+    /// The temperature this power level settles at.
+    pub fn steady_state_c(&self, pkg_watts: f64) -> f64 {
+        self.t_amb_c + pkg_watts * self.r_th
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        Self::e5_2680()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_steady_state() {
+        let mut t = ThermalModel::e5_2680();
+        for _ in 0..1000 {
+            t.step(60.0, 1.0);
+        }
+        assert!((t.temp_c() - t.steady_state_c(60.0)).abs() < 0.01);
+    }
+
+    #[test]
+    fn heats_up_under_load_and_cools_when_idle() {
+        let mut t = ThermalModel::e5_2680();
+        let t0 = t.temp_c();
+        t.step(80.0, 5.0);
+        assert!(t.temp_c() > t0);
+        let hot = t.temp_c();
+        t.step(0.0, 60.0);
+        assert!(t.temp_c() < hot);
+        assert!(t.temp_c() >= t.t_amb_c);
+    }
+
+    #[test]
+    fn large_steps_are_stable() {
+        let mut t = ThermalModel::e5_2680();
+        t.step(100.0, 1e6);
+        assert!((t.temp_c() - t.steady_state_c(100.0)).abs() < 1e-6);
+        t.step(0.0, 1e6);
+        assert!((t.temp_c() - t.t_amb_c).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_dt_is_a_noop() {
+        let mut t = ThermalModel::e5_2680();
+        let before = t.temp_c();
+        t.step(100.0, 0.0);
+        assert_eq!(t.temp_c(), before);
+    }
+}

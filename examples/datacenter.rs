@@ -1,0 +1,70 @@
+//! The product context of §II: Intel DCM managing a rack of nodes
+//! out-of-band.
+//!
+//! Three simulated nodes run different workloads on their own threads;
+//! the Data Center Manager talks to each BMC over the IPMI channel (DCMI
+//! *Get Power Reading* / *Set Power Limit* / *Activate*), reads demand,
+//! and divides a group budget proportionally. The OS/workload side never
+//! sees any of it — capping is enforced by each node's BMC.
+//!
+//! ```sh
+//! cargo run --example datacenter --release
+//! ```
+
+use capsim::apps::kernels::{AluBurst, PointerChase, StreamTriad};
+use capsim::apps::Workload;
+use capsim::dcm::{AllocationPolicy, Dcm};
+use capsim::ipmi::LanChannel;
+use capsim::prelude::*;
+
+fn main() {
+    let mut dcm = Dcm::new();
+    let mut threads = Vec::new();
+
+    // Boot three nodes with different personalities.
+    let workloads: Vec<(&str, Box<dyn Workload + Send>)> = vec![
+        ("node-compute", Box::new(AluBurst { iters: 9_000_000 })),
+        ("node-stream", Box::new(StreamTriad { elems: 6 << 20, passes: 4 })),
+        ("node-latency", Box::new(PointerChase { elems: 2 << 20, hops: 1_200_000, seed: 3 })),
+    ];
+    for (i, (name, mut w)) in workloads.into_iter().enumerate() {
+        let (mgr_port, bmc_port) = LanChannel::pair();
+        dcm.add_node(name, mgr_port);
+        threads.push(std::thread::spawn(move || {
+            let mut m = Machine::new(MachineConfig::e5_2680(100 + i as u64));
+            m.attach_bmc_port(bmc_port);
+            let _ = w.run(&mut m);
+            let s = m.finish_run();
+            (name, s)
+        }));
+    }
+
+    // Give the nodes a moment to start reporting, then budget the group.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let readings: Vec<f64> =
+        (0..dcm.len()).map(|i| dcm.read_power(i).map(|r| r.current_w as f64).unwrap_or(0.0)).collect();
+    println!("initial demand: {readings:?} W");
+
+    let budget = 390.0;
+    let caps = dcm
+        .apply_group_budget(budget, &AllocationPolicy::ProportionalToDemand)
+        .expect("nodes reachable over IPMI");
+    println!("group budget {budget} W -> caps {caps:?}");
+    for i in 0..dcm.len() {
+        let limit = dcm.node_limit(i).expect("limit stored");
+        println!("  {}: cap {} W (correction {} ms)", dcm.node_name(i), limit.limit_w, limit.correction_ms);
+    }
+
+    for t in threads {
+        let (name, s) = t.join().expect("node thread");
+        println!(
+            "{name}: ran {:.3} s at {:.1} W avg (min {:.1} / max {:.1}), energy {:.1} J",
+            s.wall_s, s.avg_power_w, s.min_power_w, s.max_power_w, s.energy_j
+        );
+    }
+    println!(
+        "\nThe group's total draw is steered toward the budget while busy\n\
+         nodes keep proportionally more headroom — DCM's \"safeguard\n\
+         against over utilization of constrained capacity\" (§II-A)."
+    );
+}

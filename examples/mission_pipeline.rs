@@ -1,0 +1,76 @@
+//! A complete payload pipeline under a power budget: SAR image formation
+//! (SIRE/RSM) followed by CFAR target detection, on one capped node —
+//! the battlefield scenario the paper's introduction motivates, with the
+//! modern RAPL view and the control-loop trace alongside the wall meter.
+//!
+//! ```sh
+//! cargo run --example mission_pipeline --release
+//! ```
+
+use capsim::apps::{CfarDetect, SireRsm};
+use capsim::power::RaplDomain;
+use capsim::prelude::*;
+
+fn demo_config(seed: u64) -> MachineConfig {
+    // Demo instances simulate only a few milliseconds, so run the BMC
+    // control loop proportionally faster than the real firmware's period
+    // (the paper's runs were minutes against a ~second-scale loop).
+    let mut cfg = MachineConfig::e5_2680(seed);
+    cfg.control_period_us = 5.0;
+    cfg.meter_window_s = 1e-4;
+    cfg
+}
+
+fn main() {
+    let cap = 138.0;
+    let mut m = Machine::new(demo_config(21));
+    m.enable_trace(200_000);
+    m.set_power_cap(Some(PowerCap::new(cap)));
+
+    // Phase 1: form the image.
+    let t0 = m.now_s();
+    let mut sar = SireRsm::test_scale(21);
+    let image = sar.run(&mut m);
+    let t_form = m.now_s() - t0;
+
+    // Phase 2: detect targets.
+    let t1 = m.now_s();
+    let mut cfar = CfarDetect::test_scale(21);
+    let detections = cfar.run(&mut m);
+    let t_detect = m.now_s() - t1;
+
+    let stats = m.finish_run();
+    println!("== mission pipeline under a {cap} W cap ==");
+    println!("image formation     : {:.4} s (contrast {:.1})", t_form, image.quality);
+    println!(
+        "target detection    : {:.4} s ({} detections, score {:.2})",
+        t_detect, detections.items, detections.quality
+    );
+    println!("node power          : {:.1} W avg (cap {cap} W)", stats.avg_power_w);
+    println!("wall energy         : {:.2} J", stats.energy_j);
+    println!(
+        "RAPL breakdown      : package {:.2} J, PP0 {:.2} J, DRAM {:.2} J",
+        stats.rapl.joules(RaplDomain::Package),
+        stats.rapl.joules(RaplDomain::Pp0),
+        stats.rapl.joules(RaplDomain::Dram)
+    );
+    let trace = m.trace().expect("tracing enabled");
+    println!(
+        "control activity    : {} samples, {} rung moves, rungs visited {:?}",
+        trace.len(),
+        trace.rung_changes(),
+        trace.rungs_visited()
+    );
+    if !m.sel().is_empty() {
+        println!("SEL entries         :");
+        for e in m.sel().iter() {
+            println!("  #{:<3} t={:>8} ms  {:?} ({} W)", e.id, e.timestamp_ms, e.event, e.datum);
+        }
+    }
+    println!(
+        "\nThe pipeline's two phases throttle differently: formation is\n\
+         partially memory-bound (DVFS hurts it less), detection is a\n\
+         cache-friendly stencil (DVFS hurts it fully) — the per-phase\n\
+         times quantify what a mission planner must budget."
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a node, cap it, run a workload, read the results.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use capsim::prelude::*;
+
+fn demo_config(seed: u64) -> MachineConfig {
+    // Demo instances simulate only a few milliseconds, so run the BMC
+    // control loop proportionally faster than the real firmware's period
+    // (the paper's runs were minutes against a ~second-scale loop).
+    let mut cfg = MachineConfig::e5_2680(seed);
+    cfg.control_period_us = 5.0;
+    cfg.meter_window_s = 1e-4;
+    cfg
+}
+
+fn main() {
+    // A machine with the paper's platform configuration (dual-socket
+    // E5-2680 node, 16 P-states, 32K/256K/20M caches) and a fixed seed.
+    let mut machine = Machine::new(demo_config(42));
+
+    // Cap the node at 135 W, as Intel DCM would do over IPMI.
+    machine.set_power_cap(Some(PowerCap::new(135.0)));
+
+    // Run the paper's stereo-matching application (test scale: finishes
+    // in a couple of seconds of host time).
+    let mut app = StereoMatching::test_scale(42);
+    let output = app.run(&mut machine);
+    let stats = machine.finish_run();
+
+    println!("workload            : {}", app.name());
+    println!("disparity accuracy  : MAE {:.2} px", 1.0 / output.quality - 1.0);
+    println!("simulated time      : {:.4} s", stats.wall_s);
+    println!("average node power  : {:.1} W (cap 135 W)", stats.avg_power_w);
+    println!("energy              : {:.2} J", stats.energy_j);
+    println!("average frequency   : {:.0} MHz", stats.avg_freq_mhz);
+    println!("L2 misses           : {}", stats.mem.l2_misses);
+    println!("iTLB misses         : {}", stats.mem.itlb_misses);
+    let (esc, deesc, exc) = stats.bmc_stats;
+    println!("BMC activity        : {esc} escalations, {deesc} de-escalations, {exc} exceptions");
+
+    // The same workload uncapped, for contrast.
+    let mut machine = Machine::new(demo_config(42));
+    let mut app = StereoMatching::test_scale(42);
+    app.run(&mut machine);
+    let base = machine.finish_run();
+    println!(
+        "\nversus uncapped     : {:.4} s at {:.1} W (capping cost {:+.0} % time)",
+        base.wall_s,
+        base.avg_power_w,
+        (stats.wall_s / base.wall_s - 1.0) * 100.0
+    );
+}

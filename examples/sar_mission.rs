@@ -1,0 +1,81 @@
+//! Fielded-system scenario from the paper's introduction: a generator-
+//! powered platform (UAV ground station) forms SAR images under a power
+//! budget with a soft real-time deadline.
+//!
+//! For each candidate power allocation this example runs SIRE/RSM on the
+//! capped node and reports whether time-to-solution stays within the
+//! mission's tolerated delay — the paper's conclusion (1): "for fielded
+//! systems there is a range of power caps that may result in acceptable
+//! increases in execution time".
+//!
+//! ```sh
+//! cargo run --example sar_mission --release
+//! ```
+
+use capsim::apps::SireRsm;
+use capsim::prelude::*;
+
+fn demo_config(seed: u64) -> MachineConfig {
+    // Demo instances simulate only a few milliseconds, so run the BMC
+    // control loop proportionally faster than the real firmware's period
+    // (the paper's runs were minutes against a ~second-scale loop).
+    let mut cfg = MachineConfig::e5_2680(seed);
+    cfg.control_period_us = 5.0;
+    cfg.meter_window_s = 1e-4;
+    cfg
+}
+
+fn mission_scale(seed: u64) -> SireRsm {
+    // 4x the unit-test pixels: a couple of simulated milliseconds, enough
+    // for the controller to settle at every cap.
+    let mut s = SireRsm::test_scale(seed);
+    s.width = 192;
+    s.height = 160;
+    s
+}
+
+fn main() {
+    // The mission tolerates a 50 % slowdown in image formation.
+    const TOLERATED_SLOWDOWN: f64 = 1.5;
+
+    let run = |cap: Option<f64>| {
+        let mut m = Machine::new(demo_config(7));
+        if let Some(w) = cap {
+            m.set_power_cap(Some(PowerCap::new(w)));
+        }
+        let mut app = mission_scale(7);
+        let out = app.run(&mut m);
+        (m.finish_run(), out)
+    };
+
+    let (base, base_out) = run(None);
+    println!(
+        "uncapped baseline: {:.4} s at {:.1} W (image contrast {:.1})\n",
+        base.wall_s, base.avg_power_w, base_out.quality
+    );
+    println!("cap (W) | power (W) | time (s) | slowdown | energy (J) | verdict");
+    println!("--------|-----------|----------|----------|------------|--------");
+    for cap in [160.0, 150.0, 145.0, 140.0, 135.0, 130.0, 125.0, 120.0] {
+        let (s, out) = run(Some(cap));
+        let slowdown = s.wall_s / base.wall_s;
+        let ok = slowdown <= TOLERATED_SLOWDOWN;
+        println!(
+            "{cap:>7.0} | {:>9.1} | {:>8.4} | {:>7.2}x | {:>10.2} | {}",
+            s.avg_power_w,
+            s.wall_s,
+            slowdown,
+            s.energy_j,
+            if ok { "MEETS deadline" } else { "too slow" }
+        );
+        // The image must stay correct regardless of the cap.
+        assert!(
+            (out.checksum - base_out.checksum).abs() < 1e-6,
+            "capping must not change results"
+        );
+    }
+    println!(
+        "\nReading: caps down to the mid-130s trade watts for tolerable\n\
+         delay; below that the deep throttling techniques make\n\
+         time-to-solution explode — budget the generator accordingly."
+    );
+}

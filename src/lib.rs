@@ -1,0 +1,23 @@
+//! `capsim` — facade crate for the capsim workspace.
+//!
+//! Re-exports every subsystem and offers a [`prelude`] for examples and
+//! downstream users. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-reproduction index.
+
+pub use capsim_apps as apps;
+pub use capsim_core as study;
+pub use capsim_counters as counters;
+pub use capsim_cpu as cpu;
+pub use capsim_dcm as dcm;
+pub use capsim_ipmi as ipmi;
+pub use capsim_mem as mem;
+pub use capsim_node as node;
+pub use capsim_power as power;
+
+/// Commonly used items, one `use` away.
+pub mod prelude {
+    pub use capsim_apps::{SireRsm, StereoMatching, Workload};
+    pub use capsim_core::{CapSweep, ExperimentConfig, RunMetrics};
+    pub use capsim_mem::{HierarchyConfig, MemReconfig};
+    pub use capsim_node::{Machine, MachineConfig, PowerCap};
+}

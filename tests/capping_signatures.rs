@@ -1,0 +1,162 @@
+//! End-to-end integration: the paper's Table II qualitative signatures
+//! must emerge from full runs of the real applications on the capped
+//! machine.
+
+use capsim::apps::{SireRsm, StereoMatching, Workload};
+use capsim::node::{Machine, MachineConfig, PowerCap, RunStats};
+
+/// Test-scale runs are short; tighten the control loop so the BMC reaches
+/// equilibrium within a fraction of the run (the paper's runs were
+/// minutes against a ~second-scale loop — same ratio).
+fn config(seed: u64) -> MachineConfig {
+    let mut c = MachineConfig::e5_2680(seed);
+    c.control_period_us = 10.0;
+    c.meter_window_s = 0.0002;
+    c
+}
+
+fn run(app: &mut dyn Workload, cap: Option<f64>, seed: u64) -> (RunStats, f64) {
+    let mut m = Machine::new(config(seed));
+    if let Some(c) = cap {
+        m.set_power_cap(Some(PowerCap::new(c)));
+    }
+    let out = app.run(&mut m);
+    (m.finish_run(), out.checksum)
+}
+
+#[test]
+fn time_and_energy_grow_as_the_cap_tightens() {
+    // Conclusion of §IV-A: "as the power cap is lowered, in general, the
+    // execution time of both applications increases as does total energy".
+    for mk in [
+        || Box::new(SireRsm::test_scale(1)) as Box<dyn Workload>,
+        || Box::new(StereoMatching::test_scale(1)) as Box<dyn Workload>,
+    ] {
+        let (base, _) = run(mk().as_mut(), None, 1);
+        let (mid, _) = run(mk().as_mut(), Some(135.0), 1);
+        let (low, _) = run(mk().as_mut(), Some(121.0), 1);
+        assert!(mid.wall_s > base.wall_s, "{} vs {}", mid.wall_s, base.wall_s);
+        assert!(low.wall_s > mid.wall_s * 1.5, "{} vs {}", low.wall_s, mid.wall_s);
+        assert!(low.energy_j > base.energy_j, "capping wastes energy");
+        assert!(mid.avg_power_w < base.avg_power_w);
+        assert!(low.avg_power_w < mid.avg_power_w);
+    }
+}
+
+#[test]
+fn results_are_bit_identical_across_caps() {
+    // The cap changes *when*, never *what*: checksums must match.
+    let mut checksums = Vec::new();
+    for cap in [None, Some(140.0), Some(122.0)] {
+        let (_, ck) = run(&mut SireRsm::test_scale(3), cap, 3);
+        checksums.push(ck);
+    }
+    assert!(checksums.windows(2).all(|w| w[0] == w[1]), "{checksums:?}");
+}
+
+#[test]
+fn committed_instructions_are_cap_invariant_executed_vary_slightly() {
+    // §IV: "for each application the number of instructions committed is
+    // identical. In contrast … the number of instructions executed differ.
+    // However, these differences are small."
+    let (base, _) = run(&mut StereoMatching::test_scale(5), None, 5);
+    let (low, _) = run(&mut StereoMatching::test_scale(5), Some(124.0), 5);
+    assert_eq!(
+        base.counters.instructions_committed,
+        low.counters.instructions_committed
+    );
+    let gap = (low.counters.instructions_executed as f64
+        - base.counters.instructions_executed as f64)
+        .abs()
+        / base.counters.instructions_executed as f64;
+    assert!(gap < 0.01, "executed-instruction drift {gap}");
+}
+
+#[test]
+fn frequency_pins_at_pmin_for_the_lowest_caps() {
+    // Table II rows A7–A9/B7–B9: average frequency reads 1200 MHz even as
+    // execution time keeps growing — duty cycling is invisible to the
+    // APERF-style meter.
+    let (low, _) = run(&mut StereoMatching::test_scale(7), Some(121.0), 7);
+    assert!(
+        low.avg_freq_mhz < 1320.0,
+        "frequency reading {} must pin near P-min",
+        low.avg_freq_mhz
+    );
+    assert!(low.bmc_stats.2 > 0, "121 W is below the floor: exceptions logged");
+    assert!(
+        low.avg_power_w > 121.0,
+        "measured power {} stays above the unreachable cap",
+        low.avg_power_w
+    );
+}
+
+/// Test-scale instances with the full 20 MiB L3 would never thrash, so
+/// this config shrinks the L3 to 1 MiB / 16-way while keeping everything
+/// else E5-like. The paper-scale relationships are preserved:
+/// mid-scale stereo (≈650 KiB working set) is resident at full ways and
+/// thrashes the 4-way gated L3, while mid-scale SIRE (≈1.1 MiB streaming)
+/// exceeds the L3 either way.
+fn sig_config(seed: u64) -> MachineConfig {
+    let mut c = config(seed);
+    c.hierarchy.l3.size_bytes = 1 << 20;
+    c.hierarchy.l3.ways = 16;
+    c
+}
+
+fn mid_stereo(seed: u64) -> StereoMatching {
+    let mut s = StereoMatching::test_scale(seed);
+    s.width = 224;
+    s.height = 224;
+    s.sweeps = 6;
+    s
+}
+
+fn mid_sire(seed: u64) -> SireRsm {
+    let mut s = SireRsm::test_scale(seed);
+    s.width = 416;
+    s.height = 320;
+    s
+}
+
+fn run_sig(app: &mut dyn Workload, cap: Option<f64>, seed: u64) -> RunStats {
+    let mut m = Machine::new(sig_config(seed));
+    if let Some(c) = cap {
+        m.set_power_cap(Some(PowerCap::new(c)));
+    }
+    app.run(&mut m);
+    m.finish_run()
+}
+
+#[test]
+fn stereo_l2_l3_misses_blow_up_but_sire_stays_flat() {
+    // The central §IV-B contrast between the two applications.
+    let s_base = run_sig(&mut mid_stereo(9), None, 9);
+    let s_low = run_sig(&mut mid_stereo(9), Some(121.0), 9);
+    let stereo_l3_ratio = s_low.mem.l3_misses as f64 / s_base.mem.l3_misses.max(1) as f64;
+    assert!(stereo_l3_ratio > 1.8, "stereo L3 blow-up: {stereo_l3_ratio}");
+
+    let r_base = run_sig(&mut mid_sire(9), None, 9);
+    let r_low = run_sig(&mut mid_sire(9), Some(121.0), 9);
+    let sire_l3_ratio = r_low.mem.l3_misses as f64 / r_base.mem.l3_misses.max(1) as f64;
+    assert!(
+        sire_l3_ratio < stereo_l3_ratio / 1.5,
+        "streaming SIRE ({sire_l3_ratio}) must be less way-sensitive than stereo ({stereo_l3_ratio})"
+    );
+}
+
+#[test]
+fn itlb_misses_explode_at_the_lowest_caps_for_both_apps() {
+    for mk in [
+        || Box::new(mid_sire(11)) as Box<dyn Workload>,
+        || Box::new(mid_stereo(11)) as Box<dyn Workload>,
+    ] {
+        let base = run_sig(mk().as_mut(), None, 11);
+        let low = run_sig(mk().as_mut(), Some(121.0), 11);
+        let ratio = low.mem.itlb_misses as f64 / base.mem.itlb_misses.max(1) as f64;
+        assert!(ratio > 4.0, "iTLB blow-up expected, got {ratio}");
+        // DTLB, by contrast, stays within a few percent (Table II).
+        let dtlb = low.mem.dtlb_misses as f64 / base.mem.dtlb_misses.max(1) as f64;
+        assert!(dtlb < 1.3, "dTLB must stay flat, got {dtlb}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Integration: fleet monitoring and SEL-based violation auditing across
+//! live machines — the data-center-side view of the paper's "measured
+//! power above the cap" rows.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use capsim::apps::kernels::AluBurst;
+use capsim::apps::Workload;
+use capsim::dcm::{read_sel, violation_count, Dcm, FleetMonitor};
+use capsim::ipmi::{LanChannel, SelEventType};
+use capsim::node::{Machine, MachineConfig, PowercapFs};
+
+fn fast(seed: u64) -> MachineConfig {
+    let mut c = MachineConfig::e5_2680(seed);
+    c.control_period_us = 10.0;
+    c.meter_window_s = 2e-4;
+    c
+}
+
+#[test]
+fn unreachable_cap_leaves_a_sel_paper_trail_readable_over_ipmi() {
+    let (mgr, bmc_port) = LanChannel::pair();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_node = stop.clone();
+    let t = std::thread::spawn(move || {
+        let mut m = Machine::new(fast(51));
+        m.attach_bmc_port(bmc_port);
+        AluBurst { iters: 9_000_000 }.run(&mut m);
+        let stats = m.finish_run();
+        // Stay answerable out-of-band after the run, like a real BMC.
+        while !stop_node.load(Ordering::Relaxed) {
+            m.service_bmc();
+            std::thread::yield_now();
+        }
+        stats
+    });
+    let mut dcm = Dcm::new();
+    // Short correction time so the scaled run accrues violations (the
+    // default 1 s matches paper-scale runs, not millisecond tests).
+    dcm.correction_ms = 5;
+    dcm.add_node("n0", mgr);
+    // A 118 W cap is below the throttle floor: violations must accrue.
+    dcm.cap_node(0, 118.0).expect("cap accepted");
+    let mut monitor = FleetMonitor::new(1, 64);
+    for _ in 0..200 {
+        monitor.poll(&mut dcm).expect("node up");
+        std::thread::yield_now();
+    }
+    // The monitor saw the node pinned near its floor, above the cap.
+    let mean = monitor.history(0).mean().expect("samples");
+    assert!(mean > 118.0, "floor sits above the cap: {mean}");
+    assert_eq!(monitor.hotspots(118.0), vec![0]);
+
+    let sel = read_sel(&mut dcm, 0).expect("SEL readable");
+    assert!(
+        sel.iter().any(|e| e.event == SelEventType::PowerLimitConfigured),
+        "configuration logged"
+    );
+    assert!(
+        violation_count(&sel) > 0,
+        "sustained violations logged: {sel:?}"
+    );
+    stop.store(true, Ordering::Relaxed);
+    let stats = t.join().expect("node");
+    assert!(stats.bmc_stats.2 > 0, "BMC counted exceptions too");
+}
+
+#[test]
+fn in_band_powercap_and_out_of_band_dcmi_agree_on_the_same_node() {
+    // Drive a node with the Linux-powercap-style interface, then check
+    // DCM's view of it over IPMI: one BMC, two front ends.
+    let mut m = Machine::new(fast(52));
+    {
+        let mut fs = PowercapFs::new(&mut m);
+        fs.write("constraint_0_power_limit_uw", "33000000").unwrap(); // ≈134 W node
+    }
+    let r = m.alloc(1 << 20);
+    let block = m.code_block(96, 24);
+    for i in 0..300_000u64 {
+        m.exec_block(&block);
+        m.load(r.at((i * 64) % (1 << 20)));
+    }
+    let s = m.finish_run();
+    let cap = m.power_cap().expect("cap active").watts;
+    assert!((cap - 134.0).abs() < 1.0, "translated node cap {cap}");
+    assert!(s.avg_power_w < cap + 2.0, "enforced: {}", s.avg_power_w);
+    // The in-band path logged configuration the same way (SEL is one).
+    let energy_uj: u64 = PowercapFs::new(&mut m)
+        .read("energy_uj")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(energy_uj > 0, "RAPL energy advanced");
+}

@@ -1,0 +1,66 @@
+//! Integration: the full study pipeline — sweep → tables → figures —
+//! renders coherently from live simulations.
+
+use capsim::apps::StereoMatching;
+use capsim::study::figures::{figure2_series, figure_ascii, figure_csv, x_labels};
+use capsim::study::table::{table1, table2_memory, table2_performance};
+use capsim::study::{CapSweep, ExperimentConfig, LadderKind};
+
+fn small_sweep() -> capsim::study::SweepResult {
+    let cfg = ExperimentConfig {
+        caps_w: vec![150.0, 135.0, 121.0],
+        runs_per_point: 2,
+        base_seed: 17,
+        ladder: LadderKind::Full,
+        control_period_us: 10.0,
+    };
+    CapSweep::new(cfg).run("Stereo Matching", |seed| {
+        Box::new(StereoMatching::test_scale(seed))
+    })
+}
+
+#[test]
+fn sweep_tables_and_figures_render_end_to_end() {
+    let sweep = small_sweep();
+
+    // Table I renders the baseline.
+    let t1 = table1(&[&sweep]);
+    assert!(t1.contains("Stereo Matching"));
+
+    // Table II blocks contain one row per point and plausible %-diffs.
+    let perf = table2_performance(&sweep, "A");
+    assert_eq!(perf.lines().count(), 2 + 4, "header+sep+4 rows");
+    assert!(perf.contains("baseline"));
+    let mem = table2_memory(&sweep, "A");
+    assert!(mem.contains("A3"));
+
+    // Figures: normalized series peak at 1.0, CSV is rectangular.
+    let labels = x_labels(&sweep);
+    let series = figure2_series(&sweep);
+    for s in &series {
+        let max = s.values.iter().copied().fold(f64::MIN, f64::max);
+        assert!((max - 1.0).abs() < 1e-9, "{} max {max}", s.name);
+        assert_eq!(s.values.len(), labels.len());
+    }
+    let csv = figure_csv(&labels, &series);
+    assert_eq!(csv.lines().count(), labels.len() + 1);
+    let plot = figure_ascii(&labels, &series);
+    assert!(plot.contains("legend"));
+
+    // The monotone story of the paper: time grows, power falls.
+    let times: Vec<f64> = sweep.all_rows().iter().map(|r| r.time_s).collect();
+    assert!(times.windows(2).all(|w| w[1] >= w[0] * 0.95), "{times:?}");
+    assert!(sweep.row(121.0).unwrap().time_s > sweep.baseline.time_s * 2.0);
+}
+
+#[test]
+fn seeded_sweeps_are_reproducible() {
+    let a = small_sweep();
+    let b = small_sweep();
+    assert_eq!(a.baseline.time_s, b.baseline.time_s);
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.time_s, rb.time_s);
+        assert_eq!(ra.l2_misses, rb.l2_misses);
+        assert_eq!(ra.energy_j, rb.energy_j);
+    }
+}
