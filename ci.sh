@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repository CI gate: format, lint, test, and a scaled-down end-to-end
+# smoke of the paper's Table II sweep. Everything runs offline against
+# the vendored shims in shims/.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, benches, tests; warnings are errors)"
+cargo clippy --workspace --benches --tests -q -- -D warnings
+
+echo "== cargo test (workspace)"
+cargo test --workspace -q
+
+echo "== table2 smoke (CAPSIM_SCALE=test)"
+CAPSIM_SCALE=test cargo run -q --release -p capsim-bench --bin table2 >/dev/null
+
+echo "== perf smoke (writes BENCH_hotpath.json)"
+cargo run -q --release -p capsim-bench --bin perf_smoke >/dev/null
+
+echo "CI OK"

@@ -136,10 +136,7 @@ impl Workload for CfarDetect {
         // alarms counted against quality.
         let mut found = 0;
         for &(tx, ty) in &truth {
-            if detections
-                .iter()
-                .any(|&(x, y)| x.abs_diff(tx) <= 1 && y.abs_diff(ty) <= 1)
-            {
+            if detections.iter().any(|&(x, y)| x.abs_diff(tx) <= 1 && y.abs_diff(ty) <= 1) {
                 found += 1;
             }
         }

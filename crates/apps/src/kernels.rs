@@ -223,10 +223,8 @@ mod tests {
         let mut mach = m();
         let out = StreamTriad { elems: 20_000, passes: 1 }.run(&mut mach);
         // a[0] = 0 + 3*sin(0) = 0; checksum is a deterministic sum.
-        let expect: f64 = (0..20_000u64)
-            .step_by(97)
-            .map(|i| (i as f32 + 3.0 * (i as f32).sin()) as f64)
-            .sum();
+        let expect: f64 =
+            (0..20_000u64).step_by(97).map(|i| (i as f32 + 3.0 * (i as f32).sin()) as f64).sum();
         assert!((out.checksum - expect).abs() < 1e-3);
         let s = mach.finish_run();
         assert!(s.mem.dram_reads > 1000, "tiny caches force streaming");

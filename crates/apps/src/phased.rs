@@ -75,22 +75,17 @@ impl Workload for PhasedWorkload {
                     }
                 }
                 Phase::Memory => {
-                    let mut off = (r >> 16) % buf.bytes();
-                    for _ in 0..len {
-                        off = (off + 64) % buf.bytes();
-                        m.load(buf.at(off));
-                    }
+                    // Same offsets as the historical per-access loop:
+                    // (start + 64*i) % bytes for i = 1..=len.
+                    let start = (r >> 16) % buf.bytes();
+                    m.load_stream(buf.base(), buf.bytes(), start + 64, 64, len);
                 }
                 Phase::Idle => {
                     m.idle(len as f64 * 12.5e-9);
                 }
             }
         }
-        WorkloadOutput {
-            checksum: checksum as f64,
-            quality: 1.0,
-            items: self.phases as u64,
-        }
+        WorkloadOutput { checksum: checksum as f64, quality: 1.0, items: self.phases as u64 }
     }
 }
 

@@ -146,11 +146,8 @@ impl Workload for PulseCompression {
             let mut pulse: Vec<(f32, f32)> = (0..n)
                 .map(|i| {
                     let noise = ((rng() % 2000) as f32 / 1000.0 - 1.0) * 0.05;
-                    let sig = if i >= delay && i - delay < n / 8 {
-                        chirp[i - delay]
-                    } else {
-                        (0.0, 0.0)
-                    };
+                    let sig =
+                        if i >= delay && i - delay < n / 8 { chirp[i - delay] } else { (0.0, 0.0) };
                     (sig.0 + noise, sig.1)
                 })
                 .collect();
@@ -182,11 +179,7 @@ impl Workload for PulseCompression {
             }
             checksum += best;
         }
-        WorkloadOutput {
-            checksum,
-            quality: peak_score / np as f64,
-            items: (np * n) as u64,
-        }
+        WorkloadOutput { checksum, quality: peak_score / np as f64, items: (np * n) as u64 }
     }
 }
 

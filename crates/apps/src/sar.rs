@@ -201,13 +201,7 @@ impl Workload for SireRsm {
         for pass in 0..self.rsm_passes.max(1) {
             // Randomized aperture weights; pass 0 is the plain composition.
             let weights: Vec<f32> = (0..na)
-                .map(|_| {
-                    if pass == 0 {
-                        1.0
-                    } else {
-                        0.5 + (rng() % 1000) as f32 / 1000.0
-                    }
-                })
+                .map(|_| if pass == 0 { 1.0 } else { 0.5 + (rng() % 1000) as f32 / 1000.0 })
                 .collect();
             let wsum: f32 = weights.iter().sum();
             let mut pixel_counter = 0usize;
@@ -342,9 +336,6 @@ mod tests {
         let full = run(8, 16);
         let gated = run(2, 4);
         let ratio = gated as f64 / full as f64;
-        assert!(
-            ratio < 1.6,
-            "streaming misses should be way-insensitive: {full} -> {gated}"
-        );
+        assert!(ratio < 1.6, "streaming misses should be way-insensitive: {full} -> {gated}");
     }
 }

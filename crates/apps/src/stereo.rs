@@ -89,9 +89,8 @@ impl StereoMatching {
         let (w, h) = (self.width as f64, self.height as f64);
         let (fx, fy) = (x as f64 / w, y as f64 / h);
         let d = self.max_disparity as f64;
-        let layer = |inset: f64| {
-            (fx > inset && fx < 1.0 - inset && fy > inset && fy < 1.0 - inset) as u32
-        };
+        let layer =
+            |inset: f64| (fx > inset && fx < 1.0 - inset && fy > inset && fy < 1.0 - inset) as u32;
         // Ground (d/4) + three layers up to max_disparity.
         let steps = layer(0.15) + layer(0.27) + layer(0.39);
         (d / 4.0 + steps as f64 * (d - d / 4.0) / 3.0).round() as u32
@@ -267,8 +266,7 @@ impl Workload for StereoMatching {
         let mut abs_err = 0f64;
         for y in 0..h {
             for x in 0..w {
-                abs_err +=
-                    (f.disp[f.idx(x, y)] as f64 - self.ground_truth(x, y) as f64).abs();
+                abs_err += (f.disp[f.idx(x, y)] as f64 - self.ground_truth(x, y) as f64).abs();
             }
         }
         let mae = abs_err / (w * h) as f64;

@@ -67,8 +67,7 @@ impl Workload for ParallelStereo {
                 right[y * w + x.saturating_sub(d)] = left[y * w + x];
             }
         }
-        let mut disp: Vec<u8> =
-            (0..w * h).map(|_| (rng() % (dmax as u64 + 1)) as u8).collect();
+        let mut disp: Vec<u8> = (0..w * h).map(|_| (rng() % (dmax as u64 + 1)) as u8).collect();
 
         let left_r = m.alloc((w * h * 4) as u64);
         let right_r = m.alloc((w * h * 4) as u64);
@@ -81,33 +80,27 @@ impl Workload for ParallelStereo {
         let idx = |x: usize, y: usize| y * w + x;
 
         // Charged 3×3 SAD (same cost structure as the sequential app).
-        let data_cost = |m: &mut Machine,
-                         left: &[f32],
-                         right: &[f32],
-                         x: usize,
-                         y: usize,
-                         d: u32|
-         -> f32 {
-            let mut sad = 0f32;
-            for dy in -1isize..=1 {
-                for dx in -1isize..=1 {
-                    let yy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
-                    let xx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
-                    let sx = xx.saturating_sub(d as usize);
-                    m.load(left_r.elem(idx(xx, yy) as u64, 4));
-                    m.load(right_r.elem(idx(sx, yy) as u64, 4));
-                    sad += (left[idx(xx, yy)] - right[idx(sx, yy)]).abs();
+        let data_cost =
+            |m: &mut Machine, left: &[f32], right: &[f32], x: usize, y: usize, d: u32| -> f32 {
+                let mut sad = 0f32;
+                for dy in -1isize..=1 {
+                    for dx in -1isize..=1 {
+                        let yy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
+                        let xx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
+                        let sx = xx.saturating_sub(d as usize);
+                        m.load(left_r.elem(idx(xx, yy) as u64, 4));
+                        m.load(right_r.elem(idx(sx, yy) as u64, 4));
+                        sad += (left[idx(xx, yy)] - right[idx(sx, yy)]).abs();
+                    }
                 }
-            }
-            sad
-        };
+                sad
+            };
 
         let total_sweeps = self.inner.sweeps.max(1);
         let mut accepted = 0u64;
         for sweep in 0..total_sweeps {
             let t = self.inner.t0
-                * (0.01f32)
-                    .powf(sweep as f32 / (total_sweeps.saturating_sub(1).max(1)) as f32);
+                * (0.01f32).powf(sweep as f32 / (total_sweeps.saturating_sub(1).max(1)) as f32);
             // Interleave: each round gives every core `tile_rows` rows of
             // its own stripe, keeping the cores in lockstep.
             let rounds = stripe.div_ceil(self.tile_rows);

@@ -42,7 +42,7 @@ pub struct StrideBench {
 impl StrideBench {
     /// The paper's Figure 3/4 sweep: sizes 4 KiB–64 MiB, strides 8 B–32 MiB.
     pub fn paper_scale() -> Self {
-        let sizes = (0..15).map(|i| 4 * 1024u64 << i).collect(); // 4K..64M
+        let sizes = (0..15).map(|i| (4 * 1024u64) << i).collect(); // 4K..64M
         let strides = (0..23).map(|i| 8u64 << i).collect(); // 8B..32M
         StrideBench { sizes, strides, max_accesses_per_cell: 400_000, results: Vec::new() }
     }
@@ -56,20 +56,14 @@ impl StrideBench {
 
     /// Result lookup.
     pub fn point(&self, size: u64, stride: u64) -> Option<&MountainPoint> {
-        self.results
-            .iter()
-            .find(|p| p.size_bytes == size && p.stride_bytes == stride)
+        self.results.iter().find(|p| p.size_bytes == size && p.stride_bytes == stride)
     }
 
     fn measure_cell(&self, m: &mut Machine, region: &Region, size: u64, stride: u64) -> f64 {
         // Warm pass over the window, then the timed pass — the classic
         // structure of the H&P loop.
         let accesses = (size / stride).max(1).min(self.max_accesses_per_cell);
-        let mut off = 0u64;
-        for _ in 0..accesses {
-            m.load_serial(region.at(off % size));
-            off += stride;
-        }
+        m.load_serial_stream(region.base(), size, 0, stride, accesses);
         let mut total_ns = 0.0;
         let mut off = 0u64;
         for _ in 0..accesses {
@@ -110,7 +104,8 @@ mod tests {
 
     /// Run the paper sweep restricted to the cells the assertions need.
     fn mountain(sizes: Vec<u64>, strides: Vec<u64>) -> StrideBench {
-        let mut b = StrideBench { sizes, strides, max_accesses_per_cell: 50_000, results: Vec::new() };
+        let mut b =
+            StrideBench { sizes, strides, max_accesses_per_cell: 50_000, results: Vec::new() };
         let mut m = Machine::new(MachineConfig::e5_2680(1));
         b.run(&mut m);
         b

@@ -48,7 +48,7 @@ fn bench_ops(c: &mut Criterion) {
     g.bench_function("branch", |b| {
         b.iter(|| {
             i += 1;
-            m.branch(black_box(&block), i % 5 != 0)
+            m.branch(black_box(&block), !i.is_multiple_of(5))
         })
     });
 

@@ -92,7 +92,7 @@ fn bench_branch(c: &mut Criterion) {
     c.bench_function("gshare_execute", |b| {
         b.iter(|| {
             i += 1;
-            black_box(p.execute(0x4000 + (i % 16) * 4, i % 3 != 0))
+            black_box(p.execute(0x4000 + (i % 16) * 4, !i.is_multiple_of(3)))
         })
     });
 }

@@ -35,7 +35,11 @@ fn main() {
                 format!("{:.0}", r.pct_diff(&sweep.baseline, |m| m.energy_j)),
                 format!(
                     "{}",
-                    if r.cap_w.map_or(false, |c| r.avg_power_w > c + 0.5) { "VIOLATED" } else { "met" }
+                    if r.cap_w.is_some_and(|c| r.avg_power_w > c + 0.5) {
+                        "VIOLATED"
+                    } else {
+                        "met"
+                    }
                 ),
             ]);
         }

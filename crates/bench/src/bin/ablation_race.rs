@@ -49,8 +49,16 @@ fn main() {
         markdown_table(
             &["strategy", "energy (J)", "avg power (W)"],
             &[
-                vec!["race-to-idle (P0 + C-states)".into(), format!("{e_race:.2}"), format!("{p_race:.1}")],
-                vec!["crawl (P-min, DVFS)".into(), format!("{e_crawl:.2}"), format!("{p_crawl:.1}")],
+                vec![
+                    "race-to-idle (P0 + C-states)".into(),
+                    format!("{e_race:.2}"),
+                    format!("{p_race:.1}")
+                ],
+                vec![
+                    "crawl (P-min, DVFS)".into(),
+                    format!("{e_crawl:.2}"),
+                    format!("{p_crawl:.1}")
+                ],
             ],
         )
     );

@@ -14,11 +14,7 @@ use capsim_core::report::markdown_table;
 use capsim_node::{Machine, MachineConfig, PowerCap};
 
 fn run(turbo: bool, cap: Option<f64>) -> (f64, f64, f64) {
-    let mut cfg = if turbo {
-        MachineConfig::e5_2680_turbo(8)
-    } else {
-        MachineConfig::e5_2680(8)
-    };
+    let mut cfg = if turbo { MachineConfig::e5_2680_turbo(8) } else { MachineConfig::e5_2680(8) };
     cfg.control_period_us = 5.0;
     cfg.meter_window_s = 1e-4;
     let mut m = Machine::new(cfg);

@@ -31,10 +31,12 @@ fn profile_and_measure(
     (name.to_string(), prof, measured, predicted)
 }
 
+type WorkloadFactory = Box<dyn Fn(u64) -> Box<dyn Workload>>;
+
 fn main() {
     let scale = Scale::from_env();
     eprintln!("running amenability extension at {scale:?} scale …");
-    let apps: Vec<(&str, Box<dyn Fn(u64) -> Box<dyn Workload>>)> = vec![
+    let apps: Vec<(&str, WorkloadFactory)> = vec![
         (
             "ALU Burst",
             Box::new(|_s| -> Box<dyn Workload> { Box::new(AluBurst { iters: 2_000_000 }) }),

@@ -55,7 +55,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["hierarchy", "cap (W)", "time vs no-STLB base", "power (W)", "dTLB misses", "walk reads"],
+            &[
+                "hierarchy",
+                "cap (W)",
+                "time vs no-STLB base",
+                "power (W)",
+                "dTLB misses",
+                "walk reads"
+            ],
             &rows,
         )
     );

@@ -25,8 +25,7 @@ fn main() {
     println!("{}", fig3.to_csv());
     maybe_write(&out, "figure3.csv", "Figure 3: memory mountain, no cap", &fig3.to_csv());
 
-    let fig4 =
-        MountainRun { bench: bench(scale), cap_w: Some(120.0), seed: 1 }.collect("Figure 4");
+    let fig4 = MountainRun { bench: bench(scale), cap_w: Some(120.0), seed: 1 }.collect("Figure 4");
     println!("== Figure 4: stride microbenchmark, 120 W power cap (avg ns/access) ==\n");
     println!("{}", fig4.to_csv());
     maybe_write(&out, "figure4.csv", "Figure 4: memory mountain, 120 W cap", &fig4.to_csv());

@@ -1,0 +1,86 @@
+//! Hot-path throughput smoke: times the three operation classes the
+//! simulator spends its life in and emits a JSON trajectory point.
+//!
+//! Usage: `cargo run -p capsim-bench --bin perf_smoke --release [-- out.json]`
+//!
+//! Measures, in host-wall-clock operations per second:
+//!
+//! * `accesses_per_sec` — raw [`MemoryHierarchy::data_access`] streaming
+//!   (64 B stride over 1 MiB: the memo-hit + L1-miss + L2-hit hot path),
+//! * `machine_loads_per_sec` — the same stream through the full
+//!   [`Machine::load`] charge path, uncapped and under a 135 W cap,
+//! * `exec_block_per_sec` — instruction-block execution,
+//! * `ticks_per_sec` — control-loop ticks (power model + BMC + meter).
+//!
+//! The committed `BENCH_hotpath.json` at the repo root records the
+//! trajectory across PRs; regenerate after perf-relevant changes.
+
+use std::time::Instant;
+
+use capsim_mem::{MemoryHierarchy, VAddr};
+use capsim_node::{Machine, MachineConfig, PowerCap};
+
+/// Time `n` repetitions of `op`, returning operations per second.
+fn rate(n: u64, mut op: impl FnMut(u64)) -> f64 {
+    let start = Instant::now();
+    for i in 0..n {
+        op(i);
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+fn hier_accesses_per_sec() -> f64 {
+    let mut h = MemoryHierarchy::new(MachineConfig::e5_2680(1).hierarchy, 1, 7);
+    let n = 4_000_000u64;
+    let r = rate(n, |i| {
+        h.data_access(0, VAddr(0x100_0000 + (i * 64) % (1 << 20)), false);
+    });
+    assert!(h.total_stats().l1d_accesses == n);
+    r
+}
+
+fn machine_loads_per_sec(cap_w: Option<f64>) -> f64 {
+    let mut m = Machine::new(MachineConfig::e5_2680(1));
+    m.set_power_cap(cap_w.map(PowerCap::new));
+    let reg = m.alloc(1 << 20);
+    rate(2_000_000, |i| m.load(reg.at((i * 64) % (1 << 20))))
+}
+
+fn exec_block_per_sec() -> f64 {
+    let mut m = Machine::new(MachineConfig::e5_2680(1));
+    let block = m.code_block(96, 24);
+    rate(2_000_000, |_| m.exec_block(&block))
+}
+
+fn ticks_per_sec() -> f64 {
+    let mut m = Machine::new(MachineConfig::e5_2680(1));
+    m.set_power_cap(Some(PowerCap::new(135.0)));
+    // One idle call per control period: each advances simulated time by
+    // exactly one tick interval, so iterations ≈ ticks fired.
+    let period_s = m.config().control_period_us * 1e-6;
+    rate(200_000, |_| m.idle(period_s))
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_hotpath.json".into());
+    eprintln!("perf_smoke: timing hot paths (release build recommended) …");
+    let accesses = hier_accesses_per_sec();
+    eprintln!("  hierarchy data_access : {accesses:>12.0} /s");
+    let loads = machine_loads_per_sec(None);
+    eprintln!("  machine load (uncapped): {loads:>12.0} /s");
+    let loads_capped = machine_loads_per_sec(Some(135.0));
+    eprintln!("  machine load (135 W)  : {loads_capped:>12.0} /s");
+    let blocks = exec_block_per_sec();
+    eprintln!("  exec_block            : {blocks:>12.0} /s");
+    let ticks = ticks_per_sec();
+    eprintln!("  control ticks         : {ticks:>12.0} /s");
+
+    let json = format!(
+        "{{\n  \"accesses_per_sec\": {accesses:.0},\n  \"machine_loads_per_sec\": {loads:.0},\n  \
+         \"machine_loads_capped_per_sec\": {loads_capped:.0},\n  \"exec_block_per_sec\": {blocks:.0},\n  \
+         \"ticks_per_sec\": {ticks:.0}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

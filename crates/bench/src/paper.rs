@@ -113,6 +113,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn the_120w_cap_is_never_met() {
         assert!(STEREO.power_w[8] > 120.0);
         assert!(SIRE.power_w[8] > 120.0);

@@ -135,11 +135,6 @@ mod tests {
         let mut stereo = capsim_apps::StereoMatching::test_scale(7);
         let p_sar = profile(&mut sar, 7);
         let p_stereo = profile(&mut stereo, 7);
-        assert!(
-            p_sar.score > p_stereo.score,
-            "SIRE {} vs Stereo {}",
-            p_sar.score,
-            p_stereo.score
-        );
+        assert!(p_sar.score > p_stereo.score, "SIRE {} vs Stereo {}", p_sar.score, p_stereo.score);
     }
 }

@@ -19,11 +19,8 @@ pub struct FigureSeries {
 /// Normalize `raw` to its max (all-zero stays all-zero).
 pub fn normalized_series(name: &'static str, raw: &[f64]) -> FigureSeries {
     let max = raw.iter().copied().fold(f64::MIN, f64::max);
-    let values = if max <= 0.0 {
-        vec![0.0; raw.len()]
-    } else {
-        raw.iter().map(|v| v / max).collect()
-    };
+    let values =
+        if max <= 0.0 { vec![0.0; raw.len()] } else { raw.iter().map(|v| v / max).collect() };
     FigureSeries { name, values }
 }
 
@@ -111,7 +108,10 @@ mod tests {
         SweepResult {
             workload: "w".into(),
             baseline: mk(None, 89.0, 2701.0, 153.0),
-            rows: vec![mk(Some(140.0), 124.0, 2168.0, 136.0), mk(Some(120.0), 3168.0, 1200.0, 124.0)],
+            rows: vec![
+                mk(Some(140.0), 124.0, 2168.0, 136.0),
+                mk(Some(120.0), 3168.0, 1200.0, 124.0),
+            ],
         }
     }
 

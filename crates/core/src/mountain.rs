@@ -48,9 +48,9 @@ impl MountainMatrix {
 
 /// Pretty byte sizes ("4K", "64M") like the paper's axis labels.
 pub fn human(bytes: u64) -> String {
-    if bytes >= 1 << 20 && bytes % (1 << 20) == 0 {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
         format!("{}M", bytes >> 20)
-    } else if bytes >= 1 << 10 && bytes % (1 << 10) == 0 {
+    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
         format!("{}K", bytes >> 10)
     } else {
         format!("{bytes}B")

@@ -33,12 +33,7 @@ impl OutputDir {
 
     /// Write `contents` to `name` under the output root and log it in the
     /// manifest. Returns the full path.
-    pub fn write(
-        &self,
-        name: &str,
-        description: &str,
-        contents: &str,
-    ) -> std::io::Result<PathBuf> {
+    pub fn write(&self, name: &str, description: &str, contents: &str) -> std::io::Result<PathBuf> {
         fs::create_dir_all(&self.root)?;
         let path = self.root.join(name);
         fs::write(&path, contents)?;

@@ -51,11 +51,8 @@ pub fn ascii_plot(x_labels: &[String], series: &[(&str, Vec<f64>)], height: usiz
     if width == 0 || series.is_empty() {
         return String::new();
     }
-    let max = series
-        .iter()
-        .flat_map(|(_, v)| v.iter().copied())
-        .fold(f64::MIN, f64::max)
-        .max(1e-12);
+    let max =
+        series.iter().flat_map(|(_, v)| v.iter().copied()).fold(f64::MIN, f64::max).max(1e-12);
     let mut grid = vec![vec![' '; width * 6]; height];
     let marks = ['*', 'o', '+', 'x', '#', '@', '%'];
     for (si, (_, vals)) in series.iter().enumerate() {

@@ -210,10 +210,8 @@ impl CapSweep {
         // Points are independent; parallelize across them too.
         let mut points: Vec<Option<f64>> = vec![None];
         points.extend(self.config.caps_w.iter().map(|&c| Some(c)));
-        let metrics: Vec<RunMetrics> = points
-            .par_iter()
-            .map(|&cap| self.run_point(&factory, cap))
-            .collect();
+        let metrics: Vec<RunMetrics> =
+            points.par_iter().map(|&cap| self.run_point(&factory, cap)).collect();
         SweepResult {
             workload: name.to_string(),
             baseline: metrics[0],
@@ -314,9 +312,6 @@ mod tests {
         };
         let full = mk(LadderKind::Full);
         let dvfs = mk(LadderKind::DvfsOnly);
-        assert!(
-            dvfs > full + 1.0,
-            "DVFS-only floors higher: {dvfs} vs {full}"
-        );
+        assert!(dvfs > full + 1.0, "DVFS-only floors higher: {dvfs} vs {full}");
     }
 }

@@ -24,13 +24,8 @@ pub enum Knob {
 }
 
 impl Knob {
-    pub const ALL: [Knob; 5] = [
-        Knob::KDyn,
-        Knob::KLeak,
-        Knob::UncoreActive,
-        Knob::DramBackground,
-        Knob::PlatformBase,
-    ];
+    pub const ALL: [Knob; 5] =
+        [Knob::KDyn, Knob::KLeak, Knob::UncoreActive, Knob::DramBackground, Knob::PlatformBase];
 
     /// Apply a multiplicative perturbation to the knob.
     pub fn scale(&self, params: &mut PowerParams, factor: f64) {

@@ -20,10 +20,7 @@ pub fn table1(sweeps: &[&SweepResult]) -> String {
             ]
         })
         .collect();
-    markdown_table(
-        &["Code", "Average Node Power Consumption (Watts)", "Execution Time"],
-        &rows,
-    )
+    markdown_table(&["Code", "Average Node Power Consumption (Watts)", "Execution Time"], &rows)
 }
 
 fn pd(row: &RunMetrics, base: &RunMetrics, f: impl Fn(&RunMetrics) -> f64) -> String {

@@ -55,7 +55,12 @@ pub struct EventSet {
 
 impl EventSet {
     pub fn new() -> Self {
-        EventSet { events: Vec::new(), multiplexed: false, running: false, start: Snapshot::default() }
+        EventSet {
+            events: Vec::new(),
+            multiplexed: false,
+            running: false,
+            start: Snapshot::default(),
+        }
     }
 
     /// Enable multiplexing: more than [`HW_COUNTERS`] events are allowed;

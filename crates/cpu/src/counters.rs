@@ -117,11 +117,8 @@ mod tests {
     #[test]
     fn ipc_guards_division_by_zero() {
         assert_eq!(CounterFile::default().ipc(), 0.0);
-        let c = CounterFile {
-            instructions_committed: 200,
-            unhalted_cycles: 100,
-            ..Default::default()
-        };
+        let c =
+            CounterFile { instructions_committed: 200, unhalted_cycles: 100, ..Default::default() };
         assert_eq!(c.ipc(), 2.0);
     }
 

@@ -1,8 +1,8 @@
 //! The manager itself: per-node DCMI transactions and group budgeting.
 
 use capsim_ipmi::dcmi::{
-    ActivatePowerLimit, ExceptionAction, GetPowerLimit, GetPowerReading, PowerLimit,
-    PowerReading, SetPowerLimit,
+    ActivatePowerLimit, ExceptionAction, GetPowerLimit, GetPowerReading, PowerLimit, PowerReading,
+    SetPowerLimit,
 };
 use capsim_ipmi::{IpmiError, ManagerPort};
 
@@ -73,9 +73,7 @@ impl Dcm {
         let seq = node.port.next_seq();
         node.port.transact(&SetPowerLimit(limit).request(seq))?.into_ok()?;
         let seq = node.port.next_seq();
-        node.port
-            .transact(&ActivatePowerLimit { activate: true }.request(seq))?
-            .into_ok()?;
+        node.port.transact(&ActivatePowerLimit { activate: true }.request(seq))?.into_ok()?;
         Ok(())
     }
 
@@ -83,9 +81,7 @@ impl Dcm {
     pub fn uncap_node(&mut self, idx: usize) -> Result<(), IpmiError> {
         let node = &mut self.nodes[idx];
         let seq = node.port.next_seq();
-        node.port
-            .transact(&ActivatePowerLimit { activate: false }.request(seq))?
-            .into_ok()?;
+        node.port.transact(&ActivatePowerLimit { activate: false }.request(seq))?.into_ok()?;
         Ok(())
     }
 
@@ -140,8 +136,7 @@ mod tests {
         stop: Arc<AtomicBool>,
     ) -> std::thread::JoinHandle<Bmc> {
         std::thread::spawn(move || {
-            let ladder =
-                ThrottleLadder::e5_2680(&PStateTable::e5_2680(), MemReconfig::full());
+            let ladder = ThrottleLadder::e5_2680(&PStateTable::e5_2680(), MemReconfig::full());
             let mut bmc = Bmc::new(ladder);
             bmc.control(BmcTelemetry {
                 window_avg_w: power_w,
@@ -172,9 +167,7 @@ mod tests {
         }
         let r0 = dcm.read_power(0).unwrap();
         assert_eq!(r0.current_w, 150);
-        let caps = dcm
-            .apply_group_budget(300.0, &AllocationPolicy::ProportionalToDemand)
-            .unwrap();
+        let caps = dcm.apply_group_budget(300.0, &AllocationPolicy::ProportionalToDemand).unwrap();
         assert_eq!(caps.len(), 2);
         assert!(caps[0] > caps[1]);
         // The cap is stored and active on the node.

@@ -197,9 +197,24 @@ mod tests {
     #[test]
     fn violation_counting() {
         let entries = vec![
-            SelEntry { id: 0, timestamp_ms: 1, event: SelEventType::PowerLimitConfigured, datum: 135 },
-            SelEntry { id: 1, timestamp_ms: 2, event: SelEventType::PowerLimitExceeded, datum: 140 },
-            SelEntry { id: 2, timestamp_ms: 3, event: SelEventType::PowerLimitExceeded, datum: 139 },
+            SelEntry {
+                id: 0,
+                timestamp_ms: 1,
+                event: SelEventType::PowerLimitConfigured,
+                datum: 135,
+            },
+            SelEntry {
+                id: 1,
+                timestamp_ms: 2,
+                event: SelEventType::PowerLimitExceeded,
+                datum: 140,
+            },
+            SelEntry {
+                id: 2,
+                timestamp_ms: 3,
+                event: SelEventType::PowerLimitExceeded,
+                datum: 139,
+            },
         ];
         assert_eq!(violation_count(&entries), 2);
     }

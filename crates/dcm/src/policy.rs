@@ -51,8 +51,7 @@ pub fn allocate(
             }
             // Proportional share, but never below the floor; the excess a
             // floored node frees up is redistributed proportionally.
-            let mut caps: Vec<f64> =
-                demand_w.iter().map(|d| budget_w * d / total).collect();
+            let mut caps: Vec<f64> = demand_w.iter().map(|d| budget_w * d / total).collect();
             let mut deficit = 0.0;
             let mut flexible = 0.0;
             for (c, _) in caps.iter_mut().zip(demand_w) {
@@ -108,12 +107,7 @@ mod tests {
 
     #[test]
     fn proportional_gives_busy_nodes_more() {
-        let caps = allocate(
-            &AllocationPolicy::ProportionalToDemand,
-            300.0,
-            &[160.0, 120.0],
-            FLOOR,
-        );
+        let caps = allocate(&AllocationPolicy::ProportionalToDemand, 300.0, &[160.0, 120.0], FLOOR);
         assert!(caps[0] > caps[1]);
         assert!((caps.iter().sum::<f64>() - 300.0).abs() < 1e-9);
         assert!(caps.iter().all(|&c| c >= FLOOR));
@@ -121,12 +115,7 @@ mod tests {
 
     #[test]
     fn proportional_respects_the_floor() {
-        let caps = allocate(
-            &AllocationPolicy::ProportionalToDemand,
-            280.0,
-            &[250.0, 20.0],
-            FLOOR,
-        );
+        let caps = allocate(&AllocationPolicy::ProportionalToDemand, 280.0, &[250.0, 20.0], FLOOR);
         assert!(caps[1] >= FLOOR);
         assert!((caps.iter().sum::<f64>() - 280.0).abs() < 1e-9);
     }

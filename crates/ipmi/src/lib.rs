@@ -31,8 +31,8 @@ pub mod transport;
 
 pub use app_cmds::{DcmiCapabilities, DeviceId};
 pub use dcmi::{
-    ActivatePowerLimit, ExceptionAction, GetPowerLimit, GetPowerReading, PowerLimit,
-    PowerReading, SetPowerLimit, DCMI_GROUP_EXT,
+    ActivatePowerLimit, ExceptionAction, GetPowerLimit, GetPowerReading, PowerLimit, PowerReading,
+    SetPowerLimit, DCMI_GROUP_EXT,
 };
 pub use message::{CompletionCode, IpmiError, NetFn, Request, Response};
 pub use sel::{SelEntry, SelEventType, SystemEventLog};

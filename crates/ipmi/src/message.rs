@@ -169,13 +169,7 @@ impl Response {
     }
 
     pub fn err(req: &Request, completion: CompletionCode) -> Self {
-        Response {
-            netfn: req.netfn,
-            cmd: req.cmd,
-            seq: req.seq,
-            completion,
-            payload: Bytes::new(),
-        }
+        Response { netfn: req.netfn, cmd: req.cmd, seq: req.seq, completion, payload: Bytes::new() }
     }
 
     pub fn encode(&self) -> Bytes {

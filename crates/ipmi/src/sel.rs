@@ -190,14 +190,10 @@ mod tests {
     #[test]
     fn malformed_entries_rejected() {
         assert!(SelEntry::decode(&[0u8; 5]).is_err());
-        let mut good = SelEntry {
-            id: 1,
-            timestamp_ms: 2,
-            event: SelEventType::PowerLimitExceeded,
-            datum: 3,
-        }
-        .encode()
-        .to_vec();
+        let mut good =
+            SelEntry { id: 1, timestamp_ms: 2, event: SelEventType::PowerLimitExceeded, datum: 3 }
+                .encode()
+                .to_vec();
         good[10] = 0x99;
         assert!(SelEntry::decode(&good).is_err());
     }

@@ -19,10 +19,7 @@ impl LanChannel {
     pub fn pair() -> (ManagerPort, BmcPort) {
         let (req_tx, req_rx) = unbounded::<Bytes>();
         let (resp_tx, resp_rx) = unbounded::<Bytes>();
-        (
-            ManagerPort { tx: req_tx, rx: resp_rx, next_seq: 0 },
-            BmcPort { rx: req_rx, tx: resp_tx },
-        )
+        (ManagerPort { tx: req_tx, rx: resp_rx, next_seq: 0 }, BmcPort { rx: req_rx, tx: resp_tx })
     }
 }
 

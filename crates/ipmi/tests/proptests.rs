@@ -8,12 +8,7 @@ use capsim_ipmi::dcmi::{ExceptionAction, PowerLimit, PowerReading};
 use capsim_ipmi::{CompletionCode, NetFn, Request, Response};
 
 fn netfn_strategy() -> impl Strategy<Value = NetFn> {
-    prop_oneof![
-        Just(NetFn::Chassis),
-        Just(NetFn::Sensor),
-        Just(NetFn::App),
-        Just(NetFn::GroupExt),
-    ]
+    prop_oneof![Just(NetFn::Chassis), Just(NetFn::Sensor), Just(NetFn::App), Just(NetFn::GroupExt),]
 }
 
 proptest! {

@@ -37,6 +37,7 @@ impl VAddr {
     }
 
     /// The address advanced by `bytes`.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn add(self, bytes: u64) -> VAddr {
         VAddr(self.0 + bytes)

@@ -31,9 +31,10 @@ pub struct CacheResponse {
     pub writeback: Option<u64>,
 }
 
+/// Per-set bookkeeping kept alongside the packed tag array: valid/dirty
+/// way bitmasks and the replacement state.
 #[derive(Clone, Debug)]
-struct Set {
-    tags: Vec<u64>,
+struct SetMeta {
     valid: u64,
     dirty: u64,
     repl: SetState,
@@ -41,13 +42,22 @@ struct Set {
 
 /// One cache level. Addresses passed in are **line numbers** (physical
 /// address / line size); the caller does the division once.
+///
+/// Tags are stored packed — one flat `sets × ways` array instead of a
+/// `Vec` per set — so a lookup touches one contiguous slice (one cache
+/// line for ≤8 ways) rather than chasing a per-set heap pointer, and the
+/// tag/valid scan fuses into a single pass.
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
     geom: CacheGeometry,
+    /// `geom.ways`, hoisted: the row stride of `tags`.
+    ways: u32,
     active_ways: u32,
     set_mask: u64,
     set_shift: u32,
-    sets: Vec<Set>,
+    /// Packed tag array: way `w` of set `s` lives at `s * ways + w`.
+    tags: Vec<u64>,
+    meta: Vec<SetMeta>,
     rng: XorShift64,
     // statistics
     accesses: u64,
@@ -59,20 +69,17 @@ impl SetAssocCache {
     pub fn new(geom: CacheGeometry, seed: u64) -> Self {
         geom.validate();
         let n_sets = geom.sets();
-        let sets = (0..n_sets)
-            .map(|_| Set {
-                tags: vec![0; geom.ways as usize],
-                valid: 0,
-                dirty: 0,
-                repl: SetState::new(geom.policy, geom.ways),
-            })
+        let meta = (0..n_sets)
+            .map(|_| SetMeta { valid: 0, dirty: 0, repl: SetState::new(geom.policy, geom.ways) })
             .collect();
         SetAssocCache {
             geom,
+            ways: geom.ways,
             active_ways: geom.ways,
             set_mask: n_sets - 1,
             set_shift: n_sets.trailing_zeros(),
-            sets,
+            tags: vec![0; (n_sets * geom.ways as u64) as usize],
+            meta,
             rng: XorShift64::new(seed),
             accesses: 0,
             misses: 0,
@@ -102,43 +109,64 @@ impl SetAssocCache {
         (set, tag)
     }
 
+    /// Bitmask with the low `active` bits set (active ways ≤ 64).
+    #[inline]
+    fn active_mask(active: u32) -> u64 {
+        u64::MAX >> (64 - active)
+    }
+
     /// Access `line`; fill on miss. Returns hit/miss and any dirty victim.
+    #[inline]
     pub fn access(&mut self, line: u64, kind: AccessKind) -> CacheResponse {
         self.accesses += 1;
         let active = self.active_ways;
-        let (si, tag) = self.index(line);
-        let set = &mut self.sets[si];
-        // Lookup among active ways only.
-        for way in 0..active {
-            let bit = 1u64 << way;
-            if set.valid & bit != 0 && set.tags[way as usize] == tag {
-                set.repl.touch(way);
-                if kind == AccessKind::Write {
-                    set.dirty |= bit;
-                }
-                return CacheResponse { hit: true, writeback: None };
+        let si = (line & self.set_mask) as usize;
+        let tag = line >> self.set_shift;
+        let base = si * self.ways as usize;
+        let tags = &mut self.tags[base..base + active as usize];
+        let meta = &mut self.meta[si];
+        // Fused tag/valid scan: one early-exit pass over the packed tag
+        // row, walking the valid mask alongside instead of re-testing bit
+        // `w` each turn.
+        let mut valid = meta.valid;
+        let mut hit_way = u32::MAX;
+        for (w, &t) in tags.iter().enumerate() {
+            if valid & 1 != 0 && t == tag {
+                hit_way = w as u32;
+                break;
             }
+            valid >>= 1;
+        }
+        if hit_way != u32::MAX {
+            meta.repl.touch(hit_way);
+            if kind == AccessKind::Write {
+                meta.dirty |= 1u64 << hit_way;
+            }
+            return CacheResponse { hit: true, writeback: None };
         }
         self.misses += 1;
-        // Fill: prefer an invalid active way, else evict the policy victim.
-        let way = (0..active)
-            .find(|&w| set.valid & (1 << w) == 0)
-            .unwrap_or_else(|| set.repl.victim(active, &mut self.rng));
+        // Fill: prefer the lowest invalid active way, else the policy victim.
+        let invalid = !meta.valid & Self::active_mask(active);
+        let way = if invalid != 0 {
+            invalid.trailing_zeros()
+        } else {
+            meta.repl.victim(active, &mut self.rng)
+        };
         let bit = 1u64 << way;
         let mut writeback = None;
-        if set.valid & bit != 0 && set.dirty & bit != 0 {
-            let victim_line = (set.tags[way as usize] << self.set_shift) | si as u64;
+        if meta.valid & bit != 0 && meta.dirty & bit != 0 {
+            let victim_line = (tags[way as usize] << self.set_shift) | si as u64;
             writeback = Some(victim_line);
             self.writebacks += 1;
         }
-        set.tags[way as usize] = tag;
-        set.valid |= bit;
+        tags[way as usize] = tag;
+        meta.valid |= bit;
         if kind == AccessKind::Write {
-            set.dirty |= bit;
+            meta.dirty |= bit;
         } else {
-            set.dirty &= !bit;
+            meta.dirty &= !bit;
         }
-        set.repl.touch(way);
+        meta.repl.touch(way);
         CacheResponse { hit: false, writeback }
     }
 
@@ -146,9 +174,16 @@ impl SetAssocCache {
     /// tests and by the technique detector.
     pub fn probe(&self, line: u64) -> bool {
         let (si, tag) = self.index(line);
-        let set = &self.sets[si];
-        (0..self.active_ways)
-            .any(|w| set.valid & (1 << w) != 0 && set.tags[w as usize] == tag)
+        let base = si * self.ways as usize;
+        let tags = &self.tags[base..base + self.active_ways as usize];
+        let mut valid = self.meta[si].valid;
+        for &t in tags {
+            if valid & 1 != 0 && t == tag {
+                return true;
+            }
+            valid >>= 1;
+        }
+        false
     }
 
     /// Install a line without classifying the access (used by prefetchers).
@@ -159,20 +194,25 @@ impl SetAssocCache {
         }
         let active = self.active_ways;
         let (si, tag) = self.index(line);
-        let set = &mut self.sets[si];
-        let way = (0..active)
-            .find(|&w| set.valid & (1 << w) == 0)
-            .unwrap_or_else(|| set.repl.victim(active, &mut self.rng));
+        let base = si * self.ways as usize;
+        let meta = &mut self.meta[si];
+        let invalid = !meta.valid & Self::active_mask(active);
+        let way = if invalid != 0 {
+            invalid.trailing_zeros()
+        } else {
+            meta.repl.victim(active, &mut self.rng)
+        };
         let bit = 1u64 << way;
         let mut writeback = None;
-        if set.valid & bit != 0 && set.dirty & bit != 0 {
-            writeback = Some((set.tags[way as usize] << self.set_shift) | si as u64);
+        let slot = &mut self.tags[base + way as usize];
+        if meta.valid & bit != 0 && meta.dirty & bit != 0 {
+            writeback = Some((*slot << self.set_shift) | si as u64);
             self.writebacks += 1;
         }
-        set.tags[way as usize] = tag;
-        set.valid |= bit;
-        set.dirty &= !bit;
-        set.repl.touch(way);
+        *slot = tag;
+        meta.valid |= bit;
+        meta.dirty &= !bit;
+        meta.repl.touch(way);
         writeback
     }
 
@@ -183,18 +223,14 @@ impl SetAssocCache {
         let ways = ways.clamp(1, self.geom.ways);
         let mut flushed = 0;
         if ways < self.active_ways {
-            for set in &mut self.sets {
-                for w in ways..self.active_ways {
-                    let bit = 1u64 << w;
-                    if set.valid & bit != 0 {
-                        if set.dirty & bit != 0 {
-                            flushed += 1;
-                            self.writebacks += 1;
-                        }
-                        set.valid &= !bit;
-                        set.dirty &= !bit;
-                    }
-                }
+            // Bits [ways, active_ways) are the gated-off ways of every set.
+            let gated = Self::active_mask(self.active_ways) & !Self::active_mask(ways);
+            for meta in &mut self.meta {
+                let dirty_gated = (meta.valid & meta.dirty & gated).count_ones() as u64;
+                flushed += dirty_gated;
+                self.writebacks += dirty_gated;
+                meta.valid &= !gated;
+                meta.dirty &= !gated;
             }
         }
         self.active_ways = ways;
@@ -203,9 +239,9 @@ impl SetAssocCache {
 
     /// Invalidate everything (e.g. on machine reset).
     pub fn flush_all(&mut self) {
-        for set in &mut self.sets {
-            set.valid = 0;
-            set.dirty = 0;
+        for meta in &mut self.meta {
+            meta.valid = 0;
+            meta.dirty = 0;
         }
     }
 

@@ -40,7 +40,7 @@ impl CacheGeometry {
         assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(self.ways >= 1, "cache needs at least one way");
         assert!(
-            self.size_bytes % (self.line_bytes * self.ways as u64) == 0,
+            self.size_bytes.is_multiple_of(self.line_bytes * self.ways as u64),
             "size must be a multiple of line*ways"
         );
         assert!(self.sets().is_power_of_two(), "set count must be a power of two");
@@ -164,8 +164,7 @@ impl HierarchyConfig {
 
     /// Enable the Sandy Bridge 512-entry 4-way unified STLB.
     pub fn with_stlb(mut self) -> Self {
-        self.stlb =
-            Some(TlbGeometry { entries: 512, ways: 4, policy: ReplacementPolicy::Lru });
+        self.stlb = Some(TlbGeometry { entries: 512, ways: 4, policy: ReplacementPolicy::Lru });
         self
     }
 
@@ -180,7 +179,11 @@ impl HierarchyConfig {
             stlb.validate();
         }
         assert!(self.dram_ns > 0.0);
-        assert!(self.walk_levels >= 1);
+        assert!(
+            self.walk_levels >= 1 && self.walk_levels <= crate::paging::MAX_WALK_LEVELS,
+            "walk_levels must be within 1..={}",
+            crate::paging::MAX_WALK_LEVELS
+        );
     }
 }
 

@@ -11,7 +11,7 @@
 //! in [`MemStats::writebacks`]/[`MemStats::dram_writes`] but is not charged
 //! to the demand access's latency (real write buffers hide it).
 
-use crate::addr::{VAddr, LINE_BYTES};
+use crate::addr::{PAddr, VAddr, LINE_BYTES};
 use crate::cache::{AccessKind, SetAssocCache};
 use crate::config::HierarchyConfig;
 use crate::dram::DramModel;
@@ -36,7 +36,15 @@ pub struct AccessOutcome {
     pub l2_miss: bool,
     pub l3_miss: bool,
     pub tlb_miss: bool,
+    /// The physical address the access resolved to — on TLB hits this is
+    /// the TLB-cached PPN, so callers (and property tests) can check the
+    /// fast path against an independent [`crate::PageTable`].
+    pub paddr: PAddr,
 }
+
+/// Sentinel for the last-page memos: no VPN can equal `u64::MAX` (VPNs are
+/// at most 52 bits), so this entry never matches.
+const NO_PAGE: (u64, u64) = (u64::MAX, 0);
 
 #[derive(Clone, Debug)]
 struct CorePrivate {
@@ -47,6 +55,13 @@ struct CorePrivate {
     dtlb: Tlb,
     /// Optional unified second-level TLB backing both L1 TLBs.
     stlb: Option<Tlb>,
+    /// One-entry VPN→PPN memos in front of the D/I TLBs. Consecutive
+    /// accesses to the same page skip the set-associative lookup; the
+    /// skipped `touch` is a no-op because that entry is already MRU.
+    /// Invalidated whenever TLB contents can change underneath them
+    /// ([`MemoryHierarchy::apply`], [`MemoryHierarchy::flush_all`]).
+    last_data_page: (u64, u64),
+    last_fetch_page: (u64, u64),
     prefetcher: NextLinePrefetcher,
     stats: MemStats,
 }
@@ -76,6 +91,8 @@ impl MemoryHierarchy {
                 itlb: Tlb::new(cfg.itlb, cfg.seed ^ (i as u64) << 4),
                 dtlb: Tlb::new(cfg.dtlb, cfg.seed ^ (i as u64) << 5),
                 stlb: cfg.stlb.map(|g| Tlb::new(g, cfg.seed ^ (i as u64) << 6)),
+                last_data_page: NO_PAGE,
+                last_fetch_page: NO_PAGE,
                 prefetcher: NextLinePrefetcher::new(cfg.l2_prefetch),
                 stats: MemStats::default(),
             })
@@ -152,6 +169,9 @@ impl MemoryHierarchy {
             c.l2.set_active_ways(r.l2_ways);
             c.itlb.set_active_entries(r.itlb_entries);
             c.dtlb.set_active_entries(r.dtlb_entries);
+            // Entry gating may have evicted the memoized translations.
+            c.last_data_page = NO_PAGE;
+            c.last_fetch_page = NO_PAGE;
         }
         self.l3.set_active_ways(r.l3_ways);
         self.dram.set_gate(r.mem_gate);
@@ -167,34 +187,54 @@ impl MemoryHierarchy {
     }
 
     /// A data load or store at `vaddr` from `core`.
+    ///
+    /// Translation is resolved from the TLBs on the hit path (the PPN a TLB
+    /// caches is the one [`PageTable::translate`] produced when the entry
+    /// was filled); the page table's map is consulted only on walks. A
+    /// debug assertion cross-checks the cached PPN against the page table
+    /// on every access.
     pub fn data_access(&mut self, core: CoreId, vaddr: VAddr, write: bool) -> AccessOutcome {
         let mut out = AccessOutcome::default();
         let vpn = vaddr.vpn();
-        // DTLB.
+        // DTLB, fronted by the one-entry last-page memo.
         self.cores[core].stats.dtlb_lookups += 1;
-        let hit = self.cores[core].dtlb.lookup(vpn).is_some();
-        if !hit {
+        let ppn = if self.cores[core].last_data_page.0 == vpn {
+            self.cores[core].last_data_page.1
+        } else if let Some(ppn) = self.cores[core].dtlb.lookup(vpn) {
+            self.cores[core].last_data_page = (vpn, ppn);
+            ppn
+        } else {
             self.cores[core].stats.dtlb_misses += 1;
             out.tlb_miss = true;
             let ppn = self.second_level_translate(core, vpn, &mut out);
             self.cores[core].dtlb.insert(vpn, ppn);
-        }
-        let paddr = self.pt.translate(vaddr);
-        let line = paddr.line();
+            self.cores[core].last_data_page = (vpn, ppn);
+            ppn
+        };
+        debug_assert_eq!(
+            crate::addr::compose(ppn, vaddr.page_offset()),
+            self.pt.translate(vaddr),
+            "TLB-cached translation diverged from the page table for {vaddr:?}"
+        );
+        out.paddr = crate::addr::compose(ppn, vaddr.page_offset());
+        let line = out.paddr.line();
         let kind = if write { AccessKind::Write } else { AccessKind::Read };
 
-        self.cores[core].stats.l1d_accesses += 1;
+        // One bounds-checked core lookup for the whole cache descent; the
+        // helpers below work on split field borrows.
+        let c = &mut self.cores[core];
+        c.stats.l1d_accesses += 1;
         out.cycles += self.cfg.l1d.hit_cycles as u64;
-        let r1 = self.cores[core].l1d.access(line, kind);
+        let r1 = c.l1d.access(line, kind);
         if r1.hit {
             return out;
         }
-        self.cores[core].stats.l1d_misses += 1;
+        c.stats.l1d_misses += 1;
         out.l1_miss = true;
         if let Some(victim) = r1.writeback {
-            self.writeback_to_l2(core, victim);
+            Self::writeback_to_l2(&self.cfg, c, &mut self.l3, &mut self.dram, victim);
         }
-        self.l2_demand(core, line, &mut out);
+        Self::l2_demand(&self.cfg, c, &mut self.l3, &mut self.dram, line, &mut out);
         out
     }
 
@@ -203,125 +243,149 @@ impl MemoryHierarchy {
         let mut out = AccessOutcome::default();
         let vpn = vaddr.vpn();
         self.cores[core].stats.itlb_lookups += 1;
-        let hit = self.cores[core].itlb.lookup(vpn).is_some();
-        if !hit {
+        let ppn = if self.cores[core].last_fetch_page.0 == vpn {
+            self.cores[core].last_fetch_page.1
+        } else if let Some(ppn) = self.cores[core].itlb.lookup(vpn) {
+            self.cores[core].last_fetch_page = (vpn, ppn);
+            ppn
+        } else {
             self.cores[core].stats.itlb_misses += 1;
             out.tlb_miss = true;
             let ppn = self.second_level_translate(core, vpn, &mut out);
             self.cores[core].itlb.insert(vpn, ppn);
-        }
-        let paddr = self.pt.translate(vaddr);
-        let line = paddr.line();
-        self.cores[core].stats.l1i_accesses += 1;
+            self.cores[core].last_fetch_page = (vpn, ppn);
+            ppn
+        };
+        debug_assert_eq!(
+            crate::addr::compose(ppn, vaddr.page_offset()),
+            self.pt.translate(vaddr),
+            "TLB-cached translation diverged from the page table for {vaddr:?}"
+        );
+        out.paddr = crate::addr::compose(ppn, vaddr.page_offset());
+        let line = out.paddr.line();
+        let c = &mut self.cores[core];
+        c.stats.l1i_accesses += 1;
         out.cycles += self.cfg.l1i.hit_cycles as u64;
-        let r1 = self.cores[core].l1i.access(line, AccessKind::Read);
+        let r1 = c.l1i.access(line, AccessKind::Read);
         if r1.hit {
             return out;
         }
-        self.cores[core].stats.l1i_misses += 1;
+        c.stats.l1i_misses += 1;
         out.l1_miss = true;
         // L1I is read-only: no writeback possible.
-        self.l2_demand(core, line, &mut out);
+        Self::l2_demand(&self.cfg, c, &mut self.l3, &mut self.dram, line, &mut out);
         out
     }
 
     /// Resolve a first-level TLB miss: consult the STLB if configured,
     /// walking the page table only on an STLB miss. Returns the PPN.
-    fn second_level_translate(
-        &mut self,
-        core: CoreId,
-        vpn: u64,
-        out: &mut AccessOutcome,
-    ) -> u64 {
-        if self.cores[core].stlb.is_some() {
-            self.cores[core].stats.stlb_lookups += 1;
+    fn second_level_translate(&mut self, core: CoreId, vpn: u64, out: &mut AccessOutcome) -> u64 {
+        let c = &mut self.cores[core];
+        if let Some(stlb) = c.stlb.as_mut() {
+            c.stats.stlb_lookups += 1;
             out.cycles += self.cfg.stlb_hit_cycles as u64;
-            let hit = self.cores[core]
-                .stlb
-                .as_mut()
-                .expect("checked above")
-                .lookup(vpn);
-            if let Some(ppn) = hit {
+            if let Some(ppn) = stlb.lookup(vpn) {
                 return ppn;
             }
-            self.cores[core].stats.stlb_misses += 1;
+            c.stats.stlb_misses += 1;
         }
         self.page_walk(core, vpn, out);
-        let p = self.pt.translate(VAddr(vpn << crate::addr::PAGE_BITS));
-        if let Some(stlb) = &mut self.cores[core].stlb {
-            stlb.insert(vpn, p.ppn());
+        let ppn = self.pt.translate(VAddr(vpn << crate::addr::PAGE_BITS)).ppn();
+        if let Some(stlb) = self.cores[core].stlb.as_mut() {
+            stlb.insert(vpn, ppn);
         }
-        p.ppn()
+        ppn
     }
 
-    /// L2 demand access shared by data, fetch and walker paths.
-    fn l2_demand(&mut self, core: CoreId, line: u64, out: &mut AccessOutcome) {
-        self.cores[core].stats.l2_accesses += 1;
-        out.cycles += self.cfg.l2.hit_cycles as u64;
-        let r2 = self.cores[core].l2.access(line, AccessKind::Read);
+    /// L2 demand access shared by data, fetch and walker paths. Takes the
+    /// active core's private slice plus the shared back-end as split
+    /// borrows, so the descent does no repeated `cores[core]` indexing.
+    fn l2_demand(
+        cfg: &HierarchyConfig,
+        c: &mut CorePrivate,
+        l3: &mut SetAssocCache,
+        dram: &mut DramModel,
+        line: u64,
+        out: &mut AccessOutcome,
+    ) {
+        c.stats.l2_accesses += 1;
+        out.cycles += cfg.l2.hit_cycles as u64;
+        let r2 = c.l2.access(line, AccessKind::Read);
         if r2.hit {
             return;
         }
-        self.cores[core].stats.l2_misses += 1;
+        c.stats.l2_misses += 1;
         out.l2_miss = true;
         if let Some(victim) = r2.writeback {
-            self.writeback_to_l3(core, victim);
+            Self::writeback_to_l3(c, l3, dram, victim);
         }
         // Train the prefetcher; a prefetch fill pulls the next line into L2
         // through L3/DRAM without charging demand latency.
-        if let Some(pf_line) = self.cores[core].prefetcher.on_miss(line) {
-            self.cores[core].stats.prefetches += 1;
-            self.prefetch_fill(core, pf_line);
+        if let Some(pf_line) = c.prefetcher.on_miss(line) {
+            c.stats.prefetches += 1;
+            Self::prefetch_fill(c, l3, dram, pf_line);
         }
         // L3.
-        self.cores[core].stats.l3_accesses += 1;
-        out.cycles += self.cfg.l3.hit_cycles as u64;
-        let r3 = self.l3.access(line, AccessKind::Read);
+        c.stats.l3_accesses += 1;
+        out.cycles += cfg.l3.hit_cycles as u64;
+        let r3 = l3.access(line, AccessKind::Read);
         if r3.hit {
             return;
         }
-        self.cores[core].stats.l3_misses += 1;
+        c.stats.l3_misses += 1;
         out.l3_miss = true;
         if let Some(victim) = r3.writeback {
-            self.cores[core].stats.dram_writes += 1;
-            self.dram.access(victim, true);
+            c.stats.dram_writes += 1;
+            dram.access(victim, true);
         }
-        out.ns += self.dram.access(line, false);
-        self.cores[core].stats.dram_reads += 1;
+        out.ns += dram.access(line, false);
+        c.stats.dram_reads += 1;
     }
 
     /// Dirty line leaving an L1D: write into L2 (and ripple further).
-    fn writeback_to_l2(&mut self, core: CoreId, line: u64) {
-        self.cores[core].stats.writebacks += 1;
-        let r = self.cores[core].l2.access(line, AccessKind::Write);
+    fn writeback_to_l2(
+        cfg: &HierarchyConfig,
+        c: &mut CorePrivate,
+        l3: &mut SetAssocCache,
+        dram: &mut DramModel,
+        line: u64,
+    ) {
+        let _ = cfg;
+        c.stats.writebacks += 1;
+        let r = c.l2.access(line, AccessKind::Write);
         if let Some(victim) = r.writeback {
-            self.writeback_to_l3(core, victim);
+            Self::writeback_to_l3(c, l3, dram, victim);
         }
     }
 
     /// Dirty line leaving an L2: write into L3 (and ripple to DRAM).
-    fn writeback_to_l3(&mut self, core: CoreId, line: u64) {
-        self.cores[core].stats.writebacks += 1;
-        let r = self.l3.access(line, AccessKind::Write);
+    fn writeback_to_l3(
+        c: &mut CorePrivate,
+        l3: &mut SetAssocCache,
+        dram: &mut DramModel,
+        line: u64,
+    ) {
+        c.stats.writebacks += 1;
+        let r = l3.access(line, AccessKind::Write);
         if let Some(victim) = r.writeback {
-            self.cores[core].stats.dram_writes += 1;
-            self.dram.access(victim, true);
+            c.stats.dram_writes += 1;
+            dram.access(victim, true);
         }
     }
 
     /// Install a prefetched line into L2, fetching it from L3/DRAM.
-    fn prefetch_fill(&mut self, core: CoreId, line: u64) {
-        if !self.l3.probe(line) {
+    fn prefetch_fill(c: &mut CorePrivate, l3: &mut SetAssocCache, dram: &mut DramModel, line: u64) {
+        if !l3.probe(line) {
             // Pull into L3 from DRAM first (prefetch counts as DRAM read).
-            if let Some(victim) = self.l3.fill(line) {
-                self.cores[core].stats.dram_writes += 1;
-                self.dram.access(victim, true);
+            if let Some(victim) = l3.fill(line) {
+                c.stats.dram_writes += 1;
+                dram.access(victim, true);
             }
-            self.cores[core].stats.dram_reads += 1;
-            self.dram.access(line, false);
+            c.stats.dram_reads += 1;
+            dram.access(line, false);
         }
-        if let Some(victim) = self.cores[core].l2.fill(line) {
-            self.writeback_to_l3(core, victim);
+        if let Some(victim) = c.l2.fill(line) {
+            Self::writeback_to_l3(c, l3, dram, victim);
         }
     }
 
@@ -336,17 +400,18 @@ impl MemoryHierarchy {
     /// explicitly does *not* show for SIRE/RSM at low caps.
     fn page_walk(&mut self, core: CoreId, vpn: u64, out: &mut AccessOutcome) {
         let addrs = self.pt.walk_addrs(vpn, self.cfg.walk_levels);
-        for pa in addrs {
+        let c = &mut self.cores[core];
+        for &pa in addrs.iter() {
             let line = pa.line();
-            self.cores[core].stats.walk_reads += 1;
+            c.stats.walk_reads += 1;
             // Walker reads skip L1 and go straight to L2.
             out.cycles += self.cfg.l2.hit_cycles as u64;
-            let r2 = self.cores[core].l2.access(line, AccessKind::Read);
+            let r2 = c.l2.access(line, AccessKind::Read);
             if r2.hit {
                 continue;
             }
             if let Some(victim) = r2.writeback {
-                self.writeback_to_l3(core, victim);
+                Self::writeback_to_l3(c, &mut self.l3, &mut self.dram, victim);
             }
             out.cycles += self.cfg.l3.hit_cycles as u64;
             let r3 = self.l3.access(line, AccessKind::Read);
@@ -354,21 +419,43 @@ impl MemoryHierarchy {
                 continue;
             }
             if let Some(victim) = r3.writeback {
-                self.cores[core].stats.dram_writes += 1;
+                c.stats.dram_writes += 1;
                 self.dram.access(victim, true);
             }
             out.ns += self.dram.access(line, false);
-            self.cores[core].stats.dram_reads += 1;
+            c.stats.dram_reads += 1;
         }
+    }
+
+    /// Batched sequential access: one [`Self::data_access`] per line over
+    /// `[base, base + bytes)`, summing latencies and OR-ing the miss flags.
+    /// Streaming callers (warm-up passes, SAR-style kernels) amortize the
+    /// per-call dispatch over the whole range.
+    pub fn access_range(
+        &mut self,
+        core: CoreId,
+        base: VAddr,
+        bytes: u64,
+        write: bool,
+    ) -> AccessOutcome {
+        let mut total = AccessOutcome::default();
+        let mut off = 0;
+        while off < bytes {
+            let out = self.data_access(core, base.add(off), write);
+            total.cycles += out.cycles;
+            total.ns += out.ns;
+            total.l1_miss |= out.l1_miss;
+            total.l2_miss |= out.l2_miss;
+            total.l3_miss |= out.l3_miss;
+            total.tlb_miss |= out.tlb_miss;
+            off += LINE_BYTES;
+        }
+        total
     }
 
     /// Touch a whole virtual range for warm-up (one read per line).
     pub fn warm_range(&mut self, core: CoreId, base: VAddr, bytes: u64) {
-        let mut off = 0;
-        while off < bytes {
-            self.data_access(core, base.add(off), false);
-            off += LINE_BYTES;
-        }
+        self.access_range(core, base, bytes, false);
     }
 
     /// Flush all caches and TLBs (machine reset between runs).
@@ -382,6 +469,8 @@ impl MemoryHierarchy {
             if let Some(stlb) = &mut c.stlb {
                 stlb.flush();
             }
+            c.last_data_page = NO_PAGE;
+            c.last_fetch_page = NO_PAGE;
         }
         self.l3.flush_all();
     }
@@ -568,6 +657,54 @@ mod tests {
         let out = m.data_access(0, VAddr(0x200_0000 + 64), false);
         assert!(out.tlb_miss, "DTLB evicted the entry");
         assert_eq!(m.stats(0).walk_reads, walks_before, "STLB hit avoided the walk");
+    }
+
+    #[test]
+    fn apply_invalidates_last_page_memos() {
+        let mut m = h();
+        // tiny() DTLB: 8 entries, 4 ways, 2 sets. Both pages have even
+        // VPNs (same set); inserts fill the first invalid way, so the
+        // filler lands in way 0 and page A in way 1.
+        m.data_access(0, VAddr(0x100_000), false); // filler, set 0 way 0
+        m.data_access(0, VAddr(0x102_000), false); // page A, set 0 way 1
+        m.data_access(0, VAddr(0x102_040), false); // warm the last-page memo
+        let misses = m.stats(0).dtlb_misses;
+        // Gating to one way per set evicts way 1. The memo must drop too,
+        // or the next access would be reported as TLB-resident.
+        let mut r = m.current_reconfig();
+        r.dtlb_entries = 2;
+        m.apply(r);
+        let out = m.data_access(0, VAddr(0x102_080), false);
+        assert!(out.tlb_miss, "gated-away entry must miss the DTLB");
+        assert_eq!(m.stats(0).dtlb_misses, misses + 1);
+    }
+
+    #[test]
+    fn access_range_matches_per_line_loop() {
+        let mut batched = h();
+        let mut serial = h();
+        let base = VAddr(0x300_000);
+        let bytes = 4 * 4096 + 130; // partial trailing line included
+        let got = batched.access_range(0, base, bytes, false);
+        let mut want = AccessOutcome::default();
+        let mut off = 0;
+        while off < bytes {
+            let out = serial.data_access(0, base.add(off), false);
+            want.cycles += out.cycles;
+            want.ns += out.ns;
+            want.l1_miss |= out.l1_miss;
+            want.l2_miss |= out.l2_miss;
+            want.l3_miss |= out.l3_miss;
+            want.tlb_miss |= out.tlb_miss;
+            off += 64;
+        }
+        assert_eq!(got.cycles, want.cycles);
+        assert_eq!(got.ns.to_bits(), want.ns.to_bits());
+        assert_eq!(
+            (got.l1_miss, got.l2_miss, got.l3_miss, got.tlb_miss),
+            (want.l1_miss, want.l2_miss, want.l3_miss, want.tlb_miss)
+        );
+        assert_eq!(batched.stats(0), serial.stats(0));
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub use cache::{AccessKind, CacheResponse, SetAssocCache};
 pub use config::{CacheGeometry, HierarchyConfig, TlbGeometry};
 pub use dram::{DramModel, MemGateLevel};
 pub use hierarchy::{AccessOutcome, CoreId, MemoryHierarchy};
-pub use paging::PageTable;
+pub use paging::{PageTable, WalkPath, MAX_WALK_LEVELS};
 pub use reconfig::MemReconfig;
 pub use replacement::ReplacementPolicy;
 pub use stats::MemStats;

@@ -15,8 +15,10 @@ use std::collections::HashMap;
 
 use crate::addr::{PAddr, VAddr, PAGE_BITS};
 
-/// Fibonacci-hash multiplier used to scatter walker node addresses.
-const MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+/// Maximum radix-walk depth. Walk paths are returned in fixed storage
+/// ([`WalkPath`]), so deeper tables would need a wider array; x86-64
+/// (and the paper's E5-2680) walks exactly four levels.
+pub const MAX_WALK_LEVELS: u32 = 4;
 
 /// splitmix64 finalizer: a bijective mix with full avalanche, so the low
 /// PPN bits (which select the physically-indexed L2/L3 set "chunk") are
@@ -28,6 +30,33 @@ fn splitmix(v: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// The node addresses one hardware walk touches, root first — at most
+/// [`MAX_WALK_LEVELS`], held inline so the walk path never allocates.
+/// Derefs to a slice for iteration, indexing and `len()`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkPath {
+    addrs: [PAddr; MAX_WALK_LEVELS as usize],
+    len: u8,
+}
+
+impl std::ops::Deref for WalkPath {
+    type Target = [PAddr];
+
+    #[inline]
+    fn deref(&self) -> &[PAddr] {
+        &self.addrs[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a WalkPath {
+    type Item = &'a PAddr;
+    type IntoIter = std::slice::Iter<'a, PAddr>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
 }
 
 /// A per-machine page table.
@@ -51,6 +80,7 @@ impl PageTable {
     /// The VPN→PPN assignment mixes the VPN with the address-space salt and
     /// keeps the top 36 bits — a 64 GiB physical page space, matching the
     /// paper platform's DIMM capacity.
+    #[inline]
     pub fn translate(&mut self, v: VAddr) -> PAddr {
         let vpn = v.vpn();
         let salt = self.salt;
@@ -65,9 +95,13 @@ impl PageTable {
     /// share one 64-byte leaf line** — exactly like x86 page tables, and
     /// the reason real walkers mostly hit in the cache hierarchy instead
     /// of polluting it with one line per page.
-    pub fn walk_addrs(&mut self, vpn: u64, levels: u32) -> Vec<PAddr> {
+    pub fn walk_addrs(&mut self, vpn: u64, levels: u32) -> WalkPath {
+        assert!(
+            (1..=MAX_WALK_LEVELS).contains(&levels),
+            "walk depth {levels} outside 1..={MAX_WALK_LEVELS}"
+        );
         self.walks += 1;
-        let mut out = Vec::with_capacity(levels as usize);
+        let mut out = WalkPath { addrs: [PAddr(0); MAX_WALK_LEVELS as usize], len: levels as u8 };
         for lvl in 0..levels {
             // Strip the low (9 * (levels-1-lvl)) bits: upper levels cover
             // wider ranges and thus dedupe across neighbouring pages.
@@ -78,7 +112,7 @@ impl PageTable {
             let node = 0x0f00_0000_0000u64
                 + (lvl as u64) * 0x10_0000_0000
                 + (node_index.wrapping_mul(8)) % (1 << 32);
-            out.push(PAddr(node));
+            out.addrs[lvl as usize] = PAddr(node);
         }
         out
     }

@@ -130,10 +130,7 @@ mod tests {
     use crate::replacement::ReplacementPolicy;
 
     fn tlb(entries: u32, ways: u32) -> Tlb {
-        Tlb::new(
-            TlbGeometry { entries, ways, policy: ReplacementPolicy::Lru },
-            7,
-        )
+        Tlb::new(TlbGeometry { entries, ways, policy: ReplacementPolicy::Lru }, 7)
     }
 
     #[test]

@@ -164,4 +164,50 @@ proptest! {
         prop_assert!(cur.itlb_entries >= 32 && cur.itlb_entries <= 128);
         prop_assert!(cur.itlb_entries <= itlb.max(32));
     }
+
+    /// The allocation-free translation fast path (last-page memo plus
+    /// TLB-cached PPNs) must agree with `PageTable::translate` on every
+    /// access. `translate` is a pure function of (salt, VPN), so an
+    /// independent shadow table with the same salt is an oracle for the
+    /// whole sequence — including after reconfigs and flushes, which
+    /// invalidate the memos and TLB entries but never change the mapping.
+    #[test]
+    fn tlb_fast_path_matches_page_table(
+        ops in proptest::collection::vec((0u8..8, 0u64..48, any::<u16>()), 1..300),
+        salt in any::<u64>(),
+    ) {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::tiny().with_stlb(), 2, salt);
+        let mut shadow = PageTable::new(salt);
+        for &(op, page, off) in &ops {
+            let va = VAddr(0x40_0000 + page * 4096 + off as u64 % 4096);
+            match op {
+                0..=2 => {
+                    let out = m.data_access(0, va, op == 2);
+                    prop_assert_eq!(out.paddr, shadow.translate(va));
+                }
+                3 => {
+                    let out = m.fetch_access(0, va);
+                    prop_assert_eq!(out.paddr, shadow.translate(va));
+                }
+                4 => {
+                    // A second core has its own memos and TLBs but shares
+                    // the page table.
+                    let out = m.data_access(1, va, false);
+                    prop_assert_eq!(out.paddr, shadow.translate(va));
+                }
+                5 => {
+                    let mut r = m.current_reconfig();
+                    r.dtlb_entries = 1 + off as u32 % 64;
+                    r.itlb_entries = 1 + off as u32 % 128;
+                    m.apply(r);
+                }
+                6 => m.flush_all(),
+                _ => {
+                    // Batched path runs the same per-line fast path (with
+                    // its internal cross-check) over a few lines.
+                    m.access_range(0, va, 256, false);
+                }
+            }
+        }
+    }
 }

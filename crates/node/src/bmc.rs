@@ -274,9 +274,7 @@ impl Bmc {
                 }
                 Err(_) => Response::err(req, CompletionCode::RequestDataLengthInvalid),
             },
-            (NetFn::App, CMD_GET_DEVICE_ID) => {
-                Response::ok(req, DeviceId::capsim_bmc().encode())
-            }
+            (NetFn::App, CMD_GET_DEVICE_ID) => Response::ok(req, DeviceId::capsim_bmc().encode()),
             (NetFn::App, CMD_GET_DCMI_CAPABILITIES) => {
                 Response::ok(req, DcmiCapabilities::capsim_node().encode())
             }
@@ -480,10 +478,7 @@ mod tests {
             exceeded.len()
         );
         assert_eq!(exceeded[0].datum, 124);
-        assert!(b
-            .sel()
-            .iter()
-            .any(|e| e.event == capsim_ipmi::SelEventType::ThrottleFloorReached));
+        assert!(b.sel().iter().any(|e| e.event == capsim_ipmi::SelEventType::ThrottleFloorReached));
     }
 
     #[test]
@@ -546,8 +541,7 @@ mod tests {
         mgr.send(&get_capabilities_request(seq)).unwrap();
         b.serve(&port).unwrap();
         let caps =
-            capsim_ipmi::DcmiCapabilities::decode(&mgr.recv().unwrap().into_ok().unwrap())
-                .unwrap();
+            capsim_ipmi::DcmiCapabilities::decode(&mgr.recv().unwrap().into_ok().unwrap()).unwrap();
         assert!(caps.power_management);
         // Log something, read it back, clear it.
         b.sel.log(5, capsim_ipmi::SelEventType::PowerLimitExceeded, 124);

@@ -66,7 +66,8 @@ impl ThrottleLadder {
         // percent in Table II), L2/L3 way gating and ITLB shrink go deep
         // (the 125/120 W blow-ups), and memory gating tops out at Heavy.
         // (duty/16, l1d, l1i, l2, l3 ways, itlb, dtlb, memgate)
-        let deep: [(u8, u32, u32, u32, u32, u32, u32, MemGateLevel); 14] = [
+        type DeepRung = (u8, u32, u32, u32, u32, u32, u32, MemGateLevel);
+        let deep: [DeepRung; 14] = [
             (14, 8, 8, 8, 20, 128, 64, MemGateLevel::Off),
             (13, 8, 8, 8, 18, 96, 64, MemGateLevel::Off),
             (12, 8, 8, 8, 16, 96, 64, MemGateLevel::Off),

@@ -316,8 +316,7 @@ impl Machine {
             let out = self.hier.fetch_access(core, VAddr(addr));
             // The first-line fetch of a hit is hidden by the pipeline;
             // misses expose their penalty like data misses.
-            let penalty =
-                (out.cycles as f64 - self.cfg.hierarchy.l1i.hit_cycles as f64).max(0.0);
+            let penalty = (out.cycles as f64 - self.cfg.hierarchy.l1i.hit_cycles as f64).max(0.0);
             fetch_cycles += penalty * self.timing.cache_exposed;
             fetch_ns += out.ns * self.timing.dram_exposed;
             addr += self.cfg.hierarchy.l1i.line_bytes;
@@ -386,6 +385,44 @@ impl Machine {
     #[inline]
     pub fn load_serial(&mut self, addr: VAddr) {
         self.data_op(addr, false, true);
+    }
+
+    /// A batched modular load stream: `count` pipelined loads at
+    /// `base + (start + stride*i) % window` for `i = 0..count`.
+    ///
+    /// Exactly equivalent to calling [`Machine::load`] in a loop (same
+    /// per-access counter updates and tick boundaries), but streaming
+    /// kernels make one call per phase instead of one per access.
+    pub fn load_stream(&mut self, base: VAddr, window: u64, start: u64, stride: u64, count: u64) {
+        self.data_stream(base, window, start, stride, count, false);
+    }
+
+    /// The serially-dependent analogue of [`Machine::load_stream`].
+    pub fn load_serial_stream(
+        &mut self,
+        base: VAddr,
+        window: u64,
+        start: u64,
+        stride: u64,
+        count: u64,
+    ) {
+        self.data_stream(base, window, start, stride, count, true);
+    }
+
+    #[inline]
+    fn data_stream(
+        &mut self,
+        base: VAddr,
+        window: u64,
+        start: u64,
+        stride: u64,
+        count: u64,
+        serial: bool,
+    ) {
+        debug_assert!(window > 0);
+        for i in 0..count {
+            self.data_op(VAddr(base.0 + (start + stride * i) % window), false, serial);
+        }
     }
 
     /// The wall-clock latency of one serial load, measured. Used by the
@@ -681,7 +718,7 @@ mod tests {
     fn compute_advances_time_at_the_nominal_frequency() {
         let mut m = machine();
         m.compute(2_700_000 * 3); // 2.7M cycles at issue width 3
-        // 2.7M cycles at 2.7 GHz = 1 ms.
+                                  // 2.7M cycles at 2.7 GHz = 1 ms.
         assert!((m.now_s() - 1e-3).abs() < 1e-5, "{}", m.now_s());
     }
 
@@ -708,11 +745,7 @@ mod tests {
             m.load(r.at((i * 64) % r.bytes()));
         }
         let s = m.finish_run();
-        assert!(
-            (140.0..165.0).contains(&s.avg_power_w),
-            "baseline power {}",
-            s.avg_power_w
-        );
+        assert!((140.0..165.0).contains(&s.avg_power_w), "baseline power {}", s.avg_power_w);
         assert!((s.avg_freq_mhz - 2700.0).abs() < 1.0, "{}", s.avg_freq_mhz);
     }
 
@@ -756,11 +789,7 @@ mod tests {
         // Average frequency includes the brief escalation transient at
         // higher P-states; once pinned it reads 1200 MHz.
         assert!(s.avg_freq_mhz < 1350.0, "pinned at P-min: {}", s.avg_freq_mhz);
-        let deepest = ThrottleLadder::e5_2680(
-            &m.config().pstates,
-            m.config().full_mem(),
-        )
-        .deepest();
+        let deepest = ThrottleLadder::e5_2680(&m.config().pstates, m.config().full_mem()).deepest();
         assert_eq!(s.final_rung, deepest);
     }
 
@@ -792,8 +821,7 @@ mod tests {
         let capped = capped.finish_run();
         assert!(capped.wall_s > base.wall_s * 1.5, "{} vs {}", capped.wall_s, base.wall_s);
         assert_eq!(
-            capped.counters.instructions_committed,
-            base.counters.instructions_committed,
+            capped.counters.instructions_committed, base.counters.instructions_committed,
             "commits are cap-invariant"
         );
         assert!(capped.energy_j > base.energy_j, "capping wastes energy");
@@ -833,11 +861,7 @@ mod tests {
         let mut m = Machine::new(MachineConfig::e5_2680(6));
         m.idle(0.05);
         let s = m.finish_run();
-        assert!(
-            (99.0..=104.0).contains(&s.avg_power_w),
-            "idle power {}",
-            s.avg_power_w
-        );
+        assert!((99.0..=104.0).contains(&s.avg_power_w), "idle power {}", s.avg_power_w);
     }
 
     #[test]

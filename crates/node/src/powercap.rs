@@ -115,10 +115,8 @@ impl<'m> PowercapFs<'m> {
                 v => Err(PowercapError::Inval(v.to_string())),
             },
             "constraint_0_power_limit_uw" => {
-                let uw: u64 = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| PowercapError::Inval(value.to_string()))?;
+                let uw: u64 =
+                    value.trim().parse().map_err(|_| PowercapError::Inval(value.to_string()))?;
                 let pkg_w = uw as f64 / 1e6;
                 if !(1.0..=500.0).contains(&pkg_w) {
                     return Err(PowercapError::Inval(format!("{pkg_w} W out of range")));
@@ -128,10 +126,8 @@ impl<'m> PowercapFs<'m> {
                 Ok(())
             }
             "constraint_0_time_window_us" => {
-                self.time_window_us = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| PowercapError::Inval(value.to_string()))?;
+                self.time_window_us =
+                    value.trim().parse().map_err(|_| PowercapError::Inval(value.to_string()))?;
                 Ok(())
             }
             "name" | "constraint_0_name" | "energy_uj" | "max_energy_range_uj" => {

@@ -50,8 +50,6 @@ mod tests {
 
     #[test]
     fn cooler_die_leaks_less() {
-        assert!(
-            leakage_power_w(5.0, 1.0, 40.0, 0.0) < leakage_power_w(5.0, 1.0, 50.0, 0.0)
-        );
+        assert!(leakage_power_w(5.0, 1.0, 40.0, 0.0) < leakage_power_w(5.0, 1.0, 50.0, 0.0));
     }
 }

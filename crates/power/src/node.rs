@@ -257,10 +257,7 @@ mod tests {
             ..busy(1.2, 0.78, 0.55)
         };
         let total = m.power(&w).total_w();
-        assert!(
-            (121.5..=126.5).contains(&total),
-            "ladder floor = {total}; Table II shows ~124 W"
-        );
+        assert!((121.5..=126.5).contains(&total), "ladder floor = {total}; Table II shows ~124 W");
     }
 
     #[test]

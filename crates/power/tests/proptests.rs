@@ -18,8 +18,8 @@ fn window_strategy() -> impl Strategy<Value = ActivityWindow> {
         0.8f64..=1.0,
         30.0f64..90.0,
     )
-        .prop_map(
-            |(f, v, duty, busy, act, cores, l3, dram, gated, gate_frac, temp)| ActivityWindow {
+        .prop_map(|(f, v, duty, busy, act, cores, l3, dram, gated, gate_frac, temp)| {
+            ActivityWindow {
                 f_ghz: f,
                 volts: v,
                 duty,
@@ -31,8 +31,8 @@ fn window_strategy() -> impl Strategy<Value = ActivityWindow> {
                 cache_gated_frac: gated,
                 mem_gate_power_frac: gate_frac,
                 temp_c: temp,
-            },
-        )
+            }
+        })
 }
 
 proptest! {

@@ -41,8 +41,9 @@ fn main() {
 
     // Give the nodes a moment to start reporting, then budget the group.
     std::thread::sleep(std::time::Duration::from_millis(300));
-    let readings: Vec<f64> =
-        (0..dcm.len()).map(|i| dcm.read_power(i).map(|r| r.current_w as f64).unwrap_or(0.0)).collect();
+    let readings: Vec<f64> = (0..dcm.len())
+        .map(|i| dcm.read_power(i).map(|r| r.current_w as f64).unwrap_or(0.0))
+        .collect();
     println!("initial demand: {readings:?} W");
 
     let budget = 390.0;
@@ -52,7 +53,12 @@ fn main() {
     println!("group budget {budget} W -> caps {caps:?}");
     for i in 0..dcm.len() {
         let limit = dcm.node_limit(i).expect("limit stored");
-        println!("  {}: cap {} W (correction {} ms)", dcm.node_name(i), limit.limit_w, limit.correction_ms);
+        println!(
+            "  {}: cap {} W (correction {} ms)",
+            dcm.node_name(i),
+            limit.limit_w,
+            limit.correction_ms
+        );
     }
 
     for t in threads {

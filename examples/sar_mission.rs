@@ -68,10 +68,7 @@ fn main() {
             if ok { "MEETS deadline" } else { "too slow" }
         );
         // The image must stay correct regardless of the cap.
-        assert!(
-            (out.checksum - base_out.checksum).abs() < 1e-6,
-            "capping must not change results"
-        );
+        assert!((out.checksum - base_out.checksum).abs() < 1e-6, "capping must not change results");
     }
     println!(
         "\nReading: caps down to the mid-130s trade watts for tolerable\n\

@@ -1,0 +1,178 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot fetch crates.io, so this shim provides
+//! the small parallel-iterator surface capsim's sweep runner uses:
+//! `into_par_iter()` / `par_iter()` followed by `.map(...).collect()`.
+//! Work really does run in parallel — items are distributed over
+//! `std::thread::scope` workers (one per available core, capped by the
+//! item count) and results are returned in input order, so it is a
+//! drop-in replacement for deterministic fan-out workloads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads for `n` items.
+fn workers_for(n: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    cores.min(n).max(1)
+}
+
+/// Order-preserving parallel map: the engine under `collect()`.
+fn parallel_map<T, O, F>(items: Vec<T>, f: &F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers_for(n) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let item = slots[idx].lock().unwrap().take().expect("each slot taken once");
+                let out = f(item);
+                *results[idx].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+/// A collected sequence awaiting a parallel stage.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Attach a map stage (lazy; runs at `collect`).
+    pub fn map<O, F>(self, f: F) -> ParMap<T, F>
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// The number of items in the stage.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A pending parallel map stage.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Run the map across worker threads and collect in input order.
+    pub fn collect<C, O>(self) -> C
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync,
+        C: FromIterator<O>,
+    {
+        parallel_map(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Entry point: `collection.into_par_iter()`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter { items: self.into_iter().collect() }
+    }
+}
+
+/// Entry point: `collection.par_iter()` (yields references).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..100u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_yields_references() {
+        let data = vec![1u32, 2, 3];
+        let v: Vec<u32> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(v, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn really_runs_on_multiple_threads() {
+        // With >1 core, at least two distinct thread ids should appear for
+        // a slow-enough workload. On a 1-core box this degenerates safely.
+        let ids: Vec<std::thread::ThreadId> = (0..16u64)
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                std::thread::current().id()
+            })
+            .collect();
+        if std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1) > 1 {
+            let first = ids[0];
+            assert!(ids.iter().any(|&i| i != first), "expected parallel execution");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_paths() {
+        let v: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+        let v: Vec<u64> = vec![7u64].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(v, vec![8]);
+    }
+}

@@ -61,10 +61,7 @@ fn committed_instructions_are_cap_invariant_executed_vary_slightly() {
     // However, these differences are small."
     let (base, _) = run(&mut StereoMatching::test_scale(5), None, 5);
     let (low, _) = run(&mut StereoMatching::test_scale(5), Some(124.0), 5);
-    assert_eq!(
-        base.counters.instructions_committed,
-        low.counters.instructions_committed
-    );
+    assert_eq!(base.counters.instructions_committed, low.counters.instructions_committed);
     let gap = (low.counters.instructions_executed as f64
         - base.counters.instructions_executed as f64)
         .abs()

@@ -57,10 +57,7 @@ fn unreachable_cap_leaves_a_sel_paper_trail_readable_over_ipmi() {
         sel.iter().any(|e| e.event == SelEventType::PowerLimitConfigured),
         "configuration logged"
     );
-    assert!(
-        violation_count(&sel) > 0,
-        "sustained violations logged: {sel:?}"
-    );
+    assert!(violation_count(&sel) > 0, "sustained violations logged: {sel:?}");
     stop.store(true, Ordering::Relaxed);
     let stats = t.join().expect("node");
     assert!(stats.bmc_stats.2 > 0, "BMC counted exceptions too");
@@ -86,10 +83,6 @@ fn in_band_powercap_and_out_of_band_dcmi_agree_on_the_same_node() {
     assert!((cap - 134.0).abs() < 1.0, "translated node cap {cap}");
     assert!(s.avg_power_w < cap + 2.0, "enforced: {}", s.avg_power_w);
     // The in-band path logged configuration the same way (SEL is one).
-    let energy_uj: u64 = PowercapFs::new(&mut m)
-        .read("energy_uj")
-        .unwrap()
-        .parse()
-        .unwrap();
+    let energy_uj: u64 = PowercapFs::new(&mut m).read("energy_uj").unwrap().parse().unwrap();
     assert!(energy_uj > 0, "RAPL energy advanced");
 }

@@ -1,0 +1,123 @@
+//! Golden determinism snapshot of the quick cap sweep.
+//!
+//! Runs `ExperimentConfig::quick()` sweeps of both paper workloads at
+//! test scale and compares every `RunMetrics` field bit-for-bit against
+//! a committed snapshot. This pins the simulator's observable behaviour:
+//! any change to the memory hierarchy, power ladder, or control loop
+//! that alters a single counter or metric fails this test.
+//!
+//! Regenerate (after an *intentional* behaviour change) with:
+//!
+//! ```text
+//! CAPSIM_BLESS=1 cargo test --test golden_sweep
+//! ```
+//!
+//! Floats are serialized as IEEE-754 bit patterns (with a readable
+//! decimal alongside), so equality is exact, not epsilon-based.
+
+use capsim_apps::{SireRsm, StereoMatching, Workload};
+use capsim_core::{CapSweep, ExperimentConfig, RunMetrics, SweepResult};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/quick_sweep.txt")
+}
+
+fn fmt_f64(out: &mut String, name: &str, v: f64) {
+    writeln!(out, "{name} = {:016x}  # {v:?}", v.to_bits()).unwrap();
+}
+
+fn fmt_metrics(out: &mut String, label: &str, m: &RunMetrics) {
+    writeln!(out, "[{label}]").unwrap();
+    match m.cap_w {
+        Some(c) => fmt_f64(out, "cap_w", c),
+        None => writeln!(out, "cap_w = none").unwrap(),
+    }
+    fmt_f64(out, "avg_power_w", m.avg_power_w);
+    fmt_f64(out, "energy_j", m.energy_j);
+    fmt_f64(out, "avg_freq_mhz", m.avg_freq_mhz);
+    fmt_f64(out, "time_s", m.time_s);
+    fmt_f64(out, "l1_misses", m.l1_misses);
+    fmt_f64(out, "l2_misses", m.l2_misses);
+    fmt_f64(out, "l3_misses", m.l3_misses);
+    fmt_f64(out, "dtlb_misses", m.dtlb_misses);
+    fmt_f64(out, "itlb_misses", m.itlb_misses);
+    fmt_f64(out, "instr_committed", m.instr_committed);
+    fmt_f64(out, "instr_executed", m.instr_executed);
+    fmt_f64(out, "dram_accesses", m.dram_accesses);
+    fmt_f64(out, "quality", m.quality);
+    writeln!(out).unwrap();
+}
+
+fn fmt_sweep(out: &mut String, s: &SweepResult) {
+    fmt_metrics(out, &format!("{} baseline", s.workload), &s.baseline);
+    for row in &s.rows {
+        let cap = row.cap_w.expect("capped rows carry a cap");
+        fmt_metrics(out, &format!("{} cap {cap}W", s.workload), row);
+    }
+}
+
+fn render_quick_sweeps() -> String {
+    let sweep = CapSweep::new(ExperimentConfig::quick());
+    let stereo = sweep.run("Stereo Matching", |seed| {
+        Box::new(StereoMatching::test_scale(seed)) as Box<dyn Workload>
+    });
+    let sire =
+        sweep.run("SIRE/RSM", |seed| Box::new(SireRsm::test_scale(seed)) as Box<dyn Workload>);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# capsim golden snapshot: ExperimentConfig::quick() sweeps, test-scale workloads.\n\
+         # Exact IEEE-754 bits per metric; regenerate with CAPSIM_BLESS=1 (see tests/golden_sweep.rs).\n"
+    )
+    .unwrap();
+    fmt_sweep(&mut out, &stereo);
+    fmt_sweep(&mut out, &sire);
+    out
+}
+
+/// First mismatching line of two renderings, for a readable failure.
+fn first_diff(expected: &str, actual: &str) -> String {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!("line {}:\n  expected: {e}\n  actual:   {a}", i + 1);
+        }
+    }
+    format!(
+        "line counts differ: expected {}, actual {}",
+        expected.lines().count(),
+        actual.lines().count()
+    )
+}
+
+#[test]
+fn quick_sweep_metrics_match_committed_snapshot() {
+    let actual = render_quick_sweeps();
+    let path = snapshot_path();
+    if std::env::var("CAPSIM_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("blessed snapshot at {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); generate with CAPSIM_BLESS=1 cargo test --test golden_sweep",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "quick-sweep metrics diverged from the committed snapshot.\n{}\n\
+         If this change is intentional, re-bless with CAPSIM_BLESS=1.",
+        first_diff(&expected, &actual)
+    );
+}
+
+/// The snapshot must be independent of host parallelism: re-rendering in
+/// the same process (different rayon scheduling) yields identical bytes.
+#[test]
+fn quick_sweep_is_deterministic_across_reruns() {
+    assert_eq!(render_quick_sweeps(), render_quick_sweeps());
+}

@@ -67,9 +67,8 @@ fn group_budget_throttles_every_node_in_the_rack() {
             std::thread::yield_now();
         }
     }
-    let caps = dcm
-        .apply_group_budget(3.0 * 135.0, &AllocationPolicy::Uniform)
-        .expect("budget applied");
+    let caps =
+        dcm.apply_group_budget(3.0 * 135.0, &AllocationPolicy::Uniform).expect("budget applied");
     assert_eq!(caps, vec![135.0; 3]);
     for t in threads {
         let s = t.join().expect("node");

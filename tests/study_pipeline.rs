@@ -14,9 +14,7 @@ fn small_sweep() -> capsim::study::SweepResult {
         ladder: LadderKind::Full,
         control_period_us: 10.0,
     };
-    CapSweep::new(cfg).run("Stereo Matching", |seed| {
-        Box::new(StereoMatching::test_scale(seed))
-    })
+    CapSweep::new(cfg).run("Stereo Matching", |seed| Box::new(StereoMatching::test_scale(seed)))
 }
 
 #[test]
