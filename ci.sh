@@ -17,7 +17,13 @@ cargo test --workspace -q
 echo "== table2 smoke (CAPSIM_SCALE=test)"
 CAPSIM_SCALE=test cargo run -q --release -p capsim-bench --bin table2 >/dev/null
 
+echo "== fleet smoke (CAPSIM_SCALE=test: 32 nodes, faults on)"
+CAPSIM_SCALE=test cargo run -q --release -p capsim-bench --bin fleet /tmp/BENCH_fleet_ci.json >/dev/null
+
 echo "== perf smoke (writes BENCH_hotpath.json)"
 cargo run -q --release -p capsim-bench --bin perf_smoke >/dev/null
+
+echo "== cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "CI OK"

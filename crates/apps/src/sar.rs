@@ -2,7 +2,7 @@
 //! sidelobe minimization.
 //!
 //! Modeled on Nguyen's ARL reports for the SIRE forward-looking radar
-//! (the paper's reference [4]): the platform moves along a track emitting
+//! (the paper's reference \[4\]): the platform moves along a track emitting
 //! wideband impulses; each aperture position records a time-domain return;
 //! the image is formed by **backprojection** (for every pixel, sum the
 //! returns sampled at that pixel's round-trip delay); **RSM** repeats the

@@ -2,7 +2,7 @@
 //! cake" scene.
 //!
 //! After Shires, *Exploiting Parallelism in a Monte Carlo Image-Matching
-//! Algorithm* (the paper's reference [5]): disparity estimation is cast as
+//! Algorithm* (the paper's reference \[5\]): disparity estimation is cast as
 //! an energy minimization solved by simulated annealing. The energy of a
 //! disparity field `D` is
 //!

@@ -1,4 +1,4 @@
-//! The Hennessy–Patterson stride microbenchmark (paper reference [6]).
+//! The Hennessy–Patterson stride microbenchmark (paper reference \[6\]).
 //!
 //! "The code includes a nested loop that reads and writes memory at
 //! different strides and cache sizes. The results … can be used to

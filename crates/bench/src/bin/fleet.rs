@@ -1,0 +1,90 @@
+//! Fleet-scaling smoke: steps a managed fleet serially and in parallel,
+//! checks the two runs are bit-identical, and emits a JSON trajectory
+//! point with node-epochs-per-second throughput.
+//!
+//! Usage: `cargo run -p capsim-bench --bin fleet --release [-- out.json]`
+//!
+//! `CAPSIM_SCALE=test` shrinks the run to 32 nodes with the lossy fault
+//! schedule enabled — the CI smoke configuration. The default is a
+//! 256-node clean fleet, the scale target from the roadmap.
+//!
+//! The committed `BENCH_fleet.json` at the repo root records the
+//! trajectory across PRs; regenerate after fleet-relevant changes.
+//! Speedup is whatever the host delivers: on a single-core runner the
+//! parallel run ties (or slightly trails) the serial one, and the JSON
+//! records the measured number plus the thread count so readers can
+//! judge it.
+
+use std::time::Instant;
+
+use capsim_dcm::{FleetBuilder, FleetReport};
+use capsim_ipmi::FaultSpec;
+
+struct Scale {
+    nodes: usize,
+    epochs: u32,
+    faults: FaultSpec,
+    label: &'static str,
+}
+
+fn scale() -> Scale {
+    match std::env::var("CAPSIM_SCALE").as_deref() {
+        Ok("test") => Scale { nodes: 32, epochs: 4, faults: FaultSpec::lossy(0.05), label: "test" },
+        _ => Scale { nodes: 256, epochs: 4, faults: FaultSpec::none(), label: "full" },
+    }
+}
+
+fn run(sc: &Scale, parallel: bool) -> (FleetReport, f64) {
+    let start = Instant::now();
+    let report = FleetBuilder::new()
+        .nodes(sc.nodes)
+        .epochs(sc.epochs)
+        .faults(sc.faults)
+        .seed(7)
+        .parallel(parallel)
+        .build()
+        .run();
+    let wall = start.elapsed().as_secs_f64();
+    let node_epochs = (sc.nodes as u32 * sc.epochs) as f64;
+    (report, node_epochs / wall)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_fleet.json".into());
+    let sc = scale();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "fleet: {} nodes x {} epochs ({}, {} host threads) …",
+        sc.nodes, sc.epochs, sc.label, threads
+    );
+
+    let (serial_report, serial_rate) = run(&sc, false);
+    eprintln!("  serial  : {serial_rate:>10.1} node-epochs/s");
+    let (parallel_report, parallel_rate) = run(&sc, true);
+    eprintln!("  parallel: {parallel_rate:>10.1} node-epochs/s");
+
+    let deterministic = serial_report.render() == parallel_report.render();
+    assert!(
+        deterministic,
+        "parallel fleet run diverged from serial run — determinism contract broken"
+    );
+    let speedup = parallel_rate / serial_rate;
+    eprintln!("  speedup : {speedup:.2}x (deterministic: {deterministic})");
+    eprintln!(
+        "  fleet   : {} responsive of {}, final epoch answered={}",
+        parallel_report.responsive(),
+        parallel_report.nodes,
+        parallel_report.records.last().map_or(0, |r| r.answered)
+    );
+
+    let json = format!(
+        "{{\n  \"scale\": \"{}\",\n  \"nodes\": {},\n  \"epochs\": {},\n  \
+         \"threads\": {threads},\n  \"serial_node_epochs_per_sec\": {serial_rate:.1},\n  \
+         \"parallel_node_epochs_per_sec\": {parallel_rate:.1},\n  \"speedup\": {speedup:.2},\n  \
+         \"deterministic\": {deterministic}\n}}\n",
+        sc.label, sc.nodes, sc.epochs
+    );
+    std::fs::write(&out_path, &json).expect("write json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,86 @@
+//! Fleet-aware error reporting.
+//!
+//! `capsim-ipmi` errors describe what happened on one wire; at fleet
+//! scale that is useless without knowing *which* node's wire. [`DcmError`]
+//! wraps every management failure with the node's identity so operators
+//! (and tests) can act on it.
+
+use std::fmt;
+
+use capsim_ipmi::IpmiError;
+
+use crate::manager::NodeId;
+
+/// A management-plane failure, attributed to a node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DcmError {
+    /// An IPMI transaction with a node failed.
+    Ipmi { node: NodeId, name: String, source: IpmiError },
+    /// The node is registered without an owned link; the caller must use
+    /// a `*_via` method and supply the transport.
+    Unlinked { node: NodeId, name: String },
+    /// The `NodeId` does not belong to this manager.
+    UnknownNode(NodeId),
+}
+
+impl DcmError {
+    /// The node the failure is attributed to (if any).
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            DcmError::Ipmi { node, .. } | DcmError::Unlinked { node, .. } => Some(*node),
+            DcmError::UnknownNode(n) => Some(*n),
+        }
+    }
+
+    /// True for failures a retry at a later epoch might cure.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DcmError::Ipmi { source, .. } if source.is_transient())
+    }
+}
+
+impl fmt::Display for DcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcmError::Ipmi { node, name, source } => {
+                write!(f, "node {} ({name}): {source}", node.index())
+            }
+            DcmError::Unlinked { node, name } => {
+                write!(f, "node {} ({name}) has no owned link; use a *_via method", node.index())
+            }
+            DcmError::UnknownNode(n) => write!(f, "unknown node id {}", n.index()),
+        }
+    }
+}
+
+impl std::error::Error for DcmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DcmError::Ipmi { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_carry_node_identity() {
+        let e = DcmError::Ipmi {
+            node: NodeId::from_index(3),
+            name: "rack1-n3".into(),
+            source: IpmiError::TimedOut,
+        };
+        assert_eq!(e.node().unwrap().index(), 3);
+        assert!(e.is_transient());
+        let msg = e.to_string();
+        assert!(msg.contains("rack1-n3") && msg.contains("timed out"), "{msg}");
+        let e = DcmError::Ipmi {
+            node: NodeId::from_index(0),
+            name: "n0".into(),
+            source: IpmiError::ChannelClosed,
+        };
+        assert!(!e.is_transient());
+    }
+}

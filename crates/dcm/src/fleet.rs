@@ -1,0 +1,593 @@
+//! The fleet engine: N simulated nodes stepped in lock-step simulated
+//! time under one DCM budget loop.
+//!
+//! Each control epoch has two phases:
+//!
+//! 1. **Step phase** — every node advances `epoch_s` of simulated time,
+//!    executing its synthetic workload and running its own BMC control
+//!    loop. Nodes share no state, so this phase parallelizes across
+//!    worker threads (rayon) with per-node seeds; results are collected
+//!    in node order, making the parallel run bit-identical to a serial
+//!    one.
+//! 2. **Barrier phase** — with all nodes at the same simulated instant,
+//!    the DCM serially polls power over IPMI, reallocates the group
+//!    budget across the nodes that answered (uniform / proportional /
+//!    priority), and pushes the new caps. The management network can be
+//!    faulty ([`FaultSpec`]); transactions retry with backoff, and nodes
+//!    that stop answering are marked unresponsive with their budget share
+//!    reallocated to healthy peers.
+//!
+//! Because the manager cannot block on a node that lives on the same
+//! thread, barrier-phase traffic flows through [`PumpedLink`]: each
+//! delivery poll services the node's BMC, so request, firmware handling
+//! and response all happen inside the barrier, in deterministic order.
+
+use capsim_ipmi::{
+    FaultSpec, IpmiError, LanChannel, ManagerPort, Request, Response, RetryPolicy, Transact,
+};
+use capsim_node::{CodeBlock, EpochWorkload, Machine, MachineConfig, Region, RunStats};
+use rayon::prelude::*;
+
+use crate::manager::{Dcm, NodeHealth, NodeId};
+use crate::monitor::{read_sel_via, violation_count};
+use crate::policy::AllocationPolicy;
+
+/// A [`Transact`] link for lock-step topologies: the manager and the node
+/// live on the same thread, so instead of blocking on the wire, each
+/// delivery poll pumps the node's BMC service loop. Wait budgets are
+/// counted in polls, not wall-clock time — transactions are fully
+/// deterministic.
+pub struct PumpedLink<'a> {
+    port: &'a mut ManagerPort,
+    machine: &'a mut Machine,
+    polls_per_attempt: u32,
+    patience: u32,
+}
+
+impl<'a> PumpedLink<'a> {
+    pub fn new(
+        port: &'a mut ManagerPort,
+        machine: &'a mut Machine,
+        polls_per_attempt: u32,
+    ) -> Self {
+        PumpedLink { port, machine, polls_per_attempt: polls_per_attempt.max(1), patience: 1 }
+    }
+}
+
+impl Transact for PumpedLink<'_> {
+    fn next_seq(&mut self) -> u8 {
+        self.port.next_seq()
+    }
+
+    fn transact(&mut self, req: &Request) -> Result<Response, IpmiError> {
+        self.port.send(req)?;
+        let budget = self.polls_per_attempt.saturating_mul(self.patience);
+        for _ in 0..budget {
+            self.machine.service_bmc();
+            match self.port.try_recv() {
+                Ok(Some(resp))
+                    if resp.seq == req.seq && resp.cmd == req.cmd && resp.netfn == req.netfn =>
+                {
+                    return Ok(resp)
+                }
+                Ok(Some(_)) => {} // stale response to an earlier attempt
+                Ok(None) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Err(IpmiError::TimedOut)
+    }
+
+    fn set_patience(&mut self, factor: u32) {
+        self.patience = factor.max(1);
+    }
+}
+
+/// Synthetic workload mix for a fleet node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadKind {
+    /// ALU-bound: hot loop out of L1.
+    Compute,
+    /// Memory-bound: strided loads over a working set.
+    Stream,
+    /// Both, plus a mostly-predictable branch.
+    Mixed,
+}
+
+impl LoadKind {
+    fn for_index(i: usize) -> LoadKind {
+        match i % 3 {
+            0 => LoadKind::Compute,
+            1 => LoadKind::Stream,
+            _ => LoadKind::Mixed,
+        }
+    }
+}
+
+/// A self-contained epoch workload built from machine primitives.
+struct SyntheticLoad {
+    kind: LoadKind,
+    block: CodeBlock,
+    region: Region,
+    i: u64,
+}
+
+impl SyntheticLoad {
+    fn new(m: &mut Machine, kind: LoadKind) -> Self {
+        let block = m.code_block(96, 24);
+        let region = m.alloc(64 * 1024);
+        SyntheticLoad { kind, block, region, i: 0 }
+    }
+}
+
+impl EpochWorkload for SyntheticLoad {
+    fn quantum(&mut self, m: &mut Machine) {
+        let start = (self.i * 64) % self.region.bytes();
+        match self.kind {
+            LoadKind::Compute => {
+                for _ in 0..4 {
+                    m.exec_block(&self.block);
+                }
+                m.compute(1000);
+            }
+            LoadKind::Stream => {
+                m.exec_block(&self.block);
+                m.load_stream(self.region.base(), self.region.bytes(), start, 64, 64);
+            }
+            LoadKind::Mixed => {
+                for _ in 0..2 {
+                    m.exec_block(&self.block);
+                }
+                m.load_stream(self.region.base(), self.region.bytes(), start, 64, 32);
+                m.branch(&self.block, !self.i.is_multiple_of(7));
+            }
+        }
+        self.i += 1;
+    }
+}
+
+struct SimNode {
+    id: NodeId,
+    port: ManagerPort,
+    machine: Machine,
+    load: SyntheticLoad,
+}
+
+/// One barrier's worth of fleet-level observations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochRecord {
+    pub epoch: u32,
+    /// Nodes that answered the power poll this epoch.
+    pub answered: usize,
+    /// Nodes currently marked unresponsive.
+    pub unresponsive: usize,
+    /// Sum of measured power over answering nodes.
+    pub fleet_power_w: f64,
+    /// Caps pushed this epoch (node registration index, watts).
+    pub caps: Vec<(u32, f64)>,
+}
+
+/// Final per-node summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeSummary {
+    pub index: u32,
+    pub name: String,
+    pub health: NodeHealth,
+    pub final_cap_w: Option<f64>,
+    pub avg_power_w: f64,
+    pub avg_freq_mhz: f64,
+    pub energy_j: f64,
+    pub wall_s: f64,
+    /// Cap violations recorded in the node's SEL, audited over IPMI at
+    /// the end of the run (0 if the audit itself failed).
+    pub sel_violations: usize,
+}
+
+/// The result of a fleet run. [`FleetReport::render`] produces a stable
+/// textual form — the determinism contract is that a parallel run renders
+/// byte-identically to a serial run of the same configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetReport {
+    pub nodes: usize,
+    pub epochs: u32,
+    pub epoch_s: f64,
+    pub budget_w: f64,
+    pub records: Vec<EpochRecord>,
+    pub summaries: Vec<NodeSummary>,
+}
+
+impl FleetReport {
+    /// Stable textual rendering (f64s print via Rust's shortest-roundtrip
+    /// formatter, so equal states render to equal bytes).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "fleet nodes={} epochs={} epoch_s={} budget_w={}",
+            self.nodes, self.epochs, self.epoch_s, self.budget_w
+        );
+        for r in &self.records {
+            let cap_sum: f64 = r.caps.iter().map(|&(_, w)| w).sum();
+            let _ = writeln!(
+                s,
+                "epoch {} answered={} unresponsive={} fleet_w={} caps={} cap_sum={}",
+                r.epoch,
+                r.answered,
+                r.unresponsive,
+                r.fleet_power_w,
+                r.caps.len(),
+                cap_sum
+            );
+        }
+        for n in &self.summaries {
+            let _ = writeln!(
+                s,
+                "node {} {} health={:?} cap={:?} avg_w={} freq_mhz={} energy_j={} wall_s={} viol={}",
+                n.index,
+                n.name,
+                n.health,
+                n.final_cap_w,
+                n.avg_power_w,
+                n.avg_freq_mhz,
+                n.energy_j,
+                n.wall_s,
+                n.sel_violations
+            );
+        }
+        s
+    }
+
+    /// Nodes still healthy/degraded at the end of the run.
+    pub fn responsive(&self) -> usize {
+        self.summaries.iter().filter(|n| n.health.is_responsive()).count()
+    }
+}
+
+/// Fluent constructor for a [`Fleet`].
+pub struct FleetBuilder {
+    nodes: usize,
+    epochs: u32,
+    epoch_s: f64,
+    budget_w: Option<f64>,
+    policy: AllocationPolicy,
+    faults: FaultSpec,
+    seed: u64,
+    parallel: bool,
+    base: MachineConfig,
+    polls_per_attempt: u32,
+    retry: RetryPolicy,
+    dead: Vec<usize>,
+    audit_sel: bool,
+}
+
+impl FleetBuilder {
+    pub fn new() -> Self {
+        // Small fast-control machines: fleet runs exercise the *group*
+        // control loop, so per-node microarchitectural fidelity is traded
+        // for epoch turnaround.
+        let mut base = MachineConfig::tiny(0);
+        base.control_period_us = 10.0;
+        base.meter_window_s = 0.0002;
+        FleetBuilder {
+            nodes: 8,
+            epochs: 6,
+            epoch_s: 5e-4,
+            budget_w: None,
+            policy: AllocationPolicy::Uniform,
+            faults: FaultSpec::none(),
+            seed: 0,
+            parallel: true,
+            base,
+            polls_per_attempt: 16,
+            retry: RetryPolicy::default(),
+            dead: Vec::new(),
+            audit_sel: true,
+        }
+    }
+
+    /// Number of nodes in the group.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    /// Number of control epochs to run.
+    pub fn epochs(mut self, e: u32) -> Self {
+        self.epochs = e;
+        self
+    }
+
+    /// Simulated seconds per epoch (the DCM reallocation period).
+    pub fn epoch_s(mut self, s: f64) -> Self {
+        self.epoch_s = s;
+        self
+    }
+
+    /// Total group budget in watts (default: 135 W per node).
+    pub fn budget_w(mut self, w: f64) -> Self {
+        self.budget_w = Some(w);
+        self
+    }
+
+    /// Budget allocation policy.
+    pub fn policy(mut self, p: AllocationPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Fault model for every node's management link.
+    pub fn faults(mut self, f: FaultSpec) -> Self {
+        self.faults = f;
+        self
+    }
+
+    /// Fleet seed (per-node machine and fault seeds derive from it).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Step nodes across worker threads (true, the default) or serially
+    /// on the caller's thread. Both produce bit-identical reports.
+    pub fn parallel(mut self, p: bool) -> Self {
+        self.parallel = p;
+        self
+    }
+
+    /// Machine template for every node (per-node seeds still derive from
+    /// the fleet seed).
+    pub fn machine(mut self, cfg: MachineConfig) -> Self {
+        self.base = cfg;
+        self
+    }
+
+    /// Retry budget for barrier-phase transactions.
+    pub fn retry(mut self, r: RetryPolicy) -> Self {
+        self.retry = r;
+        self
+    }
+
+    /// Make one node's management link a black hole (its BMC never hears
+    /// the manager) — the degraded-fleet scenario.
+    pub fn dead_node(mut self, index: usize) -> Self {
+        self.dead.push(index);
+        self
+    }
+
+    /// Audit each node's SEL over IPMI at the end of the run (default
+    /// true; large sweeps can turn it off).
+    pub fn audit_sel(mut self, on: bool) -> Self {
+        self.audit_sel = on;
+        self
+    }
+
+    /// Build the fleet: per-node machines (seeded from the fleet seed),
+    /// management links (faulty if configured) and the DCM registry.
+    pub fn build(self) -> Fleet {
+        assert!(self.nodes > 0, "a fleet needs nodes");
+        let mut dcm = Dcm::new();
+        dcm.retry = self.retry;
+        let mut nodes = Vec::with_capacity(self.nodes);
+        for i in 0..self.nodes {
+            let node_seed = mix(self.seed, i as u64);
+            let spec = if self.dead.contains(&i) { FaultSpec::dead() } else { self.faults };
+            let (port, bmc_port) = if spec.is_clean() {
+                LanChannel::pair()
+            } else {
+                LanChannel::faulty_pair(spec, mix(node_seed, 0xfa01_c0de))
+            };
+            let mut cfg = self.base.clone();
+            cfg.seed = node_seed;
+            let mut machine = Machine::new(cfg);
+            machine.attach_bmc_port(bmc_port);
+            let load = SyntheticLoad::new(&mut machine, LoadKind::for_index(i));
+            let id = dcm.register(format!("n{i:04}"));
+            nodes.push(SimNode { id, port, machine, load });
+        }
+        let budget_w = self.budget_w.unwrap_or(135.0 * self.nodes as f64);
+        Fleet {
+            epochs: self.epochs,
+            epoch_s: self.epoch_s,
+            budget_w,
+            policy: self.policy,
+            parallel: self.parallel,
+            polls_per_attempt: self.polls_per_attempt,
+            audit_sel: self.audit_sel,
+            dcm,
+            nodes,
+        }
+    }
+}
+
+impl Default for FleetBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// splitmix64-style mixer for deriving per-node seeds.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The assembled fleet, ready to run.
+pub struct Fleet {
+    epochs: u32,
+    epoch_s: f64,
+    budget_w: f64,
+    policy: AllocationPolicy,
+    parallel: bool,
+    polls_per_attempt: u32,
+    audit_sel: bool,
+    dcm: Dcm,
+    nodes: Vec<SimNode>,
+}
+
+impl Fleet {
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Run the configured number of epochs and summarize.
+    pub fn run(mut self) -> FleetReport {
+        let epochs = self.epochs;
+        let mut records = Vec::with_capacity(epochs as usize);
+        for epoch in 0..epochs {
+            self.step_phase();
+            records.push(self.barrier_phase(epoch));
+        }
+        self.finish(records)
+    }
+
+    /// Phase 1: advance every node by one epoch of simulated time. Nodes
+    /// are fully independent; the parallel path consumes the node vector,
+    /// maps it across workers and rebuilds it in order, so the resulting
+    /// states cannot depend on scheduling.
+    fn step_phase(&mut self) {
+        let epoch_s = self.epoch_s;
+        let nodes = std::mem::take(&mut self.nodes);
+        self.nodes = if self.parallel {
+            nodes
+                .into_par_iter()
+                .map(|mut n| {
+                    n.machine.step(epoch_s, &mut n.load);
+                    n
+                })
+                .collect()
+        } else {
+            let mut nodes = nodes;
+            for n in &mut nodes {
+                n.machine.step(epoch_s, &mut n.load);
+            }
+            nodes
+        };
+    }
+
+    /// Phase 2 (serial): poll power, reallocate the budget over answering
+    /// nodes, push caps.
+    fn barrier_phase(&mut self, epoch: u32) -> EpochRecord {
+        let polls = self.polls_per_attempt;
+        let mut demand: Vec<(NodeId, f64)> = Vec::with_capacity(self.nodes.len());
+        for n in &mut self.nodes {
+            let mut link = PumpedLink::new(&mut n.port, &mut n.machine, polls);
+            if let Ok(r) = self.dcm.read_power_via(n.id, &mut link) {
+                demand.push((n.id, r.current_w as f64));
+            }
+        }
+        let caps = self.dcm.plan_allocation(self.budget_w, &self.policy, &demand);
+        let mut pushed = Vec::with_capacity(caps.len());
+        for (id, cap) in caps {
+            let n = &mut self.nodes[id.index()];
+            let mut link = PumpedLink::new(&mut n.port, &mut n.machine, polls);
+            if self.dcm.cap_node_via(id, &mut link, cap).is_ok() {
+                pushed.push((id.index() as u32, cap));
+            }
+        }
+        let unresponsive = self.nodes.len() - self.dcm.responsive_nodes().len();
+        EpochRecord {
+            epoch,
+            answered: demand.len(),
+            unresponsive,
+            fleet_power_w: demand.iter().map(|&(_, w)| w).sum(),
+            caps: pushed,
+        }
+    }
+
+    fn finish(mut self, records: Vec<EpochRecord>) -> FleetReport {
+        let audit = self.audit_sel;
+        let retry = self.dcm.retry;
+        let polls = self.polls_per_attempt;
+        let mut summaries = Vec::with_capacity(self.nodes.len());
+        for n in &mut self.nodes {
+            let stats: RunStats = n.machine.finish_run();
+            let sel_violations = if audit {
+                let mut link = PumpedLink::new(&mut n.port, &mut n.machine, polls);
+                read_sel_via(&mut link, &retry).map(|e| violation_count(&e)).unwrap_or(0)
+            } else {
+                0
+            };
+            summaries.push(NodeSummary {
+                index: n.id.index() as u32,
+                name: self.dcm.node_name(n.id).to_string(),
+                health: self.dcm.health(n.id),
+                final_cap_w: self.dcm.last_cap_w(n.id),
+                avg_power_w: stats.avg_power_w,
+                avg_freq_mhz: stats.avg_freq_mhz,
+                energy_j: stats.energy_j,
+                wall_s: stats.wall_s,
+                sel_violations,
+            });
+        }
+        FleetReport {
+            nodes: self.nodes.len(),
+            epochs: self.epochs,
+            epoch_s: self.epoch_s,
+            budget_w: self.budget_w,
+            records,
+            summaries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_runs_and_caps_every_node() {
+        let report = FleetBuilder::new().nodes(4).epochs(5).seed(11).build().run();
+        assert_eq!(report.nodes, 4);
+        assert_eq!(report.records.len(), 5);
+        // Clean links: every node answers and gets a cap every epoch.
+        for r in &report.records {
+            assert_eq!(r.answered, 4);
+            assert_eq!(r.caps.len(), 4);
+            assert_eq!(r.unresponsive, 0);
+        }
+        for n in &report.summaries {
+            assert_eq!(n.health, NodeHealth::Healthy);
+            assert!(n.final_cap_w.is_some());
+            assert!(n.wall_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_render_identically() {
+        let build = |parallel: bool| {
+            FleetBuilder::new().nodes(6).epochs(4).seed(3).parallel(parallel).build().run()
+        };
+        let serial = build(false);
+        let parallel = build(true);
+        assert_eq!(serial.render(), parallel.render());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn faulty_links_still_converge_and_dead_nodes_are_shed() {
+        let report = FleetBuilder::new()
+            .nodes(5)
+            .epochs(8)
+            .seed(17)
+            .faults(FaultSpec::lossy(0.05))
+            .dead_node(2)
+            .build()
+            .run();
+        let last = report.records.last().unwrap();
+        assert_eq!(last.answered, 4, "dead node never answers");
+        assert_eq!(last.unresponsive, 1);
+        assert_eq!(report.summaries[2].health, NodeHealth::Unresponsive);
+        assert!(report.summaries[2].final_cap_w.is_none());
+        // The dead node's share went to the others: 4 caps summing to
+        // (close to) the full budget.
+        let cap_sum: f64 = last.caps.iter().map(|&(_, w)| w).sum();
+        assert!(cap_sum > report.budget_w * 0.99, "{cap_sum} vs {}", report.budget_w);
+    }
+}

@@ -5,17 +5,21 @@
 //! center … DCM power capping services focus on controlling resource usage
 //! to safeguard against over utilization of constrained capacity."
 //!
-//! The manager here does exactly that: it holds a [`ManagerPort`] to each
+//! The manager here does exactly that: it holds a [`capsim_ipmi::ManagerPort`] to each
 //! node's BMC, polls DCMI power readings, and divides a **group power
 //! budget** across nodes according to an [`AllocationPolicy`], pushing the
 //! resulting per-node caps with DCMI *Set Power Limit* + *Activate*. The
 //! paper's single-node study is the degenerate one-node group; the
 //! `datacenter` example exercises the full fan-out.
 
+pub mod error;
+pub mod fleet;
 pub mod manager;
 pub mod monitor;
 pub mod policy;
 
-pub use manager::{Dcm, NodeHandle};
-pub use monitor::{read_sel, violation_count, FleetMonitor, PowerHistory};
+pub use error::DcmError;
+pub use fleet::{EpochRecord, Fleet, FleetBuilder, FleetReport, LoadKind, NodeSummary, PumpedLink};
+pub use manager::{Dcm, NodeHealth, NodeId};
+pub use monitor::{read_sel, read_sel_via, violation_count, FleetMonitor, PowerHistory};
 pub use policy::AllocationPolicy;

@@ -1,38 +1,135 @@
-//! The manager itself: per-node DCMI transactions and group budgeting.
+//! The manager itself: per-node DCMI transactions, health tracking and
+//! group budgeting.
+//!
+//! Nodes are addressed by opaque [`NodeId`] handles. A node may be
+//! registered *with* an owned transport ([`Dcm::register_link`] — the
+//! live-threaded topology where each BMC runs on its own thread) or
+//! *without* one ([`Dcm::register`] — the lock-step fleet engine, which
+//! owns the machines and supplies a pumped [`Transact`] link at each
+//! control barrier via the `*_via` methods).
+//!
+//! Every transaction runs under the manager's [`RetryPolicy`]; outcomes
+//! feed per-node [`NodeHealth`], and [`Dcm::plan_allocation`] divides the
+//! group budget over *responsive* nodes only — an unresponsive node's
+//! share is reallocated to its healthy peers (degraded-mode operation)
+//! rather than stranded on a node that cannot hear its cap anyway.
 
 use capsim_ipmi::dcmi::{
     ActivatePowerLimit, ExceptionAction, GetPowerLimit, GetPowerReading, PowerLimit, PowerReading,
     SetPowerLimit,
 };
-use capsim_ipmi::{IpmiError, ManagerPort};
+use capsim_ipmi::{
+    transact_retry, IpmiError, ManagerPort, Request, Response, RetryPolicy, Transact,
+};
 
+use crate::error::DcmError;
 use crate::policy::{allocate, AllocationPolicy};
 
-/// A node registered with the manager.
-pub struct NodeHandle {
-    pub name: String,
-    port: ManagerPort,
+/// Opaque handle to a node registered with a [`Dcm`]. Obtained from
+/// [`Dcm::register`]/[`Dcm::register_link`]; there is no public way to
+/// fabricate one from a raw index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The node's position in registration order — for display and for
+    /// indexing caller-side parallel arrays, not for calling back into
+    /// the manager.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(i: usize) -> NodeId {
+        NodeId(u32::try_from(i).expect("fleet fits in u32"))
+    }
+}
+
+/// Management-plane health of a node, as seen by the DCM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Last transaction succeeded.
+    Healthy,
+    /// Recent transactions failed (transiently); the node is still
+    /// budgeted but flagged.
+    Degraded { consecutive_failures: u32 },
+    /// Failures reached [`Dcm::unresponsive_after`]; the node is excluded
+    /// from budgeting until it answers again.
+    Unresponsive,
+}
+
+impl NodeHealth {
+    /// True when the node participates in budget allocation.
+    pub fn is_responsive(self) -> bool {
+        !matches!(self, NodeHealth::Unresponsive)
+    }
+}
+
+struct NodeEntry {
+    name: String,
+    link: Option<Box<dyn Transact + Send>>,
+    health: NodeHealth,
+    consecutive_failures: u32,
+    last_cap_w: Option<f64>,
 }
 
 /// The Data Center Manager.
 pub struct Dcm {
-    nodes: Vec<NodeHandle>,
+    nodes: Vec<NodeEntry>,
     /// Caps below this are pointless (the node's throttle floor).
     pub floor_w: f64,
     /// DCMI correction time pushed with every limit (how long a node may
     /// exceed its cap before the exception action fires).
     pub correction_ms: u32,
+    /// Retry budget for every management transaction.
+    pub retry: RetryPolicy,
+    /// Consecutive failed transactions before a node is declared
+    /// [`NodeHealth::Unresponsive`].
+    pub unresponsive_after: u32,
 }
 
 impl Dcm {
     pub fn new() -> Self {
-        Dcm { nodes: Vec::new(), floor_w: 110.0, correction_ms: 1000 }
+        Dcm {
+            nodes: Vec::new(),
+            floor_w: 110.0,
+            correction_ms: 1000,
+            retry: RetryPolicy::default(),
+            unresponsive_after: 3,
+        }
     }
 
-    /// Register a node's management port; returns its index.
-    pub fn add_node(&mut self, name: impl Into<String>, port: ManagerPort) -> usize {
-        self.nodes.push(NodeHandle { name: name.into(), port });
-        self.nodes.len() - 1
+    /// Register a node without an owned transport. Use the `*_via`
+    /// methods with a caller-supplied [`Transact`] link (the lock-step
+    /// fleet engine does this at every control barrier).
+    pub fn register(&mut self, name: impl Into<String>) -> NodeId {
+        self.push(name.into(), None)
+    }
+
+    /// Register a node with an owned transport (live topology: the BMC is
+    /// serviced elsewhere, e.g. on its own thread).
+    pub fn register_link(
+        &mut self,
+        name: impl Into<String>,
+        link: impl Transact + Send + 'static,
+    ) -> NodeId {
+        self.push(name.into(), Some(Box::new(link)))
+    }
+
+    fn push(&mut self, name: String, link: Option<Box<dyn Transact + Send>>) -> NodeId {
+        self.nodes.push(NodeEntry {
+            name,
+            link,
+            health: NodeHealth::Healthy,
+            consecutive_failures: 0,
+            last_cap_w: None,
+        });
+        NodeId::from_index(self.nodes.len() - 1)
+    }
+
+    /// Register a node's management port; returns its handle.
+    #[deprecated(note = "use `register_link` (typed NodeId handles) instead")]
+    pub fn add_node(&mut self, name: impl Into<String>, port: ManagerPort) -> NodeId {
+        self.register_link(name, port)
     }
 
     pub fn len(&self) -> usize {
@@ -43,72 +140,296 @@ impl Dcm {
         self.nodes.is_empty()
     }
 
-    pub fn node_name(&self, idx: usize) -> &str {
-        &self.nodes[idx].name
+    /// All node handles, in registration order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len()).map(NodeId::from_index).collect()
     }
 
-    /// Direct access to a node's management port (the monitoring layer
-    /// issues its own command sequences).
-    pub fn port_mut(&mut self, idx: usize) -> &mut ManagerPort {
-        &mut self.nodes[idx].port
+    /// The handle at a registration position (parallel-array bridging).
+    pub fn id_at(&self, index: usize) -> Option<NodeId> {
+        (index < self.nodes.len()).then(|| NodeId::from_index(index))
     }
 
-    /// DCMI *Get Power Reading* from one node.
-    pub fn read_power(&mut self, idx: usize) -> Result<PowerReading, IpmiError> {
-        let node = &mut self.nodes[idx];
-        let seq = node.port.next_seq();
-        let resp = node.port.transact(&GetPowerReading::request(seq))?;
-        PowerReading::decode(&resp.into_ok()?)
+    fn entry(&self, node: NodeId) -> Result<&NodeEntry, DcmError> {
+        self.nodes.get(node.index()).ok_or(DcmError::UnknownNode(node))
     }
 
-    /// Set and activate a cap on one node.
-    pub fn cap_node(&mut self, idx: usize, watts: f64) -> Result<(), IpmiError> {
-        let node = &mut self.nodes[idx];
-        let limit = PowerLimit {
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.index()].name
+    }
+
+    /// Management-plane health of a node.
+    pub fn health(&self, node: NodeId) -> NodeHealth {
+        self.nodes[node.index()].health
+    }
+
+    /// The cap most recently pushed to a node, if any.
+    pub fn last_cap_w(&self, node: NodeId) -> Option<f64> {
+        self.nodes[node.index()].last_cap_w
+    }
+
+    /// Handles of all nodes currently participating in budgeting.
+    pub fn responsive_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].health.is_responsive())
+            .map(NodeId::from_index)
+            .collect()
+    }
+
+    // ------------------------------------------------------- health plumbing
+
+    fn record_success(&mut self, node: NodeId) {
+        let e = &mut self.nodes[node.index()];
+        e.consecutive_failures = 0;
+        e.health = NodeHealth::Healthy;
+    }
+
+    fn record_failure(&mut self, node: NodeId) {
+        let e = &mut self.nodes[node.index()];
+        e.consecutive_failures += 1;
+        e.health = if e.consecutive_failures >= self.unresponsive_after.max(1) {
+            NodeHealth::Unresponsive
+        } else {
+            NodeHealth::Degraded { consecutive_failures: e.consecutive_failures }
+        };
+    }
+
+    fn wrap_err(&self, node: NodeId, source: IpmiError) -> DcmError {
+        DcmError::Ipmi { node, name: self.nodes[node.index()].name.clone(), source }
+    }
+
+    /// Run one retried transaction against the node's *owned* link,
+    /// updating health from the outcome.
+    fn transact_owned(
+        &mut self,
+        node: NodeId,
+        build: &dyn Fn(u8) -> Request,
+    ) -> Result<Response, DcmError> {
+        self.entry(node)?;
+        let retry = self.retry;
+        let e = &mut self.nodes[node.index()];
+        let link =
+            e.link.as_mut().ok_or_else(|| DcmError::Unlinked { node, name: e.name.clone() })?;
+        let out = transact_retry(link.as_mut(), &retry, build);
+        self.settle(node, out)
+    }
+
+    /// Run one retried transaction over a caller-supplied link, updating
+    /// health from the outcome.
+    fn transact_via(
+        &mut self,
+        node: NodeId,
+        link: &mut dyn Transact,
+        build: &dyn Fn(u8) -> Request,
+    ) -> Result<Response, DcmError> {
+        self.entry(node)?;
+        let retry = self.retry;
+        let out = transact_retry(link, &retry, build);
+        self.settle(node, out)
+    }
+
+    fn settle(
+        &mut self,
+        node: NodeId,
+        out: Result<Response, IpmiError>,
+    ) -> Result<Response, DcmError> {
+        match out {
+            Ok(resp) => {
+                self.record_success(node);
+                Ok(resp)
+            }
+            Err(e) => {
+                self.record_failure(node);
+                Err(self.wrap_err(node, e))
+            }
+        }
+    }
+
+    /// Run a caller-defined command sequence over a node's owned link,
+    /// updating health from the outcome. The closure sees only the
+    /// narrow [`Transact`] interface, never the raw port — this is the
+    /// sanctioned replacement for the old `port_mut` escape hatch.
+    pub fn with_link<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn Transact) -> Result<R, IpmiError>,
+    ) -> Result<R, DcmError> {
+        self.entry(node)?;
+        let e = &mut self.nodes[node.index()];
+        let link =
+            e.link.as_mut().ok_or_else(|| DcmError::Unlinked { node, name: e.name.clone() })?;
+        match f(link.as_mut()) {
+            Ok(r) => {
+                self.record_success(node);
+                Ok(r)
+            }
+            Err(err) => {
+                self.record_failure(node);
+                Err(self.wrap_err(node, err))
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- transactions
+
+    /// DCMI *Get Power Reading* from one node (owned link).
+    pub fn read_power(&mut self, node: NodeId) -> Result<PowerReading, DcmError> {
+        let resp = self.transact_owned(node, &|seq| GetPowerReading::request(seq))?;
+        self.decode_reading(node, resp)
+    }
+
+    /// DCMI *Get Power Reading* over a caller-supplied link.
+    pub fn read_power_via(
+        &mut self,
+        node: NodeId,
+        link: &mut dyn Transact,
+    ) -> Result<PowerReading, DcmError> {
+        let resp = self.transact_via(node, link, &|seq| GetPowerReading::request(seq))?;
+        self.decode_reading(node, resp)
+    }
+
+    fn decode_reading(&self, node: NodeId, resp: Response) -> Result<PowerReading, DcmError> {
+        resp.into_ok().and_then(|p| PowerReading::decode(&p)).map_err(|e| self.wrap_err(node, e))
+    }
+
+    fn limit_for(&self, watts: f64) -> PowerLimit {
+        PowerLimit {
             limit_w: watts.round() as u16,
             correction_ms: self.correction_ms,
             sampling_s: 1,
             action: ExceptionAction::LogOnly,
+        }
+    }
+
+    /// Set and activate a cap on one node (owned link).
+    pub fn cap_node(&mut self, node: NodeId, watts: f64) -> Result<(), DcmError> {
+        let limit = self.limit_for(watts);
+        self.transact_owned(node, &move |seq| SetPowerLimit(limit).request(seq))?
+            .into_ok()
+            .map_err(|e| self.wrap_err(node, e))?;
+        self.transact_owned(node, &|seq| ActivatePowerLimit { activate: true }.request(seq))?
+            .into_ok()
+            .map_err(|e| self.wrap_err(node, e))?;
+        self.nodes[node.index()].last_cap_w = Some(watts);
+        Ok(())
+    }
+
+    /// Set and activate a cap over a caller-supplied link.
+    pub fn cap_node_via(
+        &mut self,
+        node: NodeId,
+        link: &mut dyn Transact,
+        watts: f64,
+    ) -> Result<(), DcmError> {
+        let limit = self.limit_for(watts);
+        self.transact_via(node, link, &move |seq| SetPowerLimit(limit).request(seq))?
+            .into_ok()
+            .map_err(|e| self.wrap_err(node, e))?;
+        self.transact_via(node, link, &|seq| ActivatePowerLimit { activate: true }.request(seq))?
+            .into_ok()
+            .map_err(|e| self.wrap_err(node, e))?;
+        self.nodes[node.index()].last_cap_w = Some(watts);
+        Ok(())
+    }
+
+    /// Deactivate a node's cap (owned link).
+    pub fn uncap_node(&mut self, node: NodeId) -> Result<(), DcmError> {
+        self.transact_owned(node, &|seq| ActivatePowerLimit { activate: false }.request(seq))?
+            .into_ok()
+            .map_err(|e| self.wrap_err(node, e))?;
+        self.nodes[node.index()].last_cap_w = None;
+        Ok(())
+    }
+
+    /// Deactivate a node's cap over a caller-supplied link.
+    pub fn uncap_node_via(
+        &mut self,
+        node: NodeId,
+        link: &mut dyn Transact,
+    ) -> Result<(), DcmError> {
+        self.transact_via(node, link, &|seq| ActivatePowerLimit { activate: false }.request(seq))?
+            .into_ok()
+            .map_err(|e| self.wrap_err(node, e))?;
+        self.nodes[node.index()].last_cap_w = None;
+        Ok(())
+    }
+
+    /// Read back the limit stored on a node (owned link).
+    pub fn node_limit(&mut self, node: NodeId) -> Result<PowerLimit, DcmError> {
+        let resp = self.transact_owned(node, &|seq| GetPowerLimit::request(seq))?;
+        resp.into_ok().and_then(|p| PowerLimit::decode(&p)).map_err(|e| self.wrap_err(node, e))
+    }
+
+    /// Read back the limit over a caller-supplied link.
+    pub fn node_limit_via(
+        &mut self,
+        node: NodeId,
+        link: &mut dyn Transact,
+    ) -> Result<PowerLimit, DcmError> {
+        let resp = self.transact_via(node, link, &|seq| GetPowerLimit::request(seq))?;
+        resp.into_ok().and_then(|p| PowerLimit::decode(&p)).map_err(|e| self.wrap_err(node, e))
+    }
+
+    // ------------------------------------------------------- group budgeting
+
+    /// Divide `budget_w` over the nodes in `demand` (pairs of handle and
+    /// measured power) per `policy`. Pure planning — no wire traffic.
+    ///
+    /// Degraded-mode reallocation falls out of the input: callers pass
+    /// demand readings only for nodes that answered, so an unresponsive
+    /// node's share flows to its responsive peers automatically.
+    pub fn plan_allocation(
+        &self,
+        budget_w: f64,
+        policy: &AllocationPolicy,
+        demand: &[(NodeId, f64)],
+    ) -> Vec<(NodeId, f64)> {
+        let demand_w: Vec<f64> = demand.iter().map(|&(_, w)| w).collect();
+        let policy = match policy {
+            // Priority vectors are fleet-wide; project onto the answering
+            // subset so the allocator sees one priority per node.
+            AllocationPolicy::Priority(p) => {
+                AllocationPolicy::Priority(demand.iter().map(|&(id, _)| p[id.index()]).collect())
+            }
+            other => other.clone(),
         };
-        let seq = node.port.next_seq();
-        node.port.transact(&SetPowerLimit(limit).request(seq))?.into_ok()?;
-        let seq = node.port.next_seq();
-        node.port.transact(&ActivatePowerLimit { activate: true }.request(seq))?.into_ok()?;
-        Ok(())
+        let caps = allocate(&policy, budget_w, &demand_w, self.floor_w);
+        demand.iter().map(|&(id, _)| id).zip(caps).collect()
     }
 
-    /// Deactivate a node's cap.
-    pub fn uncap_node(&mut self, idx: usize) -> Result<(), IpmiError> {
-        let node = &mut self.nodes[idx];
-        let seq = node.port.next_seq();
-        node.port.transact(&ActivatePowerLimit { activate: false }.request(seq))?.into_ok()?;
-        Ok(())
-    }
-
-    /// Read back the limit stored on a node.
-    pub fn node_limit(&mut self, idx: usize) -> Result<PowerLimit, IpmiError> {
-        let node = &mut self.nodes[idx];
-        let seq = node.port.next_seq();
-        let resp = node.port.transact(&GetPowerLimit::request(seq))?;
-        PowerLimit::decode(&resp.into_ok()?)
-    }
-
-    /// Divide `budget_w` across all nodes per `policy` (using fresh power
-    /// readings as demand) and push the resulting caps. Returns the caps.
+    /// One full budgeting round over owned links: read power from every
+    /// responsive node, reallocate `budget_w` over the nodes that
+    /// answered, and push the resulting caps. Per-node failures update
+    /// health and shrink the allocation set; they do not abort the round.
+    /// Returns the caps pushed.
     pub fn apply_group_budget(
         &mut self,
         budget_w: f64,
         policy: &AllocationPolicy,
-    ) -> Result<Vec<f64>, IpmiError> {
+    ) -> Result<Vec<(NodeId, f64)>, DcmError> {
         let mut demand = Vec::with_capacity(self.nodes.len());
-        for i in 0..self.nodes.len() {
-            demand.push(self.read_power(i)?.current_w as f64);
+        for node in self.node_ids() {
+            // Probe even unresponsive nodes (cheaply they may have come
+            // back), but their failure must not burn the whole retry
+            // budget every round.
+            match self.read_power(node) {
+                Ok(r) => demand.push((node, r.current_w as f64)),
+                Err(e) if e.is_transient() => {}
+                Err(DcmError::Ipmi { source: IpmiError::ChannelClosed, .. }) => {}
+                Err(e) => return Err(e),
+            }
         }
-        let caps = allocate(policy, budget_w, &demand, self.floor_w);
-        for (i, &cap) in caps.iter().enumerate() {
-            self.cap_node(i, cap)?;
+        let caps = self.plan_allocation(budget_w, policy, &demand);
+        let mut pushed = Vec::with_capacity(caps.len());
+        for (node, cap) in caps {
+            match self.cap_node(node, cap) {
+                Ok(()) => pushed.push((node, cap)),
+                Err(e) if e.is_transient() => {}
+                Err(DcmError::Ipmi { source: IpmiError::ChannelClosed, .. }) => {}
+                Err(e) => return Err(e),
+            }
         }
-        Ok(caps)
+        Ok(pushed)
     }
 }
 
@@ -148,7 +469,9 @@ mod tests {
                 now_ms: 0.0,
             });
             while !stop.load(Ordering::Relaxed) {
-                bmc.serve(&port).unwrap();
+                if bmc.serve(&port).is_err() {
+                    break; // manager hung up
+                }
                 std::thread::yield_now();
             }
             bmc
@@ -160,19 +483,22 @@ mod tests {
         let stop = Arc::new(AtomicBool::new(false));
         let mut dcm = Dcm::new();
         let mut handles = Vec::new();
+        let mut ids = Vec::new();
         for (i, w) in [150.0, 130.0].into_iter().enumerate() {
             let (mgr, bmc_port) = LanChannel::pair();
-            dcm.add_node(format!("node{i}"), mgr);
+            ids.push(dcm.register_link(format!("node{i}"), mgr));
             handles.push(spawn_bmc(w, bmc_port, stop.clone()));
         }
-        let r0 = dcm.read_power(0).unwrap();
+        let r0 = dcm.read_power(ids[0]).unwrap();
         assert_eq!(r0.current_w, 150);
         let caps = dcm.apply_group_budget(300.0, &AllocationPolicy::ProportionalToDemand).unwrap();
         assert_eq!(caps.len(), 2);
-        assert!(caps[0] > caps[1]);
-        // The cap is stored and active on the node.
-        let limit = dcm.node_limit(0).unwrap();
-        assert_eq!(limit.limit_w, caps[0].round() as u16);
+        assert!(caps[0].1 > caps[1].1);
+        // The cap is stored and active on the node, and remembered.
+        let limit = dcm.node_limit(ids[0]).unwrap();
+        assert_eq!(limit.limit_w, caps[0].1.round() as u16);
+        assert_eq!(dcm.last_cap_w(ids[0]), Some(caps[0].1));
+        assert_eq!(dcm.health(ids[0]), NodeHealth::Healthy);
         stop.store(true, Ordering::Relaxed);
         for h in handles {
             let bmc = h.join().unwrap();
@@ -185,21 +511,92 @@ mod tests {
         let stop = Arc::new(AtomicBool::new(false));
         let (mgr, bmc_port) = LanChannel::pair();
         let mut dcm = Dcm::new();
-        dcm.add_node("n", mgr);
+        let id = dcm.register_link("n", mgr);
         let h = spawn_bmc(150.0, bmc_port, stop.clone());
-        dcm.cap_node(0, 140.0).unwrap();
-        dcm.uncap_node(0).unwrap();
+        dcm.cap_node(id, 140.0).unwrap();
+        dcm.uncap_node(id).unwrap();
+        assert_eq!(dcm.last_cap_w(id), None);
         stop.store(true, Ordering::Relaxed);
         let bmc = h.join().unwrap();
         assert!(bmc.cap().is_none());
     }
 
     #[test]
-    fn dead_node_surfaces_channel_errors() {
+    fn dead_node_surfaces_channel_errors_with_identity() {
         let (mgr, bmc_port) = LanChannel::pair();
         drop(bmc_port);
         let mut dcm = Dcm::new();
-        dcm.add_node("ghost", mgr);
-        assert!(dcm.read_power(0).is_err());
+        let id = dcm.register_link("ghost", mgr);
+        let err = dcm.read_power(id).unwrap_err();
+        assert_eq!(err.node(), Some(id));
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn repeated_failures_degrade_then_mark_unresponsive() {
+        let mut dcm = Dcm::new();
+        dcm.retry = RetryPolicy::once();
+        let (mut mgr, _dead) = LanChannel::faulty_pair(capsim_ipmi::FaultSpec::dead(), 1);
+        mgr.set_timeout(std::time::Duration::from_millis(1));
+        let id = dcm.register_link("flaky", mgr);
+        assert!(dcm.read_power(id).is_err());
+        assert_eq!(dcm.health(id), NodeHealth::Degraded { consecutive_failures: 1 });
+        assert!(dcm.read_power(id).is_err());
+        assert!(dcm.read_power(id).is_err());
+        assert_eq!(dcm.health(id), NodeHealth::Unresponsive);
+        assert!(dcm.responsive_nodes().is_empty());
+    }
+
+    #[test]
+    fn unlinked_node_requires_a_supplied_transport() {
+        let mut dcm = Dcm::new();
+        let id = dcm.register("lockstep-node");
+        match dcm.read_power(id) {
+            Err(DcmError::Unlinked { node, .. }) => assert_eq!(node, id),
+            other => panic!("expected Unlinked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_allocation_reallocates_around_missing_nodes() {
+        let mut dcm = Dcm::new();
+        let a = dcm.register("a");
+        let b = dcm.register("b");
+        let c = dcm.register("c");
+        // Node b did not answer this round: its share flows to a and c.
+        let caps =
+            dcm.plan_allocation(400.0, &AllocationPolicy::Uniform, &[(a, 150.0), (c, 150.0)]);
+        assert_eq!(caps.len(), 2);
+        assert_eq!(caps[0], (a, 200.0));
+        assert_eq!(caps[1], (c, 200.0));
+        let _ = b;
+    }
+
+    #[test]
+    fn plan_allocation_projects_priorities_onto_answering_nodes() {
+        let mut dcm = Dcm::new();
+        let a = dcm.register("a");
+        let b = dcm.register("b");
+        let c = dcm.register("c");
+        let _ = a;
+        // Only b (priority 0) and c (priority 2) answered.
+        let caps = dcm.plan_allocation(
+            400.0,
+            &AllocationPolicy::Priority(vec![1, 0, 2]),
+            &[(b, 155.0), (c, 155.0)],
+        );
+        let cap_b = caps.iter().find(|&&(id, _)| id == b).unwrap().1;
+        let cap_c = caps.iter().find(|&&(id, _)| id == c).unwrap().1;
+        assert!(cap_b > cap_c, "higher priority gets more: {cap_b} vs {cap_c}");
+    }
+
+    #[test]
+    fn deprecated_add_node_still_registers() {
+        let (mgr, _bmc) = LanChannel::pair();
+        let mut dcm = Dcm::new();
+        #[allow(deprecated)]
+        let id = dcm.add_node("legacy", mgr);
+        assert_eq!(dcm.node_name(id), "legacy");
+        assert_eq!(dcm.len(), 1);
     }
 }

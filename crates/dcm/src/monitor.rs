@@ -6,11 +6,18 @@
 //! ring-buffer histories, computes moving averages and trends, and reads
 //! the SEL to audit how often caps were violated — the data-center-side
 //! view of the paper's "measured power above the cap" rows.
+//!
+//! All wire traffic goes through the narrow [`Transact`] interface (the
+//! audit runs identically over a live threaded link or the fleet engine's
+//! pumped lock-step link), with each command retried under a
+//! [`RetryPolicy`] so a dropped frame costs a retransmit, not a hole in
+//! the audit.
 
 use capsim_ipmi::sel::{get_sel_entry_request, get_sel_info_request, SelEntry};
-use capsim_ipmi::{IpmiError, SelEventType};
+use capsim_ipmi::{transact_retry, IpmiError, RetryPolicy, SelEventType, Transact};
 
-use crate::manager::Dcm;
+use crate::error::DcmError;
+use crate::manager::{Dcm, NodeId};
 
 /// Bounded power history for one node.
 #[derive(Clone, Debug)]
@@ -76,80 +83,91 @@ impl FleetMonitor {
         FleetMonitor { histories: (0..nodes).map(|_| PowerHistory::new(window)).collect() }
     }
 
-    /// Poll every node once, appending to its history.
-    pub fn poll(&mut self, dcm: &mut Dcm) -> Result<(), IpmiError> {
-        assert_eq!(dcm.len(), self.histories.len());
-        for i in 0..dcm.len() {
-            let r = dcm.read_power(i)?;
-            self.histories[i].push(r.current_w as f64);
-        }
-        Ok(())
+    /// Size the monitor to a manager's current registration set.
+    pub fn for_dcm(dcm: &Dcm, window: usize) -> Self {
+        Self::new(dcm.len(), window)
     }
 
-    pub fn history(&self, node: usize) -> &PowerHistory {
-        &self.histories[node]
+    /// Poll every node once over its owned link, appending to its
+    /// history. Nodes that fail transiently are skipped this round (their
+    /// history simply doesn't grow); fatal errors abort. Returns how many
+    /// nodes answered.
+    pub fn poll(&mut self, dcm: &mut Dcm) -> Result<usize, DcmError> {
+        assert_eq!(dcm.len(), self.histories.len());
+        let mut answered = 0;
+        for node in dcm.node_ids() {
+            match dcm.read_power(node) {
+                Ok(r) => {
+                    self.histories[node.index()].push(r.current_w as f64);
+                    answered += 1;
+                }
+                Err(e) if e.is_transient() => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(answered)
+    }
+
+    /// Record a reading obtained elsewhere (the fleet engine polls nodes
+    /// itself at each barrier and feeds the monitor).
+    pub fn record(&mut self, node: NodeId, watts: f64) {
+        self.histories[node.index()].push(watts);
+    }
+
+    pub fn history(&self, node: NodeId) -> &PowerHistory {
+        &self.histories[node.index()]
     }
 
     /// Nodes whose recent mean exceeds `budget_w` (rebalancing candidates).
-    pub fn hotspots(&self, budget_w: f64) -> Vec<usize> {
+    pub fn hotspots(&self, budget_w: f64) -> Vec<NodeId> {
         self.histories
             .iter()
             .enumerate()
             .filter(|(_, h)| h.mean().is_some_and(|m| m > budget_w))
-            .map(|(i, _)| i)
+            .map(|(i, _)| NodeId::from_index(i))
             .collect()
     }
 }
 
-/// Read a node's full SEL over IPMI (entry ids are probed from the info
-/// count downward through the latest pointer).
-pub fn read_sel(dcm: &mut Dcm, node: usize) -> Result<Vec<SelEntry>, IpmiError> {
-    let port = dcm.port_mut(node);
-    let seq = port.next_seq();
-    port.send(&get_sel_info_request(seq))?;
-    let info = loop {
-        let resp = port.recv()?;
-        if resp.seq == seq {
-            break resp.into_ok()?;
-        }
-    };
+/// Read a node's full SEL through any [`Transact`] link, retrying each
+/// command under `retry` (a dropped or corrupted frame costs a
+/// retransmit, not an audit hole).
+pub fn read_sel_via(
+    link: &mut dyn Transact,
+    retry: &RetryPolicy,
+) -> Result<Vec<SelEntry>, IpmiError> {
+    let info = transact_retry(link, retry, &|seq| get_sel_info_request(seq))?.into_ok()?;
     if info.len() != 2 {
         return Err(IpmiError::Malformed("sel info"));
     }
     let count = u16::from_le_bytes([info[0], info[1]]);
     let mut out = Vec::new();
-    // Entry ids are monotonic from the newest backwards; ask for the
-    // latest first to learn the current id, then walk down.
     if count == 0 {
         return Ok(out);
     }
-    let seq = port.next_seq();
-    port.send(&get_sel_entry_request(seq, 0xffff))?;
-    let latest = loop {
-        let resp = port.recv()?;
-        if resp.seq == seq {
-            break SelEntry::decode(&resp.into_ok()?)?;
-        }
-    };
+    // Entry ids are monotonic from the newest backwards; ask for the
+    // latest first to learn the current id, then walk down.
+    let latest = SelEntry::decode(
+        &transact_retry(link, retry, &|seq| get_sel_entry_request(seq, 0xffff))?.into_ok()?,
+    )?;
     // The SEL may grow between the info and entry reads (the node keeps
     // logging while being audited), so don't trust `count` to locate the
     // first id; walk the whole ring-bounded range below the anchor and
     // let missing ids fall through.
     let first_id = latest.id.saturating_sub(4095);
     for id in first_id..=latest.id {
-        let seq = port.next_seq();
-        port.send(&get_sel_entry_request(seq, id))?;
-        let resp = loop {
-            let r = port.recv()?;
-            if r.seq == seq {
-                break r;
-            }
-        };
+        let resp = transact_retry(link, retry, &|seq| get_sel_entry_request(seq, id))?;
         if let Ok(payload) = resp.into_ok() {
             out.push(SelEntry::decode(&payload)?);
         }
     }
     Ok(out)
+}
+
+/// Read a node's full SEL over its owned link, updating node health.
+pub fn read_sel(dcm: &mut Dcm, node: NodeId) -> Result<Vec<SelEntry>, DcmError> {
+    let retry = dcm.retry;
+    dcm.with_link(node, |link| read_sel_via(link, &retry))
 }
 
 /// Count cap violations recorded in a SEL slice.
@@ -186,12 +204,14 @@ mod tests {
 
     #[test]
     fn hotspots_pick_the_right_nodes() {
-        let mut m = FleetMonitor::new(3, 4);
-        for (i, w) in [120.0, 155.0, 130.0].into_iter().enumerate() {
-            m.histories[i].push(w);
+        let mut dcm = Dcm::new();
+        let ids: Vec<NodeId> = (0..3).map(|i| dcm.register(format!("n{i}"))).collect();
+        let mut m = FleetMonitor::for_dcm(&dcm, 4);
+        for (&id, w) in ids.iter().zip([120.0, 155.0, 130.0]) {
+            m.record(id, w);
         }
-        assert_eq!(m.hotspots(140.0), vec![1]);
-        assert_eq!(m.hotspots(160.0), Vec::<usize>::new());
+        assert_eq!(m.hotspots(140.0), vec![ids[1]]);
+        assert_eq!(m.hotspots(160.0), Vec::<NodeId>::new());
     }
 
     #[test]

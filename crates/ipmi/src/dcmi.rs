@@ -12,7 +12,7 @@
 //! | 0x05 | Activate/Deactivate Limit |
 //!
 //! Each struct encodes to the payload of a [`Request`] and decodes from a
-//! [`Response`] payload.
+//! [`crate::message::Response`] payload.
 
 use bytes::{BufMut, Bytes, BytesMut};
 

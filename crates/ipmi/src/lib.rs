@@ -37,4 +37,7 @@ pub use dcmi::{
 pub use message::{CompletionCode, IpmiError, NetFn, Request, Response};
 pub use sel::{SelEntry, SelEventType, SystemEventLog};
 pub use sensor::{SensorId, SensorRead, SensorValue};
-pub use transport::{BmcPort, LanChannel, ManagerPort};
+pub use transport::{
+    transact_retry, BmcPort, FaultDirection, FaultInjector, FaultSpec, FaultStats, LanChannel,
+    ManagerPort, RetryPolicy, Transact,
+};

@@ -75,6 +75,14 @@ pub enum IpmiError {
     ChannelClosed,
     /// Payload didn't parse as the expected command structure.
     Malformed(&'static str),
+    /// The transport dropped the frame before delivery (fault injection
+    /// or a lossy management network).
+    Dropped,
+    /// A frame arrived damaged on a faulty link (detected by checksum at
+    /// the receiving end).
+    Corrupt,
+    /// No matching response arrived within the transaction's wait budget.
+    TimedOut,
 }
 
 impl fmt::Display for IpmiError {
@@ -86,7 +94,26 @@ impl fmt::Display for IpmiError {
             IpmiError::Completion(c) => write!(f, "completion code {c:?}"),
             IpmiError::ChannelClosed => write!(f, "management channel closed"),
             IpmiError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            IpmiError::Dropped => write!(f, "frame dropped in transit"),
+            IpmiError::Corrupt => write!(f, "frame corrupted in transit"),
+            IpmiError::TimedOut => write!(f, "transaction timed out"),
         }
+    }
+}
+
+impl IpmiError {
+    /// True for failures a retry might cure — lost, damaged or late
+    /// frames and busy peers. Protocol violations and a closed channel
+    /// are final.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            IpmiError::Dropped
+                | IpmiError::Corrupt
+                | IpmiError::TimedOut
+                | IpmiError::BadChecksum
+                | IpmiError::Completion(CompletionCode::NodeBusy)
+        )
     }
 }
 

@@ -1,26 +1,374 @@
 //! The out-of-band management "LAN": an in-memory channel pair standing in
-//! for the BMC's dedicated NIC.
+//! for the BMC's dedicated NIC, plus a deterministic fault model for it.
 //!
 //! [`LanChannel::pair`] creates a [`ManagerPort`] (DCM side) and a
 //! [`BmcPort`] (node side). Frames cross as raw bytes — everything is
 //! encoded/decoded through [`crate::message`], so a protocol bug shows up
 //! as a checksum or parse failure exactly as it would on a real wire.
+//!
+//! [`LanChannel::faulty_pair`] adds a seeded [`FaultInjector`] on each
+//! direction of the manager side: frames can be dropped, corrupted (the
+//! receiver sees a checksum failure), delayed by a few delivery polls, or
+//! — on the response path — replaced by a `NodeBusy` completion. Every
+//! decision comes from the injector's own RNG, so a given `(spec, seed)`
+//! reproduces the exact same fault schedule.
+//!
+//! Managers issue commands through the [`Transact`] trait: send one
+//! request, get the matching response (sequence number, NetFn *and*
+//! command must all match, so stale or wrapped-sequence responses from
+//! earlier, timed-out requests are rejected rather than mistaken for the
+//! answer). [`transact_retry`] layers bounded retry-with-backoff on top,
+//! re-issuing with a fresh sequence number on transient failures.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
-use crate::message::{IpmiError, Request, Response};
+use crate::message::{CompletionCode, IpmiError, Request, Response};
+
+/// Fault rates for one direction of a management link. All probabilities
+/// are per frame, drawn independently in this order: drop, corrupt, busy
+/// (response direction only), delay.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Probability a frame vanishes in transit.
+    pub drop_prob: f64,
+    /// Probability one byte of the frame is flipped (caught by the IPMI
+    /// checksum at the receiver).
+    pub corrupt_prob: f64,
+    /// Probability a response is replaced by a `NodeBusy` completion
+    /// (the BMC's firmware deferred the command). Ignored on the request
+    /// direction.
+    pub busy_prob: f64,
+    /// Probability a frame is held back for 1..=`max_delay` delivery
+    /// polls before arriving (frames may reorder).
+    pub delay_prob: f64,
+    /// Maximum delay in delivery polls.
+    pub max_delay: u8,
+    /// Honesty bound: after this many consecutive faulted frames the next
+    /// frame is delivered clean (0 disables the bound). Guarantees that a
+    /// retrying manager eventually gets through.
+    pub max_consecutive_faults: u8,
+}
+
+impl FaultSpec {
+    /// A clean link (all fault paths off).
+    pub fn none() -> Self {
+        FaultSpec {
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            busy_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay: 0,
+            max_consecutive_faults: 0,
+        }
+    }
+
+    /// A lossy-but-live link: `p` drop + `p` corrupt + `p/2` busy + `p`
+    /// delay (≤3 polls), with eventual delivery guaranteed after 4
+    /// consecutive faults.
+    pub fn lossy(p: f64) -> Self {
+        assert!((0.0..0.5).contains(&p), "lossy fault rate out of range: {p}");
+        FaultSpec {
+            drop_prob: p,
+            corrupt_prob: p,
+            busy_prob: p / 2.0,
+            delay_prob: p,
+            max_delay: 3,
+            max_consecutive_faults: 4,
+        }
+    }
+
+    /// A black hole: everything sent into it disappears (a dead BMC).
+    pub fn dead() -> Self {
+        FaultSpec { drop_prob: 1.0, ..FaultSpec::none() }
+    }
+
+    /// True when every fault path is off.
+    pub fn is_clean(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.corrupt_prob == 0.0
+            && self.busy_prob == 0.0
+            && self.delay_prob == 0.0
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
+/// Which way frames flow through an injector (busy rewriting only makes
+/// sense for responses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDirection {
+    Request,
+    Response,
+}
+
+/// Cumulative injector statistics (diagnostics; deterministic for a given
+/// seed and call sequence).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    pub delivered: u64,
+    pub dropped: u64,
+    pub corrupted: u64,
+    pub busied: u64,
+    pub delayed: u64,
+}
+
+/// Deterministic, seeded fault layer for one direction of a link.
+#[derive(Debug)]
+pub struct FaultInjector {
+    spec: FaultSpec,
+    dir: FaultDirection,
+    rng: u64,
+    consecutive: u8,
+    /// Frames waiting out a delay: (remaining polls, frame).
+    delayed: VecDeque<(u8, Bytes)>,
+    /// Frames ready for delivery, in order.
+    ready: VecDeque<Bytes>,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    pub fn new(spec: FaultSpec, dir: FaultDirection, seed: u64) -> Self {
+        // Scramble the seed (splitmix64 finalizer) so adjacent seeds give
+        // unrelated schedules, and keep the xorshift state nonzero.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        FaultInjector {
+            spec,
+            dir,
+            rng: z | 1,
+            consecutive: 0,
+            delayed: VecDeque::new(),
+            ready: VecDeque::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn forced_clean(&mut self) -> bool {
+        self.spec.max_consecutive_faults > 0 && self.consecutive >= self.spec.max_consecutive_faults
+    }
+
+    /// Feed one frame into the injector; it lands in the ready queue, the
+    /// delay queue, or nowhere (dropped).
+    pub fn admit(&mut self, frame: Bytes) {
+        if self.spec.is_clean() || self.forced_clean() {
+            self.consecutive = 0;
+            self.stats.delivered += 1;
+            self.ready.push_back(frame);
+            return;
+        }
+        if self.next_f64() < self.spec.drop_prob {
+            self.consecutive += 1;
+            self.stats.dropped += 1;
+            return;
+        }
+        if self.next_f64() < self.spec.corrupt_prob {
+            self.consecutive += 1;
+            self.stats.corrupted += 1;
+            let mut bytes = frame.to_vec();
+            let idx = (self.next_u64() as usize) % bytes.len().max(1);
+            bytes[idx] ^= 1 << (self.next_u64() % 8);
+            self.ready.push_back(Bytes::from(bytes));
+            return;
+        }
+        if self.dir == FaultDirection::Response && self.next_f64() < self.spec.busy_prob {
+            self.consecutive += 1;
+            self.stats.busied += 1;
+            // Replace the payload with a NodeBusy completion for the same
+            // (netfn, cmd, seq) — what firmware that shed the command
+            // would answer. An unparseable frame is passed through as-is.
+            if let Ok(resp) = Response::decode(&frame) {
+                let busy = Response {
+                    completion: CompletionCode::NodeBusy,
+                    payload: Bytes::new(),
+                    ..resp
+                };
+                self.ready.push_back(busy.encode());
+            } else {
+                self.ready.push_back(frame);
+            }
+            return;
+        }
+        if self.spec.delay_prob > 0.0 && self.next_f64() < self.spec.delay_prob {
+            self.consecutive += 1;
+            self.stats.delayed += 1;
+            let polls = 1 + (self.next_u64() % self.spec.max_delay.max(1) as u64) as u8;
+            self.delayed.push_back((polls, frame));
+            return;
+        }
+        self.consecutive = 0;
+        self.stats.delivered += 1;
+        self.ready.push_back(frame);
+    }
+
+    /// One delivery poll: age the delay queue, then pop the next ready
+    /// frame if any.
+    pub fn poll_ready(&mut self) -> Option<Bytes> {
+        let mut still_delayed = VecDeque::with_capacity(self.delayed.len());
+        while let Some((polls, frame)) = self.delayed.pop_front() {
+            if polls <= 1 {
+                self.ready.push_back(frame);
+            } else {
+                still_delayed.push_back((polls - 1, frame));
+            }
+        }
+        self.delayed = still_delayed;
+        self.ready.pop_front()
+    }
+
+    /// True when no frame is in flight inside the injector.
+    pub fn is_idle(&self) -> bool {
+        self.delayed.is_empty() && self.ready.is_empty()
+    }
+}
+
+/// One request/response exchange with a managed node: send `req`, return
+/// the response whose sequence number, NetFn and command all match.
+///
+/// Implementations differ in how the peer gets CPU time: a plain
+/// [`ManagerPort`] waits for a BMC serviced on another thread, while a
+/// lock-step engine pumps the node's BMC between delivery polls.
+pub trait Transact {
+    /// Allocate the next request sequence number (wrapping).
+    fn next_seq(&mut self) -> u8;
+
+    /// Send `req` and wait (within the link's budget) for the matching
+    /// response. Non-matching responses — stale answers to earlier,
+    /// retried or timed-out requests — are discarded, never returned.
+    fn transact(&mut self, req: &Request) -> Result<Response, IpmiError>;
+
+    /// Scale the link's wait budget (retry backoff hook). `1` restores
+    /// the default.
+    fn set_patience(&mut self, factor: u32) {
+        let _ = factor;
+    }
+}
+
+/// Bounded retry for [`Transact::transact`]: each attempt re-issues the
+/// command with a **fresh sequence number** (so a late response to an
+/// earlier attempt can never be mistaken for the current one) and an
+/// exponentially growing wait budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts before giving up.
+    pub attempts: u32,
+    /// Cap on the patience multiplier (2^attempt, saturated here).
+    pub max_patience: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { attempts: 6, max_patience: 16 }
+    }
+}
+
+impl RetryPolicy {
+    /// A single attempt, no retry.
+    pub fn once() -> Self {
+        RetryPolicy { attempts: 1, max_patience: 1 }
+    }
+}
+
+/// Issue a command built by `build(seq)` under `retry`, returning the
+/// first non-busy matching response. Transient failures (dropped,
+/// corrupted, timed-out frames, busy completions) are retried; anything
+/// else aborts immediately.
+pub fn transact_retry(
+    link: &mut dyn Transact,
+    retry: &RetryPolicy,
+    build: &dyn Fn(u8) -> Request,
+) -> Result<Response, IpmiError> {
+    let mut last = IpmiError::TimedOut;
+    for attempt in 0..retry.attempts.max(1) {
+        link.set_patience((1u32 << attempt.min(8)).min(retry.max_patience.max(1)));
+        let req = build(link.next_seq());
+        match link.transact(&req) {
+            Ok(resp) if resp.completion == CompletionCode::NodeBusy => {
+                last = IpmiError::Completion(CompletionCode::NodeBusy);
+            }
+            Ok(resp) => {
+                link.set_patience(1);
+                return Ok(resp);
+            }
+            Err(e) if e.is_transient() => last = e,
+            Err(e) => {
+                link.set_patience(1);
+                return Err(e);
+            }
+        }
+    }
+    link.set_patience(1);
+    Err(last)
+}
 
 /// Constructor namespace for the channel pair.
 pub struct LanChannel;
 
 impl LanChannel {
-    /// Create a connected manager/BMC port pair.
+    /// Create a connected manager/BMC port pair over a clean link.
     pub fn pair() -> (ManagerPort, BmcPort) {
+        Self::build(None)
+    }
+
+    /// Create a pair whose manager side injects faults in both
+    /// directions, deterministically from `seed`.
+    pub fn faulty_pair(spec: FaultSpec, seed: u64) -> (ManagerPort, BmcPort) {
+        let faults = LinkFaults {
+            req: FaultInjector::new(spec, FaultDirection::Request, seed ^ 0x9e37_79b9_7f4a_7c15),
+            resp: FaultInjector::new(spec, FaultDirection::Response, seed ^ 0xd1b5_4a32_d192_ed03),
+        };
+        Self::build(Some(faults))
+    }
+
+    fn build(faults: Option<LinkFaults>) -> (ManagerPort, BmcPort) {
         let (req_tx, req_rx) = unbounded::<Bytes>();
         let (resp_tx, resp_rx) = unbounded::<Bytes>();
-        (ManagerPort { tx: req_tx, rx: resp_rx, next_seq: 0 }, BmcPort { rx: req_rx, tx: resp_tx })
+        (
+            ManagerPort {
+                tx: req_tx,
+                rx: resp_rx,
+                next_seq: 0,
+                timeout: Duration::from_secs(2),
+                patience: 1,
+                faults,
+            },
+            BmcPort { rx: req_rx, tx: resp_tx },
+        )
     }
+}
+
+/// Both directions of a faulty link, owned by the manager side (where the
+/// delivery polls happen).
+#[derive(Debug)]
+pub struct LinkFaults {
+    pub req: FaultInjector,
+    pub resp: FaultInjector,
 }
 
 /// The manager (DCM) end: sends requests, receives responses.
@@ -28,6 +376,10 @@ pub struct ManagerPort {
     tx: Sender<Bytes>,
     rx: Receiver<Bytes>,
     next_seq: u8,
+    /// Base wait for a blocking transaction (scaled by `patience`).
+    timeout: Duration,
+    patience: u32,
+    faults: Option<LinkFaults>,
 }
 
 impl ManagerPort {
@@ -38,28 +390,140 @@ impl ManagerPort {
         s
     }
 
-    /// Send a request frame.
-    pub fn send(&self, req: &Request) -> Result<(), IpmiError> {
-        self.tx.send(req.encode()).map_err(|_| IpmiError::ChannelClosed)
+    /// Base blocking-transaction timeout (scaled by retry patience).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
     }
 
-    /// Blocking receive of the next response frame.
-    pub fn recv(&self) -> Result<Response, IpmiError> {
-        let bytes = self.rx.recv().map_err(|_| IpmiError::ChannelClosed)?;
-        Response::decode(&bytes)
+    /// Fault statistics for a faulty link (`None` on a clean pair).
+    pub fn fault_stats(&self) -> Option<(FaultStats, FaultStats)> {
+        self.faults.as_ref().map(|f| (f.req.stats(), f.resp.stats()))
     }
 
-    /// Send `req` and wait for the matching response (by sequence number;
-    /// out-of-order responses for other sequences are discarded, as a
-    /// single-outstanding-request manager would).
-    pub fn transact(&self, req: &Request) -> Result<Response, IpmiError> {
-        self.send(req)?;
+    /// Flush request-direction frames that have finished their delay onto
+    /// the wire.
+    fn pump_requests(&mut self) -> Result<(), IpmiError> {
+        if let Some(lf) = &mut self.faults {
+            while let Some(frame) = lf.req.poll_ready() {
+                self.tx.send(frame).map_err(|_| IpmiError::ChannelClosed)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Send a request frame (through the fault layer, if any).
+    pub fn send(&mut self, req: &Request) -> Result<(), IpmiError> {
+        let frame = req.encode();
+        match &mut self.faults {
+            None => self.tx.send(frame).map_err(|_| IpmiError::ChannelClosed),
+            Some(lf) => {
+                lf.req.admit(frame);
+                self.pump_requests()
+            }
+        }
+    }
+
+    /// Non-blocking poll for a response frame: one delivery poll of the
+    /// fault layer plus a drain of the wire. `Ok(None)` when nothing has
+    /// arrived. A frame that fails to decode on a faulty link reports
+    /// [`IpmiError::Corrupt`].
+    pub fn try_recv(&mut self) -> Result<Option<Response>, IpmiError> {
+        self.pump_requests()?;
+        match &mut self.faults {
+            None => match self.rx.try_recv() {
+                Ok(bytes) => Response::decode(&bytes).map(Some),
+                Err(TryRecvError::Empty) => Ok(None),
+                Err(TryRecvError::Disconnected) => Err(IpmiError::ChannelClosed),
+            },
+            Some(lf) => {
+                let mut disconnected = false;
+                loop {
+                    match self.rx.try_recv() {
+                        Ok(bytes) => lf.resp.admit(bytes),
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            disconnected = true;
+                            break;
+                        }
+                    }
+                }
+                match lf.resp.poll_ready() {
+                    Some(bytes) => match Response::decode(&bytes) {
+                        Ok(resp) => Ok(Some(resp)),
+                        Err(_) => Err(IpmiError::Corrupt),
+                    },
+                    None if disconnected && lf.resp.is_idle() => Err(IpmiError::ChannelClosed),
+                    None => Ok(None),
+                }
+            }
+        }
+    }
+
+    /// Blocking receive of the next response frame, bounded by the link
+    /// timeout.
+    pub fn recv(&mut self) -> Result<Response, IpmiError> {
+        let deadline = Instant::now() + self.budget();
+        self.recv_until(deadline)
+    }
+
+    fn budget(&self) -> Duration {
+        self.timeout * self.patience.max(1)
+    }
+
+    fn recv_until(&mut self, deadline: Instant) -> Result<Response, IpmiError> {
         loop {
-            let resp = self.recv()?;
-            if resp.seq == req.seq {
+            match self.try_recv()? {
+                Some(resp) => return Ok(resp),
+                None => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(IpmiError::TimedOut);
+                    }
+                    // Wait on the wire in short slices so delayed frames
+                    // inside the fault layer keep aging.
+                    let slice = (deadline - now).min(Duration::from_millis(1));
+                    match self.rx.recv_timeout(slice) {
+                        Ok(bytes) => match &mut self.faults {
+                            None => return Response::decode(&bytes),
+                            Some(lf) => lf.resp.admit(bytes),
+                        },
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => {
+                            let idle = self.faults.as_ref().is_none_or(|lf| lf.resp.is_idle());
+                            if idle {
+                                return Err(IpmiError::ChannelClosed);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Transact for ManagerPort {
+    fn next_seq(&mut self) -> u8 {
+        ManagerPort::next_seq(self)
+    }
+
+    /// Send `req` and wait for the matching response. Sequence number,
+    /// NetFn and command must all match — a delayed response to an
+    /// earlier request (even one whose 8-bit sequence number has wrapped
+    /// around to the same value but belongs to a different command) is
+    /// discarded, not returned.
+    fn transact(&mut self, req: &Request) -> Result<Response, IpmiError> {
+        self.send(req)?;
+        let deadline = Instant::now() + self.budget();
+        loop {
+            let resp = self.recv_until(deadline)?;
+            if resp.seq == req.seq && resp.cmd == req.cmd && resp.netfn == req.netfn {
                 return Ok(resp);
             }
         }
+    }
+
+    fn set_patience(&mut self, factor: u32) {
+        self.patience = factor.max(1);
     }
 }
 
@@ -70,7 +534,10 @@ pub struct BmcPort {
 }
 
 impl BmcPort {
-    /// Non-blocking poll for a pending request. `Ok(None)` when idle.
+    /// Non-blocking poll for a pending request. `Ok(None)` when idle. A
+    /// frame that fails to decode (e.g. corrupted in transit) returns its
+    /// decode error; service loops should discard it and poll again, as
+    /// real firmware does.
     pub fn poll(&self) -> Result<Option<Request>, IpmiError> {
         match self.rx.try_recv() {
             Ok(bytes) => Request::decode(&bytes).map(Some),
@@ -98,7 +565,7 @@ mod tests {
 
     #[test]
     fn request_crosses_the_wire_intact() {
-        let (mgr, bmc) = LanChannel::pair();
+        let (mut mgr, bmc) = LanChannel::pair();
         let req = Request::new(NetFn::GroupExt, 0x02, 5, vec![0xdc, 0x01]);
         mgr.send(&req).unwrap();
         let got = bmc.poll().unwrap().unwrap();
@@ -127,8 +594,44 @@ mod tests {
     }
 
     #[test]
+    fn transact_rejects_wrapped_seq_for_a_different_command() {
+        // The u8 sequence space wraps: a delayed response to an *earlier,
+        // different* command can carry the same seq as the current
+        // request. Matching on (seq, netfn, cmd) rejects it.
+        let (mut mgr, bmc) = LanChannel::pair();
+        let seq = mgr.next_seq();
+        let req = Request::new(NetFn::GroupExt, 0x02, seq, Bytes::new());
+        let t = std::thread::spawn(move || {
+            let r = bmc.recv().unwrap();
+            // Stale answer from a previous epoch: same seq, other command.
+            let stale = Response {
+                netfn: NetFn::App,
+                cmd: 0x77,
+                seq: r.seq,
+                completion: CompletionCode::Ok,
+                payload: Bytes::from(vec![0xde, 0xad]),
+            };
+            bmc.send(&stale).unwrap();
+            bmc.send(&Response::ok(&r, vec![0x01])).unwrap();
+        });
+        let resp = mgr.transact(&req).unwrap();
+        t.join().unwrap();
+        assert_eq!(resp.cmd, 0x02);
+        assert_eq!(&resp.payload[..], &[0x01]);
+    }
+
+    #[test]
+    fn transact_times_out_instead_of_hanging() {
+        let (mut mgr, _bmc) = LanChannel::pair();
+        mgr.set_timeout(Duration::from_millis(5));
+        let seq = mgr.next_seq();
+        let req = Request::new(NetFn::App, 0x01, seq, Bytes::new());
+        assert_eq!(mgr.transact(&req), Err(IpmiError::TimedOut));
+    }
+
+    #[test]
     fn closed_channel_reports_error() {
-        let (mgr, bmc) = LanChannel::pair();
+        let (mut mgr, bmc) = LanChannel::pair();
         drop(bmc);
         let req = Request::new(NetFn::App, 0x01, 0, Bytes::new());
         assert_eq!(mgr.send(&req), Err(IpmiError::ChannelClosed));
@@ -154,5 +657,146 @@ mod tests {
             resp.into_ok().unwrap_err(),
             IpmiError::Completion(CompletionCode::InvalidCommand)
         );
+    }
+
+    // ------------------------------------------------------ fault layer
+
+    /// Echo every request as an OK response on the current thread.
+    fn echo_pending(bmc: &BmcPort) {
+        loop {
+            match bmc.poll() {
+                Ok(Some(req)) => bmc.send(&Response::ok(&req, vec![req.cmd])).unwrap(),
+                Ok(None) => break,
+                Err(IpmiError::ChannelClosed) => break,
+                Err(_) => continue, // corrupted request: discard
+            }
+        }
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_for_a_seed() {
+        let run = |seed: u64| {
+            let mut inj = FaultInjector::new(FaultSpec::lossy(0.3), FaultDirection::Request, seed);
+            for i in 0..200u8 {
+                inj.admit(Request::new(NetFn::App, 0x01, i, Bytes::new()).encode());
+                let _ = inj.poll_ready();
+            }
+            inj.stats()
+        };
+        assert_eq!(run(42), run(42), "same seed, same schedule");
+        assert_ne!(run(42), run(43), "different seed, different schedule");
+    }
+
+    #[test]
+    fn dead_link_drops_everything() {
+        let (mut mgr, bmc) = LanChannel::faulty_pair(FaultSpec::dead(), 7);
+        mgr.set_timeout(Duration::from_millis(2));
+        let req = Request::new(NetFn::App, 0x01, mgr.next_seq(), Bytes::new());
+        mgr.send(&req).unwrap();
+        assert!(bmc.poll().unwrap().is_none(), "frame never reached the BMC");
+        assert_eq!(Transact::transact(&mut mgr, &req), Err(IpmiError::TimedOut));
+        let (req_stats, _) = mgr.fault_stats().unwrap();
+        assert!(req_stats.dropped >= 2);
+        assert_eq!(req_stats.delivered, 0);
+    }
+
+    #[test]
+    fn corruption_surfaces_as_checksum_failures_not_bad_data() {
+        // Corrupt every response; the manager must report Corrupt, never
+        // hand back a frame that decoded into garbage.
+        let spec = FaultSpec { corrupt_prob: 1.0, ..FaultSpec::none() };
+        let (mut mgr, bmc) = LanChannel::faulty_pair(spec, 11);
+        mgr.set_timeout(Duration::from_millis(20));
+        let req = Request::new(NetFn::App, 0x01, mgr.next_seq(), Bytes::new());
+        // Answer directly (the request direction corrupts too, so the
+        // echo helper would never see a parseable request).
+        bmc.send(&Response::ok(&req, vec![0x07])).unwrap();
+        let got = mgr.recv();
+        assert_eq!(got, Err(IpmiError::Corrupt));
+    }
+
+    #[test]
+    fn busy_injection_returns_node_busy_completions() {
+        let spec = FaultSpec { busy_prob: 1.0, ..FaultSpec::none() };
+        let (mut mgr, bmc) = LanChannel::faulty_pair(spec, 3);
+        let req = Request::new(NetFn::App, 0x01, mgr.next_seq(), Bytes::new());
+        mgr.send(&req).unwrap();
+        echo_pending(&bmc);
+        let resp = mgr.recv().unwrap();
+        assert_eq!(resp.completion, CompletionCode::NodeBusy);
+        assert_eq!(resp.seq, req.seq);
+    }
+
+    #[test]
+    fn delayed_frames_arrive_after_enough_polls() {
+        let spec = FaultSpec {
+            delay_prob: 1.0,
+            max_delay: 3,
+            max_consecutive_faults: 0,
+            ..FaultSpec::none()
+        };
+        let (mut mgr, bmc) = LanChannel::faulty_pair(spec, 5);
+        let req = Request::new(NetFn::App, 0x01, mgr.next_seq(), Bytes::new());
+        mgr.send(&req).unwrap();
+        // The request is stuck in the delay queue; pump it through by
+        // polling, then let the BMC answer (response is delayed too).
+        let mut answered = false;
+        for _ in 0..16 {
+            echo_pending(&bmc);
+            if let Some(resp) = mgr.try_recv().unwrap() {
+                assert_eq!(resp.seq, req.seq);
+                answered = true;
+                break;
+            }
+        }
+        assert!(answered, "delayed frames eventually delivered");
+    }
+
+    #[test]
+    fn forced_clean_bounds_consecutive_faults() {
+        let spec = FaultSpec { drop_prob: 1.0, max_consecutive_faults: 3, ..FaultSpec::none() };
+        let mut inj = FaultInjector::new(spec, FaultDirection::Request, 9);
+        let mut delivered = 0;
+        for i in 0..40u8 {
+            inj.admit(Request::new(NetFn::App, 0x01, i, Bytes::new()).encode());
+            if inj.poll_ready().is_some() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 10, "every 4th frame forced through");
+    }
+
+    #[test]
+    fn retry_converges_on_a_lossy_link() {
+        // Drops and busy completions with a forced-clean bound: retry
+        // must converge within the bound regardless of thread timing.
+        // (Delay/corrupt schedules interact with wall-clock timeouts and
+        // are covered deterministically by the lock-step fleet tests.)
+        let spec = FaultSpec {
+            drop_prob: 0.4,
+            busy_prob: 0.3,
+            max_consecutive_faults: 3,
+            ..FaultSpec::none()
+        };
+        let (mut mgr, bmc) = LanChannel::faulty_pair(spec, 21);
+        mgr.set_timeout(Duration::from_millis(10));
+        // Service the BMC from a thread for the duration of the retry.
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let t = std::thread::spawn(move || {
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                echo_pending(&bmc);
+                std::thread::yield_now();
+            }
+        });
+        let retry = RetryPolicy { attempts: 16, max_patience: 16 };
+        let resp = transact_retry(&mut mgr, &retry, &|seq| {
+            Request::new(NetFn::App, 0x42, seq, Bytes::new())
+        });
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        t.join().unwrap();
+        let resp = resp.expect("bounded faults, so retry must converge");
+        assert_eq!(resp.cmd, 0x42);
+        assert_eq!(resp.completion, CompletionCode::Ok);
     }
 }

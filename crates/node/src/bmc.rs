@@ -203,12 +203,23 @@ impl Bmc {
     /// Service pending IPMI requests on `port`. Called from the machine's
     /// control tick — the out-of-band path shares no state with the
     /// workload.
+    ///
+    /// Frames that fail to decode (corrupted in transit on a faulty link)
+    /// are discarded, as real firmware does — the manager's checksum-less
+    /// silence turns into a retry on its side. Only a closed channel
+    /// stops service.
     pub fn serve(&mut self, port: &BmcPort) -> Result<(), IpmiError> {
-        while let Some(req) = port.poll()? {
-            let resp = self.handle(&req);
-            port.send(&resp)?;
+        loop {
+            match port.poll() {
+                Ok(Some(req)) => {
+                    let resp = self.handle(&req);
+                    port.send(&resp)?;
+                }
+                Ok(None) => return Ok(()),
+                Err(IpmiError::ChannelClosed) => return Err(IpmiError::ChannelClosed),
+                Err(_) => continue,
+            }
         }
-        Ok(())
     }
 
     fn handle(&mut self, req: &Request) -> Response {

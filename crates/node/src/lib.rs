@@ -18,6 +18,7 @@
 //! same execution.
 
 pub mod bmc;
+pub mod builder;
 pub mod config;
 pub mod ladder;
 pub mod machine;
@@ -26,9 +27,10 @@ pub mod region;
 pub mod trace;
 
 pub use bmc::{Bmc, PowerCap};
+pub use builder::MachineBuilder;
 pub use config::MachineConfig;
 pub use ladder::{Rung, ThrottleLadder};
-pub use machine::{Machine, RunStats};
+pub use machine::{EpochWorkload, Machine, RunStats};
 pub use powercap::{PowercapError, PowercapFs};
 pub use region::{CodeBlock, Region};
 pub use trace::{RunTrace, TraceSample};

@@ -46,6 +46,20 @@ use crate::ladder::{Rung, ThrottleLadder};
 use crate::region::{CodeBlock, Region};
 use crate::trace::{RunTrace, TraceSample};
 
+/// A workload that can be driven in epoch quanta by [`Machine::step`].
+///
+/// Each call performs one small slice of work (a few microseconds of
+/// simulated time) against the machine; the driver calls it until the
+/// epoch's simulated-time budget is consumed. Implementations own their
+/// own progress state (indices, regions, phase), so a node can be stepped,
+/// handed to another thread, and stepped again.
+pub trait EpochWorkload: Send {
+    /// Execute one quantum of work. Must advance simulated time (charge
+    /// at least one instruction or memory access); a quantum that charges
+    /// nothing idles the node for the rest of the epoch.
+    fn quantum(&mut self, m: &mut Machine);
+}
+
 /// Summary of one completed run.
 #[derive(Clone, Debug)]
 pub struct RunStats {
@@ -479,6 +493,39 @@ impl Machine {
                 self.tick();
             }
         }
+    }
+
+    // ------------------------------------------------------ epoch stepping
+
+    /// Advance the machine by `dt_s` of simulated time, repeatedly asking
+    /// `w` for work quanta. This is the lock-step driver a fleet engine
+    /// uses: every node is stepped to the same simulated-time barrier, the
+    /// manager exchanges IPMI traffic at the barrier, then the next epoch
+    /// begins. Control ticks (power metering, BMC service, throttle
+    /// decisions) fire inside exactly as they do for a free-running
+    /// workload.
+    ///
+    /// A quantum that charges no time would spin forever; if that happens
+    /// the node is treated as idle for the rest of the epoch.
+    pub fn step(&mut self, dt_s: f64, w: &mut dyn EpochWorkload) {
+        assert!(dt_s > 0.0, "epoch must advance time");
+        assert_eq!(self.active_core, 0, "epoch stepping drives core 0");
+        let target_ns = self.clock.now_ns() + dt_s * 1e9;
+        while self.clock.now_ns() < target_ns {
+            let before = self.clock.now_ns();
+            w.quantum(self);
+            if self.clock.now_ns() <= before {
+                self.idle((target_ns - self.clock.now_ns()) * 1e-9);
+                break;
+            }
+        }
+    }
+
+    /// Advance the machine by `dt_s` with no work at all (an idle node in
+    /// a fleet epoch). Control ticks still fire, so the BMC stays
+    /// responsive and power windows record idle draw.
+    pub fn step_idle(&mut self, dt_s: f64) {
+        self.idle(dt_s);
     }
 
     #[inline]

@@ -40,6 +40,18 @@ pub enum PowercapError {
     ReadOnly(String),
 }
 
+impl std::fmt::Display for PowercapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PowercapError::NoEnt(attr) => write!(f, "no such attribute: {attr}"),
+            PowercapError::Inval(v) => write!(f, "invalid value: {v}"),
+            PowercapError::ReadOnly(attr) => write!(f, "attribute is read-only: {attr}"),
+        }
+    }
+}
+
+impl std::error::Error for PowercapError {}
+
 /// Offset between a package limit and the node cap the BMC enforces:
 /// platform + second socket idle + DRAM background (see
 /// `capsim_power::PowerParams`).

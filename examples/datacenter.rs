@@ -13,13 +13,13 @@
 
 use capsim::apps::kernels::{AluBurst, PointerChase, StreamTriad};
 use capsim::apps::Workload;
-use capsim::dcm::{AllocationPolicy, Dcm};
 use capsim::ipmi::LanChannel;
 use capsim::prelude::*;
 
 fn main() {
     let mut dcm = Dcm::new();
     let mut threads = Vec::new();
+    let mut ids: Vec<NodeId> = Vec::new();
 
     // Boot three nodes with different personalities.
     let workloads: Vec<(&str, Box<dyn Workload + Send>)> = vec![
@@ -29,10 +29,9 @@ fn main() {
     ];
     for (i, (name, mut w)) in workloads.into_iter().enumerate() {
         let (mgr_port, bmc_port) = LanChannel::pair();
-        dcm.add_node(name, mgr_port);
+        ids.push(dcm.register_link(name, mgr_port));
         threads.push(std::thread::spawn(move || {
-            let mut m = Machine::new(MachineConfig::e5_2680(100 + i as u64));
-            m.attach_bmc_port(bmc_port);
+            let mut m = MachineBuilder::e5_2680().seed(100 + i as u64).bmc_port(bmc_port).build();
             let _ = w.run(&mut m);
             let s = m.finish_run();
             (name, s)
@@ -41,8 +40,9 @@ fn main() {
 
     // Give the nodes a moment to start reporting, then budget the group.
     std::thread::sleep(std::time::Duration::from_millis(300));
-    let readings: Vec<f64> = (0..dcm.len())
-        .map(|i| dcm.read_power(i).map(|r| r.current_w as f64).unwrap_or(0.0))
+    let readings: Vec<f64> = ids
+        .iter()
+        .map(|&id| dcm.read_power(id).map(|r| r.current_w as f64).unwrap_or(0.0))
         .collect();
     println!("initial demand: {readings:?} W");
 
@@ -50,14 +50,15 @@ fn main() {
     let caps = dcm
         .apply_group_budget(budget, &AllocationPolicy::ProportionalToDemand)
         .expect("nodes reachable over IPMI");
-    println!("group budget {budget} W -> caps {caps:?}");
-    for i in 0..dcm.len() {
-        let limit = dcm.node_limit(i).expect("limit stored");
+    println!("group budget {budget} W -> caps:");
+    for &(id, cap_w) in &caps {
+        let limit = dcm.node_limit(id).expect("limit stored");
         println!(
-            "  {}: cap {} W (correction {} ms)",
-            dcm.node_name(i),
+            "  {}: cap {cap_w} W (limit {} W, correction {} ms, {:?})",
+            dcm.node_name(id),
             limit.limit_w,
-            limit.correction_ms
+            limit.correction_ms,
+            dcm.health(id)
         );
     }
 

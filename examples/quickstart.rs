@@ -6,23 +6,23 @@
 
 use capsim::prelude::*;
 
-fn demo_config(seed: u64) -> MachineConfig {
+fn demo_machine(seed: u64) -> Machine {
     // Demo instances simulate only a few milliseconds, so run the BMC
     // control loop proportionally faster than the real firmware's period
     // (the paper's runs were minutes against a ~second-scale loop).
-    let mut cfg = MachineConfig::e5_2680(seed);
-    cfg.control_period_us = 5.0;
-    cfg.meter_window_s = 1e-4;
-    cfg
+    MachineBuilder::e5_2680().seed(seed).control_period_us(5.0).meter_window_s(1e-4).build()
 }
 
 fn main() {
     // A machine with the paper's platform configuration (dual-socket
-    // E5-2680 node, 16 P-states, 32K/256K/20M caches) and a fixed seed.
-    let mut machine = Machine::new(demo_config(42));
-
-    // Cap the node at 135 W, as Intel DCM would do over IPMI.
-    machine.set_power_cap(Some(PowerCap::new(135.0)));
+    // E5-2680 node, 16 P-states, 32K/256K/20M caches) and a fixed seed,
+    // capped at 135 W as Intel DCM would do over IPMI.
+    let mut machine = MachineBuilder::e5_2680()
+        .seed(42)
+        .control_period_us(5.0)
+        .meter_window_s(1e-4)
+        .cap_w(135.0)
+        .build();
 
     // Run the paper's stereo-matching application (test scale: finishes
     // in a couple of seconds of host time).
@@ -42,7 +42,7 @@ fn main() {
     println!("BMC activity        : {esc} escalations, {deesc} de-escalations, {exc} exceptions");
 
     // The same workload uncapped, for contrast.
-    let mut machine = Machine::new(demo_config(42));
+    let mut machine = demo_machine(42);
     let mut app = StereoMatching::test_scale(42);
     app.run(&mut machine);
     let base = machine.finish_run();

@@ -8,7 +8,7 @@
 //!
 //! Measurement model: after a short warm-up, the per-iteration cost is
 //! estimated and iterations are batched so each sample runs for roughly
-//! [`TARGET_SAMPLE_NS`]; `sample_size` samples are collected and the
+//! `TARGET_SAMPLE_NS`; `sample_size` samples are collected and the
 //! min / median / max ns-per-iteration are reported, plus elements/sec
 //! when a [`Throughput`] is set. No plots, no statistics files — output
 //! goes to stdout in a stable greppable format:

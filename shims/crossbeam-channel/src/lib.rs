@@ -1,11 +1,12 @@
 //! Offline stand-in for `crossbeam-channel`, backed by `std::sync::mpsc`.
 //!
-//! capsim uses only unbounded channels with `send` / `recv` / `try_recv`,
-//! which `std` provides directly; this shim adapts the names and error
-//! types so the IPMI transport code compiles unchanged.
+//! capsim uses only unbounded channels with `send` / `recv` / `try_recv` /
+//! `recv_timeout`, which `std` provides directly; this shim adapts the
+//! names and error types so the IPMI transport code compiles unchanged.
 
 use std::fmt;
 use std::sync::mpsc;
+use std::time::Duration;
 
 /// Error returned by [`Sender::send`] when the receiver is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +50,26 @@ impl fmt::Display for TryRecvError {
 
 impl std::error::Error for TryRecvError {}
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived before the deadline.
+    Timeout,
+    /// All senders have been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "receive timed out"),
+            RecvTimeoutError::Disconnected => write!(f, "channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
 /// Sending half of an unbounded channel.
 pub struct Sender<T> {
     inner: mpsc::Sender<T>,
@@ -82,6 +103,13 @@ impl<T> Receiver<T> {
             mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
         })
     }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
 }
 
 /// Create an unbounded FIFO channel.
@@ -113,6 +141,16 @@ mod tests {
         drop(tx);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_reports_timeout_and_data() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Timeout));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(9));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! One error hierarchy for the whole workspace.
+//!
+//! Each layer keeps its own error type ([`capsim_ipmi::IpmiError`] for
+//! the wire, [`capsim_dcm::DcmError`] for node-attributed management
+//! failures, [`capsim_node::PowercapError`] for the in-band sysfs
+//! model); [`CapsimError`] unifies them so applications can `?` across
+//! layers.
+
+use std::fmt;
+
+use capsim_dcm::DcmError;
+use capsim_ipmi::IpmiError;
+use capsim_node::PowercapError;
+
+/// Any failure surfaced by the capsim stack.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CapsimError {
+    /// An IPMI wire-protocol or transport failure (no node attribution —
+    /// the caller was talking to a single port).
+    Ipmi(IpmiError),
+    /// A management-plane failure attributed to a fleet node.
+    Dcm(DcmError),
+    /// An in-band powercap-sysfs failure.
+    Powercap(PowercapError),
+}
+
+impl fmt::Display for CapsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapsimError::Ipmi(e) => write!(f, "ipmi: {e}"),
+            CapsimError::Dcm(e) => write!(f, "dcm: {e}"),
+            CapsimError::Powercap(e) => write!(f, "powercap: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CapsimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CapsimError::Ipmi(e) => Some(e),
+            CapsimError::Dcm(e) => Some(e),
+            CapsimError::Powercap(e) => Some(e),
+        }
+    }
+}
+
+impl From<IpmiError> for CapsimError {
+    fn from(e: IpmiError) -> Self {
+        CapsimError::Ipmi(e)
+    }
+}
+
+impl From<DcmError> for CapsimError {
+    fn from(e: DcmError) -> Self {
+        CapsimError::Dcm(e)
+    }
+}
+
+impl From<PowercapError> for CapsimError {
+    fn from(e: PowercapError) -> Self {
+        CapsimError::Powercap(e)
+    }
+}

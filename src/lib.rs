@@ -3,6 +3,23 @@
 //! Re-exports every subsystem and offers a [`prelude`] for examples and
 //! downstream users. See `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-reproduction index.
+//!
+//! # Quickstart
+//!
+//! Build one capped machine with [`node::MachineBuilder`], or a whole
+//! managed fleet with [`dcm::FleetBuilder`]:
+//!
+//! ```
+//! use capsim::prelude::*;
+//!
+//! let report = FleetBuilder::new()
+//!     .nodes(4)
+//!     .epochs(3)
+//!     .budget_w(400.0)
+//!     .build()
+//!     .run();
+//! assert_eq!(report.nodes, 4);
+//! ```
 
 pub use capsim_apps as apps;
 pub use capsim_core as study;
@@ -14,10 +31,19 @@ pub use capsim_mem as mem;
 pub use capsim_node as node;
 pub use capsim_power as power;
 
+pub mod error;
+
+pub use error::CapsimError;
+
 /// Commonly used items, one `use` away.
 pub mod prelude {
+    pub use crate::error::CapsimError;
     pub use capsim_apps::{SireRsm, StereoMatching, Workload};
     pub use capsim_core::{CapSweep, ExperimentConfig, RunMetrics};
+    pub use capsim_dcm::{
+        AllocationPolicy, Dcm, Fleet, FleetBuilder, FleetReport, NodeHealth, NodeId,
+    };
+    pub use capsim_ipmi::{FaultSpec, RetryPolicy, Transact};
     pub use capsim_mem::{HierarchyConfig, MemReconfig};
-    pub use capsim_node::{Machine, MachineConfig, PowerCap};
+    pub use capsim_node::{Machine, MachineBuilder, MachineConfig, PowerCap};
 }

@@ -9,13 +9,11 @@ use capsim::apps::kernels::AluBurst;
 use capsim::apps::Workload;
 use capsim::dcm::{read_sel, violation_count, Dcm, FleetMonitor};
 use capsim::ipmi::{LanChannel, SelEventType};
-use capsim::node::{Machine, MachineConfig, PowercapFs};
+use capsim::node::{MachineBuilder, PowercapFs};
+use capsim::prelude::*;
 
-fn fast(seed: u64) -> MachineConfig {
-    let mut c = MachineConfig::e5_2680(seed);
-    c.control_period_us = 10.0;
-    c.meter_window_s = 2e-4;
-    c
+fn fast(seed: u64) -> Machine {
+    MachineBuilder::e5_2680().seed(seed).control_period_us(10.0).meter_window_s(2e-4).build()
 }
 
 #[test]
@@ -24,7 +22,7 @@ fn unreachable_cap_leaves_a_sel_paper_trail_readable_over_ipmi() {
     let stop = Arc::new(AtomicBool::new(false));
     let stop_node = stop.clone();
     let t = std::thread::spawn(move || {
-        let mut m = Machine::new(fast(51));
+        let mut m = fast(51);
         m.attach_bmc_port(bmc_port);
         AluBurst { iters: 9_000_000 }.run(&mut m);
         let stats = m.finish_run();
@@ -39,20 +37,21 @@ fn unreachable_cap_leaves_a_sel_paper_trail_readable_over_ipmi() {
     // Short correction time so the scaled run accrues violations (the
     // default 1 s matches paper-scale runs, not millisecond tests).
     dcm.correction_ms = 5;
-    dcm.add_node("n0", mgr);
+    let node = dcm.register_link("n0", mgr);
     // A 118 W cap is below the throttle floor: violations must accrue.
-    dcm.cap_node(0, 118.0).expect("cap accepted");
-    let mut monitor = FleetMonitor::new(1, 64);
+    dcm.cap_node(node, 118.0).expect("cap accepted");
+    let mut monitor = FleetMonitor::for_dcm(&dcm, 64);
     for _ in 0..200 {
         monitor.poll(&mut dcm).expect("node up");
         std::thread::yield_now();
     }
+    assert_eq!(dcm.health(node), NodeHealth::Healthy);
     // The monitor saw the node pinned near its floor, above the cap.
-    let mean = monitor.history(0).mean().expect("samples");
+    let mean = monitor.history(node).mean().expect("samples");
     assert!(mean > 118.0, "floor sits above the cap: {mean}");
-    assert_eq!(monitor.hotspots(118.0), vec![0]);
+    assert_eq!(monitor.hotspots(118.0), vec![node]);
 
-    let sel = read_sel(&mut dcm, 0).expect("SEL readable");
+    let sel = read_sel(&mut dcm, node).expect("SEL readable");
     assert!(
         sel.iter().any(|e| e.event == SelEventType::PowerLimitConfigured),
         "configuration logged"
@@ -67,7 +66,7 @@ fn unreachable_cap_leaves_a_sel_paper_trail_readable_over_ipmi() {
 fn in_band_powercap_and_out_of_band_dcmi_agree_on_the_same_node() {
     // Drive a node with the Linux-powercap-style interface, then check
     // DCM's view of it over IPMI: one BMC, two front ends.
-    let mut m = Machine::new(fast(52));
+    let mut m = fast(52);
     {
         let mut fs = PowercapFs::new(&mut m);
         fs.write("constraint_0_power_limit_uw", "33000000").unwrap(); // ≈134 W node

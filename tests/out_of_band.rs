@@ -3,40 +3,38 @@
 
 use capsim::apps::kernels::AluBurst;
 use capsim::apps::Workload;
-use capsim::dcm::{AllocationPolicy, Dcm};
+use capsim::dcm::{AllocationPolicy, Dcm, NodeId};
 use capsim::ipmi::LanChannel;
-use capsim::node::{Machine, MachineConfig, PowerCap};
+use capsim::node::MachineBuilder;
+use capsim::prelude::*;
 
-fn fast(seed: u64) -> MachineConfig {
-    let mut c = MachineConfig::e5_2680(seed);
-    c.control_period_us = 10.0;
-    c.meter_window_s = 0.0002;
-    c
+fn fast(seed: u64) -> Machine {
+    MachineBuilder::e5_2680().seed(seed).control_period_us(10.0).meter_window_s(0.0002).build()
 }
 
 #[test]
 fn dcm_caps_a_running_node_over_ipmi() {
     let (mgr, bmc_port) = LanChannel::pair();
     let t = std::thread::spawn(move || {
-        let mut m = Machine::new(fast(21));
+        let mut m = fast(21);
         m.attach_bmc_port(bmc_port);
         AluBurst { iters: 12_000_000 }.run(&mut m);
         m.finish_run()
     });
     let mut dcm = Dcm::new();
-    dcm.add_node("n0", mgr);
+    let node = dcm.register_link("n0", mgr);
     // Wait until the node is reporting busy power, then cap it.
     let mut reading = 0;
     for _ in 0..500 {
-        reading = dcm.read_power(0).expect("node up").current_w;
+        reading = dcm.read_power(node).expect("node up").current_w;
         if reading > 140 {
             break;
         }
         std::thread::yield_now();
     }
     assert!(reading > 140, "node should be drawing busy power, read {reading}");
-    dcm.cap_node(0, 135.0).expect("cap accepted");
-    let limit = dcm.node_limit(0).expect("limit readable");
+    dcm.cap_node(node, 135.0).expect("cap accepted");
+    let limit = dcm.node_limit(node).expect("limit readable");
     assert_eq!(limit.limit_w, 135);
     let stats = t.join().expect("node thread");
     // The run started uncapped and ended capped: max above, final below.
@@ -48,20 +46,21 @@ fn dcm_caps_a_running_node_over_ipmi() {
 fn group_budget_throttles_every_node_in_the_rack() {
     let mut dcm = Dcm::new();
     let mut threads = Vec::new();
+    let mut ids: Vec<NodeId> = Vec::new();
     for i in 0..3u64 {
         let (mgr, bmc_port) = LanChannel::pair();
-        dcm.add_node(format!("n{i}"), mgr);
+        ids.push(dcm.register_link(format!("n{i}"), mgr));
         threads.push(std::thread::spawn(move || {
-            let mut m = Machine::new(fast(30 + i));
+            let mut m = fast(30 + i);
             m.attach_bmc_port(bmc_port);
             AluBurst { iters: 10_000_000 }.run(&mut m);
             m.finish_run()
         }));
     }
     // Let them ramp up, then apply a tight group budget.
-    for i in 0..dcm.len() {
+    for &id in &ids {
         for _ in 0..500 {
-            if dcm.read_power(i).map(|r| r.current_w).unwrap_or(0) > 140 {
+            if dcm.read_power(id).map(|r| r.current_w).unwrap_or(0) > 140 {
                 break;
             }
             std::thread::yield_now();
@@ -69,7 +68,8 @@ fn group_budget_throttles_every_node_in_the_rack() {
     }
     let caps =
         dcm.apply_group_budget(3.0 * 135.0, &AllocationPolicy::Uniform).expect("budget applied");
-    assert_eq!(caps, vec![135.0; 3]);
+    let expected: Vec<(NodeId, f64)> = ids.iter().map(|&id| (id, 135.0)).collect();
+    assert_eq!(caps, expected);
     for t in threads {
         let s = t.join().expect("node");
         assert!(s.bmc_stats.0 > 0, "every node throttled");
@@ -81,7 +81,7 @@ fn inband_and_ipmi_caps_agree() {
     // Capping via Machine::set_power_cap and via the DCMI path must yield
     // the same equilibrium (the BMC is the single control point).
     let run_inband = || {
-        let mut m = Machine::new(fast(40));
+        let mut m = fast(40);
         m.set_power_cap(Some(PowerCap::new(134.0)));
         AluBurst { iters: 4_000_000 }.run(&mut m);
         m.finish_run()
@@ -89,7 +89,7 @@ fn inband_and_ipmi_caps_agree() {
     let run_oob = || {
         let (mgr, bmc_port) = LanChannel::pair();
         let t = std::thread::spawn(move || {
-            let mut m = Machine::new(fast(40));
+            let mut m = fast(40);
             m.attach_bmc_port(bmc_port);
             // Give the manager a moment to land the cap before the run
             // starts in earnest: poll-loop on the first control ticks.
@@ -97,8 +97,8 @@ fn inband_and_ipmi_caps_agree() {
             m.finish_run()
         });
         let mut dcm = Dcm::new();
-        dcm.add_node("n", mgr);
-        dcm.cap_node(0, 134.0).expect("cap");
+        let node = dcm.register_link("n", mgr);
+        dcm.cap_node(node, 134.0).expect("cap");
         t.join().expect("node")
     };
     let a = run_inband();
