@@ -1,0 +1,252 @@
+//! `bench_check` — validate the committed `BENCH_*.json` trajectory files.
+//!
+//! Usage: `cargo run -p capsim-bench --bin bench_check -- FILE...`
+//!
+//! Each file must parse as a flat JSON object (string / number / bool
+//! values — the only shapes our bench bins emit), and files whose names
+//! match a known artifact must carry that artifact's required keys:
+//!
+//! * `BENCH_hotpath*`: `accesses_per_sec`, `machine_loads_per_sec`,
+//!   `ticks_per_sec` — all positive numbers,
+//! * `BENCH_fleet*`: `nodes`, `speedup`, `deterministic`,
+//! * `BENCH_obs*`: `loads_per_sec_obs_off`, `loads_per_sec_obs_on`,
+//!   `overhead_pct`, `within_budget` — and `within_budget` must be true.
+//!
+//! Unknown `BENCH_*` files only need to parse. Exits non-zero listing
+//! every problem found, so CI catches a bin that wrote garbage.
+
+use std::collections::BTreeMap;
+
+/// The value shapes our hand-rolled bench JSON actually contains.
+#[derive(Debug, PartialEq)]
+enum Val {
+    Num(f64),
+    Bool(bool),
+    Str(String),
+}
+
+/// Parse a flat JSON object (no nesting, no arrays — bench bins never
+/// emit them) into a key → value map. Returns a description of the first
+/// syntax problem on malformed input.
+fn parse_flat_object(text: &str) -> Result<BTreeMap<String, Val>, String> {
+    let mut map = BTreeMap::new();
+    let s: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    let skip_ws = |s: &[char], mut i: usize| {
+        while i < s.len() && s[i].is_whitespace() {
+            i += 1;
+        }
+        i
+    };
+    let parse_string = |s: &[char], mut i: usize| -> Result<(String, usize), String> {
+        if s.get(i) != Some(&'"') {
+            return Err(format!("expected '\"' at offset {i}"));
+        }
+        i += 1;
+        let mut out = String::new();
+        while let Some(&c) = s.get(i) {
+            match c {
+                '"' => return Ok((out, i + 1)),
+                '\\' => {
+                    let esc = *s.get(i + 1).ok_or("dangling escape")?;
+                    out.push(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    });
+                    i += 2;
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        Err("unterminated string".into())
+    };
+
+    i = skip_ws(&s, i);
+    if s.get(i) != Some(&'{') {
+        return Err("expected '{' at start".into());
+    }
+    i = skip_ws(&s, i + 1);
+    if s.get(i) == Some(&'}') {
+        i = skip_ws(&s, i + 1);
+        if i != s.len() {
+            return Err("trailing content after object".into());
+        }
+        return Ok(map);
+    }
+    loop {
+        let (key, next) = parse_string(&s, i)?;
+        i = skip_ws(&s, next);
+        if s.get(i) != Some(&':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        i = skip_ws(&s, i + 1);
+        let val = match s.get(i) {
+            Some(&'"') => {
+                let (v, next) = parse_string(&s, i)?;
+                i = next;
+                Val::Str(v)
+            }
+            Some(&'t') if s[i..].starts_with(&['t', 'r', 'u', 'e']) => {
+                i += 4;
+                Val::Bool(true)
+            }
+            Some(&'f') if s[i..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+                i += 5;
+                Val::Bool(false)
+            }
+            Some(&c) if c == '-' || c.is_ascii_digit() => {
+                let start = i;
+                while i < s.len()
+                    && (s[i].is_ascii_digit() || matches!(s[i], '-' | '+' | '.' | 'e' | 'E'))
+                {
+                    i += 1;
+                }
+                let lit: String = s[start..i].iter().collect();
+                Val::Num(lit.parse::<f64>().map_err(|_| format!("bad number {lit:?}"))?)
+            }
+            other => return Err(format!("unexpected value start {other:?} for key {key:?}")),
+        };
+        if map.insert(key.clone(), val).is_some() {
+            return Err(format!("duplicate key {key:?}"));
+        }
+        i = skip_ws(&s, i);
+        match s.get(i) {
+            Some(&',') => i = skip_ws(&s, i + 1),
+            Some(&'}') => {
+                i = skip_ws(&s, i + 1);
+                if i != s.len() {
+                    return Err("trailing content after object".into());
+                }
+                return Ok(map);
+            }
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+/// Check one file; push human-readable problems into `errors`.
+fn check_file(path: &str, errors: &mut Vec<String>) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            errors.push(format!("{path}: unreadable: {e}"));
+            return;
+        }
+    };
+    let map = match parse_flat_object(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            errors.push(format!("{path}: parse error: {e}"));
+            return;
+        }
+    };
+    let name = path.rsplit('/').next().unwrap_or(path);
+    let require_pos_num = |key: &str, errors: &mut Vec<String>| match map.get(key) {
+        Some(Val::Num(v)) if *v > 0.0 => {}
+        Some(Val::Num(v)) => errors.push(format!("{path}: {key} must be positive, got {v}")),
+        Some(other) => errors.push(format!("{path}: {key} must be a number, got {other:?}")),
+        None => errors.push(format!("{path}: missing required key {key:?}")),
+    };
+    let require_num = |key: &str, errors: &mut Vec<String>| match map.get(key) {
+        Some(Val::Num(_)) => {}
+        Some(other) => errors.push(format!("{path}: {key} must be a number, got {other:?}")),
+        None => errors.push(format!("{path}: missing required key {key:?}")),
+    };
+    if name.starts_with("BENCH_hotpath") {
+        for key in ["accesses_per_sec", "machine_loads_per_sec", "ticks_per_sec"] {
+            require_pos_num(key, errors);
+        }
+    } else if name.starts_with("BENCH_fleet") {
+        require_pos_num("nodes", errors);
+        require_pos_num("speedup", errors);
+        match map.get("deterministic") {
+            Some(Val::Bool(_)) => {}
+            Some(other) => {
+                errors.push(format!("{path}: deterministic must be a bool, got {other:?}"))
+            }
+            None => errors.push(format!("{path}: missing required key \"deterministic\"")),
+        }
+    } else if name.starts_with("BENCH_obs") {
+        require_pos_num("loads_per_sec_obs_off", errors);
+        require_pos_num("loads_per_sec_obs_on", errors);
+        require_num("overhead_pct", errors);
+        match map.get("within_budget") {
+            Some(Val::Bool(true)) => {}
+            Some(Val::Bool(false)) => {
+                errors.push(format!("{path}: within_budget is false — obs overhead over budget"))
+            }
+            Some(other) => {
+                errors.push(format!("{path}: within_budget must be a bool, got {other:?}"))
+            }
+            None => errors.push(format!("{path}: missing required key \"within_budget\"")),
+        }
+    }
+}
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: bench_check FILE...");
+        std::process::exit(2);
+    }
+    let mut errors = Vec::new();
+    for f in &files {
+        check_file(f, &mut errors);
+    }
+    if errors.is_empty() {
+        println!("bench_check: {} file(s) ok", files.len());
+    } else {
+        for e in &errors {
+            eprintln!("bench_check: {e}");
+        }
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_our_bench_shapes() {
+        let m = parse_flat_object(
+            "{\n  \"a\": 1.5,\n  \"b\": true,\n  \"c\": \"full\",\n  \"d\": -3\n}\n",
+        )
+        .unwrap();
+        assert_eq!(m.get("a"), Some(&Val::Num(1.5)));
+        assert_eq!(m.get("b"), Some(&Val::Bool(true)));
+        assert_eq!(m.get("c"), Some(&Val::Str("full".into())));
+        assert_eq!(m.get("d"), Some(&Val::Num(-3.0)));
+        assert!(parse_flat_object("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(parse_flat_object("").is_err());
+        assert!(parse_flat_object("{\"a\": }").is_err());
+        assert!(parse_flat_object("{\"a\": 1,}").is_err());
+        assert!(parse_flat_object("{\"a\": 1} junk").is_err());
+        assert!(parse_flat_object("{\"a\": 1, \"a\": 2}").is_err());
+    }
+
+    #[test]
+    fn known_artifacts_need_their_keys() {
+        let dir = std::env::temp_dir().join("capsim_bench_check_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = dir.join("BENCH_obs.json");
+        std::fs::write(&obs, "{\"loads_per_sec_obs_off\": 1}").unwrap();
+        let mut errors = Vec::new();
+        check_file(obs.to_str().unwrap(), &mut errors);
+        assert!(errors.iter().any(|e| e.contains("within_budget")));
+
+        let unknown = dir.join("BENCH_custom.json");
+        std::fs::write(&unknown, "{\"anything\": 1}").unwrap();
+        let mut errors = Vec::new();
+        check_file(unknown.to_str().unwrap(), &mut errors);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+}

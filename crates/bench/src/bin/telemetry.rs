@@ -1,0 +1,108 @@
+//! Telemetry overhead harness: proves the observability layer stays out
+//! of the hot path.
+//!
+//! Usage: `cargo run -p capsim-bench --bin telemetry --release [-- out.json]`
+//! (`CAPSIM_SCALE=test` for a fast smoke run.)
+//!
+//! Two measurements on a 135 W-capped machine (the Table II mid-sweep
+//! operating point):
+//!
+//! * `loads_per_sec_obs_off` — [`Machine::load`] throughput with the
+//!   observability layer left at its default (disabled) state,
+//! * `loads_per_sec_obs_on` — the same stream with metrics + event log
+//!   enabled (`Machine::enable_obs`).
+//!
+//! The overhead budget is 5% on `machine_loads_per_sec`; `within_budget`
+//! in `BENCH_obs.json` asserts it. A small observed fleet run is also
+//! executed so `events_recorded` proves the instrumentation is live, not
+//! just cheap-because-dead.
+
+use std::time::Instant;
+
+use capsim_bench::Scale;
+use capsim_dcm::FleetBuilder;
+use capsim_ipmi::FaultSpec;
+use capsim_node::{Machine, MachineConfig, PowerCap};
+
+/// Time `n` repetitions of `op`, returning operations per second.
+fn rate(n: u64, mut op: impl FnMut(u64)) -> f64 {
+    let start = Instant::now();
+    for i in 0..n {
+        op(i);
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+/// One timed pass of `n` loads on a capped machine, with or without the
+/// observability layer enabled.
+fn loads_pass(n: u64, observed: bool) -> f64 {
+    let mut m = Machine::new(MachineConfig::e5_2680(1));
+    m.set_power_cap(Some(PowerCap::new(135.0)));
+    if observed {
+        m.enable_obs(4096);
+    }
+    let reg = m.alloc(1 << 20);
+    rate(n, |i| m.load(reg.at((i * 64) % (1 << 20))))
+}
+
+/// Best-of-`reps` load throughput for obs-off and obs-on, interleaved
+/// (off, on, off, on, …) after a warm-up pass so both variants see the
+/// same cache/frequency conditions. Best-of damps scheduler noise: the
+/// overhead ratio is the quantity under test, not absolute speed.
+fn loads_per_sec_pair(n: u64, reps: u32) -> (f64, f64) {
+    loads_pass(n / 2, false); // warm-up, discarded
+    let (mut off, mut on) = (0.0f64, 0.0f64);
+    for _ in 0..reps {
+        off = off.max(loads_pass(n, false));
+        on = on.max(loads_pass(n, true));
+    }
+    (off, on)
+}
+
+/// A short observed fleet run (lossy links so retry/timeout events fire):
+/// returns (events in the merged log, machine ticks counted).
+fn observed_fleet_sample() -> (u64, u64) {
+    let report = FleetBuilder::new()
+        .nodes(4)
+        .epochs(4)
+        .seed(0x7e1e)
+        .faults(FaultSpec::lossy(0.05))
+        .observe(true)
+        .build()
+        .run();
+    let obs = report.obs.expect("observed run");
+    (obs.events.len() as u64, obs.metrics.counter("machine.ticks"))
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_obs.json".into());
+    let (n, reps) = match Scale::from_env() {
+        Scale::Paper => (2_000_000u64, 5),
+        Scale::Test => (400_000u64, 3),
+    };
+    eprintln!("telemetry: timing obs-off vs obs-on load path (n={n}, best of {reps}) …");
+    let (off, on) = loads_per_sec_pair(n, reps);
+    eprintln!("  loads/s, obs off: {off:>12.0}");
+    eprintln!("  loads/s, obs on : {on:>12.0}");
+    let overhead_pct = (off - on) / off * 100.0;
+    let budget_pct = 5.0;
+    let within_budget = overhead_pct <= budget_pct;
+    eprintln!("  overhead        : {overhead_pct:>11.2}% (budget {budget_pct}%)");
+
+    let (events, ticks) = observed_fleet_sample();
+    eprintln!("  observed fleet  : {events} events, {ticks} machine ticks");
+    assert!(events > 0, "observed run recorded no events — instrumentation dead?");
+
+    let json = format!(
+        "{{\n  \"loads_per_sec_obs_off\": {off:.0},\n  \"loads_per_sec_obs_on\": {on:.0},\n  \
+         \"overhead_pct\": {overhead_pct:.3},\n  \"budget_pct\": {budget_pct:.1},\n  \
+         \"within_budget\": {within_budget},\n  \"events_recorded\": {events}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+    if !within_budget {
+        eprintln!("telemetry: overhead {overhead_pct:.2}% exceeds the {budget_pct}% budget");
+        std::process::exit(1);
+    }
+}

@@ -43,6 +43,35 @@ pub fn hms(seconds: f64) -> String {
     format!("{}:{:02}:{:02}", total / 3600, (total % 3600) / 60, total % 60)
 }
 
+/// Render a telemetry event log as a markdown table, keeping at most
+/// `max_rows` rows. When the log is longer, the *tail* is kept (the end of
+/// a run — final rung settling, last barrier — is what a report reader
+/// wants) and an elision line says how many rows were dropped.
+pub fn event_log_markdown(events: &[capsim_obs::Event], max_rows: usize) -> String {
+    if events.is_empty() {
+        return String::from("*(no events recorded)*\n");
+    }
+    let skipped = events.len().saturating_sub(max_rows);
+    let rows: Vec<Vec<String>> = events[skipped..]
+        .iter()
+        .map(|e| {
+            vec![
+                format!("{}", e.seq),
+                format!("{:.6}", e.t_s),
+                e.node.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+                e.kind.name().to_string(),
+                e.kind.detail(),
+            ]
+        })
+        .collect();
+    let mut out = String::new();
+    if skipped > 0 {
+        out.push_str(&format!("*(… {skipped} earlier events elided …)*\n\n"));
+    }
+    out.push_str(&markdown_table(&["seq", "t (s)", "node", "event", "detail"], &rows));
+    out
+}
+
 /// Simple fixed-width ASCII line plot of several named series sharing an
 /// x-axis (used for the Figure 1/2 normalized plots).
 pub fn ascii_plot(x_labels: &[String], series: &[(&str, Vec<f64>)], height: usize) -> String {
@@ -131,5 +160,29 @@ mod tests {
     #[test]
     fn empty_plot_is_empty() {
         assert!(ascii_plot(&[], &[], 5).is_empty());
+    }
+
+    #[test]
+    fn event_log_markdown_keeps_the_tail() {
+        use capsim_obs::{EventKind, EventLog};
+        let mut log = EventLog::bounded(16);
+        for i in 0..5u16 {
+            log.record(
+                i as f64 * 0.1,
+                EventKind::SelAppend { event: "power_limit_exceeded", datum: i },
+            );
+        }
+        let events: Vec<_> = log.iter().cloned().collect();
+        let full = event_log_markdown(&events, 10);
+        assert!(!full.contains("elided"));
+        assert_eq!(full.lines().count(), 2 + 5, "header + rule + one row per event");
+        assert!(full.contains("| sel_append |"));
+
+        let tail = event_log_markdown(&events, 2);
+        assert!(tail.contains("3 earlier events elided"));
+        assert!(tail.contains("datum=4"));
+        assert!(!tail.contains("datum=1"));
+
+        assert_eq!(event_log_markdown(&[], 10), "*(no events recorded)*\n");
     }
 }

@@ -21,6 +21,10 @@ pub enum DcmError {
     Unlinked { node: NodeId, name: String },
     /// The `NodeId` does not belong to this manager.
     UnknownNode(NodeId),
+    /// A monitor built for `monitored` nodes was polled against a manager
+    /// that now registers fewer (`registered`); histories would silently
+    /// misattribute by index, so the poll refuses.
+    MonitorShrunk { monitored: usize, registered: usize },
 }
 
 impl DcmError {
@@ -29,6 +33,7 @@ impl DcmError {
         match self {
             DcmError::Ipmi { node, .. } | DcmError::Unlinked { node, .. } => Some(*node),
             DcmError::UnknownNode(n) => Some(*n),
+            DcmError::MonitorShrunk { .. } => None,
         }
     }
 
@@ -48,6 +53,10 @@ impl fmt::Display for DcmError {
                 write!(f, "node {} ({name}) has no owned link; use a *_via method", node.index())
             }
             DcmError::UnknownNode(n) => write!(f, "unknown node id {}", n.index()),
+            DcmError::MonitorShrunk { monitored, registered } => write!(
+                f,
+                "monitor tracks {monitored} nodes but the manager registers only {registered}"
+            ),
         }
     }
 }

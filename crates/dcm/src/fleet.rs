@@ -23,14 +23,22 @@
 //! and response all happen inside the barrier, in deterministic order.
 
 use capsim_ipmi::{
-    FaultSpec, IpmiError, LanChannel, ManagerPort, Request, Response, RetryPolicy, Transact,
+    FaultSpec, FaultStats, IpmiError, LanChannel, ManagerPort, Request, Response, RetryPolicy,
+    Transact,
 };
 use capsim_node::{CodeBlock, EpochWorkload, Machine, MachineConfig, Region, RunStats};
+use capsim_obs::{
+    events_to_csv, events_to_jsonl, merge_streams, Event, EventKind, MetricsSnapshot,
+};
 use rayon::prelude::*;
 
 use crate::manager::{Dcm, NodeHealth, NodeId};
 use crate::monitor::{read_sel_via, violation_count};
 use crate::policy::AllocationPolicy;
+
+/// Bucket upper edges (watts) for the per-node power histogram sampled at
+/// every barrier. Centered on the paper's 95–170 W measurement band.
+static FLEET_POWER_BOUNDS: [f64; 8] = [110.0, 120.0, 125.0, 130.0, 135.0, 140.0, 150.0, 160.0];
 
 /// A [`Transact`] link for lock-step topologies: the manager and the node
 /// live on the same thread, so instead of blocking on the wire, each
@@ -183,6 +191,30 @@ pub struct NodeSummary {
     pub sel_violations: usize,
 }
 
+/// Merged observability for a whole fleet run: the manager's metrics
+/// absorbed with every node's, and all event streams merged into one
+/// totally ordered, deterministic sequence (simulated time, then stream,
+/// then per-stream sequence).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetObs {
+    /// Manager + per-node series, counters and buckets summed.
+    pub metrics: MetricsSnapshot,
+    /// All events, node-tagged, in total order.
+    pub events: Vec<Event>,
+}
+
+impl FleetObs {
+    /// JSONL export — same seed, same bytes, serial or parallel.
+    pub fn events_jsonl(&self) -> String {
+        events_to_jsonl(self.events.iter())
+    }
+
+    /// CSV export with a header row.
+    pub fn events_csv(&self) -> String {
+        events_to_csv(self.events.iter())
+    }
+}
+
 /// The result of a fleet run. [`FleetReport::render`] produces a stable
 /// textual form — the determinism contract is that a parallel run renders
 /// byte-identically to a serial run of the same configuration.
@@ -194,6 +226,8 @@ pub struct FleetReport {
     pub budget_w: f64,
     pub records: Vec<EpochRecord>,
     pub summaries: Vec<NodeSummary>,
+    /// Present when the fleet was built with [`FleetBuilder::observe`].
+    pub obs: Option<FleetObs>,
 }
 
 impl FleetReport {
@@ -259,6 +293,7 @@ pub struct FleetBuilder {
     retry: RetryPolicy,
     dead: Vec<usize>,
     audit_sel: bool,
+    observe: Option<usize>,
 }
 
 impl FleetBuilder {
@@ -283,6 +318,7 @@ impl FleetBuilder {
             retry: RetryPolicy::default(),
             dead: Vec::new(),
             audit_sel: true,
+            observe: None,
         }
     }
 
@@ -362,12 +398,30 @@ impl FleetBuilder {
         self
     }
 
+    /// Record metrics and a typed event log during the run (default off —
+    /// observability must be asked for, so unobserved runs pay only a
+    /// branch per site). The report then carries [`FleetObs`].
+    pub fn observe(mut self, on: bool) -> Self {
+        self.observe = on.then_some(4096);
+        self
+    }
+
+    /// Like [`FleetBuilder::observe`] with an explicit per-stream event
+    /// ring capacity.
+    pub fn observe_capacity(mut self, event_capacity: usize) -> Self {
+        self.observe = Some(event_capacity);
+        self
+    }
+
     /// Build the fleet: per-node machines (seeded from the fleet seed),
     /// management links (faulty if configured) and the DCM registry.
     pub fn build(self) -> Fleet {
         assert!(self.nodes > 0, "a fleet needs nodes");
         let mut dcm = Dcm::new();
         dcm.retry = self.retry;
+        if let Some(cap) = self.observe {
+            dcm.obs = capsim_obs::Obs::enabled(cap);
+        }
         let mut nodes = Vec::with_capacity(self.nodes);
         for i in 0..self.nodes {
             let node_seed = mix(self.seed, i as u64);
@@ -380,6 +434,9 @@ impl FleetBuilder {
             let mut cfg = self.base.clone();
             cfg.seed = node_seed;
             let mut machine = Machine::new(cfg);
+            if let Some(cap) = self.observe {
+                machine.enable_obs(cap);
+            }
             machine.attach_bmc_port(bmc_port);
             let load = SyntheticLoad::new(&mut machine, LoadKind::for_index(i));
             let id = dcm.register(format!("n{i:04}"));
@@ -394,6 +451,7 @@ impl FleetBuilder {
             parallel: self.parallel,
             polls_per_attempt: self.polls_per_attempt,
             audit_sel: self.audit_sel,
+            observe: self.observe.is_some(),
             dcm,
             nodes,
         }
@@ -423,6 +481,7 @@ pub struct Fleet {
     parallel: bool,
     polls_per_attempt: u32,
     audit_sel: bool,
+    observe: bool,
     dcm: Dcm,
     nodes: Vec<SimNode>,
 }
@@ -474,6 +533,11 @@ impl Fleet {
     /// Phase 2 (serial): poll power, reallocate the budget over answering
     /// nodes, push caps.
     fn barrier_phase(&mut self, epoch: u32) -> EpochRecord {
+        // All nodes sit at the same simulated instant here; stamp
+        // manager-side events with it (deterministic: derived from the
+        // epoch schedule, not any node's exact overshoot).
+        let barrier_t_s = (epoch as f64 + 1.0) * self.epoch_s;
+        self.dcm.set_obs_time_s(barrier_t_s);
         let polls = self.polls_per_attempt;
         let mut demand: Vec<(NodeId, f64)> = Vec::with_capacity(self.nodes.len());
         for n in &mut self.nodes {
@@ -492,19 +556,68 @@ impl Fleet {
             }
         }
         let unresponsive = self.nodes.len() - self.dcm.responsive_nodes().len();
-        EpochRecord {
-            epoch,
-            answered: demand.len(),
-            unresponsive,
-            fleet_power_w: demand.iter().map(|&(_, w)| w).sum(),
-            caps: pushed,
+        let fleet_power_w: f64 = demand.iter().map(|&(_, w)| w).sum();
+        if self.observe {
+            let m = &mut self.dcm.obs.metrics;
+            for &(_, w) in &demand {
+                m.observe("fleet.node_power_w", &FLEET_POWER_BOUNDS, w);
+            }
+            m.inc("fleet.barriers");
+            m.add("fleet.caps_pushed", pushed.len() as u64);
+            m.set_gauge("fleet.unresponsive", unresponsive as f64);
+            self.dcm.obs.events.record(
+                barrier_t_s,
+                EventKind::BudgetRealloc {
+                    epoch,
+                    budget_w: self.budget_w,
+                    answered: demand.len() as u32,
+                    caps_pushed: pushed.len() as u32,
+                },
+            );
+            self.dcm.obs.events.record(
+                barrier_t_s,
+                EventKind::Barrier {
+                    epoch,
+                    answered: demand.len() as u32,
+                    unresponsive: unresponsive as u32,
+                    fleet_w: fleet_power_w,
+                },
+            );
         }
+        EpochRecord { epoch, answered: demand.len(), unresponsive, fleet_power_w, caps: pushed }
     }
 
     fn finish(mut self, records: Vec<EpochRecord>) -> FleetReport {
         let audit = self.audit_sel;
         let retry = self.dcm.retry;
         let polls = self.polls_per_attempt;
+        if self.observe {
+            // Fold the per-link fault injector tallies into the manager's
+            // metrics before snapshotting: they live in the transport, not
+            // in either endpoint's registry.
+            let mut req = FaultStats::default();
+            let mut resp = FaultStats::default();
+            for n in &self.nodes {
+                if let Some((r, p)) = n.port.fault_stats() {
+                    req.delivered += r.delivered;
+                    req.dropped += r.dropped;
+                    req.corrupted += r.corrupted;
+                    req.busied += r.busied;
+                    req.delayed += r.delayed;
+                    resp.delivered += p.delivered;
+                    resp.dropped += p.dropped;
+                    resp.corrupted += p.corrupted;
+                    resp.busied += p.busied;
+                    resp.delayed += p.delayed;
+                }
+            }
+            let m = &mut self.dcm.obs.metrics;
+            m.add("transport.delivered", req.delivered + resp.delivered);
+            m.add("transport.dropped", req.dropped + resp.dropped);
+            m.add("transport.corrupted", req.corrupted + resp.corrupted);
+            m.add("transport.busied", req.busied + resp.busied);
+            m.add("transport.delayed", req.delayed + resp.delayed);
+        }
         let mut summaries = Vec::with_capacity(self.nodes.len());
         for n in &mut self.nodes {
             let stats: RunStats = n.machine.finish_run();
@@ -526,6 +639,18 @@ impl Fleet {
                 sel_violations,
             });
         }
+        let obs = if self.observe {
+            let mut metrics = self.dcm.obs.metrics.snapshot();
+            for n in &self.nodes {
+                metrics.absorb(&n.machine.obs().metrics.snapshot());
+            }
+            let streams = std::iter::once((None, &self.dcm.obs.events)).chain(
+                self.nodes.iter().map(|n| (Some(n.id.index() as u32), &n.machine.obs().events)),
+            );
+            Some(FleetObs { metrics, events: merge_streams(streams) })
+        } else {
+            None
+        };
         FleetReport {
             nodes: self.nodes.len(),
             epochs: self.epochs,
@@ -533,6 +658,7 @@ impl Fleet {
             budget_w: self.budget_w,
             records,
             summaries,
+            obs,
         }
     }
 }
@@ -568,6 +694,36 @@ mod tests {
         let parallel = build(true);
         assert_eq!(serial.render(), parallel.render());
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn observed_runs_surface_metrics_and_events() {
+        let off = FleetBuilder::new().nodes(3).epochs(4).seed(7).build().run();
+        assert!(off.obs.is_none(), "observability defaults off");
+
+        let on = FleetBuilder::new().nodes(3).epochs(4).seed(7).observe(true).build().run();
+        let obs = on.obs.as_ref().expect("observe(true) populates FleetObs");
+        assert_eq!(obs.metrics.counter("fleet.barriers"), 4);
+        assert_eq!(obs.metrics.counter("fleet.caps_pushed"), 4 * 3);
+        assert_eq!(obs.metrics.counter("dcm.caps_pushed"), 4 * 3);
+        assert!(obs.metrics.counter("ipmi.transactions") >= 4 * 3 * 2);
+        assert!(obs.metrics.counter("machine.ticks") > 0);
+        let hist = obs.metrics.hist("fleet.node_power_w").expect("power histogram");
+        assert_eq!(hist.count, 4 * 3);
+        // One BudgetRealloc + one Barrier per epoch, plus node-side DCMI
+        // traffic; the merged stream is time-ordered.
+        let barriers =
+            obs.events.iter().filter(|e| matches!(e.kind, EventKind::Barrier { .. })).count();
+        assert_eq!(barriers, 4);
+        assert!(obs.events.iter().any(|e| matches!(e.kind, EventKind::DcmiSetLimit { .. })));
+        let times: Vec<f64> = obs.events.iter().map(|e| e.t_s).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "events sorted by time");
+        assert!(!obs.events_jsonl().is_empty());
+        assert!(obs.events_csv().starts_with("seq,t_s,node,kind,detail\n"));
+
+        // The observed run must not perturb the simulation itself.
+        let on_plain = FleetReport { obs: None, ..on.clone() };
+        assert_eq!(off, on_plain, "observability must not change results");
     }
 
     #[test]

@@ -19,11 +19,20 @@ use capsim_ipmi::dcmi::{
     SetPowerLimit,
 };
 use capsim_ipmi::{
-    transact_retry, IpmiError, ManagerPort, Request, Response, RetryPolicy, Transact,
+    transact_retry_observed, IpmiError, ManagerPort, Request, Response, RetryPolicy, Transact,
 };
+use capsim_obs::{EventKind, Obs};
 
 use crate::error::DcmError;
 use crate::policy::{allocate, AllocationPolicy};
+
+fn health_label(h: NodeHealth) -> &'static str {
+    match h {
+        NodeHealth::Healthy => "healthy",
+        NodeHealth::Degraded { .. } => "degraded",
+        NodeHealth::Unresponsive => "unresponsive",
+    }
+}
 
 /// Opaque handle to a node registered with a [`Dcm`]. Obtained from
 /// [`Dcm::register`]/[`Dcm::register_link`]; there is no public way to
@@ -85,6 +94,13 @@ pub struct Dcm {
     /// Consecutive failed transactions before a node is declared
     /// [`NodeHealth::Unresponsive`].
     pub unresponsive_after: u32,
+    /// Manager-side observability: transaction retry/timeout counters,
+    /// health-transition events, budgeting metrics. Disabled by default.
+    pub obs: Obs,
+    /// Simulated time stamped onto manager-side events; the DCM has no
+    /// clock of its own, so the driving loop advances this (see
+    /// [`Dcm::set_obs_time_s`]).
+    obs_now_s: f64,
 }
 
 impl Dcm {
@@ -95,7 +111,14 @@ impl Dcm {
             correction_ms: 1000,
             retry: RetryPolicy::default(),
             unresponsive_after: 3,
+            obs: Obs::disabled(),
+            obs_now_s: 0.0,
         }
+    }
+
+    /// Advance the simulated clock used to stamp manager-side events.
+    pub fn set_obs_time_s(&mut self, t_s: f64) {
+        self.obs_now_s = t_s;
     }
 
     /// Register a node without an owned transport. Use the `*_via`
@@ -180,18 +203,37 @@ impl Dcm {
 
     fn record_success(&mut self, node: NodeId) {
         let e = &mut self.nodes[node.index()];
+        let old = e.health;
         e.consecutive_failures = 0;
         e.health = NodeHealth::Healthy;
+        self.note_health_transition(node, old, NodeHealth::Healthy);
     }
 
     fn record_failure(&mut self, node: NodeId) {
         let e = &mut self.nodes[node.index()];
+        let old = e.health;
         e.consecutive_failures += 1;
         e.health = if e.consecutive_failures >= self.unresponsive_after.max(1) {
             NodeHealth::Unresponsive
         } else {
             NodeHealth::Degraded { consecutive_failures: e.consecutive_failures }
         };
+        let new = e.health;
+        self.note_health_transition(node, old, new);
+    }
+
+    fn note_health_transition(&mut self, node: NodeId, old: NodeHealth, new: NodeHealth) {
+        // Label-level transitions only: Degraded{1}→Degraded{2} is not a
+        // state change worth an event.
+        if health_label(old) == health_label(new) {
+            return;
+        }
+        self.obs.metrics.inc("dcm.health_transitions");
+        self.obs.events.record_for(
+            self.obs_now_s,
+            Some(node.index() as u32),
+            EventKind::HealthChange { from: health_label(old), to: health_label(new) },
+        );
     }
 
     fn wrap_err(&self, node: NodeId, source: IpmiError) -> DcmError {
@@ -207,10 +249,18 @@ impl Dcm {
     ) -> Result<Response, DcmError> {
         self.entry(node)?;
         let retry = self.retry;
+        let t_s = self.obs_now_s;
         let e = &mut self.nodes[node.index()];
         let link =
             e.link.as_mut().ok_or_else(|| DcmError::Unlinked { node, name: e.name.clone() })?;
-        let out = transact_retry(link.as_mut(), &retry, build);
+        let out = transact_retry_observed(
+            link.as_mut(),
+            &retry,
+            build,
+            &mut self.obs,
+            t_s,
+            Some(node.index() as u32),
+        );
         self.settle(node, out)
     }
 
@@ -224,7 +274,15 @@ impl Dcm {
     ) -> Result<Response, DcmError> {
         self.entry(node)?;
         let retry = self.retry;
-        let out = transact_retry(link, &retry, build);
+        let t_s = self.obs_now_s;
+        let out = transact_retry_observed(
+            link,
+            &retry,
+            build,
+            &mut self.obs,
+            t_s,
+            Some(node.index() as u32),
+        );
         self.settle(node, out)
     }
 
@@ -311,6 +369,7 @@ impl Dcm {
             .into_ok()
             .map_err(|e| self.wrap_err(node, e))?;
         self.nodes[node.index()].last_cap_w = Some(watts);
+        self.obs.metrics.inc("dcm.caps_pushed");
         Ok(())
     }
 
@@ -329,6 +388,7 @@ impl Dcm {
             .into_ok()
             .map_err(|e| self.wrap_err(node, e))?;
         self.nodes[node.index()].last_cap_w = Some(watts);
+        self.obs.metrics.inc("dcm.caps_pushed");
         Ok(())
     }
 

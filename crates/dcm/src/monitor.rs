@@ -13,6 +13,8 @@
 //! [`RetryPolicy`] so a dropped frame costs a retransmit, not a hole in
 //! the audit.
 
+use std::collections::VecDeque;
+
 use capsim_ipmi::sel::{get_sel_entry_request, get_sel_info_request, SelEntry};
 use capsim_ipmi::{transact_retry, IpmiError, RetryPolicy, SelEventType, Transact};
 
@@ -22,21 +24,21 @@ use crate::manager::{Dcm, NodeId};
 /// Bounded power history for one node.
 #[derive(Clone, Debug)]
 pub struct PowerHistory {
-    samples: Vec<f64>,
+    samples: VecDeque<f64>,
     capacity: usize,
 }
 
 impl PowerHistory {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 2);
-        PowerHistory { samples: Vec::new(), capacity }
+        PowerHistory { samples: VecDeque::with_capacity(capacity), capacity }
     }
 
     pub fn push(&mut self, watts: f64) {
         if self.samples.len() == self.capacity {
-            self.samples.remove(0);
+            self.samples.pop_front();
         }
-        self.samples.push(watts);
+        self.samples.push_back(watts);
     }
 
     pub fn len(&self) -> usize {
@@ -76,11 +78,12 @@ impl PowerHistory {
 /// The monitoring layer over a [`Dcm`].
 pub struct FleetMonitor {
     histories: Vec<PowerHistory>,
+    window: usize,
 }
 
 impl FleetMonitor {
     pub fn new(nodes: usize, window: usize) -> Self {
-        FleetMonitor { histories: (0..nodes).map(|_| PowerHistory::new(window)).collect() }
+        FleetMonitor { histories: (0..nodes).map(|_| PowerHistory::new(window)).collect(), window }
     }
 
     /// Size the monitor to a manager's current registration set.
@@ -92,8 +95,21 @@ impl FleetMonitor {
     /// history. Nodes that fail transiently are skipped this round (their
     /// history simply doesn't grow); fatal errors abort. Returns how many
     /// nodes answered.
+    ///
+    /// Nodes registered on the manager *after* this monitor was built get
+    /// fresh histories on first poll. A manager that somehow registers
+    /// fewer nodes than the monitor tracks is a typed error
+    /// ([`DcmError::MonitorShrunk`]) — indices would silently misattribute.
     pub fn poll(&mut self, dcm: &mut Dcm) -> Result<usize, DcmError> {
-        assert_eq!(dcm.len(), self.histories.len());
+        if dcm.len() < self.histories.len() {
+            return Err(DcmError::MonitorShrunk {
+                monitored: self.histories.len(),
+                registered: dcm.len(),
+            });
+        }
+        while self.histories.len() < dcm.len() {
+            self.histories.push(PowerHistory::new(self.window));
+        }
         let mut answered = 0;
         for node in dcm.node_ids() {
             match dcm.read_power(node) {
@@ -106,6 +122,11 @@ impl FleetMonitor {
             }
         }
         Ok(answered)
+    }
+
+    /// Number of nodes this monitor currently tracks.
+    pub fn tracked(&self) -> usize {
+        self.histories.len()
     }
 
     /// Record a reading obtained elsewhere (the fleet engine polls nodes
@@ -150,11 +171,16 @@ pub fn read_sel_via(
     let latest = SelEntry::decode(
         &transact_retry(link, retry, &|seq| get_sel_entry_request(seq, 0xffff))?.into_ok()?,
     )?;
-    // The SEL may grow between the info and entry reads (the node keeps
-    // logging while being audited), so don't trust `count` to locate the
-    // first id; walk the whole ring-bounded range below the anchor and
-    // let missing ids fall through.
-    let first_id = latest.id.saturating_sub(4095);
+    // Walk only as far below the anchor as the reported `count` requires,
+    // plus a small slack: the SEL may grow between the info and anchor
+    // reads (the node keeps logging while being audited), which pushes the
+    // anchor id above the count's newest entry. Ids below the oldest entry
+    // simply answer out-of-range and fall through. Clamped to the ring
+    // bound, so a full log still costs at most one ring's worth — and a
+    // 10-entry log costs ~10 transactions, not 4096.
+    const GROW_SLACK: u16 = 16;
+    let span = count.saturating_add(GROW_SLACK).min(4096);
+    let first_id = latest.id.saturating_sub(span - 1);
     for id in first_id..=latest.id {
         let resp = transact_retry(link, retry, &|seq| get_sel_entry_request(seq, id))?;
         if let Ok(payload) = resp.into_ok() {
@@ -212,6 +238,35 @@ mod tests {
         }
         assert_eq!(m.hotspots(140.0), vec![ids[1]]);
         assert_eq!(m.hotspots(160.0), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn poll_adopts_nodes_registered_after_the_monitor_was_built() {
+        let mut dcm = Dcm::new();
+        dcm.register("n0");
+        let mut m = FleetMonitor::for_dcm(&dcm, 4);
+        assert_eq!(m.tracked(), 1);
+        dcm.register("n1");
+        dcm.register("n2");
+        // The late registrations get fresh histories instead of the old
+        // assert_eq! panic. The poll itself then fails on the first node
+        // (nothing here owns a link), which is a typed, non-panicking
+        // error — the resize has already happened.
+        let err = m.poll(&mut dcm).expect_err("unlinked nodes cannot answer");
+        assert!(matches!(err, DcmError::Unlinked { .. }), "{err}");
+        assert_eq!(m.tracked(), 3);
+    }
+
+    #[test]
+    fn poll_refuses_a_shrunken_manager_with_a_typed_error() {
+        let mut dcm = Dcm::new();
+        dcm.register("n0");
+        dcm.register("n1");
+        let mut m = FleetMonitor::new(5, 4);
+        let err = m.poll(&mut dcm).expect_err("shrink must be rejected");
+        assert_eq!(err, DcmError::MonitorShrunk { monitored: 5, registered: 2 });
+        assert_eq!(err.node(), None);
+        assert!(!err.is_transient());
     }
 
     #[test]

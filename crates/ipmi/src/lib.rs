@@ -38,6 +38,6 @@ pub use message::{CompletionCode, IpmiError, NetFn, Request, Response};
 pub use sel::{SelEntry, SelEventType, SystemEventLog};
 pub use sensor::{SensorId, SensorRead, SensorValue};
 pub use transport::{
-    transact_retry, BmcPort, FaultDirection, FaultInjector, FaultSpec, FaultStats, LanChannel,
-    ManagerPort, RetryPolicy, Transact,
+    transact_retry, transact_retry_counted, transact_retry_observed, BmcPort, FaultDirection,
+    FaultInjector, FaultSpec, FaultStats, LanChannel, ManagerPort, RetryPolicy, Transact,
 };

@@ -304,8 +304,20 @@ pub fn transact_retry(
     retry: &RetryPolicy,
     build: &dyn Fn(u8) -> Request,
 ) -> Result<Response, IpmiError> {
+    transact_retry_counted(link, retry, build).0
+}
+
+/// [`transact_retry`], additionally reporting how many attempts were spent
+/// (≥1). The observability layer turns `attempts − 1` into retry counters
+/// and timeout events; callers that don't care use [`transact_retry`].
+pub fn transact_retry_counted(
+    link: &mut dyn Transact,
+    retry: &RetryPolicy,
+    build: &dyn Fn(u8) -> Request,
+) -> (Result<Response, IpmiError>, u32) {
     let mut last = IpmiError::TimedOut;
-    for attempt in 0..retry.attempts.max(1) {
+    let attempts = retry.attempts.max(1);
+    for attempt in 0..attempts {
         link.set_patience((1u32 << attempt.min(8)).min(retry.max_patience.max(1)));
         let req = build(link.next_seq());
         match link.transact(&req) {
@@ -314,17 +326,53 @@ pub fn transact_retry(
             }
             Ok(resp) => {
                 link.set_patience(1);
-                return Ok(resp);
+                return (Ok(resp), attempt + 1);
             }
             Err(e) if e.is_transient() => last = e,
             Err(e) => {
                 link.set_patience(1);
-                return Err(e);
+                return (Err(e), attempt + 1);
             }
         }
     }
     link.set_patience(1);
-    Err(last)
+    (Err(last), attempts)
+}
+
+/// [`transact_retry`] with the transaction's retry/timeout story recorded
+/// into an observability sink: `ipmi.transactions` / `ipmi.attempts` /
+/// `ipmi.retries` / `ipmi.timeouts` counters, plus a `Retry` event when a
+/// command needed more than one attempt and a `Timeout` event when the
+/// budget ran out. `t_s` is the caller's simulated time (the transport has
+/// no clock of its own). A disabled `obs` reduces this to plain
+/// [`transact_retry`] plus one branch.
+pub fn transact_retry_observed(
+    link: &mut dyn Transact,
+    retry: &RetryPolicy,
+    build: &dyn Fn(u8) -> Request,
+    obs: &mut capsim_obs::Obs,
+    t_s: f64,
+    node: Option<u32>,
+) -> Result<Response, IpmiError> {
+    let (result, attempts) = transact_retry_counted(link, retry, build);
+    if obs.is_enabled() {
+        obs.metrics.inc("ipmi.transactions");
+        obs.metrics.add("ipmi.attempts", attempts as u64);
+        if attempts > 1 {
+            obs.metrics.add("ipmi.retries", (attempts - 1) as u64);
+        }
+        match &result {
+            Ok(_) if attempts > 1 => {
+                obs.events.record_for(t_s, node, capsim_obs::EventKind::Retry { attempts });
+            }
+            Err(e) if e.is_transient() => {
+                obs.metrics.inc("ipmi.timeouts");
+                obs.events.record_for(t_s, node, capsim_obs::EventKind::Timeout { attempts });
+            }
+            _ => {}
+        }
+    }
+    result
 }
 
 /// Constructor namespace for the channel pair.

@@ -25,8 +25,17 @@ use capsim_ipmi::sel::{
 };
 use capsim_ipmi::sensor::{SensorId, SensorRead, SensorValue, CMD_GET_SENSOR_READING};
 use capsim_ipmi::{BmcPort, CompletionCode, IpmiError, NetFn, Request, Response};
+use capsim_obs::{EventKind, Obs, RungCause};
 
 use crate::ladder::{Rung, ThrottleLadder};
+
+fn sel_event_name(e: SelEventType) -> &'static str {
+    match e {
+        SelEventType::PowerLimitExceeded => "power_limit_exceeded",
+        SelEventType::PowerLimitConfigured => "power_limit_configured",
+        SelEventType::ThrottleFloorReached => "throttle_floor_reached",
+    }
+}
 
 /// An active power cap in watts.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -79,6 +88,9 @@ pub struct Bmc {
     sel: SystemEventLog,
     chassis_on: bool,
     floor_logged: bool,
+    /// Observability sink for this node (disabled by default: one branch
+    /// per site, nothing recorded).
+    obs: Obs,
 }
 
 impl Bmc {
@@ -99,7 +111,34 @@ impl Bmc {
             sel: SystemEventLog::new(),
             chassis_on: true,
             floor_logged: false,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Start recording metrics and events (ring of `event_capacity`).
+    pub fn enable_obs(&mut self, event_capacity: usize) {
+        self.obs = Obs::enabled(event_capacity);
+    }
+
+    /// This node's observability sink.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mutable access for callers (the machine's tick) that fold their own
+    /// series into the node's sink.
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
+    }
+
+    /// Append to the SEL and mirror the append into the event log.
+    fn log_sel(&mut self, timestamp_ms: u64, event: SelEventType, datum: u16) {
+        self.sel.log(timestamp_ms, event, datum);
+        self.obs.metrics.inc("bmc.sel_appends");
+        self.obs.events.record(
+            timestamp_ms as f64 * 1e-3,
+            EventKind::SelAppend { event: sel_event_name(event), datum },
+        );
     }
 
     /// The System Event Log (the paper trail for cap violations).
@@ -144,11 +183,22 @@ impl Bmc {
     /// changed.
     pub fn control(&mut self, telemetry: BmcTelemetry) -> Option<Rung> {
         self.last_telemetry = telemetry;
+        let now_s = telemetry.now_ms * 1e-3;
         let cap = match self.cap() {
             Some(c) => c.watts,
             None => {
                 if self.rung != 0 {
+                    let from = self.rung as u32;
                     self.rung = 0;
+                    self.obs.events.record(
+                        now_s,
+                        EventKind::RungChange {
+                            from,
+                            to: 0,
+                            cause: RungCause::CapCleared,
+                            window_w: telemetry.window_avg_w,
+                        },
+                    );
                     return Some(self.current());
                 }
                 return None;
@@ -160,21 +210,43 @@ impl Bmc {
             if self.rung == self.ladder.deepest() {
                 // Ladder exhausted: count an exception, keep throttling.
                 self.exceptions += 1;
+                self.obs.metrics.inc("bmc.floor_ticks");
                 if !self.floor_logged {
                     self.floor_logged = true;
-                    self.sel.log(
+                    self.log_sel(
                         telemetry.now_ms as u64,
                         SelEventType::ThrottleFloorReached,
                         avg.round() as u16,
                     );
+                    self.obs.events.record(now_s, EventKind::ThrottleFloor { window_w: avg });
                 }
             } else {
                 self.rung += 1;
                 self.escalations += 1;
+                self.obs.metrics.inc("bmc.escalations");
+                self.obs.events.record(
+                    now_s,
+                    EventKind::RungChange {
+                        from: old as u32,
+                        to: self.rung as u32,
+                        cause: RungCause::OverCap,
+                        window_w: avg,
+                    },
+                );
             }
         } else if avg < cap - self.hysteresis_w && self.rung > 0 {
             self.rung -= 1;
             self.deescalations += 1;
+            self.obs.metrics.inc("bmc.deescalations");
+            self.obs.events.record(
+                now_s,
+                EventKind::RungChange {
+                    from: old as u32,
+                    to: self.rung as u32,
+                    cause: RungCause::UnderCap,
+                    window_w: avg,
+                },
+            );
         }
         self.track_correction_time(cap, avg, telemetry.now_ms);
         (self.rung != old).then(|| self.current())
@@ -193,7 +265,7 @@ impl Bmc {
         let correction_ms = self.stored_limit.map_or(1000.0, |l| l.correction_ms as f64);
         if now_ms - since >= correction_ms && now_ms - self.last_exception_ms >= correction_ms {
             self.last_exception_ms = now_ms;
-            self.sel.log(now_ms as u64, SelEventType::PowerLimitExceeded, avg.round() as u16);
+            self.log_sel(now_ms as u64, SelEventType::PowerLimitExceeded, avg.round() as u16);
             if self.stored_limit.map(|l| l.action) == Some(ExceptionAction::HardPowerOff) {
                 self.chassis_on = false;
             }
@@ -243,20 +315,32 @@ impl Bmc {
                 Ok(limit) => {
                     self.stored_limit = Some(limit);
                     self.cap = Some(PowerCap::new(limit.limit_w as f64));
-                    self.sel.log(
+                    self.log_sel(
                         self.last_telemetry.now_ms as u64,
                         SelEventType::PowerLimitConfigured,
                         limit.limit_w,
+                    );
+                    self.obs.metrics.inc("dcmi.set_limit");
+                    self.obs.events.record(
+                        self.last_telemetry.now_ms * 1e-3,
+                        EventKind::DcmiSetLimit {
+                            limit_w: limit.limit_w,
+                            correction_ms: limit.correction_ms,
+                        },
                     );
                     // DCMI semantics: the limit takes effect once activated.
                     Response::ok(req, vec![dcmi::DCMI_GROUP_EXT])
                 }
                 Err(_) => Response::err(req, CompletionCode::RequestDataLengthInvalid),
             },
-            (NetFn::GroupExt, dcmi::CMD_GET_POWER_LIMIT) => match self.stored_limit {
-                Some(limit) => Response::ok(req, limit.encode()),
-                None => Response::err(req, CompletionCode::DestinationUnavailable),
-            },
+            (NetFn::GroupExt, dcmi::CMD_GET_POWER_LIMIT) => {
+                self.obs.metrics.inc("dcmi.get_limit");
+                self.obs.events.record(self.last_telemetry.now_ms * 1e-3, EventKind::DcmiGetLimit);
+                match self.stored_limit {
+                    Some(limit) => Response::ok(req, limit.encode()),
+                    None => Response::err(req, CompletionCode::DestinationUnavailable),
+                }
+            }
             (NetFn::GroupExt, dcmi::CMD_ACTIVATE_POWER_LIMIT) => {
                 match ActivatePowerLimit::parse(req) {
                     Ok(on) => {
@@ -267,6 +351,11 @@ impl Bmc {
                             if !on {
                                 self.rung = 0;
                             }
+                            self.obs.metrics.inc("dcmi.activate");
+                            self.obs.events.record(
+                                self.last_telemetry.now_ms * 1e-3,
+                                EventKind::DcmiActivate { on },
+                            );
                             Response::ok(req, vec![dcmi::DCMI_GROUP_EXT])
                         }
                     }

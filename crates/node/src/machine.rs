@@ -46,6 +46,10 @@ use crate::ladder::{Rung, ThrottleLadder};
 use crate::region::{CodeBlock, Region};
 use crate::trace::{RunTrace, TraceSample};
 
+/// Bucket edges for the per-tick node-power histogram (watts). Spans the
+/// idle floor (~100 W) through the uncapped Table I band (~160 W).
+static POWER_W_BOUNDS: [f64; 8] = [100.0, 110.0, 120.0, 125.0, 130.0, 140.0, 150.0, 170.0];
+
 /// A workload that can be driven in epoch quanta by [`Machine::step`].
 ///
 /// Each call performs one small slice of work (a few microseconds of
@@ -510,11 +514,13 @@ impl Machine {
     pub fn step(&mut self, dt_s: f64, w: &mut dyn EpochWorkload) {
         assert!(dt_s > 0.0, "epoch must advance time");
         assert_eq!(self.active_core, 0, "epoch stepping drives core 0");
+        self.bmc.obs_mut().metrics.inc("machine.epochs");
         let target_ns = self.clock.now_ns() + dt_s * 1e9;
         while self.clock.now_ns() < target_ns {
             let before = self.clock.now_ns();
             w.quantum(self);
             if self.clock.now_ns() <= before {
+                self.bmc.obs_mut().metrics.inc("machine.idle_fallbacks");
                 self.idle((target_ns - self.clock.now_ns()) * 1e-9);
                 break;
             }
@@ -577,6 +583,11 @@ impl Machine {
         };
         let breakdown = self.power_model.power(&window);
         let watts = breakdown.total_w();
+        if self.bmc.obs().is_enabled() {
+            let obs = self.bmc.obs_mut();
+            obs.metrics.inc("machine.ticks");
+            obs.metrics.observe("machine.window_w", &POWER_W_BOUNDS, watts);
+        }
         self.meter.record(window_s, watts);
         self.energy.add(window_s, watts);
         self.rapl.add(&breakdown, window_s);
@@ -710,6 +721,19 @@ impl Machine {
     /// `capacity` samples.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(RunTrace::new(capacity));
+    }
+
+    /// Enable observability for this node: metrics plus a typed event ring
+    /// of `event_capacity`. The sink lives on the BMC (the component that
+    /// sees rung moves, SEL appends and DCMI traffic); the machine folds
+    /// its per-tick series into the same sink.
+    pub fn enable_obs(&mut self, event_capacity: usize) {
+        self.bmc.enable_obs(event_capacity);
+    }
+
+    /// This node's observability sink (metrics + events).
+    pub fn obs(&self) -> &capsim_obs::Obs {
+        self.bmc.obs()
     }
 
     /// The trace, if enabled.

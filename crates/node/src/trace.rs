@@ -7,6 +7,8 @@
 //! extension uses it to count dithering, tests use it to verify
 //! equilibrium properties, and it renders to CSV for plotting.
 
+use std::collections::VecDeque;
+
 /// One control-tick sample.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TraceSample {
@@ -27,7 +29,7 @@ pub struct TraceSample {
 /// A bounded trace (keeps the most recent `capacity` samples).
 #[derive(Clone, Debug)]
 pub struct RunTrace {
-    samples: Vec<TraceSample>,
+    samples: VecDeque<TraceSample>,
     capacity: usize,
     dropped: u64,
 }
@@ -35,15 +37,15 @@ pub struct RunTrace {
 impl RunTrace {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 16);
-        RunTrace { samples: Vec::new(), capacity, dropped: 0 }
+        RunTrace { samples: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
     }
 
     pub(crate) fn push(&mut self, s: TraceSample) {
         if self.samples.len() == self.capacity {
-            self.samples.remove(0);
+            self.samples.pop_front();
             self.dropped += 1;
         }
-        self.samples.push(s);
+        self.samples.push_back(s);
     }
 
     pub fn len(&self) -> usize {
@@ -66,7 +68,11 @@ impl RunTrace {
     /// Number of rung changes across the retained window — the dithering
     /// activity a cap between two rungs produces.
     pub fn rung_changes(&self) -> usize {
-        self.samples.windows(2).filter(|w| w[0].rung != w[1].rung).count()
+        self.samples
+            .iter()
+            .zip(self.samples.iter().skip(1))
+            .filter(|(a, b)| a.rung != b.rung)
+            .count()
     }
 
     /// Distinct rungs visited in the retained window.
@@ -106,7 +112,11 @@ mod tests {
         }
         assert_eq!(tr.len(), 16);
         assert_eq!(tr.dropped(), 4);
-        assert_eq!(tr.iter().next().unwrap().t_s, 4.0);
+        // Eviction is strictly oldest-first: the retained window is the
+        // contiguous tail 4.0..=19.0 in push order.
+        let kept: Vec<f64> = tr.iter().map(|s| s.t_s).collect();
+        let expect: Vec<f64> = (4..20).map(|i| i as f64).collect();
+        assert_eq!(kept, expect);
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! A tiny metrics registry: monotonic counters, gauges, and fixed-bucket
+//! histograms, keyed by `&'static str` names.
+//!
+//! Design constraints (see DESIGN.md §Observability):
+//!
+//! - **Near-zero cost when disabled.** Every mutator starts with a branch on
+//!   `enabled`; a disabled registry never allocates and never touches the
+//!   series vectors.
+//! - **No allocation per event.** Series are found by linear scan over a
+//!   short `Vec` of `(&'static str, _)` pairs; an allocation happens only
+//!   the first time a new name is seen. Instrumentation sites fire at most
+//!   once per control tick / transaction, never per load, so the scan is
+//!   cheap relative to what it measures.
+//! - **Deterministic snapshots.** [`Metrics::snapshot`] sorts series by
+//!   name, so rendered output is independent of registration order.
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper bucket edges in
+/// ascending order; an implicit overflow bucket catches everything above
+/// the last edge.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    bounds: &'static [f64],
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bucket edges must ascend");
+        Histogram { bounds, counts: vec![0; bounds.len() + 1], count: 0, sum: 0.0 }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+}
+
+/// An immutable copy of one histogram, decoupled from the `'static` bounds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bucket edges; the overflow bucket is implicit.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `bounds.len() + 1` entries (last = overflow).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of observed values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The live, mutable registry. One per observed component.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metrics {
+    enabled: bool,
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, f64)>,
+    hists: Vec<(&'static str, Histogram)>,
+}
+
+impl Metrics {
+    /// An active registry.
+    pub fn enabled() -> Self {
+        Metrics { enabled: true, counters: Vec::new(), gauges: Vec::new(), hists: Vec::new() }
+    }
+
+    /// A registry whose mutators are all no-ops (one branch each).
+    pub fn disabled() -> Self {
+        Metrics { enabled: false, counters: Vec::new(), gauges: Vec::new(), hists: Vec::new() }
+    }
+
+    /// Whether mutators record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Increment a monotonic counter by 1.
+    #[inline]
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increment a monotonic counter by `n`.
+    #[inline]
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        match self.counters.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, v)) => *v += n,
+            None => self.counters.push((name, n)),
+        }
+    }
+
+    /// Set a gauge to an instantaneous value.
+    #[inline]
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        match self.gauges.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, v)) => *v = value,
+            None => self.gauges.push((name, value)),
+        }
+    }
+
+    /// Record `value` into the fixed-bucket histogram `name`. The first call
+    /// for a name fixes its bucket edges; later calls must pass the same
+    /// edges (checked in debug builds).
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, bounds: &'static [f64], value: f64) {
+        if !self.enabled {
+            return;
+        }
+        match self.hists.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, h)) => {
+                debug_assert_eq!(h.bounds, bounds, "histogram {name} re-registered with new edges");
+                h.observe(value);
+            }
+            None => {
+                let mut h = Histogram::new(bounds);
+                h.observe(value);
+                self.hists.push((name, h));
+            }
+        }
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(k, _)| *k == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| *k == name).map(|(_, v)| *v)
+    }
+
+    /// An immutable, name-sorted copy of every series.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = self.counters.clone();
+        let mut gauges = self.gauges.clone();
+        let mut hists: Vec<(&'static str, HistogramSnapshot)> = self
+            .hists
+            .iter()
+            .map(|(k, h)| {
+                (
+                    *k,
+                    HistogramSnapshot {
+                        bounds: h.bounds.to_vec(),
+                        counts: h.counts.clone(),
+                        count: h.count,
+                        sum: h.sum,
+                    },
+                )
+            })
+            .collect();
+        counters.sort_by_key(|(k, _)| *k);
+        gauges.sort_by_key(|(k, _)| *k);
+        hists.sort_by_key(|(k, _)| *k);
+        MetricsSnapshot { counters, gauges, hists }
+    }
+}
+
+/// A point-in-time copy of a [`Metrics`] registry, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, ascending by name.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` pairs, ascending by name.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// `(name, histogram)` pairs, ascending by name.
+    pub hists: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(k, _)| *k == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Gauge value, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| *k == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram, if present.
+    pub fn hist(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.hists.iter().find(|(k, _)| *k == name).map(|(_, h)| h)
+    }
+
+    /// The change since `earlier`: counters and histogram counts subtract
+    /// (saturating, so a fresh series diffs to itself); gauges keep the
+    /// later value.
+    pub fn diff(&self, earlier: &Self) -> Self {
+        let counters =
+            self.counters.iter().map(|&(k, v)| (k, v.saturating_sub(earlier.counter(k)))).collect();
+        let hists = self
+            .hists
+            .iter()
+            .map(|(k, h)| {
+                let mut h = h.clone();
+                if let Some(e) = earlier.hist(k) {
+                    if e.bounds == h.bounds {
+                        for (c, ec) in h.counts.iter_mut().zip(&e.counts) {
+                            *c = c.saturating_sub(*ec);
+                        }
+                        h.count = h.count.saturating_sub(e.count);
+                        h.sum -= e.sum;
+                    }
+                }
+                (*k, h)
+            })
+            .collect();
+        MetricsSnapshot { counters, gauges: self.gauges.clone(), hists }
+    }
+
+    /// Fold another snapshot in: counters and histogram buckets add
+    /// (histograms only when the edges match), gauges keep the larger
+    /// value (so e.g. a fleet-wide "max unresponsive" survives the merge).
+    pub fn absorb(&mut self, other: &Self) {
+        for &(k, v) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| *n == k) {
+                Some((_, mine)) => *mine += v,
+                None => self.counters.push((k, v)),
+            }
+        }
+        for &(k, v) in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| *n == k) {
+                Some((_, mine)) => *mine = mine.max(v),
+                None => self.gauges.push((k, v)),
+            }
+        }
+        for (k, h) in &other.hists {
+            match self.hists.iter_mut().find(|(n, _)| n == k) {
+                Some((_, mine)) if mine.bounds == h.bounds => {
+                    for (c, oc) in mine.counts.iter_mut().zip(&h.counts) {
+                        *c += oc;
+                    }
+                    mine.count += h.count;
+                    mine.sum += h.sum;
+                }
+                Some(_) => {}
+                None => self.hists.push((*k, h.clone())),
+            }
+        }
+        self.counters.sort_by_key(|(k, _)| *k);
+        self.gauges.sort_by_key(|(k, _)| *k);
+        self.hists.sort_by_key(|(k, _)| *k);
+    }
+
+    /// Stable plain-text rendering, one series per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter {k} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge {k} {v}\n"));
+        }
+        for (k, h) in &self.hists {
+            out.push_str(&format!(
+                "hist {k} count={} sum={:.6} mean={:.6}\n",
+                h.count,
+                h.sum,
+                h.mean()
+            ));
+            for (i, c) in h.counts.iter().enumerate() {
+                if *c == 0 {
+                    continue;
+                }
+                match h.bounds.get(i) {
+                    Some(b) => out.push_str(&format!("  le {b} : {c}\n")),
+                    None => out.push_str(&format!("  le +inf : {c}\n")),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static EDGES: [f64; 3] = [1.0, 2.0, 4.0];
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut m = Metrics::disabled();
+        m.inc("a");
+        m.add("a", 10);
+        m.set_gauge("g", 3.0);
+        m.observe("h", &EDGES, 1.5);
+        assert!(!m.is_enabled());
+        assert_eq!(m.counter("a"), 0);
+        assert_eq!(m.gauge("g"), None);
+        let s = m.snapshot();
+        assert!(s.counters.is_empty() && s.gauges.is_empty() && s.hists.is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_accumulate() {
+        let mut m = Metrics::enabled();
+        m.inc("ticks");
+        m.add("ticks", 4);
+        m.set_gauge("rung", 2.0);
+        m.set_gauge("rung", 3.0);
+        for v in [0.5, 1.5, 3.0, 9.0] {
+            m.observe("w", &EDGES, v);
+        }
+        assert_eq!(m.counter("ticks"), 5);
+        assert_eq!(m.gauge("rung"), Some(3.0));
+        let s = m.snapshot();
+        let h = s.hist("w").expect("histogram exists");
+        assert_eq!(h.counts, vec![1, 1, 1, 1]);
+        assert_eq!(h.count, 4);
+        assert!((h.mean() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshots_sort_by_name_and_diff_subtracts() {
+        let mut m = Metrics::enabled();
+        m.inc("z");
+        m.inc("a");
+        let before = m.snapshot();
+        assert_eq!(before.counters, vec![("a", 1), ("z", 1)]);
+        m.add("z", 9);
+        m.observe("h", &EDGES, 0.5);
+        let d = m.snapshot().diff(&before);
+        assert_eq!(d.counter("z"), 9);
+        assert_eq!(d.counter("a"), 0);
+        assert_eq!(d.hist("h").expect("new series survives diff").count, 1);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_buckets() {
+        let mut a = Metrics::enabled();
+        let mut b = Metrics::enabled();
+        a.add("n", 2);
+        b.add("n", 3);
+        b.inc("only_b");
+        a.observe("h", &EDGES, 0.5);
+        b.observe("h", &EDGES, 3.0);
+        a.set_gauge("g", 1.0);
+        b.set_gauge("g", 4.0);
+        let mut s = a.snapshot();
+        s.absorb(&b.snapshot());
+        assert_eq!(s.counter("n"), 5);
+        assert_eq!(s.counter("only_b"), 1);
+        assert_eq!(s.gauge("g"), Some(4.0));
+        let h = s.hist("h").expect("merged");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.counts, vec![1, 0, 1, 0]);
+    }
+}

@@ -29,6 +29,7 @@ pub use capsim_dcm as dcm;
 pub use capsim_ipmi as ipmi;
 pub use capsim_mem as mem;
 pub use capsim_node as node;
+pub use capsim_obs as obs;
 pub use capsim_power as power;
 
 pub mod error;
@@ -46,4 +47,5 @@ pub mod prelude {
     pub use capsim_ipmi::{FaultSpec, RetryPolicy, Transact};
     pub use capsim_mem::{HierarchyConfig, MemReconfig};
     pub use capsim_node::{Machine, MachineBuilder, MachineConfig, PowerCap};
+    pub use capsim_obs::{Event, EventKind, EventLog, Metrics, MetricsSnapshot, Obs};
 }

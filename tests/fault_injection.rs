@@ -4,7 +4,9 @@
 //! no flakiness).
 
 use capsim::dcm::{read_sel_via, violation_count, Dcm, PumpedLink};
-use capsim::ipmi::{FaultSpec, LanChannel, RetryPolicy, SelEntry};
+use capsim::ipmi::{
+    FaultSpec, IpmiError, LanChannel, Request, Response, RetryPolicy, SelEntry, Transact,
+};
 use capsim::node::MachineBuilder;
 use capsim::prelude::*;
 use proptest::prelude::*;
@@ -12,6 +14,28 @@ use proptest::prelude::*;
 /// A fast-control machine suitable for millisecond-scale lock-step runs.
 fn lockstep_machine(seed: u64) -> Machine {
     MachineBuilder::tiny().seed(seed).control_period_us(10.0).meter_window_s(2e-4).build()
+}
+
+/// A [`Transact`] wrapper that counts transactions, for asserting on the
+/// wire cost of management operations.
+struct CountingLink<T: Transact> {
+    inner: T,
+    transactions: u64,
+}
+
+impl<T: Transact> Transact for CountingLink<T> {
+    fn next_seq(&mut self) -> u8 {
+        self.inner.next_seq()
+    }
+
+    fn transact(&mut self, req: &Request) -> Result<Response, IpmiError> {
+        self.transactions += 1;
+        self.inner.transact(req)
+    }
+
+    fn set_patience(&mut self, factor: u32) {
+        self.inner.set_patience(factor);
+    }
 }
 
 proptest! {
@@ -95,6 +119,53 @@ fn sel_audit_over_a_lossy_link_matches_the_nodes_own_log() {
     let mut link = PumpedLink::new(&mut port, &mut machine, 16);
     let audited = read_sel_via(&mut link, &RetryPolicy::default()).expect("SEL readable");
     assert_eq!(audited, truth, "audit over faults must reproduce the node's log exactly");
+}
+
+#[test]
+fn sel_audit_wire_cost_is_proportional_to_the_log_not_the_id_space() {
+    // Same scenario as the fidelity test above: accrue a real SEL, then
+    // audit it — this time counting every IPMI transaction on the wire.
+    let (mut port, bmc_port) = LanChannel::faulty_pair(FaultSpec::lossy(0.1), 0xfeed);
+    let mut machine = lockstep_machine(78);
+    machine.attach_bmc_port(bmc_port);
+
+    let mut dcm = Dcm::new();
+    dcm.correction_ms = 1;
+    let node = dcm.register("n0");
+    {
+        let mut link = PumpedLink::new(&mut port, &mut machine, 16);
+        dcm.cap_node_via(node, &mut link, 118.0).expect("cap lands despite faults");
+    }
+    let block = machine.code_block(96, 24);
+    for _ in 0..200_000 {
+        machine.exec_block(&block);
+    }
+
+    let truth: Vec<SelEntry> = machine.sel().iter().cloned().collect();
+    let entries = truth.len() as u64;
+    assert!(entries > 0, "run must have logged entries");
+
+    let retry = RetryPolicy::default();
+    let mut link =
+        CountingLink { inner: PumpedLink::new(&mut port, &mut machine, 16), transactions: 0 };
+    let audited = read_sel_via(&mut link, &retry).expect("SEL readable");
+    assert_eq!(audited, truth, "counting must not change the audit result");
+
+    // Wire cost: one info read plus one get per candidate id — the live
+    // entries and a fixed grow-tolerance slack — each multiplied by at
+    // most the retry budget. Nothing scales with the 4096-id ring space.
+    let grow_slack = 16;
+    let bound = (1 + entries + grow_slack) * retry.attempts as u64;
+    assert!(
+        link.transactions <= bound,
+        "audit used {} transactions for {entries} entries (bound {bound})",
+        link.transactions
+    );
+    assert!(
+        link.transactions < 4096,
+        "audit of {entries} entries must not walk the whole id space ({} transactions)",
+        link.transactions
+    );
 }
 
 #[test]

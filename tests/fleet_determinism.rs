@@ -1,6 +1,11 @@
 //! The fleet engine's determinism contract: a parallel run is
 //! bit-identical to a serial run of the same configuration — per-node
 //! seeds, order-preserving parallel step phase, serial control barrier.
+//! The telemetry event stream is part of the contract: same seed ⇒
+//! byte-identical JSONL, pinned by a committed golden file
+//! (`CAPSIM_BLESS=1 cargo test --test fleet_determinism` to regenerate).
+
+use std::path::PathBuf;
 
 use capsim::ipmi::FaultSpec;
 use capsim::prelude::*;
@@ -42,6 +47,68 @@ fn different_seeds_diverge() {
     let a = build(true, FaultSpec::lossy(0.05), 1);
     let b = build(true, FaultSpec::lossy(0.05), 2);
     assert_ne!(a.render(), b.render());
+}
+
+/// A small observed fleet with enough going on to exercise every event
+/// source: lossy links (retries/timeouts), a dead node (health
+/// transitions), caps pushed every epoch (DCMI + rung traffic).
+fn observed_events_jsonl(parallel: bool) -> String {
+    let report = FleetBuilder::new()
+        .nodes(4)
+        .epochs(3)
+        .budget_w(4.0 * 128.0)
+        .faults(FaultSpec::lossy(0.08))
+        .dead_node(2)
+        .seed(42)
+        .parallel(parallel)
+        .observe(true)
+        .build()
+        .run();
+    report.obs.expect("observed run").events_jsonl()
+}
+
+#[test]
+fn event_log_is_byte_identical_across_serial_and_parallel_runs() {
+    let serial = observed_events_jsonl(false);
+    let parallel = observed_events_jsonl(true);
+    assert!(!serial.is_empty(), "observed run must record events");
+    assert_eq!(serial, parallel, "telemetry must obey the determinism contract");
+}
+
+#[test]
+fn event_log_matches_the_committed_golden_file() {
+    let actual = observed_events_jsonl(true);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fleet_events.jsonl");
+    if std::env::var("CAPSIM_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("blessed event log at {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); generate with CAPSIM_BLESS=1 cargo test --test fleet_determinism",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let diff_line = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map(|i| format!("first differing line: {}", i + 1))
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: {} vs {}",
+                    expected.lines().count(),
+                    actual.lines().count()
+                )
+            });
+        panic!(
+            "telemetry event log diverged from the committed golden file ({diff_line}).\n\
+             If this change is intentional, re-bless with CAPSIM_BLESS=1."
+        );
+    }
 }
 
 #[test]
