@@ -26,8 +26,11 @@ cargo run -q --release -p capsim-bench --bin perf_smoke >/dev/null
 echo "== telemetry smoke (CAPSIM_SCALE=test: obs overhead budget)"
 CAPSIM_SCALE=test cargo run -q --release -p capsim-bench --bin telemetry /tmp/BENCH_obs_ci.json >/dev/null
 
+echo "== chaos smoke (CAPSIM_SCALE=test: scripted scenario, soak, guardrail budget)"
+CAPSIM_SCALE=test cargo run -q --release -p capsim-bench --bin chaos /tmp/BENCH_chaos_ci.json >/dev/null
+
 echo "== bench trajectory files parse and carry their required keys"
-cargo run -q --release -p capsim-bench --bin bench_check -- BENCH_*.json /tmp/BENCH_obs_ci.json
+cargo run -q --release -p capsim-bench --bin bench_check -- BENCH_*.json /tmp/BENCH_obs_ci.json /tmp/BENCH_chaos_ci.json
 
 echo "== cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

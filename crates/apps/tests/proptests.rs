@@ -26,7 +26,7 @@ proptest! {
         let run = |c: Option<f64>| {
             let mut m = Machine::new(MachineConfig::tiny(seed));
             if let Some(w) = c {
-                m.set_power_cap(Some(PowerCap::new(w)));
+                m.set_power_cap(Some(PowerCap::new(w).unwrap()));
             }
             let mut app = StereoMatching::test_scale(seed);
             app.sweeps = 2;

@@ -9,7 +9,7 @@ use capsim_node::{Machine, MachineConfig, PowerCap};
 fn machine(capped: bool) -> Machine {
     let mut m = Machine::new(MachineConfig::e5_2680(1));
     if capped {
-        m.set_power_cap(Some(PowerCap::new(135.0)));
+        m.set_power_cap(Some(PowerCap::new(135.0).unwrap()));
     }
     m
 }

@@ -27,7 +27,7 @@ fn bench_workloads(c: &mut Criterion) {
     g.bench_function("stereo_test_scale_capped_130w", |b| {
         b.iter(|| {
             let mut m = Machine::new(MachineConfig::e5_2680(3));
-            m.set_power_cap(Some(PowerCap::new(130.0)));
+            m.set_power_cap(Some(PowerCap::new(130.0).unwrap()));
             black_box(StereoMatching::test_scale(3).run(&mut m))
         })
     });

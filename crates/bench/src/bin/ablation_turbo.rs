@@ -19,7 +19,7 @@ fn run(turbo: bool, cap: Option<f64>) -> (f64, f64, f64) {
     cfg.meter_window_s = 1e-4;
     let mut m = Machine::new(cfg);
     if let Some(c) = cap {
-        m.set_power_cap(Some(PowerCap::new(c)));
+        m.set_power_cap(Some(PowerCap::new(c).unwrap()));
     }
     let mut app = StereoMatching::test_scale(8);
     app.width = 224;

@@ -10,7 +10,10 @@
 //!   `ticks_per_sec` — all positive numbers,
 //! * `BENCH_fleet*`: `nodes`, `speedup`, `deterministic`,
 //! * `BENCH_obs*`: `loads_per_sec_obs_off`, `loads_per_sec_obs_on`,
-//!   `overhead_pct`, `within_budget` — and `within_budget` must be true.
+//!   `overhead_pct`, `within_budget` — and `within_budget` must be true,
+//! * `BENCH_chaos*`: `soak_scenarios_per_sec` positive,
+//!   `guardrail_overhead_pct` numeric, `invariant_violations` exactly 0,
+//!   `within_budget` true.
 //!
 //! Unknown `BENCH_*` files only need to parse. Exits non-zero listing
 //! every problem found, so CI catches a bin that wrote garbage.
@@ -184,6 +187,27 @@ fn check_file(path: &str, errors: &mut Vec<String>) {
             }
             None => errors.push(format!("{path}: missing required key \"within_budget\"")),
         }
+    } else if name.starts_with("BENCH_chaos") {
+        require_pos_num("soak_scenarios_per_sec", errors);
+        require_num("guardrail_overhead_pct", errors);
+        match map.get("invariant_violations") {
+            Some(Val::Num(v)) if *v == 0.0 => {}
+            Some(Val::Num(v)) => errors
+                .push(format!("{path}: invariant_violations must be 0, got {v} — chaos run red")),
+            Some(other) => {
+                errors.push(format!("{path}: invariant_violations must be a number, got {other:?}"))
+            }
+            None => errors.push(format!("{path}: missing required key \"invariant_violations\"")),
+        }
+        match map.get("within_budget") {
+            Some(Val::Bool(true)) => {}
+            Some(Val::Bool(false)) => errors
+                .push(format!("{path}: within_budget is false — guardrail overhead over budget")),
+            Some(other) => {
+                errors.push(format!("{path}: within_budget must be a bool, got {other:?}"))
+            }
+            None => errors.push(format!("{path}: missing required key \"within_budget\"")),
+        }
     }
 }
 
@@ -242,6 +266,17 @@ mod tests {
         let mut errors = Vec::new();
         check_file(obs.to_str().unwrap(), &mut errors);
         assert!(errors.iter().any(|e| e.contains("within_budget")));
+
+        let chaos = dir.join("BENCH_chaos.json");
+        std::fs::write(
+            &chaos,
+            "{\"soak_scenarios_per_sec\": 2.5, \"guardrail_overhead_pct\": 0.4, \
+             \"invariant_violations\": 1, \"within_budget\": true}",
+        )
+        .unwrap();
+        let mut errors = Vec::new();
+        check_file(chaos.to_str().unwrap(), &mut errors);
+        assert!(errors.iter().any(|e| e.contains("invariant_violations")), "{errors:?}");
 
         let unknown = dir.join("BENCH_custom.json");
         std::fs::write(&unknown, "{\"anything\": 1}").unwrap();

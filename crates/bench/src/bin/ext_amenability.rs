@@ -22,7 +22,7 @@ fn profile_and_measure(
     let prof = amenability_score(&base);
     // Measured run at a mid cap (DVFS region).
     let mut m = Machine::new(MachineConfig::e5_2680(5));
-    m.set_power_cap(Some(PowerCap::new(140.0)));
+    m.set_power_cap(Some(PowerCap::new(140.0).unwrap()));
     mk(5).run(&mut m);
     let capped = m.finish_run();
     let measured = capped.wall_s / base.wall_s;

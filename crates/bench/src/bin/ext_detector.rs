@@ -17,7 +17,7 @@ fn main() {
     for cap in [None, Some(150.0), Some(140.0), Some(130.0), Some(120.0)] {
         let mut m = Machine::new(MachineConfig::e5_2680(3));
         if let Some(c) = cap {
-            m.set_power_cap(Some(PowerCap::new(c)));
+            m.set_power_cap(Some(PowerCap::new(c).unwrap()));
         }
         // Drive the control loop to equilibrium with representative work.
         let block = m.code_block(96, 24);

@@ -22,7 +22,7 @@ fn run(cores: usize, cap: Option<f64>, scale: Scale, seed: u64) -> (f64, f64) {
     }
     let mut m = Machine::new(cfg);
     if let Some(c) = cap {
-        m.set_power_cap(Some(PowerCap::new(c)));
+        m.set_power_cap(Some(PowerCap::new(c).unwrap()));
     }
     let inner = match scale {
         Scale::Paper => {

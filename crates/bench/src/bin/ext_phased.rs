@@ -20,7 +20,7 @@ fn main() {
     for cap in [None, Some(150.0), Some(140.0), Some(130.0)] {
         let mut m = Machine::new(MachineConfig::e5_2680(11));
         if let Some(c) = cap {
-            m.set_power_cap(Some(PowerCap::new(c)));
+            m.set_power_cap(Some(PowerCap::new(c).unwrap()));
         }
         let mut w = PhasedWorkload::new(120, 40_000, 11);
         w.run(&mut m);

@@ -22,7 +22,7 @@ fn run(stlb: bool, cap: Option<f64>) -> (f64, f64, u64, u64) {
     }
     let mut m = Machine::new(cfg);
     if let Some(c) = cap {
-        m.set_power_cap(Some(PowerCap::new(c)));
+        m.set_power_cap(Some(PowerCap::new(c).unwrap()));
     }
     let mut app = StereoMatching::test_scale(15);
     app.width = 224;

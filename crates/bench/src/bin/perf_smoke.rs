@@ -41,7 +41,7 @@ fn hier_accesses_per_sec() -> f64 {
 
 fn machine_loads_per_sec(cap_w: Option<f64>) -> f64 {
     let mut m = Machine::new(MachineConfig::e5_2680(1));
-    m.set_power_cap(cap_w.map(PowerCap::new));
+    m.set_power_cap(cap_w.map(|w| PowerCap::new(w).unwrap()));
     let reg = m.alloc(1 << 20);
     rate(2_000_000, |i| m.load(reg.at((i * 64) % (1 << 20))))
 }
@@ -54,7 +54,7 @@ fn exec_block_per_sec() -> f64 {
 
 fn ticks_per_sec() -> f64 {
     let mut m = Machine::new(MachineConfig::e5_2680(1));
-    m.set_power_cap(Some(PowerCap::new(135.0)));
+    m.set_power_cap(Some(PowerCap::new(135.0).unwrap()));
     // One idle call per control period: each advances simulated time by
     // exactly one tick interval, so iterations ≈ ticks fired.
     let period_s = m.config().control_period_us * 1e-6;

@@ -1,0 +1,158 @@
+//! The invariants a chaos run must uphold, and their checker.
+//!
+//! Three properties survive any declared fault plan:
+//!
+//! 1. **Cap compliance** — outside declared fault windows (plus a
+//!    recovery grace), every node's measured power stays within a slack
+//!    of the cap that was active during that epoch. The slack absorbs
+//!    the throttle floor: a node capped at the ladder's physical limit
+//!    legitimately overshoots by ~13 W.
+//! 2. **Energy conservation** — each node's reported energy equals its
+//!    average power times its wall time. Sensor faults corrupt only the
+//!    telemetry copy, never the meter, so this holds *through* fault
+//!    windows.
+//! 3. **SEL audit completeness** — the event log read over the
+//!    management wire is byte-for-byte the firmware's ground-truth log,
+//!    across ring eviction and record-id wrap.
+//!
+//! The fourth invariant — byte-identical serial-vs-parallel replay — is
+//! checked by [`crate::runner::check`], which runs the scenario twice.
+
+use crate::runner::{ChaosOutcome, ChaosScenario};
+
+/// Tolerances for the invariant checker.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InvariantConfig {
+    /// Allowed overshoot above the active cap (throttle-floor physics
+    /// plus control-loop dither).
+    pub cap_slack_w: f64,
+    /// Epochs at the start of the run exempt from cap compliance (the
+    /// first caps have not been pushed or settled yet).
+    pub settle_epochs: u32,
+    /// Epochs of exemption *after* a fault window closes, covering
+    /// failsafe release, watchdog reboot re-convergence and budget
+    /// re-reallocation.
+    pub grace_epochs: u32,
+    /// Relative tolerance on `energy = avg_power * wall`.
+    pub energy_rel_tol: f64,
+}
+
+impl Default for InvariantConfig {
+    fn default() -> Self {
+        InvariantConfig {
+            cap_slack_w: 20.0,
+            settle_epochs: 2,
+            grace_epochs: 2,
+            energy_rel_tol: 1e-6,
+        }
+    }
+}
+
+/// One invariant violation, with enough context to debug it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// A node exceeded its active cap outside any declared fault window.
+    CapExceeded { node: u32, epoch: u32, reading_w: f64, cap_w: f64 },
+    /// A node's energy accounting does not close.
+    EnergyMismatch { node: u32, energy_j: f64, expected_j: f64 },
+    /// The wire-audited SEL differs from the firmware's ground truth.
+    SelAuditIncomplete { node: u32, audited: usize, logged: usize },
+    /// Serial and parallel replays of the same scenario diverged.
+    ReplayDiverged { parallel_bytes: usize, serial_bytes: usize },
+}
+
+impl Violation {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::CapExceeded { .. } => "cap_exceeded",
+            Violation::EnergyMismatch { .. } => "energy_mismatch",
+            Violation::SelAuditIncomplete { .. } => "sel_audit_incomplete",
+            Violation::ReplayDiverged { .. } => "replay_diverged",
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        match self {
+            Violation::CapExceeded { node, epoch, reading_w, cap_w } => format!(
+                "{{\"kind\":\"cap_exceeded\",\"node\":{node},\"epoch\":{epoch},\
+                 \"reading_w\":{reading_w},\"cap_w\":{cap_w}}}"
+            ),
+            Violation::EnergyMismatch { node, energy_j, expected_j } => format!(
+                "{{\"kind\":\"energy_mismatch\",\"node\":{node},\
+                 \"energy_j\":{energy_j},\"expected_j\":{expected_j}}}"
+            ),
+            Violation::SelAuditIncomplete { node, audited, logged } => format!(
+                "{{\"kind\":\"sel_audit_incomplete\",\"node\":{node},\
+                 \"audited\":{audited},\"logged\":{logged}}}"
+            ),
+            Violation::ReplayDiverged { parallel_bytes, serial_bytes } => format!(
+                "{{\"kind\":\"replay_diverged\",\"parallel_bytes\":{parallel_bytes},\
+                 \"serial_bytes\":{serial_bytes}}}"
+            ),
+        }
+    }
+}
+
+/// Check every outcome-level invariant (cap compliance, energy, SEL
+/// audit) against the scenario's declared fault plan.
+pub fn check_outcome(scenario: &ChaosScenario, out: &ChaosOutcome) -> Vec<Violation> {
+    let cfg = &scenario.invariants;
+    let mut violations = Vec::new();
+
+    // Cap compliance. A reading recorded at barrier `e` was measured
+    // while the cap pushed at barrier `e-1` was active, so track caps
+    // one record behind.
+    let grace_s = cfg.grace_epochs as f64 * scenario.epoch_s;
+    let mut active_cap: Vec<Option<f64>> = vec![None; scenario.nodes];
+    for rec in &out.report.records {
+        let from_s = rec.epoch as f64 * scenario.epoch_s;
+        let to_s = (rec.epoch + 1) as f64 * scenario.epoch_s;
+        let exempt = rec.epoch < cfg.settle_epochs || scenario.plan.exempts(from_s, to_s, grace_s);
+        if !exempt {
+            for &(node, reading_w) in &rec.readings {
+                if let Some(cap_w) = active_cap[node as usize] {
+                    if reading_w > cap_w + cfg.cap_slack_w {
+                        violations.push(Violation::CapExceeded {
+                            node,
+                            epoch: rec.epoch,
+                            reading_w,
+                            cap_w,
+                        });
+                    }
+                }
+            }
+        }
+        for &(node, cap_w) in &rec.caps {
+            active_cap[node as usize] = Some(cap_w);
+        }
+    }
+
+    // Energy conservation — ground truth, unaffected by telemetry faults.
+    for s in &out.report.summaries {
+        let expected_j = s.avg_power_w * s.wall_s;
+        if (s.energy_j - expected_j).abs() > cfg.energy_rel_tol * s.energy_j.abs() + 1e-9 {
+            violations.push(Violation::EnergyMismatch {
+                node: s.index,
+                energy_j: s.energy_j,
+                expected_j,
+            });
+        }
+    }
+
+    // SEL audit completeness: what the manager can read over the wire is
+    // exactly what the firmware logged. Nodes whose audit could not run
+    // (BMC dead at audit time) are skipped, not failed.
+    for (node, (audit, truth)) in out.sel_audits.iter().zip(&out.sel_truth).enumerate() {
+        if let Some(audit) = audit {
+            if audit != truth {
+                violations.push(Violation::SelAuditIncomplete {
+                    node: node as u32,
+                    audited: audit.len(),
+                    logged: truth.len(),
+                });
+            }
+        }
+    }
+
+    violations
+}

@@ -1,0 +1,35 @@
+//! `capsim-chaos` — fault domains and the invariant-checking chaos
+//! harness.
+//!
+//! The paper's platform (§II) assumes every layer behaves: sensors report
+//! real power, the BMC firmware never dies, cap commands stick. This
+//! crate drops those assumptions and checks that the simulator's
+//! guardrails hold the system inside its envelope anyway:
+//!
+//! - [`plan`] — typed, seeded [`FaultPlan`]s: sensor faults (stuck-at,
+//!   drift, spike, dropout), controller faults (stale telemetry, silently
+//!   lost cap commands) and BMC firmware crashes with watchdog-driven
+//!   reboot, each scheduled over a window of simulated time.
+//! - [`runner`] — [`ChaosScenario`]: a fleet configuration plus a fault
+//!   plan, executed epoch-by-epoch with faults injected at epoch
+//!   boundaries; [`check`] runs it and verifies every invariant,
+//!   including byte-identical serial-vs-parallel replay.
+//! - [`invariant`] — the invariants themselves: cap compliance outside
+//!   declared fault windows, energy accounting conserved, SEL audit
+//!   completeness over the wire vs the firmware's ground-truth log.
+//! - [`soak()`] — randomized plans run until a violation appears, then
+//!   greedily shrunk to a minimal JSON reproducer.
+//!
+//! Everything is deterministic: all randomness descends from one seed
+//! through the workspace splitmix64 mixer, and simulated time is the only
+//! clock.
+
+pub mod invariant;
+pub mod plan;
+pub mod runner;
+pub mod soak;
+
+pub use invariant::{check_outcome, InvariantConfig, Violation};
+pub use plan::{FaultKind, FaultPlan, FaultWindow};
+pub use runner::{check, run_scenario, ChaosOutcome, ChaosReport, ChaosScenario};
+pub use soak::{shrink, soak, Reproducer, SoakConfig, SoakResult};

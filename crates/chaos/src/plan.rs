@@ -1,0 +1,227 @@
+//! Typed fault plans: what breaks, where, and when.
+//!
+//! A [`FaultPlan`] is a list of [`FaultWindow`]s — (node, start, end,
+//! kind) — over simulated time. Plans are data, not behaviour: the runner
+//! injects them at epoch boundaries, the invariant checker uses them to
+//! exempt declared fault intervals from cap compliance, and
+//! [`FaultPlan::to_json`] serializes them into reproducers. Randomized
+//! plans derive entirely from a seed through the workspace splitmix64
+//! mixer, so a reproducer's seed regenerates its plan exactly.
+
+use capsim_ipmi::splitmix64;
+
+/// One kind of injected fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Power sensor reads a constant regardless of real power.
+    SensorStuck { watts: f64 },
+    /// Power sensor drifts linearly from the true reading.
+    SensorDrift { watts_per_s: f64 },
+    /// Power sensor spikes to `watts` every `period_ticks` control ticks.
+    SensorSpike { watts: f64, period_ticks: u32 },
+    /// Power sensor reads zero (dead sensor) — trips the BMC failsafe.
+    SensorDropout,
+    /// The whole telemetry block freezes (controller-side staleness);
+    /// the BMC's watchdog sees a non-advancing clock and fails safe.
+    StaleTelemetry,
+    /// The BMC acks SET_POWER_LIMIT / ACTIVATE on the wire but never
+    /// commits them — the silent failure only fleet-side violation
+    /// detection can see.
+    LostCapCommands,
+    /// BMC firmware crash: volatile control state is lost, the SEL and
+    /// persistent cap survive, and the watchdog reboots the firmware
+    /// after `dead_s` of simulated time.
+    BmcCrash { dead_s: f64 },
+}
+
+impl FaultKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::SensorStuck { .. } => "sensor_stuck",
+            FaultKind::SensorDrift { .. } => "sensor_drift",
+            FaultKind::SensorSpike { .. } => "sensor_spike",
+            FaultKind::SensorDropout => "sensor_dropout",
+            FaultKind::StaleTelemetry => "stale_telemetry",
+            FaultKind::LostCapCommands => "lost_cap_commands",
+            FaultKind::BmcCrash { .. } => "bmc_crash",
+        }
+    }
+
+    fn json_params(&self) -> String {
+        match self {
+            FaultKind::SensorStuck { watts } => format!(",\"watts\":{watts}"),
+            FaultKind::SensorDrift { watts_per_s } => format!(",\"watts_per_s\":{watts_per_s}"),
+            FaultKind::SensorSpike { watts, period_ticks } => {
+                format!(",\"watts\":{watts},\"period_ticks\":{period_ticks}")
+            }
+            FaultKind::BmcCrash { dead_s } => format!(",\"dead_s\":{dead_s}"),
+            _ => String::new(),
+        }
+    }
+}
+
+/// One fault, on one node, over one window of simulated time.
+///
+/// For [`FaultKind::BmcCrash`] the window is informational — the crash
+/// fires once at `start_s` and the watchdog ends it — so `end_s` should
+/// be `start_s + dead_s` (what [`FaultPlan::window`] enforces is only
+/// `end_s >= start_s`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultWindow {
+    pub node: usize,
+    pub start_s: f64,
+    pub end_s: f64,
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// Does this window (extended by `grace_s` for post-fault recovery)
+    /// overlap the interval `[from_s, to_s)`?
+    pub fn overlaps(&self, from_s: f64, to_s: f64, grace_s: f64) -> bool {
+        self.start_s < to_s && from_s < self.end_s + grace_s
+    }
+
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"node\":{},\"start_s\":{},\"end_s\":{},\"kind\":\"{}\"{}}}",
+            self.node,
+            self.start_s,
+            self.end_s,
+            self.kind.name(),
+            self.kind.json_params()
+        )
+    }
+}
+
+/// A schedule of fault windows over one fleet run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    pub windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// The empty plan (a chaos run degenerates to a plain fleet run).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Append a window (builder style).
+    pub fn window(mut self, node: usize, start_s: f64, end_s: f64, kind: FaultKind) -> FaultPlan {
+        assert!(end_s >= start_s, "fault window must not end before it starts");
+        self.windows.push(FaultWindow { node, start_s, end_s, kind });
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// True when cap compliance is exempt over `[from_s, to_s)`: some
+    /// declared window (plus recovery grace) overlaps it.
+    ///
+    /// Exemption is deliberately fleet-wide, not per-node: any fault that
+    /// distorts one node's telemetry or availability also distorts the
+    /// manager's *allocation* — a dropped-out sensor reads 0 W, so every
+    /// peer's budget share shifts. Compliance is only a meaningful
+    /// promise while the whole declared plan is quiet.
+    pub fn exempts(&self, from_s: f64, to_s: f64, grace_s: f64) -> bool {
+        self.windows.iter().any(|w| w.overlaps(from_s, to_s, grace_s))
+    }
+
+    /// A seeded random plan over `nodes` nodes and `horizon_s` of
+    /// simulated time: 1–3 windows, each starting in the first 60% of the
+    /// horizon and ending with enough room left for recovery.
+    pub fn randomized(seed: u64, nodes: usize, horizon_s: f64) -> FaultPlan {
+        assert!(nodes > 0 && horizon_s > 0.0);
+        let unit = |x: u64| (x >> 11) as f64 / (1u64 << 53) as f64;
+        let count = 1 + (splitmix64(seed, 0x9a1a) % 3) as usize;
+        let mut plan = FaultPlan::none();
+        for w in 0..count as u64 {
+            let r = |salt: u64| splitmix64(seed, (w + 1).wrapping_mul(0x1_0000) ^ salt);
+            let node = (r(0x01) % nodes as u64) as usize;
+            let start_s = (0.1 + 0.5 * unit(r(0x02))) * horizon_s;
+            let dur_s = (0.05 + 0.25 * unit(r(0x03))) * horizon_s;
+            let end_s = (start_s + dur_s).min(0.9 * horizon_s);
+            let kind = match r(0x04) % 7 {
+                0 => FaultKind::SensorStuck { watts: 80.0 + 120.0 * unit(r(0x05)) },
+                1 => FaultKind::SensorDrift { watts_per_s: (unit(r(0x05)) - 0.5) * 40.0 },
+                2 => FaultKind::SensorSpike {
+                    watts: 200.0 + 200.0 * unit(r(0x05)),
+                    period_ticks: 2 + (r(0x06) % 8) as u32,
+                },
+                3 => FaultKind::SensorDropout,
+                4 => FaultKind::StaleTelemetry,
+                5 => FaultKind::LostCapCommands,
+                _ => {
+                    let dead_s = (0.05 + 0.1 * unit(r(0x05))) * horizon_s;
+                    plan = plan.window(
+                        node,
+                        start_s,
+                        start_s + dead_s,
+                        FaultKind::BmcCrash { dead_s },
+                    );
+                    continue;
+                }
+            };
+            plan = plan.window(node, start_s, end_s, kind);
+        }
+        plan
+    }
+
+    pub fn to_json(&self) -> String {
+        let windows: Vec<String> = self.windows.iter().map(|w| w.to_json()).collect();
+        format!("[{}]", windows.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randomized_plans_are_seed_deterministic_and_bounded() {
+        for seed in 0..50u64 {
+            let a = FaultPlan::randomized(seed, 4, 10.0);
+            let b = FaultPlan::randomized(seed, 4, 10.0);
+            assert_eq!(a, b, "same seed, same plan");
+            assert!((1..=3).contains(&a.windows.len()));
+            for w in &a.windows {
+                assert!(w.node < 4);
+                assert!(w.start_s >= 0.0 && w.end_s >= w.start_s);
+                assert!(w.end_s <= 10.0, "window must end inside the horizon: {w:?}");
+            }
+        }
+        assert_ne!(
+            FaultPlan::randomized(1, 4, 10.0),
+            FaultPlan::randomized(2, 4, 10.0),
+            "different seeds should explore different plans"
+        );
+    }
+
+    #[test]
+    fn exemption_covers_windows_plus_grace_fleet_wide() {
+        let plan = FaultPlan::none().window(1, 10.0, 15.0, FaultKind::SensorDropout);
+        assert!(!plan.exempts(0.0, 10.0, 1.0), "before the window");
+        assert!(plan.exempts(10.0, 11.0, 1.0), "inside the window");
+        assert!(plan.exempts(15.5, 16.0, 1.0), "inside the grace tail");
+        assert!(!plan.exempts(16.0, 17.0, 1.0), "after window + grace");
+        // Node identity is ignored: the exemption is fleet-wide.
+        assert!(plan.exempts(12.0, 13.0, 0.0));
+    }
+
+    #[test]
+    fn plans_serialize_to_json() {
+        let plan = FaultPlan::none().window(1, 10.0, 15.0, FaultKind::SensorDropout).window(
+            2,
+            20.0,
+            23.0,
+            FaultKind::BmcCrash { dead_s: 3.0 },
+        );
+        let json = plan.to_json();
+        assert_eq!(
+            json,
+            "[{\"node\":1,\"start_s\":10,\"end_s\":15,\"kind\":\"sensor_dropout\"},\
+             {\"node\":2,\"start_s\":20,\"end_s\":23,\"kind\":\"bmc_crash\",\"dead_s\":3}]"
+        );
+    }
+}

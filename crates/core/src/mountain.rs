@@ -72,7 +72,7 @@ impl MountainRun {
     pub fn collect(mut self, label: &str) -> MountainMatrix {
         let mut m = Machine::new(MachineConfig::e5_2680(self.seed));
         if let Some(w) = self.cap_w {
-            m.set_power_cap(Some(PowerCap::new(w)));
+            m.set_power_cap(Some(PowerCap::new(w).unwrap()));
             // Drive the control loop to equilibrium before measuring.
             let block = m.code_block(96, 24);
             let scratch = m.alloc(1 << 20);

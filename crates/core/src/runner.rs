@@ -173,7 +173,7 @@ impl CapSweep {
                 let seed = self.config.base_seed + r;
                 let mut m = self.build_machine(seed);
                 if let Some(w) = cap_w {
-                    m.set_power_cap(Some(PowerCap::new(w)));
+                    m.set_power_cap(Some(PowerCap::new(w).unwrap()));
                 }
                 let mut workload = factory(seed);
                 let out = workload.run(&mut m);

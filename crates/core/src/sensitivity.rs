@@ -76,12 +76,12 @@ pub fn check(knob: Knob, factor: f64, seed: u64) -> SensitivityOutcome {
     // Cap 10 W under this configuration's own baseline, so the check is
     // meaningful whatever the perturbation did to absolute power.
     let cap_w = base.avg_power_w - 10.0;
-    capped.set_power_cap(Some(PowerCap::new(cap_w)));
+    capped.set_power_cap(Some(PowerCap::new(cap_w).unwrap()));
     work(&mut capped);
     let capped = capped.finish_run();
 
     let mut deep = Machine::new(build());
-    deep.set_power_cap(Some(PowerCap::new(50.0))); // absurd: unreachable
+    deep.set_power_cap(Some(PowerCap::new(50.0).unwrap())); // absurd: unreachable
     work(&mut deep);
     let deep = deep.finish_run();
 

@@ -22,9 +22,10 @@
 //! delivery poll services the node's BMC, so request, firmware handling
 //! and response all happen inside the barrier, in deterministic order.
 
+use capsim_ipmi::sel::SelEntry;
 use capsim_ipmi::{
-    FaultSpec, FaultStats, IpmiError, LanChannel, ManagerPort, Request, Response, RetryPolicy,
-    Transact,
+    splitmix64, FaultSpec, FaultStats, IpmiError, LanChannel, ManagerPort, Request, Response,
+    RetryPolicy, Transact,
 };
 use capsim_node::{CodeBlock, EpochWorkload, Machine, MachineConfig, Region, RunStats};
 use capsim_obs::{
@@ -100,6 +101,11 @@ pub enum LoadKind {
     Stream,
     /// Both, plus a mostly-predictable branch.
     Mixed,
+    /// Bursty: a dense burst of mixed work followed by a ~4 ms idle gap.
+    /// Power swings between near-TDP and idle floor within one epoch —
+    /// the load that stresses guardrail plausibility checks and the
+    /// violation detector's hysteresis.
+    Pulse,
 }
 
 impl LoadKind {
@@ -149,6 +155,14 @@ impl EpochWorkload for SyntheticLoad {
                 m.load_stream(self.region.base(), self.region.bytes(), start, 64, 32);
                 m.branch(&self.block, !self.i.is_multiple_of(7));
             }
+            LoadKind::Pulse => {
+                for _ in 0..8 {
+                    m.exec_block(&self.block);
+                }
+                m.load_stream(self.region.base(), self.region.bytes(), start, 64, 64);
+                m.compute(2000);
+                m.idle(4e-3);
+            }
         }
         self.i += 1;
     }
@@ -171,6 +185,9 @@ pub struct EpochRecord {
     pub unresponsive: usize,
     /// Sum of measured power over answering nodes.
     pub fleet_power_w: f64,
+    /// Per-node power readings this epoch (node registration index,
+    /// watts) — the chaos harness checks cap compliance against these.
+    pub readings: Vec<(u32, f64)>,
     /// Caps pushed this epoch (node registration index, watts).
     pub caps: Vec<(u32, f64)>,
 }
@@ -294,6 +311,9 @@ pub struct FleetBuilder {
     dead: Vec<usize>,
     audit_sel: bool,
     observe: Option<usize>,
+    load: Option<LoadKind>,
+    violation_margin_w: f64,
+    violation_after: u32,
 }
 
 impl FleetBuilder {
@@ -319,6 +339,9 @@ impl FleetBuilder {
             dead: Vec::new(),
             audit_sel: true,
             observe: None,
+            load: None,
+            violation_margin_w: 10.0,
+            violation_after: 3,
         }
     }
 
@@ -413,6 +436,24 @@ impl FleetBuilder {
         self
     }
 
+    /// Give every node the same workload kind instead of the default
+    /// round-robin Compute/Stream/Mixed assignment.
+    pub fn uniform_load(mut self, kind: LoadKind) -> Self {
+        self.load = Some(kind);
+        self
+    }
+
+    /// Tune the fleet-side cap-violation detector: a node whose measured
+    /// power exceeds its last pushed cap by more than `margin_w` for
+    /// `epochs` consecutive barriers is flagged via
+    /// [`Dcm::set_cap_violating`] and held at `Degraded` until it
+    /// recovers. Defaults: 10 W over, 3 epochs.
+    pub fn violation_detector(mut self, margin_w: f64, epochs: u32) -> Self {
+        self.violation_margin_w = margin_w;
+        self.violation_after = epochs.max(1);
+        self
+    }
+
     /// Build the fleet: per-node machines (seeded from the fleet seed),
     /// management links (faulty if configured) and the DCM registry.
     pub fn build(self) -> Fleet {
@@ -438,11 +479,13 @@ impl FleetBuilder {
                 machine.enable_obs(cap);
             }
             machine.attach_bmc_port(bmc_port);
-            let load = SyntheticLoad::new(&mut machine, LoadKind::for_index(i));
+            let kind = self.load.unwrap_or_else(|| LoadKind::for_index(i));
+            let load = SyntheticLoad::new(&mut machine, kind);
             let id = dcm.register(format!("n{i:04}"));
             nodes.push(SimNode { id, port, machine, load });
         }
         let budget_w = self.budget_w.unwrap_or(135.0 * self.nodes as f64);
+        let n = nodes.len();
         Fleet {
             epochs: self.epochs,
             epoch_s: self.epoch_s,
@@ -452,6 +495,11 @@ impl FleetBuilder {
             polls_per_attempt: self.polls_per_attempt,
             audit_sel: self.audit_sel,
             observe: self.observe.is_some(),
+            violation_margin_w: self.violation_margin_w,
+            violation_after: self.violation_after,
+            viol_streaks: vec![0; n],
+            next_epoch: 0,
+            records: Vec::with_capacity(self.epochs as usize),
             dcm,
             nodes,
         }
@@ -464,12 +512,11 @@ impl Default for FleetBuilder {
     }
 }
 
-/// splitmix64-style mixer for deriving per-node seeds.
+/// Per-node seed derivation: the workspace-wide splitmix64 scheme, shared
+/// with the transport's per-link fault seeds so every seed in a fleet
+/// descends from the one fleet seed through the same mixer.
 fn mix(seed: u64, salt: u64) -> u64 {
-    let mut z = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    splitmix64(seed, salt)
 }
 
 /// The assembled fleet, ready to run.
@@ -482,6 +529,11 @@ pub struct Fleet {
     polls_per_attempt: u32,
     audit_sel: bool,
     observe: bool,
+    violation_margin_w: f64,
+    violation_after: u32,
+    viol_streaks: Vec<u32>,
+    next_epoch: u32,
+    records: Vec<EpochRecord>,
     dcm: Dcm,
     nodes: Vec<SimNode>,
 }
@@ -495,15 +547,72 @@ impl Fleet {
         self.nodes.is_empty()
     }
 
+    /// Epochs stepped so far.
+    pub fn epochs_run(&self) -> u32 {
+        self.next_epoch
+    }
+
+    /// Configured epoch length in simulated seconds.
+    pub fn epoch_s(&self) -> f64 {
+        self.epoch_s
+    }
+
+    /// Configured number of epochs ([`Fleet::run`] steps this many).
+    pub fn epochs(&self) -> u32 {
+        self.epochs
+    }
+
+    /// The manager (health, last caps, obs).
+    pub fn dcm(&self) -> &Dcm {
+        &self.dcm
+    }
+
+    /// A node's machine, by registration index. The chaos harness uses
+    /// this between epochs to inject sensor faults, crash the BMC or
+    /// inspect ground-truth energy accounting.
+    pub fn machine(&self, index: usize) -> &Machine {
+        &self.nodes[index].machine
+    }
+
+    /// Mutable access to a node's machine (fault injection between
+    /// epochs).
+    pub fn machine_mut(&mut self, index: usize) -> &mut Machine {
+        &mut self.nodes[index].machine
+    }
+
+    /// Epoch records accumulated so far.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// Read a node's full SEL over its pumped management link (the same
+    /// path the end-of-run audit uses), without updating DCM health.
+    pub fn read_node_sel(&mut self, index: usize) -> Result<Vec<SelEntry>, IpmiError> {
+        let retry = self.dcm.retry;
+        let n = &mut self.nodes[index];
+        let mut link = PumpedLink::new(&mut n.port, &mut n.machine, self.polls_per_attempt);
+        read_sel_via(&mut link, &retry)
+    }
+
+    /// Advance the whole fleet by one epoch (step phase + barrier phase)
+    /// and return the barrier's record. [`Fleet::run`] is a loop over
+    /// this; the chaos harness calls it directly so it can inject faults
+    /// at epoch boundaries.
+    pub fn step_epoch(&mut self) -> &EpochRecord {
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        self.step_phase();
+        let rec = self.barrier_phase(epoch);
+        self.records.push(rec);
+        self.records.last().expect("just pushed")
+    }
+
     /// Run the configured number of epochs and summarize.
     pub fn run(mut self) -> FleetReport {
-        let epochs = self.epochs;
-        let mut records = Vec::with_capacity(epochs as usize);
-        for epoch in 0..epochs {
-            self.step_phase();
-            records.push(self.barrier_phase(epoch));
+        for _ in 0..self.epochs {
+            self.step_epoch();
         }
-        self.finish(records)
+        self.finish()
     }
 
     /// Phase 1: advance every node by one epoch of simulated time. Nodes
@@ -546,6 +655,24 @@ impl Fleet {
                 demand.push((n.id, r.current_w as f64));
             }
         }
+        // Fleet-side cap-violation detection: compare each reading against
+        // the cap pushed at the *previous* barrier (before this round's
+        // push overwrites it). A node persistently over its cap — a BMC
+        // silently dropping cap commands answers the wire perfectly — is
+        // flagged and held Degraded until it comes back under.
+        for &(id, w) in &demand {
+            let streak = &mut self.viol_streaks[id.index()];
+            let over = self.dcm.last_cap_w(id).is_some_and(|cap| w > cap + self.violation_margin_w);
+            if over {
+                *streak += 1;
+                if *streak >= self.violation_after {
+                    self.dcm.set_cap_violating(id, true);
+                }
+            } else {
+                *streak = 0;
+                self.dcm.set_cap_violating(id, false);
+            }
+        }
         let caps = self.dcm.plan_allocation(self.budget_w, &self.policy, &demand);
         let mut pushed = Vec::with_capacity(caps.len());
         for (id, cap) in caps {
@@ -584,10 +711,20 @@ impl Fleet {
                 },
             );
         }
-        EpochRecord { epoch, answered: demand.len(), unresponsive, fleet_power_w, caps: pushed }
+        EpochRecord {
+            epoch,
+            answered: demand.len(),
+            unresponsive,
+            fleet_power_w,
+            readings: demand.iter().map(|&(id, w)| (id.index() as u32, w)).collect(),
+            caps: pushed,
+        }
     }
 
-    fn finish(mut self, records: Vec<EpochRecord>) -> FleetReport {
+    /// Summarize a (possibly manually stepped) fleet: final per-node
+    /// stats, SEL audit, merged observability.
+    pub fn finish(mut self) -> FleetReport {
+        let records = std::mem::take(&mut self.records);
         let audit = self.audit_sel;
         let retry = self.dcm.retry;
         let polls = self.polls_per_attempt;
@@ -724,6 +861,48 @@ mod tests {
         // The observed run must not perturb the simulation itself.
         let on_plain = FleetReport { obs: None, ..on.clone() };
         assert_eq!(off, on_plain, "observability must not change results");
+    }
+
+    #[test]
+    fn stepping_manually_matches_run() {
+        let whole = FleetBuilder::new().nodes(3).epochs(4).seed(9).build().run();
+        let mut fleet = FleetBuilder::new().nodes(3).epochs(4).seed(9).build();
+        while fleet.epochs_run() < fleet.epochs() {
+            fleet.step_epoch();
+        }
+        let stepped = fleet.finish();
+        assert_eq!(whole, stepped, "step_epoch loop must equal run()");
+    }
+
+    #[test]
+    fn lost_cap_commands_are_flagged_by_the_violation_detector() {
+        // Node 1's BMC acks every SET_POWER_LIMIT on the wire but never
+        // commits it: management traffic looks perfectly healthy while
+        // measured power never comes down. Only the fleet-side violation
+        // detector can see this.
+        let mut fleet = FleetBuilder::new()
+            .nodes(2)
+            .epochs(8)
+            .seed(23)
+            .budget_w(220.0)
+            // 20 W margin: a compliant node throttled to the 110 W floor
+            // still overshoots it by ~13 W (the floor is the ladder's
+            // physical limit, not a promise), and must not be flagged.
+            .violation_detector(20.0, 2)
+            .build();
+        fleet.machine_mut(1).set_lost_cap_commands(true);
+        while fleet.epochs_run() < fleet.epochs() {
+            fleet.step_epoch();
+        }
+        assert!(fleet.dcm().cap_violating(fleet.dcm().id_at(1).unwrap()));
+        assert_eq!(
+            fleet.dcm().health(fleet.dcm().id_at(1).unwrap()),
+            NodeHealth::Degraded { consecutive_failures: 0 },
+            "violating node is held degraded despite clean transactions"
+        );
+        assert_eq!(fleet.dcm().health(fleet.dcm().id_at(0).unwrap()), NodeHealth::Healthy);
+        let report = fleet.finish();
+        assert_eq!(report.summaries[1].health, NodeHealth::Degraded { consecutive_failures: 0 });
     }
 
     #[test]

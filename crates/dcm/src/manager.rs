@@ -79,6 +79,13 @@ struct NodeEntry {
     health: NodeHealth,
     consecutive_failures: u32,
     last_cap_w: Option<f64>,
+    /// Set by fleet-side cap-violation detection: the node answers
+    /// management traffic but its measured power sits above its cap. Held
+    /// at [`NodeHealth::Degraded`] (never promoted back to `Healthy` by a
+    /// successful transaction) until the violation clears — a node whose
+    /// BMC silently drops cap commands looks perfectly healthy on the
+    /// wire.
+    cap_violating: bool,
 }
 
 /// The Data Center Manager.
@@ -145,6 +152,7 @@ impl Dcm {
             health: NodeHealth::Healthy,
             consecutive_failures: 0,
             last_cap_w: None,
+            cap_violating: false,
         });
         NodeId::from_index(self.nodes.len() - 1)
     }
@@ -191,6 +199,38 @@ impl Dcm {
         self.nodes[node.index()].last_cap_w
     }
 
+    /// True when fleet-side detection has flagged the node as violating
+    /// its cap (see [`Dcm::set_cap_violating`]).
+    pub fn cap_violating(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].cap_violating
+    }
+
+    /// Flag (or clear) a node as violating its power cap despite healthy
+    /// management traffic. While flagged, the node is held at
+    /// [`NodeHealth::Degraded`] — successful transactions no longer
+    /// promote it back to `Healthy` — so budgeting and dashboards see the
+    /// misbehaviour. Clearing the flag restores `Healthy` on the next
+    /// successful transaction (or immediately, if the hold is the only
+    /// thing keeping it degraded).
+    pub fn set_cap_violating(&mut self, node: NodeId, violating: bool) {
+        let e = &mut self.nodes[node.index()];
+        if e.cap_violating == violating {
+            return;
+        }
+        e.cap_violating = violating;
+        let old = e.health;
+        if violating {
+            if matches!(e.health, NodeHealth::Healthy) {
+                e.health = NodeHealth::Degraded { consecutive_failures: 0 };
+            }
+        } else if e.health == (NodeHealth::Degraded { consecutive_failures: 0 }) {
+            // Degraded purely by the hold — no real failures outstanding.
+            e.health = NodeHealth::Healthy;
+        }
+        let new = e.health;
+        self.note_health_transition(node, old, new);
+    }
+
     /// Handles of all nodes currently participating in budgeting.
     pub fn responsive_nodes(&self) -> Vec<NodeId> {
         (0..self.nodes.len())
@@ -205,8 +245,15 @@ impl Dcm {
         let e = &mut self.nodes[node.index()];
         let old = e.health;
         e.consecutive_failures = 0;
-        e.health = NodeHealth::Healthy;
-        self.note_health_transition(node, old, NodeHealth::Healthy);
+        // A cap-violating node is held at Degraded: answering a DCMI
+        // command proves the wire works, not that the cap is honoured.
+        e.health = if e.cap_violating {
+            NodeHealth::Degraded { consecutive_failures: 0 }
+        } else {
+            NodeHealth::Healthy
+        };
+        let new = e.health;
+        self.note_health_transition(node, old, new);
     }
 
     fn record_failure(&mut self, node: NodeId) {
@@ -648,6 +695,34 @@ mod tests {
         let cap_b = caps.iter().find(|&&(id, _)| id == b).unwrap().1;
         let cap_c = caps.iter().find(|&&(id, _)| id == c).unwrap().1;
         assert!(cap_b > cap_c, "higher priority gets more: {cap_b} vs {cap_c}");
+    }
+
+    #[test]
+    fn cap_violating_nodes_are_held_degraded_until_cleared() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let (mgr, bmc_port) = LanChannel::pair();
+        let mut dcm = Dcm::new();
+        let id = dcm.register_link("violator", mgr);
+        let h = spawn_bmc(150.0, bmc_port, stop.clone());
+
+        dcm.set_cap_violating(id, true);
+        assert!(dcm.cap_violating(id));
+        assert_eq!(dcm.health(id), NodeHealth::Degraded { consecutive_failures: 0 });
+        // A successful transaction must NOT promote the node back.
+        dcm.read_power(id).unwrap();
+        assert_eq!(dcm.health(id), NodeHealth::Degraded { consecutive_failures: 0 });
+        // Still responsive: a violating node keeps its budget share (it
+        // needs the cap pushed at it, after all), it is just not Healthy.
+        assert_eq!(dcm.responsive_nodes(), vec![id]);
+
+        dcm.set_cap_violating(id, false);
+        assert!(!dcm.cap_violating(id));
+        assert_eq!(dcm.health(id), NodeHealth::Healthy);
+        dcm.read_power(id).unwrap();
+        assert_eq!(dcm.health(id), NodeHealth::Healthy);
+
+        stop.store(true, Ordering::Relaxed);
+        h.join().unwrap();
     }
 
     #[test]

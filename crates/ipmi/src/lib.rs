@@ -35,9 +35,10 @@ pub use dcmi::{
     SetPowerLimit, DCMI_GROUP_EXT,
 };
 pub use message::{CompletionCode, IpmiError, NetFn, Request, Response};
-pub use sel::{SelEntry, SelEventType, SystemEventLog};
+pub use sel::{SelEntry, SelEventType, SystemEventLog, SEL_CAPACITY};
 pub use sensor::{SensorId, SensorRead, SensorValue};
 pub use transport::{
-    transact_retry, transact_retry_counted, transact_retry_observed, BmcPort, FaultDirection,
-    FaultInjector, FaultSpec, FaultStats, LanChannel, ManagerPort, RetryPolicy, Transact,
+    splitmix64, transact_retry, transact_retry_counted, transact_retry_observed, BmcPort,
+    FaultDirection, FaultInjector, FaultSpec, FaultStats, LanChannel, ManagerPort, RetryPolicy,
+    Transact,
 };

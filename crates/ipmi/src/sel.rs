@@ -7,9 +7,14 @@
 //! `Get SEL Entry` (NetFn Storage in real IPMI; folded into App here for
 //! the simulator's reduced NetFn set).
 
+use std::collections::VecDeque;
+
 use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::message::{IpmiError, NetFn, Request};
+
+/// Bounded SEL ring size: oldest records are evicted beyond this.
+pub const SEL_CAPACITY: usize = 4096;
 
 /// Command codes (App NetFn).
 pub const CMD_GET_SEL_INFO: u8 = 0x40;
@@ -26,6 +31,10 @@ pub enum SelEventType {
     PowerLimitConfigured = 0x02,
     /// Node throttled to the deepest rung (ladder exhausted).
     ThrottleFloorReached = 0x03,
+    /// BMC firmware restarted by the watchdog after a crash.
+    FirmwareRebooted = 0x04,
+    /// Guardrail failsafe engaged on implausible or stale telemetry.
+    FailsafeEngaged = 0x05,
 }
 
 impl SelEventType {
@@ -34,6 +43,8 @@ impl SelEventType {
             0x01 => Ok(SelEventType::PowerLimitExceeded),
             0x02 => Ok(SelEventType::PowerLimitConfigured),
             0x03 => Ok(SelEventType::ThrottleFloorReached),
+            0x04 => Ok(SelEventType::FirmwareRebooted),
+            0x05 => Ok(SelEventType::FailsafeEngaged),
             _ => Err(IpmiError::Malformed("sel event type")),
         }
     }
@@ -93,7 +104,7 @@ pub fn clear_sel_request(seq: u8) -> Request {
 /// The log itself (lives inside the BMC).
 #[derive(Clone, Debug, Default)]
 pub struct SystemEventLog {
-    entries: Vec<SelEntry>,
+    entries: VecDeque<SelEntry>,
     next_id: u16,
 }
 
@@ -103,14 +114,21 @@ impl SystemEventLog {
     }
 
     /// Append an event; returns its record id.
+    ///
+    /// Record ids wrap at 16 bits but skip `0xFFFF`, which the wire
+    /// protocol reserves to mean "latest" — an entry stored under that id
+    /// would be unaddressable by `Get SEL Entry`.
     pub fn log(&mut self, timestamp_ms: u64, event: SelEventType, datum: u16) -> u16 {
+        if self.next_id == 0xffff {
+            self.next_id = 0;
+        }
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1);
-        self.entries.push(SelEntry { id, timestamp_ms, event, datum });
-        // A real SEL is a bounded ring; keep the newest 4096 records.
-        if self.entries.len() > 4096 {
-            self.entries.remove(0);
+        // A real SEL is a bounded ring; evict the oldest record first.
+        if self.entries.len() == SEL_CAPACITY {
+            self.entries.pop_front();
         }
+        self.entries.push_back(SelEntry { id, timestamp_ms, event, datum });
         id
     }
 
@@ -125,7 +143,7 @@ impl SystemEventLog {
     /// Entry by record id; `0xFFFF` returns the latest.
     pub fn get(&self, id: u16) -> Option<&SelEntry> {
         if id == 0xffff {
-            self.entries.last()
+            self.entries.back()
         } else {
             self.entries.iter().find(|e| e.id == id)
         }
@@ -185,6 +203,50 @@ mod tests {
         sel.clear();
         assert!(sel.is_empty());
         assert!(sel.get(0xffff).is_none());
+    }
+
+    #[test]
+    fn sustained_storm_wraps_ids_and_keeps_the_ring_consistent() {
+        // Push enough events to wrap the 16-bit record id space twice.
+        let mut sel = SystemEventLog::new();
+        let total = 2 * 0x1_0000 + 777;
+        let mut last = 0u16;
+        for i in 0..total {
+            last = sel.log(i as u64, SelEventType::PowerLimitExceeded, (i % 500) as u16);
+        }
+        assert_eq!(sel.len(), SEL_CAPACITY);
+        // The reserved "latest" sentinel is never assigned as a record id.
+        assert!(sel.iter().all(|e| e.id != 0xffff));
+        // Every retained id is unique and addressable.
+        let ids: Vec<u16> = sel.iter().map(|e| e.id).collect();
+        let unique: std::collections::BTreeSet<u16> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), SEL_CAPACITY);
+        for &id in &ids {
+            assert!(sel.get(id).is_some(), "retained id {id} must be addressable");
+        }
+        // The latest lookup agrees with the last assigned id.
+        assert_eq!(sel.get(0xffff).unwrap().id, last);
+        // Timestamps stay oldest-first: eviction removed exactly the oldest.
+        let ts: Vec<u64> = sel.iter().map(|e| e.timestamp_ms).collect();
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*ts.last().unwrap(), (total - 1) as u64);
+        assert_eq!(ts[0], (total - SEL_CAPACITY) as u64);
+    }
+
+    #[test]
+    fn ids_skip_the_latest_sentinel_across_the_wrap() {
+        let mut sel = SystemEventLog::new();
+        let mut prev = None;
+        for i in 0..0x1_0000u64 {
+            let id = sel.log(i, SelEventType::PowerLimitConfigured, 0);
+            assert_ne!(id, 0xffff);
+            if let Some(p) = prev {
+                // Ids advance by one except across the reserved sentinel.
+                let expect = if p == 0xfffe { 0 } else { p + 1 };
+                assert_eq!(id, expect);
+            }
+            prev = Some(id);
+        }
     }
 
     #[test]

@@ -134,6 +134,19 @@ pub struct FaultInjector {
     stats: FaultStats,
 }
 
+/// Mix a seed with a salt through the splitmix64 finalizer.
+///
+/// This is the one seed-derivation scheme used across the workspace —
+/// `Fleet` derives per-node seeds from it, and [`LanChannel::faulty_pair`]
+/// derives per-direction link seeds from it — so adjacent raw seeds never
+/// produce correlated child streams.
+pub fn splitmix64(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 impl FaultInjector {
     pub fn new(spec: FaultSpec, dir: FaultDirection, seed: u64) -> Self {
         // Scramble the seed (splitmix64 finalizer) so adjacent seeds give
@@ -387,9 +400,12 @@ impl LanChannel {
     /// Create a pair whose manager side injects faults in both
     /// directions, deterministically from `seed`.
     pub fn faulty_pair(spec: FaultSpec, seed: u64) -> (ManagerPort, BmcPort) {
+        // Derive the two direction seeds through splitmix64 rather than a
+        // plain XOR: XOR'd constants keep adjacent raw seeds adjacent, so
+        // links seeded n and n+1 would see correlated fault schedules.
         let faults = LinkFaults {
-            req: FaultInjector::new(spec, FaultDirection::Request, seed ^ 0x9e37_79b9_7f4a_7c15),
-            resp: FaultInjector::new(spec, FaultDirection::Response, seed ^ 0xd1b5_4a32_d192_ed03),
+            req: FaultInjector::new(spec, FaultDirection::Request, splitmix64(seed, 0x72_6571)),
+            resp: FaultInjector::new(spec, FaultDirection::Response, splitmix64(seed, 0x72_6573)),
         };
         Self::build(Some(faults))
     }

@@ -34,8 +34,25 @@ fn sel_event_name(e: SelEventType) -> &'static str {
         SelEventType::PowerLimitExceeded => "power_limit_exceeded",
         SelEventType::PowerLimitConfigured => "power_limit_configured",
         SelEventType::ThrottleFloorReached => "throttle_floor_reached",
+        SelEventType::FirmwareRebooted => "firmware_rebooted",
+        SelEventType::FailsafeEngaged => "failsafe_engaged",
     }
 }
+
+/// A rejected power-cap wattage: caps must be finite and positive.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InvalidPowerCap {
+    /// The rejected value.
+    pub watts: f64,
+}
+
+impl std::fmt::Display for InvalidPowerCap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid power cap {} W: must be finite and > 0", self.watts)
+    }
+}
+
+impl std::error::Error for InvalidPowerCap {}
 
 /// An active power cap in watts.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -44,9 +61,56 @@ pub struct PowerCap {
 }
 
 impl PowerCap {
-    pub fn new(watts: f64) -> Self {
-        assert!(watts > 0.0);
-        PowerCap { watts }
+    /// Validate a cap wattage. NaN, infinities, zero and negative values
+    /// are rejected — a cap of `-0.0` or `NaN` would otherwise disable
+    /// every comparison in the control loop while claiming to be active.
+    pub fn new(watts: f64) -> Result<Self, InvalidPowerCap> {
+        if watts.is_finite() && watts > 0.0 {
+            Ok(PowerCap { watts })
+        } else {
+            Err(InvalidPowerCap { watts })
+        }
+    }
+}
+
+/// Tunables for the BMC guardrails: the failsafe rung floor, the stale
+/// telemetry watchdog, and the cap-violation detector.
+///
+/// All thresholds count consecutive control samples, so their wall-clock
+/// meaning scales with the machine's control period.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GuardrailConfig {
+    /// Window averages above this are implausible for a single node.
+    pub implausible_max_w: f64,
+    /// Die temperatures above this are implausible (sensor fault).
+    pub implausible_max_temp_c: f64,
+    /// Consecutive implausible samples before the failsafe engages.
+    pub implausible_after: u32,
+    /// Consecutive frozen-timestamp samples (with an active cap) before
+    /// the failsafe engages; 0 disables stale detection.
+    pub stale_after: u32,
+    /// Consecutive fresh, plausible samples before the failsafe releases.
+    pub release_after: u32,
+    /// Rung pinned while the failsafe holds; `None` means the deepest.
+    pub failsafe_rung: Option<usize>,
+    /// Consecutive over-cap samples before a cap-violation event fires.
+    pub violation_after: u32,
+    /// Consecutive under-cap samples before the violation episode ends.
+    pub violation_clear_after: u32,
+}
+
+impl Default for GuardrailConfig {
+    fn default() -> Self {
+        GuardrailConfig {
+            implausible_max_w: 1000.0,
+            implausible_max_temp_c: 120.0,
+            implausible_after: 3,
+            stale_after: 32,
+            release_after: 8,
+            failsafe_rung: None,
+            violation_after: 16,
+            violation_clear_after: 8,
+        }
     }
 }
 
@@ -88,6 +152,23 @@ pub struct Bmc {
     sel: SystemEventLog,
     chassis_on: bool,
     floor_logged: bool,
+    /// Guardrail tunables; `None` switches every guardrail off.
+    guard: Option<GuardrailConfig>,
+    /// Failsafe rung floor currently engaged (untrusted telemetry).
+    failsafe: bool,
+    implausible_streak: u32,
+    stale_streak: u32,
+    plausible_streak: u32,
+    viol_streak: u32,
+    under_streak: u32,
+    /// Cap-violation detector: inside a sustained over-cap episode.
+    violating: bool,
+    /// Firmware crashed: no service, no control, until the watchdog fires.
+    crashed: bool,
+    crashed_at_ms: f64,
+    reboot_at_ms: Option<f64>,
+    /// Controller fault: cap commands are acknowledged but not applied.
+    lost_cap_commands: bool,
     /// Observability sink for this node (disabled by default: one branch
     /// per site, nothing recorded).
     obs: Obs,
@@ -111,8 +192,109 @@ impl Bmc {
             sel: SystemEventLog::new(),
             chassis_on: true,
             floor_logged: false,
+            guard: Some(GuardrailConfig::default()),
+            failsafe: false,
+            implausible_streak: 0,
+            stale_streak: 0,
+            plausible_streak: 0,
+            viol_streak: 0,
+            under_streak: 0,
+            violating: false,
+            crashed: false,
+            crashed_at_ms: 0.0,
+            reboot_at_ms: None,
+            lost_cap_commands: false,
             obs: Obs::disabled(),
         }
+    }
+
+    /// Replace the guardrail tunables; `None` disables all guardrails.
+    pub fn set_guardrails(&mut self, guard: Option<GuardrailConfig>) {
+        self.guard = guard;
+        if guard.is_none() {
+            self.failsafe = false;
+            self.implausible_streak = 0;
+            self.stale_streak = 0;
+            self.plausible_streak = 0;
+            self.viol_streak = 0;
+            self.under_streak = 0;
+            self.violating = false;
+        }
+    }
+
+    /// The active guardrail tunables, if any.
+    pub fn guardrails(&self) -> Option<&GuardrailConfig> {
+        self.guard.as_ref()
+    }
+
+    /// Whether the failsafe rung floor is currently engaged.
+    pub fn failsafe_active(&self) -> bool {
+        self.failsafe
+    }
+
+    /// Whether the cap-violation detector is inside an episode.
+    pub fn cap_violating(&self) -> bool {
+        self.violating
+    }
+
+    /// Whether the firmware is crashed (awaiting the watchdog).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Controller fault: when set, `Set Power Limit` and `Activate Power
+    /// Limit` are acknowledged on the wire but silently not applied.
+    pub fn set_lost_cap_commands(&mut self, on: bool) {
+        self.lost_cap_commands = on;
+    }
+
+    /// Crash the firmware at `now_ms`. Service and control stop; volatile
+    /// control state is lost on the watchdog-driven restart `dead_ms`
+    /// later, while the SEL and the persistent limit survive.
+    pub fn crash(&mut self, now_ms: f64, dead_ms: f64) {
+        if self.crashed {
+            return;
+        }
+        self.crashed = true;
+        self.crashed_at_ms = now_ms;
+        self.reboot_at_ms = Some(now_ms + dead_ms);
+        self.obs.metrics.inc("bmc.crashes");
+        self.obs.events.record(now_ms * 1e-3, EventKind::BmcCrash { dead_ms });
+    }
+
+    /// Watchdog timer, driven from the machine's own clock so a frozen
+    /// telemetry stream cannot stall the restart. Returns the rung to
+    /// apply when the firmware comes back (volatile state lost: rung 0).
+    pub fn watchdog_tick(&mut self, now_ms: f64) -> Option<Rung> {
+        let due = self.reboot_at_ms?;
+        if now_ms < due {
+            return None;
+        }
+        let down_ms = now_ms - self.crashed_at_ms;
+        self.crashed = false;
+        self.reboot_at_ms = None;
+        // Volatile control state is lost; `cap`, `cap_active`,
+        // `stored_limit` and the SEL persist across the reboot.
+        self.rung = 0;
+        self.over_cap_since_ms = None;
+        self.last_exception_ms = f64::NEG_INFINITY;
+        self.floor_logged = false;
+        self.failsafe = false;
+        self.implausible_streak = 0;
+        self.stale_streak = 0;
+        self.plausible_streak = 0;
+        self.viol_streak = 0;
+        self.under_streak = 0;
+        self.violating = false;
+        self.last_telemetry = BmcTelemetry { now_ms, ..BmcTelemetry::default() };
+        self.obs.metrics.inc("bmc.watchdog_reboots");
+        self.log_sel(
+            now_ms as u64,
+            SelEventType::FirmwareRebooted,
+            down_ms.round().clamp(0.0, 65535.0) as u16,
+        );
+        self.obs.events.record(now_ms * 1e-3, EventKind::WatchdogReboot { down_ms });
+        Some(self.current())
     }
 
     /// Start recording metrics and events (ring of `event_capacity`).
@@ -179,11 +361,113 @@ impl Bmc {
         (self.escalations, self.deescalations, self.exceptions)
     }
 
+    /// Guardrail bookkeeping for one control sample. Returns `false` when
+    /// the sample is implausible and must not feed the control loop.
+    fn update_guardrails(&mut self, t: &BmcTelemetry, fresh: bool) -> bool {
+        let Some(g) = self.guard else { return true };
+        let implausible = !t.window_avg_w.is_finite()
+            || t.window_avg_w <= 0.0
+            || t.window_avg_w > g.implausible_max_w
+            || !t.die_temp_c.is_finite()
+            || t.die_temp_c > g.implausible_max_temp_c;
+        self.implausible_streak = if implausible { self.implausible_streak + 1 } else { 0 };
+        let stale = self.cap_active && !fresh;
+        self.stale_streak = if stale { self.stale_streak + 1 } else { 0 };
+        if !self.failsafe {
+            if self.implausible_streak >= g.implausible_after {
+                self.engage_failsafe("implausible_reading", t);
+            } else if g.stale_after > 0 && self.stale_streak >= g.stale_after {
+                self.engage_failsafe("stale_telemetry", t);
+            }
+        } else if !implausible && fresh {
+            self.plausible_streak += 1;
+            if self.plausible_streak >= g.release_after {
+                self.failsafe = false;
+                self.plausible_streak = 0;
+                self.obs.events.record(t.now_ms * 1e-3, EventKind::FailsafeReleased);
+            }
+        } else {
+            self.plausible_streak = 0;
+        }
+        !implausible
+    }
+
+    fn engage_failsafe(&mut self, reason: &'static str, t: &BmcTelemetry) {
+        self.failsafe = true;
+        self.plausible_streak = 0;
+        self.obs.metrics.inc("bmc.failsafe_engagements");
+        let datum = if t.window_avg_w.is_finite() {
+            t.window_avg_w.round().clamp(0.0, 65535.0) as u16
+        } else {
+            0
+        };
+        self.log_sel(t.now_ms as u64, SelEventType::FailsafeEngaged, datum);
+        self.obs.events.record(
+            t.now_ms * 1e-3,
+            EventKind::FailsafeEngaged { reason, window_w: t.window_avg_w },
+        );
+    }
+
+    /// Cap-violation detector: sustained over-cap samples open an episode
+    /// (typed event, no SEL traffic — the DCMI correction-time path owns
+    /// the SEL paper trail); sustained under-cap samples close it.
+    fn track_violation(&mut self, cap: f64, avg: f64, now_s: f64) {
+        let Some(g) = self.guard else { return };
+        if avg > cap {
+            self.viol_streak += 1;
+            self.under_streak = 0;
+            if !self.violating && self.viol_streak >= g.violation_after {
+                self.violating = true;
+                self.obs.metrics.inc("bmc.cap_violations");
+                self.obs
+                    .events
+                    .record(now_s, EventKind::CapViolation { cap_w: cap, window_w: avg });
+            }
+        } else {
+            self.under_streak += 1;
+            self.viol_streak = 0;
+            if self.violating && self.under_streak >= g.violation_clear_after {
+                self.violating = false;
+                self.obs.events.record(now_s, EventKind::CapViolationEnded { cap_w: cap });
+            }
+        }
+    }
+
     /// One control-loop iteration. Returns the rung to apply if it
     /// changed.
     pub fn control(&mut self, telemetry: BmcTelemetry) -> Option<Rung> {
+        if self.crashed {
+            // Dead firmware samples nothing and moves nothing.
+            return None;
+        }
+        let pre = self.rung;
+        let fresh = telemetry.now_ms > self.last_telemetry.now_ms;
+        let sample_ok = self.update_guardrails(&telemetry, fresh);
         self.last_telemetry = telemetry;
         let now_s = telemetry.now_ms * 1e-3;
+        if self.failsafe {
+            let floor =
+                self.guard.and_then(|g| g.failsafe_rung).unwrap_or_else(|| self.ladder.deepest());
+            if self.rung < floor {
+                let from = self.rung as u32;
+                self.rung = floor;
+                self.obs.metrics.inc("bmc.failsafe_ticks");
+                self.obs.events.record(
+                    now_s,
+                    EventKind::RungChange {
+                        from,
+                        to: self.rung as u32,
+                        cause: RungCause::Failsafe,
+                        window_w: telemetry.window_avg_w,
+                    },
+                );
+            }
+            return (self.rung != pre).then(|| self.current());
+        }
+        if !sample_ok {
+            // Implausible but not yet a failsafe episode: hold state.
+            return None;
+        }
         let cap = match self.cap() {
             Some(c) => c.watts,
             None => {
@@ -248,6 +532,7 @@ impl Bmc {
                 },
             );
         }
+        self.track_violation(cap, avg, now_s);
         self.track_correction_time(cap, avg, telemetry.now_ms);
         (self.rung != old).then(|| self.current())
     }
@@ -284,6 +569,11 @@ impl Bmc {
         loop {
             match port.poll() {
                 Ok(Some(req)) => {
+                    if self.crashed {
+                        // Dead firmware: the frame is consumed by the NIC
+                        // but never answered; the manager times out.
+                        continue;
+                    }
                     let resp = self.handle(&req);
                     port.send(&resp)?;
                 }
@@ -312,9 +602,19 @@ impl Bmc {
                 Ok(limit) if limit.limit_w == 0 => {
                     Response::err(req, CompletionCode::ParameterOutOfRange)
                 }
+                Ok(_) if self.lost_cap_commands => {
+                    // Controller fault: acknowledged on the wire, never
+                    // committed to the control loop.
+                    self.obs.metrics.inc("bmc.lost_cap_commands");
+                    Response::ok(req, vec![dcmi::DCMI_GROUP_EXT])
+                }
                 Ok(limit) => {
+                    let cap = match PowerCap::new(limit.limit_w as f64) {
+                        Ok(c) => c,
+                        Err(_) => return Response::err(req, CompletionCode::ParameterOutOfRange),
+                    };
                     self.stored_limit = Some(limit);
-                    self.cap = Some(PowerCap::new(limit.limit_w as f64));
+                    self.cap = Some(cap);
                     self.log_sel(
                         self.last_telemetry.now_ms as u64,
                         SelEventType::PowerLimitConfigured,
@@ -343,6 +643,10 @@ impl Bmc {
             }
             (NetFn::GroupExt, dcmi::CMD_ACTIVATE_POWER_LIMIT) => {
                 match ActivatePowerLimit::parse(req) {
+                    Ok(_) if self.lost_cap_commands => {
+                        self.obs.metrics.inc("bmc.lost_cap_commands");
+                        Response::ok(req, vec![dcmi::DCMI_GROUP_EXT])
+                    }
                     Ok(on) => {
                         if on && self.cap.is_none() {
                             Response::err(req, CompletionCode::DestinationUnavailable)
@@ -426,7 +730,7 @@ mod tests {
     #[test]
     fn over_cap_escalates_one_rung_per_tick() {
         let mut b = bmc();
-        b.set_cap(Some(PowerCap::new(140.0)));
+        b.set_cap(Some(PowerCap::new(140.0).unwrap()));
         for i in 1..=5 {
             let r = b.control(tele(150.0));
             assert!(r.is_some());
@@ -437,7 +741,7 @@ mod tests {
     #[test]
     fn dithers_around_a_cap_between_two_rungs() {
         let mut b = bmc();
-        b.set_cap(Some(PowerCap::new(150.0)));
+        b.set_cap(Some(PowerCap::new(150.0).unwrap()));
         b.control(tele(155.0)); // up to rung 1
         b.control(tele(145.0)); // comfortably below cap-hysteresis: down
         assert_eq!(b.rung_index(), 0);
@@ -450,7 +754,7 @@ mod tests {
     #[test]
     fn hysteresis_prevents_deescalation_just_under_the_cap() {
         let mut b = bmc();
-        b.set_cap(Some(PowerCap::new(150.0)));
+        b.set_cap(Some(PowerCap::new(150.0).unwrap()));
         b.control(tele(151.0));
         assert_eq!(b.rung_index(), 1);
         // 149 is under the cap but within the 2 W hysteresis band: hold.
@@ -461,7 +765,7 @@ mod tests {
     #[test]
     fn exhausted_ladder_logs_exceptions_and_holds_deepest() {
         let mut b = bmc();
-        b.set_cap(Some(PowerCap::new(50.0))); // unreachable
+        b.set_cap(Some(PowerCap::new(50.0).unwrap())); // unreachable
         for _ in 0..100 {
             b.control(tele(124.0));
         }
@@ -473,7 +777,7 @@ mod tests {
     #[test]
     fn clearing_the_cap_returns_to_full_speed() {
         let mut b = bmc();
-        b.set_cap(Some(PowerCap::new(120.0)));
+        b.set_cap(Some(PowerCap::new(120.0).unwrap()));
         for _ in 0..10 {
             b.control(tele(150.0));
         }
@@ -590,7 +894,7 @@ mod tests {
             sampling_s: 1,
             action: ExceptionAction::HardPowerOff,
         });
-        b.set_cap(Some(PowerCap::new(110.0)));
+        b.set_cap(Some(PowerCap::new(110.0).unwrap()));
         for t in 0..100u64 {
             let mut tel = tele(125.0);
             tel.now_ms = t as f64;
@@ -608,7 +912,7 @@ mod tests {
             sampling_s: 1,
             action: ExceptionAction::LogOnly,
         });
-        b.set_cap(Some(PowerCap::new(140.0)));
+        b.set_cap(Some(PowerCap::new(140.0).unwrap()));
         // Alternate over/under faster than the correction time.
         for t in 0..300u64 {
             let w = if t % 4 < 2 { 145.0 } else { 130.0 };
@@ -660,6 +964,175 @@ mod tests {
         b.serve(&port).unwrap();
         mgr.recv().unwrap().into_ok().unwrap();
         assert!(b.sel().is_empty());
+    }
+
+    #[test]
+    fn power_cap_rejects_nonsense_watts() {
+        assert!(PowerCap::new(135.0).is_ok());
+        assert!(PowerCap::new(0.1).is_ok());
+        for bad in [0.0, -1.0, -0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = PowerCap::new(bad).unwrap_err();
+            assert!(err.to_string().contains("invalid power cap"), "{err}");
+        }
+    }
+
+    /// Fresh telemetry with an advancing clock, for guardrail tests.
+    fn fresh(w: f64, t_ms: f64) -> BmcTelemetry {
+        let mut t = tele(w);
+        t.now_ms = t_ms;
+        t
+    }
+
+    #[test]
+    fn sensor_dropout_engages_the_failsafe_floor_and_releases() {
+        let mut b = bmc();
+        b.set_cap(Some(PowerCap::new(120.0).unwrap()));
+        let g = *b.guardrails().unwrap();
+        let mut t_ms = 0.0;
+        // Dropout: zero-watt readings are implausible; after the debounce
+        // the failsafe pins the deepest rung in a single move.
+        for _ in 0..g.implausible_after {
+            t_ms += 1.0;
+            b.control(fresh(0.0, t_ms));
+        }
+        assert!(b.failsafe_active());
+        assert_eq!(b.rung_index(), b.ladder.deepest());
+        assert!(b.sel().iter().any(|e| e.event == SelEventType::FailsafeEngaged));
+        // Plausible, fresh samples release it; the releasing tick already
+        // resumes the normal loop, which de-escalates one rung per tick.
+        for _ in 0..g.release_after {
+            t_ms += 1.0;
+            b.control(fresh(110.0, t_ms));
+        }
+        assert!(!b.failsafe_active());
+        let deepest = b.ladder.deepest();
+        assert_eq!(b.rung_index(), deepest - 1);
+        t_ms += 1.0;
+        b.control(fresh(110.0, t_ms));
+        assert_eq!(b.rung_index(), deepest - 2, "normal de-escalation resumes");
+    }
+
+    #[test]
+    fn frozen_telemetry_clock_engages_the_stale_failsafe() {
+        let mut b = bmc();
+        b.set_cap(Some(PowerCap::new(140.0).unwrap()));
+        // Plausible watts, but the timestamp never advances.
+        for _ in 0..40 {
+            b.control(fresh(130.0, 5.0));
+        }
+        assert!(b.failsafe_active());
+        assert_eq!(b.rung_index(), b.ladder.deepest());
+    }
+
+    #[test]
+    fn single_spike_is_debounced_not_escalated() {
+        let mut b = bmc();
+        b.set_cap(Some(PowerCap::new(140.0).unwrap()));
+        b.control(fresh(130.0, 1.0));
+        let rung_before = b.rung_index();
+        // One implausible 5 kW spike: held, not fed to the loop.
+        b.control(fresh(5000.0, 2.0));
+        assert_eq!(b.rung_index(), rung_before);
+        assert!(!b.failsafe_active());
+        b.control(fresh(130.0, 3.0));
+        assert!(!b.failsafe_active());
+    }
+
+    #[test]
+    fn cap_violation_detector_opens_and_closes_episodes_without_sel() {
+        let mut b = bmc();
+        b.enable_obs(64);
+        b.set_cap(Some(PowerCap::new(120.0).unwrap()));
+        let g = *b.guardrails().unwrap();
+        let mut t_ms = 0.0;
+        for _ in 0..g.violation_after {
+            t_ms += 1.0;
+            b.control(fresh(124.0, t_ms));
+        }
+        assert!(b.cap_violating());
+        for _ in 0..g.violation_clear_after {
+            t_ms += 1.0;
+            b.control(fresh(110.0, t_ms));
+        }
+        assert!(!b.cap_violating());
+        let names: Vec<&str> = b.obs().events.iter().map(|e| e.kind.name()).collect();
+        assert!(names.contains(&"cap_violation"));
+        assert!(names.contains(&"cap_violation_ended"));
+        // The detector is telemetry-only: SEL traffic stays owned by the
+        // DCMI correction-time path.
+        assert!(!b.sel().iter().any(|e| e.event == SelEventType::PowerLimitExceeded));
+    }
+
+    #[test]
+    fn crash_loses_volatile_state_but_keeps_sel_and_persistent_cap() {
+        let mut b = bmc();
+        b.set_cap(Some(PowerCap::new(120.0).unwrap()));
+        let mut t_ms = 0.0;
+        for _ in 0..5 {
+            t_ms += 1.0;
+            b.control(fresh(150.0, t_ms));
+        }
+        assert_eq!(b.rung_index(), 5);
+        let sel_before = b.sel().len();
+        b.crash(t_ms, 100.0);
+        assert!(b.is_crashed());
+        // Dead firmware: control is inert.
+        assert!(b.control(fresh(150.0, t_ms + 1.0)).is_none());
+        assert_eq!(b.rung_index(), 5, "hardware holds its rung while firmware is down");
+        // Watchdog too early: nothing.
+        assert!(b.watchdog_tick(t_ms + 50.0).is_none());
+        // Watchdog fires: rung resets (volatile lost), cap + SEL survive.
+        let rung = b.watchdog_tick(t_ms + 100.0).expect("reboot applies rung 0");
+        assert_eq!(rung, b.ladder.get(0));
+        assert!(!b.is_crashed());
+        assert_eq!(b.cap().unwrap().watts, 120.0);
+        assert!(b.sel().len() > sel_before, "reboot logged to the surviving SEL");
+        assert!(b.sel().iter().any(|e| e.event == SelEventType::FirmwareRebooted));
+    }
+
+    #[test]
+    fn crashed_firmware_drops_ipmi_requests() {
+        let mut b = bmc();
+        b.crash(0.0, 1000.0);
+        let (mut mgr, port) = LanChannel::pair();
+        let seq = mgr.next_seq();
+        mgr.send(&GetPowerReading::request(seq)).unwrap();
+        b.serve(&port).unwrap();
+        assert!(mgr.try_recv().unwrap().is_none(), "no answer from dead firmware");
+    }
+
+    #[test]
+    fn lost_cap_commands_are_acked_but_not_applied() {
+        let mut b = bmc();
+        b.set_lost_cap_commands(true);
+        let (mut mgr, port) = LanChannel::pair();
+        let limit = PowerLimit {
+            limit_w: 135,
+            correction_ms: 1000,
+            sampling_s: 1,
+            action: ExceptionAction::LogOnly,
+        };
+        let seq = mgr.next_seq();
+        mgr.send(&SetPowerLimit(limit).request(seq)).unwrap();
+        b.serve(&port).unwrap();
+        // The manager sees success…
+        mgr.recv().unwrap().into_ok().unwrap();
+        let seq = mgr.next_seq();
+        mgr.send(&ActivatePowerLimit { activate: true }.request(seq)).unwrap();
+        b.serve(&port).unwrap();
+        mgr.recv().unwrap().into_ok().unwrap();
+        // …but nothing was committed.
+        assert!(b.cap().is_none());
+        b.set_lost_cap_commands(false);
+        let seq = mgr.next_seq();
+        mgr.send(&SetPowerLimit(limit).request(seq)).unwrap();
+        b.serve(&port).unwrap();
+        mgr.recv().unwrap().into_ok().unwrap();
+        let seq = mgr.next_seq();
+        mgr.send(&ActivatePowerLimit { activate: true }.request(seq)).unwrap();
+        b.serve(&port).unwrap();
+        mgr.recv().unwrap().into_ok().unwrap();
+        assert_eq!(b.cap().unwrap().watts, 135.0);
     }
 
     #[test]

@@ -133,7 +133,7 @@ impl MachineBuilder {
             None => Machine::new(self.cfg),
         };
         if let Some(w) = self.cap_w {
-            m.set_power_cap(Some(PowerCap::new(w)));
+            m.set_power_cap(Some(PowerCap::new(w).unwrap()));
         }
         if let Some(port) = self.bmc_port {
             m.attach_bmc_port(port);

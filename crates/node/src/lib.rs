@@ -26,11 +26,11 @@ pub mod powercap;
 pub mod region;
 pub mod trace;
 
-pub use bmc::{Bmc, PowerCap};
+pub use bmc::{Bmc, BmcTelemetry, GuardrailConfig, InvalidPowerCap, PowerCap};
 pub use builder::MachineBuilder;
 pub use config::MachineConfig;
 pub use ladder::{Rung, ThrottleLadder};
-pub use machine::{EpochWorkload, Machine, RunStats};
+pub use machine::{EpochWorkload, Machine, RunStats, SensorFault};
 pub use powercap::{PowercapError, PowercapFs};
 pub use region::{CodeBlock, Region};
 pub use trace::{RunTrace, TraceSample};

@@ -40,7 +40,9 @@ use capsim_power::{
     ActivityWindow, EnergyIntegrator, NodePowerModel, PowerMeter, RaplCounters, ThermalModel,
 };
 
-use crate::bmc::{Bmc, BmcTelemetry, PowerCap};
+use capsim_obs::EventKind;
+
+use crate::bmc::{Bmc, BmcTelemetry, GuardrailConfig, PowerCap};
 use crate::config::MachineConfig;
 use crate::ladder::{Rung, ThrottleLadder};
 use crate::region::{CodeBlock, Region};
@@ -100,13 +102,41 @@ struct CoreState {
     predictor: GsharePredictor,
 }
 
+/// A sensor-layer fault: a transform applied to the telemetry copy the
+/// BMC samples each control tick. The meter/energy ground truth is never
+/// touched — energy accounting stays conserved under any sensor fault,
+/// which the chaos harness checks as an invariant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SensorFault {
+    /// Power readings stuck at a fixed value.
+    StuckAt { watts: f64 },
+    /// Readings drift away from truth linearly in simulated time.
+    Drift { watts_per_s: f64 },
+    /// Every `period_ticks`-th sample is replaced by a spike.
+    Spike { watts: f64, period_ticks: u32 },
+    /// The sensor returns nothing; readings collapse to zero.
+    Dropout,
+}
+
+impl SensorFault {
+    /// Stable tag used in event streams and fault plans.
+    pub fn name(self) -> &'static str {
+        match self {
+            SensorFault::StuckAt { .. } => "sensor_stuck",
+            SensorFault::Drift { .. } => "sensor_drift",
+            SensorFault::Spike { .. } => "sensor_spike",
+            SensorFault::Dropout => "sensor_dropout",
+        }
+    }
+}
+
 /// The simulated node.
 ///
 /// ```
 /// use capsim_node::{Machine, MachineConfig, PowerCap};
 ///
 /// let mut m = Machine::new(MachineConfig::tiny(42));
-/// m.set_power_cap(Some(PowerCap::new(135.0)));
+/// m.set_power_cap(Some(PowerCap::new(135.0).unwrap()));
 /// let data = m.alloc(4096);
 /// let hot = m.code_block(96, 24);
 /// for i in 0..1_000u64 {
@@ -154,6 +184,12 @@ pub struct Machine {
     rng_state: u64,
     last_data_vaddr: u64,
     trace: Option<RunTrace>,
+    // Injected fault state (chaos harness).
+    sensor_fault: Option<SensorFault>,
+    fault_start_s: f64,
+    fault_ticks: u32,
+    stale_telemetry: bool,
+    frozen_telemetry: Option<BmcTelemetry>,
 }
 
 /// Data space starts at 16 MiB, code space at 256 GiB — far apart so the
@@ -213,6 +249,11 @@ impl Machine {
             rng_state: cfg.seed | 1,
             last_data_vaddr: DATA_BASE,
             trace: None,
+            sensor_fault: None,
+            fault_start_s: 0.0,
+            fault_ticks: 0,
+            stale_telemetry: false,
+            frozen_telemetry: None,
             cfg,
         }
     }
@@ -606,12 +647,16 @@ impl Machine {
         self.min_power_w = self.min_power_w.min(watts);
         self.max_power_w = self.max_power_w.max(watts);
 
-        // Out-of-band management.
+        // Out-of-band management. The watchdog runs on the machine's own
+        // clock, so crashed firmware reboots even if telemetry is frozen.
+        if let Some(rung) = self.bmc.watchdog_tick(now * 1e-6) {
+            self.apply_rung(rung);
+        }
         if let Some(port) = &self.bmc_port {
             // A dead manager is not fatal to the node.
             let _ = self.bmc.serve(port);
         }
-        let telemetry = BmcTelemetry {
+        let telemetry = self.faulted_telemetry(BmcTelemetry {
             window_avg_w: self.meter.window_avg_w(),
             run_avg_w: self.meter.run_avg_w(),
             min_w: self.min_power_w,
@@ -619,7 +664,7 @@ impl Machine {
             die_temp_c: self.thermal.temp_c(),
             inlet_temp_c: 27.0,
             now_ms: now * 1e-6,
-        };
+        });
         if let Some(rung) = self.bmc.control(telemetry) {
             self.apply_rung(rung);
         }
@@ -633,6 +678,125 @@ impl Machine {
         for c in &mut self.cores {
             c.win_wall_ns = 0.0;
         }
+    }
+
+    /// Apply any injected sensor/controller fault to the telemetry copy
+    /// the BMC will sample. Ground truth (meter, energy, RAPL) is
+    /// computed before this transform and never affected.
+    fn faulted_telemetry(&mut self, raw: BmcTelemetry) -> BmcTelemetry {
+        let mut t = raw;
+        if let Some(f) = self.sensor_fault {
+            self.fault_ticks += 1;
+            let w = match f {
+                SensorFault::StuckAt { watts } => Some(watts),
+                SensorFault::Drift { watts_per_s } => {
+                    Some(t.window_avg_w + watts_per_s * (t.now_ms * 1e-3 - self.fault_start_s))
+                }
+                SensorFault::Spike { watts, period_ticks } => (period_ticks > 0
+                    && self.fault_ticks.is_multiple_of(period_ticks))
+                .then_some(watts),
+                SensorFault::Dropout => Some(0.0),
+            };
+            if let Some(w) = w {
+                t.window_avg_w = w;
+                t.run_avg_w = w;
+                t.min_w = t.min_w.min(w);
+                t.max_w = t.max_w.max(w);
+            }
+        }
+        if self.stale_telemetry {
+            // Freeze the entire sample, timestamp included: the BMC's
+            // stale-telemetry guardrail keys off the frozen clock.
+            return *self.frozen_telemetry.get_or_insert(t);
+        }
+        self.frozen_telemetry = None;
+        t
+    }
+
+    // ------------------------------------------------------ fault injection
+
+    /// Inject a sensor fault (replacing any previous one). Takes effect at
+    /// the next control tick.
+    pub fn inject_sensor_fault(&mut self, fault: SensorFault) {
+        self.sensor_fault = Some(fault);
+        self.fault_start_s = self.clock.now_s();
+        self.fault_ticks = 0;
+        let t_s = self.clock.now_s();
+        let obs = self.bmc.obs_mut();
+        obs.metrics.inc("machine.faults_injected");
+        obs.events.record(t_s, EventKind::FaultInjected { fault: fault.name() });
+    }
+
+    /// Clear the active sensor fault; readings are truthful again.
+    pub fn clear_sensor_fault(&mut self) {
+        if let Some(f) = self.sensor_fault.take() {
+            let t_s = self.clock.now_s();
+            self.bmc.obs_mut().events.record(t_s, EventKind::FaultCleared { fault: f.name() });
+        }
+    }
+
+    /// Freeze (or thaw) the telemetry stream the BMC samples, timestamp
+    /// included — the "stale telemetry" controller fault.
+    pub fn set_stale_telemetry(&mut self, on: bool) {
+        if self.stale_telemetry == on {
+            return;
+        }
+        self.stale_telemetry = on;
+        if !on {
+            self.frozen_telemetry = None;
+        }
+        let t_s = self.clock.now_s();
+        let kind = if on {
+            EventKind::FaultInjected { fault: "stale_telemetry" }
+        } else {
+            EventKind::FaultCleared { fault: "stale_telemetry" }
+        };
+        let obs = self.bmc.obs_mut();
+        if on {
+            obs.metrics.inc("machine.faults_injected");
+        }
+        obs.events.record(t_s, kind);
+    }
+
+    /// Start (or stop) losing cap commands in the BMC firmware: DCMI
+    /// `Set Power Limit`/`Activate` are acknowledged but not applied.
+    pub fn set_lost_cap_commands(&mut self, on: bool) {
+        self.bmc.set_lost_cap_commands(on);
+        let t_s = self.clock.now_s();
+        let kind = if on {
+            EventKind::FaultInjected { fault: "lost_cap_commands" }
+        } else {
+            EventKind::FaultCleared { fault: "lost_cap_commands" }
+        };
+        let obs = self.bmc.obs_mut();
+        if on {
+            obs.metrics.inc("machine.faults_injected");
+        }
+        obs.events.record(t_s, kind);
+    }
+
+    /// Crash the BMC firmware for `dead_s` simulated seconds; the
+    /// watchdog restarts it (volatile control state lost, SEL and the
+    /// persistent limit survive).
+    pub fn crash_bmc(&mut self, dead_s: f64) {
+        let now_ms = self.clock.now_s() * 1e3;
+        self.bmc.crash(now_ms, dead_s * 1e3);
+    }
+
+    /// Whether the BMC firmware is currently crashed.
+    pub fn bmc_crashed(&self) -> bool {
+        self.bmc.is_crashed()
+    }
+
+    /// Replace the BMC guardrail tunables (`None` disables guardrails —
+    /// the overhead benchmark's baseline).
+    pub fn set_guardrails(&mut self, guard: Option<GuardrailConfig>) {
+        self.bmc.set_guardrails(guard);
+    }
+
+    /// Whether the BMC failsafe rung floor is currently engaged.
+    pub fn failsafe_active(&self) -> bool {
+        self.bmc.failsafe_active()
     }
 
     /// The APERF/MPERF-style frequency meter (snapshot `totals()` around a
@@ -831,7 +995,7 @@ mod tests {
     #[test]
     fn capped_run_throttles_and_meets_a_reachable_cap() {
         let mut m = Machine::new(fast_control(2));
-        m.set_power_cap(Some(PowerCap::new(140.0)));
+        m.set_power_cap(Some(PowerCap::new(140.0).unwrap()));
         let r = m.alloc(64 * 1024);
         let block = m.code_block(96, 24);
         for i in 0..400_000u64 {
@@ -847,7 +1011,7 @@ mod tests {
     #[test]
     fn unreachable_cap_pins_the_deepest_rung_and_floors_near_124() {
         let mut m = Machine::new(fast_control(3));
-        m.set_power_cap(Some(PowerCap::new(110.0)));
+        m.set_power_cap(Some(PowerCap::new(110.0).unwrap()));
         let r = m.alloc(64 * 1024);
         let block = m.code_block(96, 24);
         for i in 0..200_000u64 {
@@ -887,7 +1051,7 @@ mod tests {
         work(&mut base);
         let base = base.finish_run();
         let mut capped = Machine::new(fast_control(4));
-        capped.set_power_cap(Some(PowerCap::new(130.0)));
+        capped.set_power_cap(Some(PowerCap::new(130.0).unwrap()));
         work(&mut capped);
         let capped = capped.finish_run();
         assert!(capped.wall_s > base.wall_s * 1.5, "{} vs {}", capped.wall_s, base.wall_s);
@@ -947,7 +1111,7 @@ mod tests {
     fn trace_captures_controller_dithering() {
         let mut m = Machine::new(fast_control(12));
         m.enable_trace(100_000);
-        m.set_power_cap(Some(PowerCap::new(144.0)));
+        m.set_power_cap(Some(PowerCap::new(144.0).unwrap()));
         let r = m.alloc(64 * 1024);
         let block = m.code_block(96, 24);
         for i in 0..400_000u64 {

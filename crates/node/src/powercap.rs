@@ -134,7 +134,7 @@ impl<'m> PowercapFs<'m> {
                     return Err(PowercapError::Inval(format!("{pkg_w} W out of range")));
                 }
                 let node_cap = pkg_w + node_overhead_w(self.machine);
-                self.machine.set_power_cap(Some(PowerCap::new(node_cap)));
+                self.machine.set_power_cap(Some(PowerCap::new(node_cap).unwrap()));
                 Ok(())
             }
             "constraint_0_time_window_us" => {

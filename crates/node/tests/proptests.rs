@@ -27,10 +27,14 @@ proptest! {
         let ladder = ThrottleLadder::e5_2680(&PStateTable::e5_2680(), MemReconfig::full());
         let deepest = ladder.deepest();
         let mut bmc = Bmc::new(ladder);
-        bmc.set_cap(Some(PowerCap::new(cap)));
+        bmc.set_cap(Some(PowerCap::new(cap).unwrap()));
         let mut prev = bmc.rung_index();
-        for &r in &readings {
-            bmc.control(tele(r));
+        for (i, &r) in readings.iter().enumerate() {
+            // Fresh timestamps: a frozen clock would (correctly) trip the
+            // stale-telemetry failsafe, which jumps straight to its floor.
+            let mut t = tele(r);
+            t.now_ms = (i + 1) as f64;
+            bmc.control(t);
             let now = bmc.rung_index();
             prop_assert!(now <= deepest);
             prop_assert!((now as i64 - prev as i64).abs() <= 1, "one rung per tick");
@@ -44,7 +48,7 @@ proptest! {
     fn clearing_cap_always_resets(readings in proptest::collection::vec(95.0f64..175.0, 1..100)) {
         let ladder = ThrottleLadder::e5_2680(&PStateTable::e5_2680(), MemReconfig::full());
         let mut bmc = Bmc::new(ladder);
-        bmc.set_cap(Some(PowerCap::new(110.0)));
+        bmc.set_cap(Some(PowerCap::new(110.0).unwrap()));
         for &r in &readings {
             bmc.control(tele(r));
         }
@@ -92,7 +96,7 @@ proptest! {
             cfg.control_period_us = 10.0;
             cfg.meter_window_s = 0.0002;
             let mut m = Machine::new(cfg);
-            m.set_power_cap(Some(PowerCap::new(cap)));
+            m.set_power_cap(Some(PowerCap::new(cap).unwrap()));
             let r = m.alloc(1 << 20);
             let block = m.code_block(96, 24);
             for i in 0..120_000u64 {

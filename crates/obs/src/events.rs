@@ -17,6 +17,10 @@ pub enum RungCause {
     UnderCap,
     /// The cap was deactivated; the ladder resets to rung 0.
     CapCleared,
+    /// Guardrail failsafe pinned the rung at its floor.
+    Failsafe,
+    /// BMC firmware rebooted; volatile control state (the rung) reset.
+    Reboot,
 }
 
 impl RungCause {
@@ -25,6 +29,8 @@ impl RungCause {
             RungCause::OverCap => "over_cap",
             RungCause::UnderCap => "under_cap",
             RungCause::CapCleared => "cap_cleared",
+            RungCause::Failsafe => "failsafe",
+            RungCause::Reboot => "reboot",
         }
     }
 }
@@ -54,6 +60,22 @@ pub enum EventKind {
     BudgetRealloc { epoch: u32, budget_w: f64, answered: u32, caps_pushed: u32 },
     /// End-of-epoch fleet barrier summary.
     Barrier { epoch: u32, answered: u32, unresponsive: u32, fleet_w: f64 },
+    /// A typed in-node fault was injected (chaos harness).
+    FaultInjected { fault: &'static str },
+    /// A previously injected fault was cleared.
+    FaultCleared { fault: &'static str },
+    /// BMC firmware crashed; it stays dead for `dead_ms`.
+    BmcCrash { dead_ms: f64 },
+    /// The watchdog restarted crashed BMC firmware after `down_ms` dead.
+    WatchdogReboot { down_ms: f64 },
+    /// Guardrail failsafe engaged: untrusted telemetry pinned the rung floor.
+    FailsafeEngaged { reason: &'static str, window_w: f64 },
+    /// Guardrail failsafe released after sustained plausible telemetry.
+    FailsafeReleased,
+    /// Cap-violation detector: sustained power above an active cap.
+    CapViolation { cap_w: f64, window_w: f64 },
+    /// Cap-violation episode ended (sustained readings back under cap).
+    CapViolationEnded { cap_w: f64 },
 }
 
 impl EventKind {
@@ -71,6 +93,14 @@ impl EventKind {
             EventKind::HealthChange { .. } => "health_change",
             EventKind::BudgetRealloc { .. } => "budget_realloc",
             EventKind::Barrier { .. } => "barrier",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::FaultCleared { .. } => "fault_cleared",
+            EventKind::BmcCrash { .. } => "bmc_crash",
+            EventKind::WatchdogReboot { .. } => "watchdog_reboot",
+            EventKind::FailsafeEngaged { .. } => "failsafe_engaged",
+            EventKind::FailsafeReleased => "failsafe_released",
+            EventKind::CapViolation { .. } => "cap_violation",
+            EventKind::CapViolationEnded { .. } => "cap_violation_ended",
         }
     }
 
@@ -96,6 +126,18 @@ impl EventKind {
             EventKind::Barrier { epoch, answered, unresponsive, fleet_w } => format!(
                 "epoch={epoch};answered={answered};unresponsive={unresponsive};fleet_w={fleet_w}"
             ),
+            EventKind::FaultInjected { fault } => format!("fault={fault}"),
+            EventKind::FaultCleared { fault } => format!("fault={fault}"),
+            EventKind::BmcCrash { dead_ms } => format!("dead_ms={dead_ms}"),
+            EventKind::WatchdogReboot { down_ms } => format!("down_ms={down_ms}"),
+            EventKind::FailsafeEngaged { reason, window_w } => {
+                format!("reason={reason};window_w={window_w}")
+            }
+            EventKind::FailsafeReleased => String::new(),
+            EventKind::CapViolation { cap_w, window_w } => {
+                format!("cap_w={cap_w};window_w={window_w}")
+            }
+            EventKind::CapViolationEnded { cap_w } => format!("cap_w={cap_w}"),
         }
     }
 
@@ -138,6 +180,25 @@ impl EventKind {
                     out,
                     r#","epoch":{epoch},"answered":{answered},"unresponsive":{unresponsive},"fleet_w":{fleet_w}"#
                 );
+            }
+            EventKind::FaultInjected { fault } | EventKind::FaultCleared { fault } => {
+                let _ = write!(out, r#","fault":"{fault}""#);
+            }
+            EventKind::BmcCrash { dead_ms } => {
+                let _ = write!(out, r#","dead_ms":{dead_ms}"#);
+            }
+            EventKind::WatchdogReboot { down_ms } => {
+                let _ = write!(out, r#","down_ms":{down_ms}"#);
+            }
+            EventKind::FailsafeEngaged { reason, window_w } => {
+                let _ = write!(out, r#","reason":"{reason}","window_w":{window_w}"#);
+            }
+            EventKind::FailsafeReleased => {}
+            EventKind::CapViolation { cap_w, window_w } => {
+                let _ = write!(out, r#","cap_w":{cap_w},"window_w":{window_w}"#);
+            }
+            EventKind::CapViolationEnded { cap_w } => {
+                let _ = write!(out, r#","cap_w":{cap_w}"#);
             }
         }
     }

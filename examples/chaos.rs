@@ -1,0 +1,77 @@
+//! The chaos harness end to end: inject node-level faults into a
+//! managed fleet, watch the BMC guardrails react, and check every
+//! invariant afterwards.
+//!
+//! The scripted scenario is the acceptance storyline from the fault
+//! model in DESIGN.md §10: node 1's power sensor drops out at t=10 s
+//! (the BMC failsafe pins the rung floor until readings return at
+//! t=15 s), node 2's BMC firmware crashes at t=20 s (the watchdog
+//! reboots it 3 s later; the persistent cap and SEL survive), and the
+//! whole fleet is healthy again by t=30 s. `check` replays the run
+//! serially and verifies the event stream is byte-identical.
+//!
+//! ```sh
+//! cargo run --example chaos --release
+//! ```
+
+use capsim::chaos::{check, soak, ChaosScenario, SoakConfig};
+use capsim::obs::EventKind;
+
+fn main() {
+    let scenario = ChaosScenario::scripted();
+    println!("== chaos scenario: {} ==", scenario.name);
+    for w in &scenario.plan.windows {
+        println!(
+            "  plan: node {} {:<16} [{:>5.1} s, {:>5.1} s)",
+            w.node,
+            w.kind.name(),
+            w.start_s,
+            w.end_s
+        );
+    }
+
+    let report = check(&scenario);
+
+    // The fault/guardrail storyline, straight from the merged obs log.
+    let obs = report.outcome.report.obs.as_ref().expect("scripted scenario observes");
+    println!("\n-- fault and guardrail events --");
+    for e in &obs.events {
+        let interesting = matches!(
+            e.kind,
+            EventKind::FaultInjected { .. }
+                | EventKind::FaultCleared { .. }
+                | EventKind::FailsafeEngaged { .. }
+                | EventKind::FailsafeReleased
+                | EventKind::BmcCrash { .. }
+                | EventKind::WatchdogReboot { .. }
+                | EventKind::HealthChange { .. }
+        );
+        if interesting {
+            println!("  t={:>6.2}s node={:?} {:?}", e.t_s, e.node, e.kind);
+        }
+    }
+
+    println!("\n-- recovery --");
+    for s in &report.outcome.report.summaries {
+        println!(
+            "  {}: health={:?} cap={:?} avg={:.1} W, {} SEL cap-violations",
+            s.name, s.health, s.final_cap_w, s.avg_power_w, s.sel_violations
+        );
+    }
+
+    println!("\n-- invariants --");
+    if report.ok() {
+        println!("  all green: cap compliance, energy conservation, SEL audit, replay");
+    } else {
+        for v in &report.violations {
+            println!("  VIOLATION {}", v.to_json());
+        }
+    }
+
+    // A short randomized soak on top: seeded fault plans, same checks.
+    let soaked = soak(&SoakConfig { runs: 4, nodes: 3, epochs: 8, seed: 7 });
+    match &soaked.failure {
+        None => println!("\nsoak: {} randomized runs, all green", soaked.runs),
+        Some(f) => println!("\nsoak: FAILED, reproducer:\n{}", f.to_json()),
+    }
+}

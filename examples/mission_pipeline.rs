@@ -25,7 +25,7 @@ fn main() {
     let cap = 138.0;
     let mut m = Machine::new(demo_config(21));
     m.enable_trace(200_000);
-    m.set_power_cap(Some(PowerCap::new(cap)));
+    m.set_power_cap(Some(PowerCap::new(cap).unwrap()));
 
     // Phase 1: form the image.
     let t0 = m.now_s();

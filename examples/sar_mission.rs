@@ -41,7 +41,7 @@ fn main() {
     let run = |cap: Option<f64>| {
         let mut m = Machine::new(demo_config(7));
         if let Some(w) = cap {
-            m.set_power_cap(Some(PowerCap::new(w)));
+            m.set_power_cap(Some(PowerCap::new(w).unwrap()));
         }
         let mut app = mission_scale(7);
         let out = app.run(&mut m);

@@ -24,7 +24,7 @@ fn main() {
     for cap in [None, Some(145.0), Some(130.0), Some(121.0)] {
         let mut m = Machine::new(demo_config(9));
         if let Some(c) = cap {
-            m.set_power_cap(Some(PowerCap::new(c)));
+            m.set_power_cap(Some(PowerCap::new(c).unwrap()));
         }
 
         // Drive the BMC to equilibrium with representative work, counting

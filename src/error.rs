@@ -10,7 +10,7 @@ use std::fmt;
 
 use capsim_dcm::DcmError;
 use capsim_ipmi::IpmiError;
-use capsim_node::PowercapError;
+use capsim_node::{InvalidPowerCap, PowercapError};
 
 /// Any failure surfaced by the capsim stack.
 #[derive(Clone, Debug, PartialEq)]
@@ -22,6 +22,8 @@ pub enum CapsimError {
     Dcm(DcmError),
     /// An in-band powercap-sysfs failure.
     Powercap(PowercapError),
+    /// A rejected power-cap value (non-finite or non-positive watts).
+    InvalidCap(InvalidPowerCap),
 }
 
 impl fmt::Display for CapsimError {
@@ -30,6 +32,7 @@ impl fmt::Display for CapsimError {
             CapsimError::Ipmi(e) => write!(f, "ipmi: {e}"),
             CapsimError::Dcm(e) => write!(f, "dcm: {e}"),
             CapsimError::Powercap(e) => write!(f, "powercap: {e}"),
+            CapsimError::InvalidCap(e) => write!(f, "cap: {e}"),
         }
     }
 }
@@ -40,6 +43,7 @@ impl std::error::Error for CapsimError {
             CapsimError::Ipmi(e) => Some(e),
             CapsimError::Dcm(e) => Some(e),
             CapsimError::Powercap(e) => Some(e),
+            CapsimError::InvalidCap(e) => Some(e),
         }
     }
 }
@@ -59,5 +63,11 @@ impl From<DcmError> for CapsimError {
 impl From<PowercapError> for CapsimError {
     fn from(e: PowercapError) -> Self {
         CapsimError::Powercap(e)
+    }
+}
+
+impl From<InvalidPowerCap> for CapsimError {
+    fn from(e: InvalidPowerCap) -> Self {
+        CapsimError::InvalidCap(e)
     }
 }

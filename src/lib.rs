@@ -22,6 +22,7 @@
 //! ```
 
 pub use capsim_apps as apps;
+pub use capsim_chaos as chaos;
 pub use capsim_core as study;
 pub use capsim_counters as counters;
 pub use capsim_cpu as cpu;
@@ -40,6 +41,7 @@ pub use error::CapsimError;
 pub mod prelude {
     pub use crate::error::CapsimError;
     pub use capsim_apps::{SireRsm, StereoMatching, Workload};
+    pub use capsim_chaos::{ChaosScenario, FaultKind, FaultPlan, InvariantConfig, SoakConfig};
     pub use capsim_core::{CapSweep, ExperimentConfig, RunMetrics};
     pub use capsim_dcm::{
         AllocationPolicy, Dcm, Fleet, FleetBuilder, FleetReport, NodeHealth, NodeId,

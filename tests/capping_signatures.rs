@@ -18,7 +18,7 @@ fn config(seed: u64) -> MachineConfig {
 fn run(app: &mut dyn Workload, cap: Option<f64>, seed: u64) -> (RunStats, f64) {
     let mut m = Machine::new(config(seed));
     if let Some(c) = cap {
-        m.set_power_cap(Some(PowerCap::new(c)));
+        m.set_power_cap(Some(PowerCap::new(c).unwrap()));
     }
     let out = app.run(&mut m);
     (m.finish_run(), out.checksum)
@@ -119,7 +119,7 @@ fn mid_sire(seed: u64) -> SireRsm {
 fn run_sig(app: &mut dyn Workload, cap: Option<f64>, seed: u64) -> RunStats {
     let mut m = Machine::new(sig_config(seed));
     if let Some(c) = cap {
-        m.set_power_cap(Some(PowerCap::new(c)));
+        m.set_power_cap(Some(PowerCap::new(c).unwrap()));
     }
     app.run(&mut m);
     m.finish_run()

@@ -1,0 +1,103 @@
+//! The chaos harness's acceptance scenario, end to end: sensor dropout
+//! at t=10 s (failsafe rung floor), BMC firmware crash at t=20 s
+//! (watchdog reboot after 3 s), full recovery by t=30 s — with every
+//! invariant green and the merged event log pinned by a committed golden
+//! file (`CAPSIM_BLESS=1 cargo test --test chaos_scenario` to
+//! regenerate).
+
+use std::path::PathBuf;
+
+use capsim::chaos::{check, run_scenario, ChaosScenario};
+use capsim::obs::{EventKind, RungCause};
+
+#[test]
+fn scripted_scenario_holds_every_invariant() {
+    let report = check(&ChaosScenario::scripted());
+    assert!(report.ok(), "invariant violations: {:?}", report.violations);
+
+    // Both faults and both guardrail reactions are visible in the merged
+    // observability log, in simulated-time order.
+    let obs = report.outcome.report.obs.as_ref().expect("scripted scenario observes");
+    let find = |pred: &dyn Fn(&capsim::obs::Event) -> bool| obs.events.iter().find(|e| pred(e));
+    let dropout = find(&|e| {
+        e.node == Some(1) && matches!(e.kind, EventKind::FaultInjected { fault: "sensor_dropout" })
+    })
+    .expect("dropout injection event");
+    assert!((dropout.t_s - 10.0).abs() < 0.5, "dropout lands at t=10s, got {}", dropout.t_s);
+    let failsafe =
+        find(&|e| e.node == Some(1) && matches!(e.kind, EventKind::FailsafeEngaged { .. }))
+            .expect("failsafe engages on the dead sensor");
+    assert!(failsafe.t_s > dropout.t_s);
+    assert!(
+        find(&|e| e.node == Some(1)
+            && matches!(e.kind, EventKind::RungChange { cause: RungCause::Failsafe, .. }))
+        .is_some(),
+        "failsafe pins the rung floor"
+    );
+    assert!(
+        find(&|e| e.node == Some(1) && matches!(e.kind, EventKind::FailsafeReleased))
+            .is_some_and(|e| e.t_s > 15.0),
+        "failsafe releases after the sensor returns at t=15s"
+    );
+    let crash = find(&|e| e.node == Some(2) && matches!(e.kind, EventKind::BmcCrash { .. }))
+        .expect("crash event");
+    assert!((crash.t_s - 20.0).abs() < 0.5);
+    let reboot = find(&|e| e.node == Some(2) && matches!(e.kind, EventKind::WatchdogReboot { .. }))
+        .expect("watchdog reboot event");
+    assert!(reboot.t_s > 22.9 && reboot.t_s < 24.0, "3s dead time, got t={}", reboot.t_s);
+
+    // Recovery by t=30 s: node 2 is healthy, re-capped, and its SEL
+    // carries the FirmwareRebooted paper trail (which the wire audit saw
+    // too, or the SEL-completeness invariant would have tripped).
+    let n2 = &report.outcome.report.summaries[2];
+    assert_eq!(format!("{:?}", n2.health), "Healthy");
+    assert!(n2.final_cap_w.is_some());
+    assert!(report.outcome.sel_truth[2]
+        .iter()
+        .any(|e| e.event == capsim::ipmi::SelEventType::FirmwareRebooted));
+}
+
+#[test]
+fn chaos_event_log_matches_the_committed_golden_file() {
+    let outcome = run_scenario(&ChaosScenario::scripted(), true);
+    let actual = outcome.report.obs.as_ref().expect("scripted scenario observes").events_jsonl();
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/chaos_events.jsonl");
+    if std::env::var("CAPSIM_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("blessed chaos event log at {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); generate with CAPSIM_BLESS=1 cargo test --test chaos_scenario",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let diff_line = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map(|i| format!("first differing line: {}", i + 1))
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: {} vs {}",
+                    expected.lines().count(),
+                    actual.lines().count()
+                )
+            });
+        panic!(
+            "chaos event log diverged from the committed golden file ({diff_line}).\n\
+             If this change is intentional, re-bless with CAPSIM_BLESS=1."
+        );
+    }
+}
+
+#[test]
+fn chaos_replay_is_byte_identical_across_serial_and_parallel() {
+    let scenario = ChaosScenario::scripted();
+    let parallel = run_scenario(&scenario, true);
+    let serial = run_scenario(&scenario, false);
+    assert_eq!(parallel.fingerprint(), serial.fingerprint());
+}

@@ -116,8 +116,14 @@ fn sel_audit_over_a_lossy_link_matches_the_nodes_own_log() {
     assert!(violation_count(&truth) > 0, "run must have logged violations");
 
     // The audit walks the SEL over the same lossy wire, with retries.
+    // The honesty bound only promises a clean frame after 4 consecutive
+    // faults *per direction*, so one transaction can need up to ~9
+    // attempts in the worst case (4 lost requests, then a clean request
+    // whose responses fault 4 more times) — give the walk enough
+    // attempts that the bound, not seed luck, guarantees convergence.
+    let patient = RetryPolicy { attempts: 12, ..RetryPolicy::default() };
     let mut link = PumpedLink::new(&mut port, &mut machine, 16);
-    let audited = read_sel_via(&mut link, &RetryPolicy::default()).expect("SEL readable");
+    let audited = read_sel_via(&mut link, &patient).expect("SEL readable");
     assert_eq!(audited, truth, "audit over faults must reproduce the node's log exactly");
 }
 

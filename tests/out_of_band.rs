@@ -82,7 +82,7 @@ fn inband_and_ipmi_caps_agree() {
     // the same equilibrium (the BMC is the single control point).
     let run_inband = || {
         let mut m = fast(40);
-        m.set_power_cap(Some(PowerCap::new(134.0)));
+        m.set_power_cap(Some(PowerCap::new(134.0).unwrap()));
         AluBurst { iters: 4_000_000 }.run(&mut m);
         m.finish_run()
     };
