@@ -17,7 +17,8 @@ cargo test --workspace -q
 echo "== table2 smoke (CAPSIM_SCALE=test)"
 CAPSIM_SCALE=test cargo run -q --release -p capsim-bench --bin table2 >/dev/null
 
-echo "== fleet smoke (CAPSIM_SCALE=test: 32 nodes, faults on)"
+echo "== fleet scaling smoke (CAPSIM_SCALE=test: lossy busy + datacenter mixes,"
+echo "   each serial and parallel with 2 virtual threads x 4 shards, bit-compared)"
 CAPSIM_SCALE=test cargo run -q --release -p capsim-bench --bin fleet /tmp/BENCH_fleet_ci.json >/dev/null
 
 echo "== perf smoke (writes BENCH_hotpath.json)"
@@ -30,7 +31,7 @@ echo "== chaos smoke (CAPSIM_SCALE=test: scripted scenario, soak, guardrail budg
 CAPSIM_SCALE=test cargo run -q --release -p capsim-bench --bin chaos /tmp/BENCH_chaos_ci.json >/dev/null
 
 echo "== bench trajectory files parse and carry their required keys"
-cargo run -q --release -p capsim-bench --bin bench_check -- BENCH_*.json /tmp/BENCH_obs_ci.json /tmp/BENCH_chaos_ci.json
+cargo run -q --release -p capsim-bench --bin bench_check -- BENCH_*.json /tmp/BENCH_fleet_ci.json /tmp/BENCH_obs_ci.json /tmp/BENCH_chaos_ci.json
 
 echo "== cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

@@ -2,13 +2,18 @@
 //!
 //! Usage: `cargo run -p capsim-bench --bin bench_check -- FILE...`
 //!
-//! Each file must parse as a flat JSON object (string / number / bool
-//! values — the only shapes our bench bins emit), and files whose names
-//! match a known artifact must carry that artifact's required keys:
+//! Each file must parse as a JSON object of string / number / bool values
+//! plus, at most one level deep, arrays of such flat objects (the shape
+//! of the fleet scaling curve — the only nesting our bench bins emit).
+//! Files whose names match a known artifact must carry that artifact's
+//! required keys:
 //!
 //! * `BENCH_hotpath*`: `accesses_per_sec`, `machine_loads_per_sec`,
 //!   `ticks_per_sec` — all positive numbers,
-//! * `BENCH_fleet*`: `nodes`, `speedup`, `deterministic`,
+//! * `BENCH_fleet*`: `nodes`, `speedup` positive; `deterministic` must be
+//!   `true`; `curve` must be a non-empty array of scaling points, each
+//!   with positive `nodes`, `threads`, `shards` and
+//!   `node_epochs_per_sec`,
 //! * `BENCH_obs*`: `loads_per_sec_obs_off`, `loads_per_sec_obs_on`,
 //!   `overhead_pct`, `within_budget` — and `within_budget` must be true,
 //! * `BENCH_chaos*`: `soak_scenarios_per_sec` positive,
@@ -26,109 +31,137 @@ enum Val {
     Num(f64),
     Bool(bool),
     Str(String),
+    /// An array of flat objects — the fleet scaling curve. Arrays never
+    /// nest further.
+    Arr(Vec<BTreeMap<String, Val>>),
 }
 
-/// Parse a flat JSON object (no nesting, no arrays — bench bins never
-/// emit them) into a key → value map. Returns a description of the first
-/// syntax problem on malformed input.
-fn parse_flat_object(text: &str) -> Result<BTreeMap<String, Val>, String> {
-    let mut map = BTreeMap::new();
-    let s: Vec<char> = text.chars().collect();
-    let mut i = 0usize;
-    let skip_ws = |s: &[char], mut i: usize| {
-        while i < s.len() && s[i].is_whitespace() {
-            i += 1;
-        }
-        i
-    };
-    let parse_string = |s: &[char], mut i: usize| -> Result<(String, usize), String> {
-        if s.get(i) != Some(&'"') {
-            return Err(format!("expected '\"' at offset {i}"));
-        }
+fn skip_ws(s: &[char], mut i: usize) -> usize {
+    while i < s.len() && s[i].is_whitespace() {
         i += 1;
-        let mut out = String::new();
-        while let Some(&c) = s.get(i) {
-            match c {
-                '"' => return Ok((out, i + 1)),
-                '\\' => {
-                    let esc = *s.get(i + 1).ok_or("dangling escape")?;
-                    out.push(match esc {
-                        'n' => '\n',
-                        't' => '\t',
-                        other => other,
-                    });
-                    i += 2;
-                }
-                _ => {
-                    out.push(c);
-                    i += 1;
+    }
+    i
+}
+
+fn parse_string(s: &[char], mut i: usize) -> Result<(String, usize), String> {
+    if s.get(i) != Some(&'"') {
+        return Err(format!("expected '\"' at offset {i}"));
+    }
+    i += 1;
+    let mut out = String::new();
+    while let Some(&c) = s.get(i) {
+        match c {
+            '"' => return Ok((out, i + 1)),
+            '\\' => {
+                let esc = *s.get(i + 1).ok_or("dangling escape")?;
+                out.push(match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                });
+                i += 2;
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// Parse one scalar / array value starting at `i`. `depth` guards the
+/// one level of nesting we allow: arrays of flat objects at the top
+/// level only.
+fn parse_value(s: &[char], mut i: usize, depth: u32) -> Result<(Val, usize), String> {
+    match s.get(i) {
+        Some(&'"') => {
+            let (v, next) = parse_string(s, i)?;
+            Ok((Val::Str(v), next))
+        }
+        Some(&'t') if s[i..].starts_with(&['t', 'r', 'u', 'e']) => Ok((Val::Bool(true), i + 4)),
+        Some(&'f') if s[i..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            Ok((Val::Bool(false), i + 5))
+        }
+        Some(&'[') if depth == 0 => {
+            let mut items = Vec::new();
+            i = skip_ws(s, i + 1);
+            if s.get(i) == Some(&']') {
+                return Ok((Val::Arr(items), i + 1));
+            }
+            loop {
+                let (obj, next) = parse_object(s, i, depth + 1)?;
+                items.push(obj);
+                i = skip_ws(s, next);
+                match s.get(i) {
+                    Some(&',') => i = skip_ws(s, i + 1),
+                    Some(&']') => return Ok((Val::Arr(items), i + 1)),
+                    other => return Err(format!("expected ',' or ']' in array, got {other:?}")),
                 }
             }
         }
-        Err("unterminated string".into())
-    };
-
-    i = skip_ws(&s, i);
-    if s.get(i) != Some(&'{') {
-        return Err("expected '{' at start".into());
-    }
-    i = skip_ws(&s, i + 1);
-    if s.get(i) == Some(&'}') {
-        i = skip_ws(&s, i + 1);
-        if i != s.len() {
-            return Err("trailing content after object".into());
+        Some(&'[') => Err("nested arrays are not a bench shape".into()),
+        Some(&c) if c == '-' || c.is_ascii_digit() => {
+            let start = i;
+            while i < s.len()
+                && (s[i].is_ascii_digit() || matches!(s[i], '-' | '+' | '.' | 'e' | 'E'))
+            {
+                i += 1;
+            }
+            let lit: String = s[start..i].iter().collect();
+            Ok((Val::Num(lit.parse::<f64>().map_err(|_| format!("bad number {lit:?}"))?), i))
         }
-        return Ok(map);
+        other => Err(format!("unexpected value start {other:?}")),
+    }
+}
+
+/// Parse one `{...}` object starting at `i`; returns the map and the
+/// position just past the closing brace.
+fn parse_object(
+    s: &[char],
+    mut i: usize,
+    depth: u32,
+) -> Result<(BTreeMap<String, Val>, usize), String> {
+    let mut map = BTreeMap::new();
+    i = skip_ws(s, i);
+    if s.get(i) != Some(&'{') {
+        return Err(format!("expected '{{' at offset {i}"));
+    }
+    i = skip_ws(s, i + 1);
+    if s.get(i) == Some(&'}') {
+        return Ok((map, i + 1));
     }
     loop {
-        let (key, next) = parse_string(&s, i)?;
-        i = skip_ws(&s, next);
+        let (key, next) = parse_string(s, i)?;
+        i = skip_ws(s, next);
         if s.get(i) != Some(&':') {
             return Err(format!("expected ':' after key {key:?}"));
         }
-        i = skip_ws(&s, i + 1);
-        let val = match s.get(i) {
-            Some(&'"') => {
-                let (v, next) = parse_string(&s, i)?;
-                i = next;
-                Val::Str(v)
-            }
-            Some(&'t') if s[i..].starts_with(&['t', 'r', 'u', 'e']) => {
-                i += 4;
-                Val::Bool(true)
-            }
-            Some(&'f') if s[i..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
-                i += 5;
-                Val::Bool(false)
-            }
-            Some(&c) if c == '-' || c.is_ascii_digit() => {
-                let start = i;
-                while i < s.len()
-                    && (s[i].is_ascii_digit() || matches!(s[i], '-' | '+' | '.' | 'e' | 'E'))
-                {
-                    i += 1;
-                }
-                let lit: String = s[start..i].iter().collect();
-                Val::Num(lit.parse::<f64>().map_err(|_| format!("bad number {lit:?}"))?)
-            }
-            other => return Err(format!("unexpected value start {other:?} for key {key:?}")),
-        };
+        i = skip_ws(s, i + 1);
+        let (val, next) = parse_value(s, i, depth)?;
+        i = next;
         if map.insert(key.clone(), val).is_some() {
             return Err(format!("duplicate key {key:?}"));
         }
-        i = skip_ws(&s, i);
+        i = skip_ws(s, i);
         match s.get(i) {
-            Some(&',') => i = skip_ws(&s, i + 1),
-            Some(&'}') => {
-                i = skip_ws(&s, i + 1);
-                if i != s.len() {
-                    return Err("trailing content after object".into());
-                }
-                return Ok(map);
-            }
+            Some(&',') => i = skip_ws(s, i + 1),
+            Some(&'}') => return Ok((map, i + 1)),
             other => return Err(format!("expected ',' or '}}', got {other:?}")),
         }
     }
+}
+
+/// Parse a whole bench JSON document (a flat object, with the fleet
+/// curve's one allowed level of array nesting). Returns a description of
+/// the first syntax problem on malformed input.
+fn parse_flat_object(text: &str) -> Result<BTreeMap<String, Val>, String> {
+    let s: Vec<char> = text.chars().collect();
+    let (map, i) = parse_object(&s, 0, 0)?;
+    if skip_ws(&s, i) != s.len() {
+        return Err("trailing content after object".into());
+    }
+    Ok(map)
 }
 
 /// Check one file; push human-readable problems into `errors`.
@@ -167,11 +200,36 @@ fn check_file(path: &str, errors: &mut Vec<String>) {
         require_pos_num("nodes", errors);
         require_pos_num("speedup", errors);
         match map.get("deterministic") {
-            Some(Val::Bool(_)) => {}
+            Some(Val::Bool(true)) => {}
+            Some(Val::Bool(false)) => {
+                errors.push(format!("{path}: deterministic is false — fleet determinism broken"))
+            }
             Some(other) => {
                 errors.push(format!("{path}: deterministic must be a bool, got {other:?}"))
             }
             None => errors.push(format!("{path}: missing required key \"deterministic\"")),
+        }
+        match map.get("curve") {
+            Some(Val::Arr(points)) if points.is_empty() => {
+                errors.push(format!("{path}: curve must not be empty"))
+            }
+            Some(Val::Arr(points)) => {
+                for (i, point) in points.iter().enumerate() {
+                    for key in ["nodes", "threads", "shards", "node_epochs_per_sec"] {
+                        match point.get(key) {
+                            Some(Val::Num(v)) if *v > 0.0 => {}
+                            Some(other) => errors.push(format!(
+                                "{path}: curve[{i}].{key} must be a positive number, got {other:?}"
+                            )),
+                            None => errors
+                                .push(format!("{path}: curve[{i}] missing required key {key:?}")),
+                        }
+                    }
+                }
+            }
+            Some(other) => errors
+                .push(format!("{path}: curve must be an array of scaling points, got {other:?}")),
+            None => errors.push(format!("{path}: missing required key \"curve\"")),
         }
     } else if name.starts_with("BENCH_obs") {
         require_pos_num("loads_per_sec_obs_off", errors);
@@ -246,6 +304,19 @@ mod tests {
         assert_eq!(m.get("c"), Some(&Val::Str("full".into())));
         assert_eq!(m.get("d"), Some(&Val::Num(-3.0)));
         assert!(parse_flat_object("{}").unwrap().is_empty());
+
+        // The fleet scaling curve: an array of flat objects.
+        let m = parse_flat_object(
+            "{\"curve\": [{\"nodes\": 256, \"rate\": 1.5}, {\"nodes\": 1000, \"rate\": 2.0}], \
+             \"after\": true}",
+        )
+        .unwrap();
+        let Some(Val::Arr(points)) = m.get("curve") else { panic!("curve parses as array") };
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].get("nodes"), Some(&Val::Num(1000.0)));
+        assert_eq!(m.get("after"), Some(&Val::Bool(true)));
+        let m = parse_flat_object("{\"curve\": []}").unwrap();
+        assert_eq!(m.get("curve"), Some(&Val::Arr(vec![])));
     }
 
     #[test]
@@ -255,6 +326,9 @@ mod tests {
         assert!(parse_flat_object("{\"a\": 1,}").is_err());
         assert!(parse_flat_object("{\"a\": 1} junk").is_err());
         assert!(parse_flat_object("{\"a\": 1, \"a\": 2}").is_err());
+        assert!(parse_flat_object("{\"a\": [1, 2]}").is_err(), "arrays hold objects only");
+        assert!(parse_flat_object("{\"a\": [{\"b\": [{}]}]}").is_err(), "no nested arrays");
+        assert!(parse_flat_object("{\"a\": [{\"b\": 1}").is_err());
     }
 
     #[test]
@@ -277,6 +351,34 @@ mod tests {
         let mut errors = Vec::new();
         check_file(chaos.to_str().unwrap(), &mut errors);
         assert!(errors.iter().any(|e| e.contains("invariant_violations")), "{errors:?}");
+
+        let fleet = dir.join("BENCH_fleet.json");
+        std::fs::write(
+            &fleet,
+            "{\"nodes\": 10000, \"speedup\": 1.0, \"deterministic\": true, \
+             \"curve\": [{\"nodes\": 256, \"threads\": 1, \"shards\": 1, \
+             \"node_epochs_per_sec\": 250.0}]}",
+        )
+        .unwrap();
+        let mut errors = Vec::new();
+        check_file(fleet.to_str().unwrap(), &mut errors);
+        assert!(errors.is_empty(), "{errors:?}");
+        std::fs::write(
+            &fleet,
+            "{\"nodes\": 10000, \"speedup\": 1.0, \"deterministic\": true, \
+             \"curve\": [{\"nodes\": 256, \"threads\": 1, \"shards\": 0, \
+             \"node_epochs_per_sec\": 250.0}]}",
+        )
+        .unwrap();
+        let mut errors = Vec::new();
+        check_file(fleet.to_str().unwrap(), &mut errors);
+        assert!(errors.iter().any(|e| e.contains("curve[0].shards")), "{errors:?}");
+        std::fs::write(&fleet, "{\"nodes\": 1, \"speedup\": 1.0, \"deterministic\": false}")
+            .unwrap();
+        let mut errors = Vec::new();
+        check_file(fleet.to_str().unwrap(), &mut errors);
+        assert!(errors.iter().any(|e| e.contains("deterministic is false")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("curve")), "{errors:?}");
 
         let unknown = dir.join("BENCH_custom.json");
         std::fs::write(&unknown, "{\"anything\": 1}").unwrap();

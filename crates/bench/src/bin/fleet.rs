@@ -1,88 +1,257 @@
-//! Fleet-scaling smoke: steps a managed fleet serially and in parallel,
-//! checks the two runs are bit-identical, and emits a JSON trajectory
-//! point with node-epochs-per-second throughput.
+//! Fleet-scaling benchmark: measures node-epochs-per-second across fleet
+//! sizes, worker counts and shard topologies, checks every configuration
+//! lands on byte-identical results, and writes the scaling record to
+//! `BENCH_fleet.json`.
 //!
 //! Usage: `cargo run -p capsim-bench --bin fleet --release [-- out.json]`
 //!
-//! `CAPSIM_SCALE=test` shrinks the run to 32 nodes with the lossy fault
-//! schedule enabled — the CI smoke configuration. The default is a
-//! 256-node clean fleet, the scale target from the roadmap.
+//! Thread-count entries re-exec this binary with `CAPSIM_THREADS` set —
+//! the rayon shim resolves its worker count once per process, so an
+//! honest sweep needs one process per point. Each child runs a single
+//! configuration and prints its rate plus a fingerprint of the rendered
+//! report; the parent asserts all fingerprints of a configuration agree
+//! (the determinism contract: serial ≡ parallel ≡ any shard count).
 //!
-//! The committed `BENCH_fleet.json` at the repo root records the
-//! trajectory across PRs; regenerate after fleet-relevant changes.
-//! Speedup is whatever the host delivers: on a single-core runner the
-//! parallel run ties (or slightly trails) the serial one, and the JSON
-//! records the measured number plus the thread count so readers can
-//! judge it.
+//! `CAPSIM_SCALE=test` shrinks the run to the CI smoke: a lossy 32-node
+//! busy fleet plus a 64-node datacenter-mix fleet, each serial and
+//! parallel (2 virtual threads, 4 shards). The default is the full
+//! scaling record: a 256-node busy baseline (like-for-like with the
+//! trajectory before the hierarchical engine), 1k/10k-node
+//! datacenter-mix serial runs, and thread and shard sweeps at 1k nodes.
+//!
+//! Speedup is whatever the host delivers: on a single-core runner every
+//! thread count ties, and the JSON records the measured numbers so
+//! readers can judge them.
 
+use std::hash::{DefaultHasher, Hash, Hasher};
 use std::time::Instant;
 
-use capsim_dcm::{FleetBuilder, FleetReport};
+use capsim_dcm::FleetBuilder;
 use capsim_ipmi::FaultSpec;
 
-struct Scale {
+/// One measured configuration.
+#[derive(Clone)]
+struct Point {
     nodes: usize,
     epochs: u32,
-    faults: FaultSpec,
-    label: &'static str,
+    /// Worker count the child process ran with (`CAPSIM_THREADS`).
+    threads: usize,
+    /// Explicit shard count, or 0 for the automatic topology.
+    shards: usize,
+    parallel: bool,
+    datacenter: bool,
+    lossy: bool,
 }
 
-fn scale() -> Scale {
-    match std::env::var("CAPSIM_SCALE").as_deref() {
-        Ok("test") => Scale { nodes: 32, epochs: 4, faults: FaultSpec::lossy(0.05), label: "test" },
-        _ => Scale { nodes: 256, epochs: 4, faults: FaultSpec::none(), label: "full" },
+impl Point {
+    fn label(&self) -> String {
+        format!(
+            "{} nodes x {} epochs, {} load, threads={}, shards={}, {}",
+            self.nodes,
+            self.epochs,
+            if self.datacenter { "datacenter" } else { "busy" },
+            self.threads,
+            if self.shards == 0 { "auto".into() } else { self.shards.to_string() },
+            if self.parallel { "parallel" } else { "serial" },
+        )
     }
 }
 
-fn run(sc: &Scale, parallel: bool) -> (FleetReport, f64) {
-    let start = Instant::now();
-    let report = FleetBuilder::new()
-        .nodes(sc.nodes)
-        .epochs(sc.epochs)
-        .faults(sc.faults)
+/// Run one configuration in-process; returns (node-epochs/s, resolved
+/// shard count, fingerprint of the rendered report).
+fn measure(p: &Point) -> (f64, usize, u64) {
+    let mut b = FleetBuilder::new()
+        .nodes(p.nodes)
+        .epochs(p.epochs)
         .seed(7)
-        .parallel(parallel)
-        .build()
-        .run();
+        .datacenter_mix(p.datacenter)
+        .parallel(p.parallel);
+    if p.lossy {
+        b = b.faults(FaultSpec::lossy(0.05));
+    }
+    if p.shards > 0 {
+        b = b.shards(p.shards);
+    }
+    let start = Instant::now();
+    let fleet = b.build();
+    let shards = fleet.shards();
+    let report = fleet.run();
     let wall = start.elapsed().as_secs_f64();
-    let node_epochs = (sc.nodes as u32 * sc.epochs) as f64;
-    (report, node_epochs / wall)
+    let mut h = DefaultHasher::new();
+    report.render().hash(&mut h);
+    ((p.nodes as u32 * p.epochs) as f64 / wall, shards, h.finish())
+}
+
+/// Run one configuration in a child process with `CAPSIM_THREADS` set, so
+/// the rayon shim actually uses `threads` workers.
+fn measure_in_child(p: &Point) -> (f64, usize, u64) {
+    let exe = std::env::current_exe().expect("own path");
+    let out = std::process::Command::new(exe)
+        .env("CAPSIM_THREADS", p.threads.to_string())
+        .args([
+            "--measure",
+            &p.nodes.to_string(),
+            &p.epochs.to_string(),
+            &p.threads.to_string(),
+            &p.shards.to_string(),
+            &u8::from(p.parallel).to_string(),
+            &u8::from(p.datacenter).to_string(),
+            &u8::from(p.lossy).to_string(),
+        ])
+        .output()
+        .expect("spawn measurement child");
+    assert!(
+        out.status.success(),
+        "measurement child failed for {}: {}",
+        p.label(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("child output");
+    let mut it = text.split_whitespace();
+    let rate: f64 = it.next().expect("rate").parse().expect("rate number");
+    let shards: usize = it.next().expect("shards").parse().expect("shard count");
+    let fp: u64 = it.next().expect("fingerprint").parse().expect("fingerprint number");
+    (rate, shards, fp)
+}
+
+/// Child entry: argv = --measure nodes epochs threads shards parallel
+/// datacenter lossy. Prints `<rate> <shards> <fingerprint>`.
+fn run_child(args: &[String]) {
+    let num = |i: usize| args[i].parse::<usize>().expect("numeric arg");
+    let p = Point {
+        nodes: num(0),
+        epochs: num(1) as u32,
+        threads: num(2),
+        shards: num(3),
+        parallel: num(4) != 0,
+        datacenter: num(5) != 0,
+        lossy: num(6) != 0,
+    };
+    let (rate, shards, fp) = measure(&p);
+    println!("{rate} {shards} {fp}");
+}
+
+struct Measured {
+    point: Point,
+    rate: f64,
+    shards: usize,
+    fingerprint: u64,
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_fleet.json".into());
-    let sc = scale();
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    eprintln!(
-        "fleet: {} nodes x {} epochs ({}, {} host threads) …",
-        sc.nodes, sc.epochs, sc.label, threads
-    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--measure") {
+        run_child(&args[1..]);
+        return;
+    }
+    let out_path = args.first().cloned().unwrap_or_else(|| "BENCH_fleet.json".into());
+    let test_scale = std::env::var("CAPSIM_SCALE").as_deref() == Ok("test");
+    let scale = if test_scale { "test" } else { "full" };
 
-    let (serial_report, serial_rate) = run(&sc, false);
-    eprintln!("  serial  : {serial_rate:>10.1} node-epochs/s");
-    let (parallel_report, parallel_rate) = run(&sc, true);
-    eprintln!("  parallel: {parallel_rate:>10.1} node-epochs/s");
+    let p = |nodes: usize,
+             epochs: u32,
+             threads: usize,
+             shards: usize,
+             parallel: bool,
+             datacenter: bool,
+             lossy: bool| {
+        Point { nodes, epochs, threads, shards, parallel, datacenter, lossy }
+    };
+    // First entry is the like-for-like baseline the speedup is quoted
+    // against; the headline entry is the largest datacenter-mix run.
+    let points: Vec<Point> = if test_scale {
+        vec![
+            p(32, 4, 1, 1, false, false, true),
+            p(32, 4, 2, 4, true, false, true),
+            p(64, 4, 1, 1, false, true, true),
+            p(64, 4, 2, 4, true, true, true),
+        ]
+    } else {
+        vec![
+            // Busy-mix baseline, like-for-like with the pre-hierarchy
+            // trajectory (256 clean nodes, serial).
+            p(256, 4, 1, 1, false, false, false),
+            // Datacenter-mix scaling curve, serial.
+            p(1000, 4, 1, 1, false, true, false),
+            p(10000, 4, 1, 1, false, true, false),
+            // CAPSIM_THREADS sweep at 1k nodes (automatic shards).
+            p(1000, 4, 1, 0, true, true, false),
+            p(1000, 4, 2, 0, true, true, false),
+            p(1000, 4, 4, 0, true, true, false),
+            // Shard sweep at 1k nodes, 2 workers.
+            p(1000, 4, 2, 4, true, true, false),
+            p(1000, 4, 2, 32, true, true, false),
+            // Headline configuration, parallel.
+            p(10000, 4, 2, 0, true, true, false),
+        ]
+    };
 
-    let deterministic = serial_report.render() == parallel_report.render();
-    assert!(
-        deterministic,
-        "parallel fleet run diverged from serial run — determinism contract broken"
-    );
-    let speedup = parallel_rate / serial_rate;
-    eprintln!("  speedup : {speedup:.2}x (deterministic: {deterministic})");
-    eprintln!(
-        "  fleet   : {} responsive of {}, final epoch answered={}",
-        parallel_report.responsive(),
-        parallel_report.nodes,
-        parallel_report.records.last().map_or(0, |r| r.answered)
-    );
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("fleet scaling record ({scale}, {host_threads} host threads):");
+    let mut measured: Vec<Measured> = Vec::with_capacity(points.len());
+    for point in points {
+        let (rate, shards, fingerprint) = measure_in_child(&point);
+        eprintln!("  {:>9.1} ne/s  {}", rate, point.label());
+        measured.push(Measured { point, rate, shards, fingerprint });
+    }
 
+    // Determinism contract: every run of the same simulation
+    // configuration (nodes, epochs, load, faults) must land on the same
+    // rendered report, whatever the thread count or shard topology.
+    let mut deterministic = true;
+    for m in &measured {
+        let twin = measured
+            .iter()
+            .find(|o| {
+                o.point.nodes == m.point.nodes
+                    && o.point.epochs == m.point.epochs
+                    && o.point.datacenter == m.point.datacenter
+                    && o.point.lossy == m.point.lossy
+            })
+            .expect("self at minimum");
+        if twin.fingerprint != m.fingerprint {
+            deterministic = false;
+            eprintln!("  DETERMINISM BROKEN: {} vs {}", m.point.label(), twin.point.label());
+        }
+    }
+    assert!(deterministic, "shard/thread topology changed simulation results");
+
+    let baseline = &measured[0];
+    let headline = measured
+        .iter()
+        .max_by(|a, b| a.point.nodes.cmp(&b.point.nodes).then(a.rate.total_cmp(&b.rate)))
+        .expect("nonempty");
+    let best_parallel =
+        measured.iter().filter(|m| m.point.parallel).map(|m| m.rate).fold(0.0, f64::max);
+    let best_serial = measured
+        .iter()
+        .filter(|m| !m.point.parallel && m.point.nodes == headline.point.nodes)
+        .map(|m| m.rate)
+        .fold(baseline.rate, f64::max);
+    let speedup = if best_parallel > 0.0 { best_parallel / best_serial } else { 1.0 };
+
+    let mut curve = String::new();
+    for (i, m) in measured.iter().enumerate() {
+        let sep = if i + 1 == measured.len() { "" } else { "," };
+        curve.push_str(&format!(
+            "    {{\"nodes\": {}, \"threads\": {}, \"shards\": {}, \"parallel\": {}, \
+             \"load\": \"{}\", \"node_epochs_per_sec\": {:.1}}}{}\n",
+            m.point.nodes,
+            m.point.threads,
+            m.shards,
+            m.point.parallel,
+            if m.point.datacenter { "datacenter" } else { "busy" },
+            m.rate,
+            sep
+        ));
+    }
     let json = format!(
-        "{{\n  \"scale\": \"{}\",\n  \"nodes\": {},\n  \"epochs\": {},\n  \
-         \"threads\": {threads},\n  \"serial_node_epochs_per_sec\": {serial_rate:.1},\n  \
-         \"parallel_node_epochs_per_sec\": {parallel_rate:.1},\n  \"speedup\": {speedup:.2},\n  \
-         \"deterministic\": {deterministic}\n}}\n",
-        sc.label, sc.nodes, sc.epochs
+        "{{\n  \"scale\": \"{scale}\",\n  \"host_threads\": {host_threads},\n  \
+         \"baseline_nodes\": {},\n  \"baseline_node_epochs_per_sec\": {:.1},\n  \
+         \"nodes\": {},\n  \"serial_node_epochs_per_sec\": {:.1},\n  \
+         \"speedup\": {speedup:.2},\n  \"deterministic\": {deterministic},\n  \
+         \"curve\": [\n{curve}  ]\n}}\n",
+        baseline.point.nodes, baseline.rate, headline.point.nodes, best_serial
     );
     std::fs::write(&out_path, &json).expect("write json");
     println!("{json}");

@@ -1,31 +1,55 @@
 //! The fleet engine: N simulated nodes stepped in lock-step simulated
-//! time under one DCM budget loop.
+//! time under one hierarchical DCM budget loop.
 //!
-//! Each control epoch has two phases:
+//! The fleet is split into contiguous **shards**, each owned by a
+//! [`GroupManager`]. A control epoch runs as two parallel wire phases
+//! bracketing serial root decisions:
 //!
-//! 1. **Step phase** — every node advances `epoch_s` of simulated time,
-//!    executing its synthetic workload and running its own BMC control
-//!    loop. Nodes share no state, so this phase parallelizes across
-//!    worker threads (rayon) with per-node seeds; results are collected
-//!    in node order, making the parallel run bit-identical to a serial
-//!    one.
-//! 2. **Barrier phase** — with all nodes at the same simulated instant,
-//!    the DCM serially polls power over IPMI, reallocates the group
-//!    budget across the nodes that answered (uniform / proportional /
-//!    priority), and pushes the new caps. The management network can be
-//!    faulty ([`FaultSpec`]); transactions retry with backoff, and nodes
-//!    that stop answering are marked unresponsive with their budget share
-//!    reallocated to healthy peers.
+//! 1. **Poll phase** (parallel over shards) — each group steps its
+//!    shard's nodes by `epoch_s`, then polls their power over IPMI. A
+//!    group does *wire work only*: it captures every transaction as a
+//!    [`WireOutcome`] and reports aggregate demand up, recording nothing
+//!    itself.
+//! 2. **Root barrier** (serial) — the root absorbs the captured
+//!    outcomes in canonical node order (replaying retry/timeout
+//!    observability and health transitions exactly as a flat manager
+//!    would have), runs fleet-side violation detection, and plans the
+//!    budget allocation over the nodes that answered (uniform /
+//!    proportional / priority).
+//! 3. **Push phase** (parallel over shards) — groups push the planned
+//!    caps (DCMI *Set* + *Activate*), again capturing outcomes.
+//! 4. **Root barrier** (serial) — outcomes absorbed in node order; the
+//!    epoch record and barrier events are emitted.
+//!
+//! Serial per-epoch work at the root is a lean sweep over
+//! struct-of-arrays control state (`FleetCtrl`); the expensive part —
+//! pumping links, burning retry budgets against lossy links
+//! ([`FaultSpec`]) — runs shard-parallel, O(shard) per group.
+//!
+//! **Determinism contract:** per-node transactions touch only that
+//! node's link and BMC, and the root absorbs outcomes in registration
+//! order, so serial, parallel and *any* shard count produce byte-equal
+//! reports and observability streams. The allocation policies are
+//! written in partition-invariant closed form (see `policy.rs`) so the
+//! root's plan also cannot depend on how demand was gathered.
+//!
+//! Two elisions keep quiescent fleets cheap, both decided from state
+//! that cannot depend on sharding: a poll is skipped when the root's
+//! cached reading is provably what the BMC would answer again
+//! ([`capsim_node::bmc::Bmc::poll_would_repeat`]), and a cap push is
+//! skipped when the planned cap is bit-identical to the cap already in
+//! effect. Skips are counted (`fleet.polls_skipped`,
+//! `fleet.cap_pushes_skipped`).
 //!
 //! Because the manager cannot block on a node that lives on the same
-//! thread, barrier-phase traffic flows through [`PumpedLink`]: each
-//! delivery poll services the node's BMC, so request, firmware handling
-//! and response all happen inside the barrier, in deterministic order.
+//! thread, wire traffic flows through [`PumpedLink`]: each delivery poll
+//! services the node's BMC, so request, firmware handling and response
+//! all happen inside the barrier, in deterministic order.
 
 use capsim_ipmi::sel::SelEntry;
 use capsim_ipmi::{
-    splitmix64, FaultSpec, FaultStats, IpmiError, LanChannel, ManagerPort, Request, Response,
-    RetryPolicy, Transact,
+    splitmix64, CompletionCode, FaultSpec, FaultStats, GetPowerReading, IpmiError, LanChannel,
+    ManagerPort, PowerLimit, PowerReading, Request, Response, RetryPolicy, Transact, WireOutcome,
 };
 use capsim_node::{CodeBlock, EpochWorkload, Machine, MachineConfig, Region, RunStats};
 use capsim_obs::{
@@ -33,7 +57,7 @@ use capsim_obs::{
 };
 use rayon::prelude::*;
 
-use crate::manager::{Dcm, NodeHealth, NodeId};
+use crate::manager::{CapPushOutcome, Dcm, NodeHealth, NodeId};
 use crate::monitor::{read_sel_via, violation_count};
 use crate::policy::AllocationPolicy;
 
@@ -116,6 +140,23 @@ impl LoadKind {
             _ => LoadKind::Mixed,
         }
     }
+
+    /// Datacenter-shaped duty-cycle assignment: a minority of nodes runs
+    /// sustained Compute/Stream/Mixed work while the majority sits in
+    /// bursty [`LoadKind::Pulse`] loads that are mostly idle — the
+    /// utilization profile the idle fast-forward and poll-elision paths
+    /// are built for. Select with [`FleetBuilder::datacenter_mix`].
+    pub fn datacenter_for_index(i: usize) -> LoadKind {
+        // 3 sustained-busy nodes per 16 (~19% busy) — datacenter fleets
+        // run far below peak on average, which is the premise of group
+        // power capping in the first place.
+        match i % 16 {
+            0 => LoadKind::Compute,
+            1 => LoadKind::Stream,
+            2 => LoadKind::Mixed,
+            _ => LoadKind::Pulse,
+        }
+    }
 }
 
 /// A self-contained epoch workload built from machine primitives.
@@ -173,6 +214,150 @@ struct SimNode {
     port: ManagerPort,
     machine: Machine,
     load: SyntheticLoad,
+}
+
+/// One shard's manager in the hierarchical budget tree: owns the wire
+/// work for a contiguous range of nodes. Groups run on worker threads
+/// during the parallel phases and deliberately hold no mutable state and
+/// no observability sink — every transaction outcome is captured and
+/// reported up for the root to absorb in canonical node order, which is
+/// what keeps the recorded streams independent of the shard count.
+pub struct GroupManager {
+    /// Registration-index range of the shard (contiguous).
+    range: std::ops::Range<usize>,
+    polls_per_attempt: u32,
+    retry: RetryPolicy,
+}
+
+/// One node's slot in a group's poll report.
+enum PollOutcome {
+    /// The root's cached reading is provably current; no wire traffic.
+    Skipped,
+    /// A captured wire transaction for the root to absorb.
+    Polled(WireOutcome),
+}
+
+/// A group's report for one poll phase: per-node outcomes plus the shard
+/// aggregates a hierarchical manager forwards upward. Demands are whole
+/// watts (DCMI readings), so the aggregate sum is exact and the root's
+/// own absorption must reproduce it no matter how the fleet is sharded —
+/// `debug_assert`ed at the root.
+struct GroupPollReport {
+    outcomes: Vec<PollOutcome>,
+    /// Sum of successfully decoded fresh readings.
+    fresh_demand_w: f64,
+    /// Fresh polls that decoded to a reading.
+    answered: u32,
+    /// Polls elided via the cached-reading fast path.
+    skipped: u32,
+}
+
+impl GroupManager {
+    fn len(&self) -> usize {
+        self.range.end - self.range.start
+    }
+
+    /// Phase 1 for this shard: step every node by `epoch_s`, then gather
+    /// demand. `can_skip` is the root's per-node clearance (aligned to
+    /// the shard) to use the cached reading if — and only if — the BMC
+    /// agrees a fresh poll would repeat itself.
+    fn poll_phase(
+        &self,
+        nodes: &mut [SimNode],
+        epoch_s: f64,
+        can_skip: &[bool],
+    ) -> GroupPollReport {
+        debug_assert_eq!(nodes.len(), self.len());
+        let mut report = GroupPollReport {
+            outcomes: Vec::with_capacity(nodes.len()),
+            fresh_demand_w: 0.0,
+            answered: 0,
+            skipped: 0,
+        };
+        for (n, &skip_ok) in nodes.iter_mut().zip(can_skip) {
+            n.machine.step(epoch_s, &mut n.load);
+            if skip_ok && n.machine.bmc_poll_would_repeat() {
+                report.skipped += 1;
+                report.outcomes.push(PollOutcome::Skipped);
+                continue;
+            }
+            let mut link = PumpedLink::new(&mut n.port, &mut n.machine, self.polls_per_attempt);
+            let out =
+                WireOutcome::capture(&mut link, &self.retry, &|seq| GetPowerReading::request(seq));
+            if let Ok(resp) = &out.result {
+                if resp.completion == CompletionCode::Ok {
+                    if let Ok(r) = PowerReading::decode(&resp.payload) {
+                        report.fresh_demand_w += r.current_w as f64;
+                        report.answered += 1;
+                    }
+                }
+            }
+            report.outcomes.push(PollOutcome::Polled(out));
+        }
+        report
+    }
+
+    /// Phase 2 for this shard: push the planned caps. `work` is aligned
+    /// to the shard; `None` means no push for that node this epoch
+    /// (unanswered, or elided because the cap is already in effect).
+    fn push_phase(
+        &self,
+        nodes: &mut [SimNode],
+        work: &[Option<PowerLimit>],
+    ) -> Vec<Option<CapPushOutcome>> {
+        debug_assert_eq!(nodes.len(), self.len());
+        nodes
+            .iter_mut()
+            .zip(work)
+            .map(|(n, w)| {
+                w.map(|limit| {
+                    let mut link =
+                        PumpedLink::new(&mut n.port, &mut n.machine, self.polls_per_attempt);
+                    CapPushOutcome::capture(&mut link, &self.retry, limit)
+                })
+            })
+            .collect()
+    }
+}
+
+/// Root-side per-node control state as struct-of-arrays: the hot data
+/// the serial barrier sweeps every epoch, kept in parallel `Vec`s
+/// indexed by registration order instead of scattered across node
+/// objects. Scratch columns (`can_skip`, `planned`) are retained across
+/// epochs so the steady-state barrier allocates nothing.
+struct FleetCtrl {
+    /// Last successfully decoded power reading (whole watts).
+    demand_w: Vec<f64>,
+    /// `demand_w[i]` holds a real reading (at least one poll succeeded).
+    demand_valid: Vec<bool>,
+    /// The most recent poll attempt succeeded (a failure forces a fresh
+    /// poll until one succeeds again — after a lost response the cache
+    /// can no longer be proven equal to what the BMC last answered).
+    poll_ok: Vec<bool>,
+    /// The most recent cap push fully succeeded (Set and Activate). A
+    /// half-applied push leaves the BMC on a cap the manager never
+    /// confirmed, so only a fully clean push may be elided later.
+    push_ok: Vec<bool>,
+    /// Fleet-side cap-violation streaks (epochs over cap + margin).
+    viol_streak: Vec<u32>,
+    /// Scratch: root clearance for the poll fast path this epoch.
+    can_skip: Vec<bool>,
+    /// Scratch: planned wire pushes this epoch.
+    planned: Vec<Option<PowerLimit>>,
+}
+
+impl FleetCtrl {
+    fn new(n: usize) -> FleetCtrl {
+        FleetCtrl {
+            demand_w: vec![0.0; n],
+            demand_valid: vec![false; n],
+            poll_ok: vec![false; n],
+            push_ok: vec![false; n],
+            viol_streak: vec![0; n],
+            can_skip: vec![false; n],
+            planned: vec![None; n],
+        }
+    }
 }
 
 /// One barrier's worth of fleet-level observations.
@@ -312,6 +497,8 @@ pub struct FleetBuilder {
     audit_sel: bool,
     observe: Option<usize>,
     load: Option<LoadKind>,
+    datacenter_mix: bool,
+    shards: Option<usize>,
     violation_margin_w: f64,
     violation_after: u32,
 }
@@ -324,6 +511,9 @@ impl FleetBuilder {
         let mut base = MachineConfig::tiny(0);
         base.control_period_us = 10.0;
         base.meter_window_s = 0.0002;
+        // Lock-step topology: manager traffic only arrives at epoch
+        // barriers, so quiescent idle spans may fast-forward.
+        base.idle_skip = true;
         FleetBuilder {
             nodes: 8,
             epochs: 6,
@@ -340,6 +530,8 @@ impl FleetBuilder {
             audit_sel: true,
             observe: None,
             load: None,
+            datacenter_mix: false,
+            shards: None,
             violation_margin_w: 10.0,
             violation_after: 3,
         }
@@ -443,6 +635,24 @@ impl FleetBuilder {
         self
     }
 
+    /// Assign loads with [`LoadKind::datacenter_for_index`] — a mostly
+    /// idle, bursty utilization profile — instead of the round-robin
+    /// busy default. Ignored when [`FleetBuilder::uniform_load`] is set.
+    pub fn datacenter_mix(mut self, on: bool) -> Self {
+        self.datacenter_mix = on;
+        self
+    }
+
+    /// Number of group-manager shards (clamped to `1..=nodes` at build).
+    /// Any value produces byte-identical results; this knob only decides
+    /// how wire work is split across workers. Default: automatic —
+    /// enough shards to feed the worker pool, with shards of at most
+    /// ~64 nodes for large fleets.
+    pub fn shards(mut self, k: usize) -> Self {
+        self.shards = Some(k);
+        self
+    }
+
     /// Tune the fleet-side cap-violation detector: a node whose measured
     /// power exceeds its last pushed cap by more than `margin_w` for
     /// `epochs` consecutive barriers is flagged via
@@ -479,13 +689,44 @@ impl FleetBuilder {
                 machine.enable_obs(cap);
             }
             machine.attach_bmc_port(bmc_port);
-            let kind = self.load.unwrap_or_else(|| LoadKind::for_index(i));
+            let kind = self.load.unwrap_or_else(|| {
+                if self.datacenter_mix {
+                    LoadKind::datacenter_for_index(i)
+                } else {
+                    LoadKind::for_index(i)
+                }
+            });
             let load = SyntheticLoad::new(&mut machine, kind);
             let id = dcm.register(format!("n{i:04}"));
             nodes.push(SimNode { id, port, machine, load });
         }
         let budget_w = self.budget_w.unwrap_or(135.0 * self.nodes as f64);
         let n = nodes.len();
+        // Resolve the shard count. The automatic default keys off the
+        // worker pool, which is environment-dependent — safe only because
+        // the shard count is result-invariant (pinned by tests).
+        let shards = self
+            .shards
+            .unwrap_or_else(|| rayon::current_num_threads().max(n.div_ceil(64)))
+            .clamp(1, n);
+        // Contiguous shards, the first `n % shards` one node longer.
+        let groups = {
+            let base = n / shards;
+            let extra = n % shards;
+            let mut start = 0;
+            (0..shards)
+                .map(|g| {
+                    let len = base + usize::from(g < extra);
+                    let range = start..start + len;
+                    start += len;
+                    GroupManager {
+                        range,
+                        polls_per_attempt: self.polls_per_attempt,
+                        retry: self.retry,
+                    }
+                })
+                .collect()
+        };
         Fleet {
             epochs: self.epochs,
             epoch_s: self.epoch_s,
@@ -497,7 +738,8 @@ impl FleetBuilder {
             observe: self.observe.is_some(),
             violation_margin_w: self.violation_margin_w,
             violation_after: self.violation_after,
-            viol_streaks: vec![0; n],
+            ctrl: FleetCtrl::new(n),
+            groups,
             next_epoch: 0,
             records: Vec::with_capacity(self.epochs as usize),
             dcm,
@@ -531,7 +773,8 @@ pub struct Fleet {
     observe: bool,
     violation_margin_w: f64,
     violation_after: u32,
-    viol_streaks: Vec<u32>,
+    ctrl: FleetCtrl,
+    groups: Vec<GroupManager>,
     next_epoch: u32,
     records: Vec<EpochRecord>,
     dcm: Dcm,
@@ -594,15 +837,19 @@ impl Fleet {
         read_sel_via(&mut link, &retry)
     }
 
-    /// Advance the whole fleet by one epoch (step phase + barrier phase)
-    /// and return the barrier's record. [`Fleet::run`] is a loop over
-    /// this; the chaos harness calls it directly so it can inject faults
-    /// at epoch boundaries.
+    /// Number of group-manager shards the fleet was built with.
+    pub fn shards(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Advance the whole fleet by one epoch (parallel poll phase, serial
+    /// root barrier, parallel push phase) and return the barrier's
+    /// record. [`Fleet::run`] is a loop over this; the chaos harness
+    /// calls it directly so it can inject faults at epoch boundaries.
     pub fn step_epoch(&mut self) -> &EpochRecord {
         let epoch = self.next_epoch;
         self.next_epoch += 1;
-        self.step_phase();
-        let rec = self.barrier_phase(epoch);
+        let rec = self.run_epoch(epoch);
         self.records.push(rec);
         self.records.last().expect("just pushed")
     }
@@ -615,53 +862,115 @@ impl Fleet {
         self.finish()
     }
 
-    /// Phase 1: advance every node by one epoch of simulated time. Nodes
-    /// are fully independent; the parallel path consumes the node vector,
-    /// maps it across workers and rebuilds it in order, so the resulting
-    /// states cannot depend on scheduling.
-    fn step_phase(&mut self) {
-        let epoch_s = self.epoch_s;
-        let nodes = std::mem::take(&mut self.nodes);
-        self.nodes = if self.parallel {
-            nodes
-                .into_par_iter()
-                .map(|mut n| {
-                    n.machine.step(epoch_s, &mut n.load);
-                    n
-                })
-                .collect()
-        } else {
-            let mut nodes = nodes;
-            for n in &mut nodes {
-                n.machine.step(epoch_s, &mut n.load);
-            }
-            nodes
-        };
+    /// Split the node vector into the groups' contiguous shards. The
+    /// split is purely positional, so it costs nothing and cannot
+    /// reorder nodes.
+    fn shard_chunks<'a>(
+        groups: &'a [GroupManager],
+        mut nodes: &'a mut [SimNode],
+    ) -> Vec<(&'a GroupManager, &'a mut [SimNode])> {
+        let mut chunks = Vec::with_capacity(groups.len());
+        for g in groups {
+            let (head, tail) = nodes.split_at_mut(g.len());
+            chunks.push((g, head));
+            nodes = tail;
+        }
+        debug_assert!(nodes.is_empty());
+        chunks
     }
 
-    /// Phase 2 (serial): poll power, reallocate the budget over answering
-    /// nodes, push caps.
-    fn barrier_phase(&mut self, epoch: u32) -> EpochRecord {
-        // All nodes sit at the same simulated instant here; stamp
-        // manager-side events with it (deterministic: derived from the
-        // epoch schedule, not any node's exact overshoot).
+    /// One epoch of the hierarchical engine.
+    ///
+    /// * **Poll phase (parallel over shards).** Each group manager steps
+    ///   its nodes by one epoch of simulated time and gathers demand —
+    ///   polling over the wire, or skipping the poll when the root's
+    ///   cached reading is provably what the BMC would answer. Groups
+    ///   touch only their own shard and record nothing.
+    /// * **Root barrier (serial).** The root absorbs the captured wire
+    ///   outcomes in registration order (so health bookkeeping, metrics
+    ///   and events are byte-identical to a serial run), detects cap
+    ///   violations, reallocates the budget and plans the pushes —
+    ///   eliding any push whose cap is already confirmed in effect.
+    /// * **Push phase (parallel over shards).** Groups push the planned
+    ///   caps; the root absorbs the outcomes in order.
+    ///
+    /// All cross-node decisions live in the serial root sections and
+    /// every per-node wire exchange uses only that node's own link and
+    /// BMC, which is why the shard count cannot change any result.
+    fn run_epoch(&mut self, epoch: u32) -> EpochRecord {
+        // All nodes sit at the same simulated instant at the barrier;
+        // stamp manager-side events with it (deterministic: derived from
+        // the epoch schedule, not any node's exact overshoot).
         let barrier_t_s = (epoch as f64 + 1.0) * self.epoch_s;
         self.dcm.set_obs_time_s(barrier_t_s);
-        let polls = self.polls_per_attempt;
-        let mut demand: Vec<(NodeId, f64)> = Vec::with_capacity(self.nodes.len());
-        for n in &mut self.nodes {
-            let mut link = PumpedLink::new(&mut n.port, &mut n.machine, polls);
-            if let Ok(r) = self.dcm.read_power_via(n.id, &mut link) {
-                demand.push((n.id, r.current_w as f64));
-            }
+        let n = self.nodes.len();
+
+        // Root clearance for the poll fast path: the cached reading is
+        // reusable only if the most recent poll succeeded — after a lost
+        // response the BMC may have answered a poll the root never saw.
+        for i in 0..n {
+            self.ctrl.can_skip[i] = self.ctrl.poll_ok[i] && self.ctrl.demand_valid[i];
         }
+
+        // Poll phase, fanned out over shards.
+        let epoch_s = self.epoch_s;
+        let can_skip = &self.ctrl.can_skip;
+        let run_poll = |(g, chunk): (&GroupManager, &mut [SimNode])| {
+            g.poll_phase(chunk, epoch_s, &can_skip[g.range.clone()])
+        };
+        let chunks = Self::shard_chunks(&self.groups, &mut self.nodes);
+        let reports: Vec<GroupPollReport> = if self.parallel {
+            chunks.into_par_iter().map(run_poll).collect()
+        } else {
+            chunks.into_iter().map(run_poll).collect()
+        };
+
+        // Root absorbs the poll outcomes in registration order.
+        let mut demand: Vec<(NodeId, f64)> = Vec::with_capacity(n);
+        let mut polls_skipped = 0u64;
+        for (g, report) in self.groups.iter().zip(reports) {
+            debug_assert_eq!(report.outcomes.len(), g.len());
+            let mut fresh_w = 0.0;
+            let mut fresh_n = 0u32;
+            for (off, out) in report.outcomes.into_iter().enumerate() {
+                let i = g.range.start + off;
+                let id = self.nodes[i].id;
+                match out {
+                    PollOutcome::Skipped => {
+                        // The cached reading is guaranteed equal to what
+                        // a fresh poll would have returned.
+                        polls_skipped += 1;
+                        demand.push((id, self.ctrl.demand_w[i]));
+                    }
+                    PollOutcome::Polled(out) => match self.dcm.absorb_power_poll(id, out) {
+                        Ok(r) => {
+                            let w = r.current_w as f64;
+                            self.ctrl.demand_w[i] = w;
+                            self.ctrl.demand_valid[i] = true;
+                            self.ctrl.poll_ok[i] = true;
+                            fresh_w += w;
+                            fresh_n += 1;
+                            demand.push((id, w));
+                        }
+                        Err(_) => self.ctrl.poll_ok[i] = false,
+                    },
+                }
+            }
+            // The shard's aggregates must match what the root absorbed —
+            // the partition invariance the hierarchy leans on.
+            debug_assert_eq!(fresh_n, report.answered);
+            debug_assert_eq!(fresh_w, report.fresh_demand_w);
+        }
+
         // Fleet-side cap-violation detection: compare each reading against
         // the cap pushed at the *previous* barrier (before this round's
         // push overwrites it). A node persistently over its cap — a BMC
         // silently dropping cap commands answers the wire perfectly — is
-        // flagged and held Degraded until it comes back under.
+        // flagged and held Degraded until it comes back under. Cached
+        // readings participate like fresh ones: they are equal by
+        // construction.
         for &(id, w) in &demand {
-            let streak = &mut self.viol_streaks[id.index()];
+            let streak = &mut self.ctrl.viol_streak[id.index()];
             let over = self.dcm.last_cap_w(id).is_some_and(|cap| w > cap + self.violation_margin_w);
             if over {
                 *streak += 1;
@@ -673,16 +982,66 @@ impl Fleet {
                 self.dcm.set_cap_violating(id, false);
             }
         }
+
+        // Reallocate and plan the pushes. A push is elided when the last
+        // push fully succeeded (Set *and* Activate) and landed exactly
+        // this cap — then the BMC is provably already enforcing it.
         let caps = self.dcm.plan_allocation(self.budget_w, &self.policy, &demand);
-        let mut pushed = Vec::with_capacity(caps.len());
-        for (id, cap) in caps {
-            let n = &mut self.nodes[id.index()];
-            let mut link = PumpedLink::new(&mut n.port, &mut n.machine, polls);
-            if self.dcm.cap_node_via(id, &mut link, cap).is_ok() {
-                pushed.push((id.index() as u32, cap));
+        self.ctrl.planned.fill(None);
+        let mut pushes_skipped = 0u64;
+        for &(id, cap) in &caps {
+            let i = id.index();
+            if self.ctrl.push_ok[i] && self.dcm.last_cap_w(id) == Some(cap) {
+                pushes_skipped += 1;
+            } else {
+                self.ctrl.planned[i] = Some(self.dcm.limit_for(cap));
             }
         }
-        let unresponsive = self.nodes.len() - self.dcm.responsive_nodes().len();
+
+        // Push phase, fanned out over shards.
+        let planned = &self.ctrl.planned;
+        let run_push = |(g, chunk): (&GroupManager, &mut [SimNode])| {
+            g.push_phase(chunk, &planned[g.range.clone()])
+        };
+        let chunks = Self::shard_chunks(&self.groups, &mut self.nodes);
+        let outcomes: Vec<Vec<Option<CapPushOutcome>>> = if self.parallel {
+            chunks.into_par_iter().map(run_push).collect()
+        } else {
+            chunks.into_iter().map(run_push).collect()
+        };
+
+        // Root absorbs the push outcomes in registration order. `caps`
+        // is ascending by node index (demand is gathered in order), as is
+        // the flattened outcome stream, so one forward walk pairs them.
+        let mut caps_in_effect: Vec<(u32, f64)> = Vec::with_capacity(caps.len());
+        let mut wire_pushes = 0u64;
+        {
+            let mut outs = outcomes.into_iter().flatten();
+            let mut planned_caps = caps.iter().peekable();
+            for i in 0..n {
+                let out = outs.next().expect("one outcome slot per node");
+                let cap = planned_caps.next_if(|&&(id, _)| id.index() == i).map(|&(_, c)| c);
+                match (out, cap) {
+                    (Some(push), Some(cap)) => {
+                        let id = self.nodes[i].id;
+                        match self.dcm.absorb_cap_push(id, cap, push) {
+                            Ok(()) => {
+                                self.ctrl.push_ok[i] = true;
+                                wire_pushes += 1;
+                                caps_in_effect.push((i as u32, cap));
+                            }
+                            Err(_) => self.ctrl.push_ok[i] = false,
+                        }
+                    }
+                    // Elided push: the cap is already in effect.
+                    (None, Some(cap)) => caps_in_effect.push((i as u32, cap)),
+                    (None, None) => {}
+                    (Some(_), None) => unreachable!("push captured for an unplanned node"),
+                }
+            }
+        }
+
+        let unresponsive = n - self.dcm.responsive_nodes().len();
         let fleet_power_w: f64 = demand.iter().map(|&(_, w)| w).sum();
         if self.observe {
             let m = &mut self.dcm.obs.metrics;
@@ -690,7 +1049,9 @@ impl Fleet {
                 m.observe("fleet.node_power_w", &FLEET_POWER_BOUNDS, w);
             }
             m.inc("fleet.barriers");
-            m.add("fleet.caps_pushed", pushed.len() as u64);
+            m.add("fleet.caps_pushed", wire_pushes);
+            m.add("fleet.polls_skipped", polls_skipped);
+            m.add("fleet.cap_pushes_skipped", pushes_skipped);
             m.set_gauge("fleet.unresponsive", unresponsive as f64);
             self.dcm.obs.events.record(
                 barrier_t_s,
@@ -698,7 +1059,7 @@ impl Fleet {
                     epoch,
                     budget_w: self.budget_w,
                     answered: demand.len() as u32,
-                    caps_pushed: pushed.len() as u32,
+                    caps_pushed: wire_pushes as u32,
                 },
             );
             self.dcm.obs.events.record(
@@ -717,7 +1078,7 @@ impl Fleet {
             unresponsive,
             fleet_power_w,
             readings: demand.iter().map(|&(id, w)| (id.index() as u32, w)).collect(),
-            caps: pushed,
+            caps: caps_in_effect,
         }
     }
 
@@ -834,6 +1195,29 @@ mod tests {
     }
 
     #[test]
+    fn shard_count_is_result_invariant() {
+        // Even with lossy links (per-link fault RNG) and observability on
+        // (metrics + merged event stream compared field by field), the
+        // shard count must not leak into any result.
+        let build = |shards: usize| {
+            FleetBuilder::new()
+                .nodes(9)
+                .epochs(4)
+                .seed(5)
+                .faults(FaultSpec::lossy(0.1))
+                .observe(true)
+                .shards(shards)
+                .build()
+                .run()
+        };
+        let one = build(1);
+        for k in [2, 3, 9] {
+            let sharded = build(k);
+            assert_eq!(one, sharded, "shards={k} changed the run");
+        }
+    }
+
+    #[test]
     fn observed_runs_surface_metrics_and_events() {
         let off = FleetBuilder::new().nodes(3).epochs(4).seed(7).build().run();
         assert!(off.obs.is_none(), "observability defaults off");
@@ -841,10 +1225,19 @@ mod tests {
         let on = FleetBuilder::new().nodes(3).epochs(4).seed(7).observe(true).build().run();
         let obs = on.obs.as_ref().expect("observe(true) populates FleetObs");
         assert_eq!(obs.metrics.counter("fleet.barriers"), 4);
-        assert_eq!(obs.metrics.counter("fleet.caps_pushed"), 4 * 3);
-        assert_eq!(obs.metrics.counter("dcm.caps_pushed"), 4 * 3);
-        assert!(obs.metrics.counter("ipmi.transactions") >= 4 * 3 * 2);
+        // Wire pushes plus elided pushes cover every answered node every
+        // epoch; the first epoch always goes over the wire.
+        let pushed = obs.metrics.counter("fleet.caps_pushed");
+        let elided = obs.metrics.counter("fleet.cap_pushes_skipped");
+        assert_eq!(pushed + elided, 4 * 3);
+        assert!(pushed >= 3, "the first epoch has no cached caps to elide");
+        assert!(elided > 0, "steady-state caps are elided");
+        assert_eq!(obs.metrics.counter("dcm.caps_pushed"), pushed);
+        // Every wire push is a Set + Activate pair; polls add more.
+        assert!(obs.metrics.counter("ipmi.transactions") >= 3 * pushed);
         assert!(obs.metrics.counter("machine.ticks") > 0);
+        // Cached readings are recorded like fresh ones: the histogram
+        // still sees every answered node every epoch.
         let hist = obs.metrics.hist("fleet.node_power_w").expect("power histogram");
         assert_eq!(hist.count, 4 * 3);
         // One BudgetRealloc + one Barrier per epoch, plus node-side DCMI
@@ -861,6 +1254,33 @@ mod tests {
         // The observed run must not perturb the simulation itself.
         let on_plain = FleetReport { obs: None, ..on.clone() };
         assert_eq!(off, on_plain, "observability must not change results");
+    }
+
+    #[test]
+    fn quiescent_nodes_take_the_fast_paths() {
+        // A mostly idle datacenter mix settles into a steady state where
+        // polls repeat, caps repeat and idle spans are quiescent — all
+        // three elisions must fire, and none may perturb the results.
+        let build = |observe: bool| {
+            FleetBuilder::new()
+                .nodes(8)
+                .epochs(6)
+                .seed(7)
+                .datacenter_mix(true)
+                .observe(observe)
+                .build()
+                .run()
+        };
+        let on = build(true);
+        let obs = on.obs.as_ref().expect("observed run");
+        assert!(obs.metrics.counter("fleet.polls_skipped") > 0, "steady polls are elided");
+        assert!(obs.metrics.counter("fleet.cap_pushes_skipped") > 0, "steady caps are elided");
+        assert!(obs.metrics.counter("machine.idle_skips") > 0, "idle spans fast-forward");
+        // Elision decisions read only control state — never obs — so an
+        // unobserved run must land on exactly the same results.
+        let off = build(false);
+        let on_plain = FleetReport { obs: None, ..on.clone() };
+        assert_eq!(off, on_plain, "fast paths must not depend on observability");
     }
 
     #[test]

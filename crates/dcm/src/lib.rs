@@ -20,6 +20,6 @@ pub mod policy;
 
 pub use error::DcmError;
 pub use fleet::{EpochRecord, Fleet, FleetBuilder, FleetReport, LoadKind, NodeSummary, PumpedLink};
-pub use manager::{Dcm, NodeHealth, NodeId};
+pub use manager::{CapPushOutcome, Dcm, NodeHealth, NodeId};
 pub use monitor::{read_sel, read_sel_via, violation_count, FleetMonitor, PowerHistory};
 pub use policy::AllocationPolicy;

@@ -19,7 +19,8 @@ use capsim_ipmi::dcmi::{
     SetPowerLimit,
 };
 use capsim_ipmi::{
-    transact_retry_observed, IpmiError, ManagerPort, Request, Response, RetryPolicy, Transact,
+    transact_retry_observed, CompletionCode, IpmiError, Request, Response, RetryPolicy, Transact,
+    WireOutcome,
 };
 use capsim_obs::{EventKind, Obs};
 
@@ -86,6 +87,36 @@ struct NodeEntry {
     /// BMC silently drops cap commands looks perfectly healthy on the
     /// wire.
     cap_violating: bool,
+}
+
+/// A cap push as captured on a group manager's worker: the *Set Power
+/// Limit* outcome plus — only when the set came back with an OK
+/// completion — the *Activate Power Limit* outcome, mirroring the
+/// short-circuit in [`Dcm::cap_node_via`]. Absorbed at the root via
+/// [`Dcm::absorb_cap_push`].
+#[derive(Debug)]
+pub struct CapPushOutcome {
+    pub set: WireOutcome,
+    pub activate: Option<WireOutcome>,
+}
+
+impl CapPushOutcome {
+    /// Run the Set+Activate sequence over `link`, capturing both
+    /// outcomes without touching any shared manager state.
+    pub fn capture(
+        link: &mut dyn Transact,
+        retry: &RetryPolicy,
+        limit: PowerLimit,
+    ) -> CapPushOutcome {
+        let set = WireOutcome::capture(link, retry, &move |seq| SetPowerLimit(limit).request(seq));
+        let set_ok = matches!(&set.result, Ok(r) if r.completion == CompletionCode::Ok);
+        let activate = set_ok.then(|| {
+            WireOutcome::capture(link, retry, &|seq| {
+                ActivatePowerLimit { activate: true }.request(seq)
+            })
+        });
+        CapPushOutcome { set, activate }
+    }
 }
 
 /// The Data Center Manager.
@@ -155,12 +186,6 @@ impl Dcm {
             cap_violating: false,
         });
         NodeId::from_index(self.nodes.len() - 1)
-    }
-
-    /// Register a node's management port; returns its handle.
-    #[deprecated(note = "use `register_link` (typed NodeId handles) instead")]
-    pub fn add_node(&mut self, name: impl Into<String>, port: ManagerPort) -> NodeId {
-        self.register_link(name, port)
     }
 
     pub fn len(&self) -> usize {
@@ -375,6 +400,76 @@ impl Dcm {
         }
     }
 
+    // ------------------------------------------------- deferred wire outcomes
+    //
+    // Sharded lock-step fleets split wire work across group managers: each
+    // group runs its shard's transactions on a worker (own link, own BMC,
+    // so outcomes cannot depend on the sharding), captures them as
+    // [`WireOutcome`]s, and the root absorbs them here serially in
+    // canonical node order. The absorb path replays exactly what running
+    // the transaction through the manager would have recorded — the same
+    // counters, events and health transitions in the same order — so the
+    // observability stream is byte-identical whether the fleet ran with
+    // one group or fifty.
+
+    /// Replay one captured outcome into observability and health
+    /// tracking, exactly as [`transact_retry_observed`] + settling would
+    /// have.
+    fn absorb(&mut self, node: NodeId, out: WireOutcome) -> Result<Response, DcmError> {
+        self.entry(node)?;
+        if self.obs.is_enabled() {
+            let t_s = self.obs_now_s;
+            let n = Some(node.index() as u32);
+            self.obs.metrics.inc("ipmi.transactions");
+            self.obs.metrics.add("ipmi.attempts", out.attempts as u64);
+            if out.attempts > 1 {
+                self.obs.metrics.add("ipmi.retries", (out.attempts - 1) as u64);
+            }
+            match &out.result {
+                Ok(_) if out.attempts > 1 => {
+                    self.obs.events.record_for(t_s, n, EventKind::Retry { attempts: out.attempts });
+                }
+                Err(e) if e.is_transient() => {
+                    self.obs.metrics.inc("ipmi.timeouts");
+                    self.obs.events.record_for(
+                        t_s,
+                        n,
+                        EventKind::Timeout { attempts: out.attempts },
+                    );
+                }
+                _ => {}
+            }
+        }
+        self.settle(node, out.result)
+    }
+
+    /// Absorb a captured DCMI *Get Power Reading* poll.
+    pub fn absorb_power_poll(
+        &mut self,
+        node: NodeId,
+        out: WireOutcome,
+    ) -> Result<PowerReading, DcmError> {
+        let resp = self.absorb(node, out)?;
+        self.decode_reading(node, resp)
+    }
+
+    /// Absorb a captured Set+Activate cap push (see [`CapPushOutcome`]).
+    /// On full success the cap is remembered and counted exactly as
+    /// [`Dcm::cap_node_via`] would have.
+    pub fn absorb_cap_push(
+        &mut self,
+        node: NodeId,
+        watts: f64,
+        push: CapPushOutcome,
+    ) -> Result<(), DcmError> {
+        self.absorb(node, push.set)?.into_ok().map_err(|e| self.wrap_err(node, e))?;
+        let activate = push.activate.expect("set succeeded, so activate was issued");
+        self.absorb(node, activate)?.into_ok().map_err(|e| self.wrap_err(node, e))?;
+        self.nodes[node.index()].last_cap_w = Some(watts);
+        self.obs.metrics.inc("dcm.caps_pushed");
+        Ok(())
+    }
+
     // ---------------------------------------------------------- transactions
 
     /// DCMI *Get Power Reading* from one node (owned link).
@@ -397,7 +492,9 @@ impl Dcm {
         resp.into_ok().and_then(|p| PowerReading::decode(&p)).map_err(|e| self.wrap_err(node, e))
     }
 
-    fn limit_for(&self, watts: f64) -> PowerLimit {
+    /// The DCMI limit this manager pushes for a cap of `watts` (group
+    /// managers build the same limit their root would).
+    pub fn limit_for(&self, watts: f64) -> PowerLimit {
         PowerLimit {
             limit_w: watts.round() as u16,
             correction_ms: self.correction_ms,
@@ -723,15 +820,5 @@ mod tests {
 
         stop.store(true, Ordering::Relaxed);
         h.join().unwrap();
-    }
-
-    #[test]
-    fn deprecated_add_node_still_registers() {
-        let (mgr, _bmc) = LanChannel::pair();
-        let mut dcm = Dcm::new();
-        #[allow(deprecated)]
-        let id = dcm.add_node("legacy", mgr);
-        assert_eq!(dcm.node_name(id), "legacy");
-        assert_eq!(dcm.len(), 1);
     }
 }

@@ -51,26 +51,42 @@ pub fn allocate(
             }
             // Proportional share, but never below the floor; the excess a
             // floored node frees up is redistributed proportionally.
-            let mut caps: Vec<f64> = demand_w.iter().map(|d| budget_w * d / total).collect();
-            let mut deficit = 0.0;
-            let mut flexible = 0.0;
-            for (c, _) in caps.iter_mut().zip(demand_w) {
-                if *c < floor_w {
-                    deficit += floor_w - *c;
-                    *c = floor_w;
-                } else {
-                    flexible += *c - floor_w;
-                }
-            }
-            if deficit > 0.0 && flexible > 0.0 {
-                let scale = (flexible - deficit) / flexible;
-                for c in caps.iter_mut() {
-                    if *c > floor_w {
-                        *c = floor_w + (*c - floor_w) * scale;
+            //
+            // The floor redistribution is computed in closed form from
+            // aggregate sums rather than by mutating caps in input order:
+            //
+            //   deficit  = n_f·floor − B·S_f/S   (shortfall of floored set)
+            //   flexible = B·S_x/S − n_x·floor   (headroom above the floor)
+            //   cap_i    = floor + (B·d_i/S − floor)·(flexible−deficit)/flexible
+            //
+            // where S is the total demand and (n_f, S_f)/(n_x, S_x) count
+            // and sum the floored/flexible subsets. Each cap then depends
+            // only on the node's own demand and whole-set aggregates —
+            // with integer-valued demands (DCMI readings are whole watts,
+            // and integer sums below 2^53 are exact in f64) the result is
+            // identical no matter how a fleet partitions the input across
+            // group managers. That is the property the hierarchical fleet
+            // barrier's determinism contract leans on.
+            let floored = |d: &f64| budget_w * d / total < floor_w;
+            let n_f = demand_w.iter().filter(|d| floored(d)).count() as f64;
+            let s_f: f64 = demand_w.iter().filter(|d| floored(d)).sum();
+            let deficit = n_f * floor_w - budget_w * s_f / total;
+            let flexible = budget_w * (total - s_f) / total - (n as f64 - n_f) * floor_w;
+            let scale =
+                if deficit > 0.0 && flexible > 0.0 { (flexible - deficit) / flexible } else { 1.0 };
+            demand_w
+                .iter()
+                .map(|d| {
+                    let raw = budget_w * d / total;
+                    if raw < floor_w {
+                        floor_w
+                    } else if scale == 1.0 {
+                        raw
+                    } else {
+                        floor_w + (raw - floor_w) * scale
                     }
-                }
-            }
-            caps
+                })
+                .collect()
         }
         AllocationPolicy::Priority(prio) => {
             assert_eq!(prio.len(), n, "one priority per node");

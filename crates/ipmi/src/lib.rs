@@ -40,5 +40,5 @@ pub use sensor::{SensorId, SensorRead, SensorValue};
 pub use transport::{
     splitmix64, transact_retry, transact_retry_counted, transact_retry_observed, BmcPort,
     FaultDirection, FaultInjector, FaultSpec, FaultStats, LanChannel, ManagerPort, RetryPolicy,
-    Transact,
+    Transact, WireOutcome,
 };

@@ -320,6 +320,33 @@ pub fn transact_retry(
     transact_retry_counted(link, retry, build).0
 }
 
+/// The terminal result of one retried transaction plus how many attempts
+/// it took — everything a deferred observer needs to reconstruct the
+/// retry/timeout story after the fact. Sharded lock-step managers capture
+/// one of these per wire command on worker threads, then replay them into
+/// the root manager's observability sink in canonical node order (see
+/// `capsim_dcm`), keeping the recorded stream independent of how the
+/// fleet was partitioned.
+#[derive(Debug)]
+pub struct WireOutcome {
+    /// What the transaction finally returned.
+    pub result: Result<Response, IpmiError>,
+    /// Attempts spent (≥ 1).
+    pub attempts: u32,
+}
+
+impl WireOutcome {
+    /// Run one retried transaction and capture its outcome.
+    pub fn capture(
+        link: &mut dyn Transact,
+        retry: &RetryPolicy,
+        build: &dyn Fn(u8) -> Request,
+    ) -> WireOutcome {
+        let (result, attempts) = transact_retry_counted(link, retry, build);
+        WireOutcome { result, attempts }
+    }
+}
+
 /// [`transact_retry`], additionally reporting how many attempts were spent
 /// (≥1). The observability layer turns `attempts − 1` into retry counters
 /// and timeout events; callers that don't care use [`transact_retry`].

@@ -169,6 +169,11 @@ pub struct Bmc {
     reboot_at_ms: Option<f64>,
     /// Controller fault: cap commands are acknowledged but not applied.
     lost_cap_commands: bool,
+    /// What the last served `Get Power Reading` answered: `(current_w,
+    /// SEL length at the time)`. Lock-step managers consult
+    /// [`Bmc::poll_would_repeat`] to elide polls that cannot return new
+    /// information.
+    poll_snapshot: Option<(u16, usize)>,
     /// Observability sink for this node (disabled by default: one branch
     /// per site, nothing recorded).
     obs: Obs,
@@ -204,6 +209,7 @@ impl Bmc {
             crashed_at_ms: 0.0,
             reboot_at_ms: None,
             lost_cap_commands: false,
+            poll_snapshot: None,
             obs: Obs::disabled(),
         }
     }
@@ -240,6 +246,46 @@ impl Bmc {
     /// Whether the firmware is crashed (awaiting the watchdog).
     pub fn is_crashed(&self) -> bool {
         self.crashed
+    }
+
+    /// Would a `Get Power Reading` right now repeat the last answer?
+    ///
+    /// True only when firmware is alive, a poll has been served before,
+    /// the SEL has not grown since (SEL growth is the conservative "the
+    /// BMC did something" detector — cap pushes, crashes, throttle-floor
+    /// and correction-time events all append records), and the rounded
+    /// window average still matches the reported watts. A lock-step
+    /// manager may then reuse its cached reading instead of spending a
+    /// wire transaction.
+    pub fn poll_would_repeat(&self) -> bool {
+        !self.crashed
+            && self.poll_snapshot
+                == Some((self.last_telemetry.window_avg_w.round() as u16, self.sel.len()))
+    }
+
+    /// Would a control tick fed steady telemetry of `window_avg_w` watts
+    /// leave every control decision untouched?
+    ///
+    /// True only in the boring steady state: firmware alive, no failsafe
+    /// or violation episode, no guardrail streak in progress, rung 0 with
+    /// no pending correction-time clock, and the reading plausible and
+    /// comfortably under the cap (beyond the de-escalation hysteresis).
+    /// [`crate::Machine::idle`] uses this to fast-forward quiescent idle
+    /// spans.
+    pub fn control_quiescent(&self, window_avg_w: f64) -> bool {
+        !self.crashed
+            && !self.failsafe
+            && !self.violating
+            && self.rung == 0
+            && self.over_cap_since_ms.is_none()
+            && self.implausible_streak == 0
+            && self.stale_streak == 0
+            && window_avg_w.is_finite()
+            && window_avg_w > 0.0
+            && match self.cap() {
+                Some(c) => window_avg_w < c.watts - self.hysteresis_w,
+                None => true,
+            }
     }
 
     /// Controller fault: when set, `Set Power Limit` and `Activate Power
@@ -596,6 +642,7 @@ impl Bmc {
                     window_ms: 1000,
                     active: true,
                 };
+                self.poll_snapshot = Some((reading.current_w, self.sel.len()));
                 Response::ok(req, reading.encode())
             }
             (NetFn::GroupExt, dcmi::CMD_SET_POWER_LIMIT) => match SetPowerLimit::parse(req) {

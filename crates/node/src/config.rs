@@ -23,6 +23,13 @@ pub struct MachineConfig {
     pub meter_window_s: f64,
     /// Branch-predictor table size (log2 entries).
     pub predictor_bits: u32,
+    /// Fast-forward fully quiescent idle spans in one metering window
+    /// instead of ticking through them (see [`crate::Machine::idle`]).
+    /// Default off: single-node experiments keep per-tick metering
+    /// granularity. The fleet engine turns it on — a datacenter's worth
+    /// of mostly-idle nodes is exactly where per-tick idle accounting
+    /// dominates the epoch.
+    pub idle_skip: bool,
     /// Seed for everything stochastic in the machine (replacement streams,
     /// wrong-path addresses). The study averages over several seeds like
     /// the paper averages over five runs.
@@ -41,6 +48,7 @@ impl MachineConfig {
             control_period_us: 200.0,
             meter_window_s: 0.002,
             predictor_bits: 14,
+            idle_skip: false,
             seed,
         }
     }

@@ -468,7 +468,15 @@ impl Machine {
         self.data_stream(base, window, start, stride, count, true);
     }
 
-    #[inline]
+    /// Batched load-stream engine. Per-access work that only a control
+    /// tick can change — the rung's frequency and T-state duty, the
+    /// timing exposure factors — is hoisted out of the access loop, and
+    /// the loop borrows the hierarchy/clock/counters once instead of
+    /// re-resolving `&mut self` per access. The arithmetic is kept
+    /// expression-for-expression identical to [`Machine::data_op`] +
+    /// [`Machine::charge`] and the loop breaks out to [`Machine::tick`]
+    /// at exactly the boundaries the per-access path would have hit, so
+    /// the batch is bit-exact with calling [`Machine::load`] in a loop.
     fn data_stream(
         &mut self,
         base: VAddr,
@@ -479,8 +487,54 @@ impl Machine {
         serial: bool,
     ) {
         debug_assert!(window > 0);
-        for i in 0..count {
-            self.data_op(VAddr(base.0 + (start + stride * i) % window), false, serial);
+        let core_idx = self.active_core;
+        let hidden = self.cfg.hierarchy.l1d.hit_cycles as f64;
+        let base_cycles = self.timing.base_cycles(1);
+        let cache_exposed = self.timing.cache_exposed;
+        let dram_exposed = self.timing.dram_exposed;
+        let advance = core_idx == 0;
+        let mut i = 0u64;
+        while i < count {
+            let f = self.freq_mhz();
+            let duty = self.rung.tstate.duty();
+            let next_tick_ns = self.next_tick_ns;
+            let Machine { hier, clock, freq_meter, cores, win_instr, win_cycles, .. } = self;
+            let core = &mut cores[core_idx];
+            let mut last_vaddr = self.last_data_vaddr;
+            while i < count {
+                let addr = VAddr(base.0 + (start + stride * i) % window);
+                last_vaddr = addr.0;
+                let out = hier.data_access(core_idx, addr, false);
+                core.counters.instructions_committed += 1;
+                core.counters.instructions_executed += 1;
+                core.counters.loads += 1;
+                *win_instr += 1;
+                let (cycles, ns) = if serial {
+                    (out.cycles as f64, out.ns)
+                } else {
+                    (
+                        base_cycles + (out.cycles as f64 - hidden).max(0.0) * cache_exposed,
+                        out.ns * dram_exposed,
+                    )
+                };
+                let unhalted_ns = cycles * 1e3 / f;
+                let wall_ns = unhalted_ns / duty + ns;
+                freq_meter.record(cycles, unhalted_ns);
+                core.unhalted_cycles_f += cycles;
+                core.win_wall_ns += wall_ns;
+                *win_cycles += cycles;
+                i += 1;
+                if advance {
+                    clock.advance_ns(wall_ns);
+                    if clock.now_ns() >= next_tick_ns {
+                        break;
+                    }
+                }
+            }
+            self.last_data_vaddr = last_vaddr;
+            while self.clock.now_ns() >= self.next_tick_ns {
+                self.tick();
+            }
         }
     }
 
@@ -530,14 +584,42 @@ impl Machine {
         assert_eq!(self.active_core, 0, "idle must be driven from core 0");
         let mut remaining_ns = seconds * 1e9;
         while remaining_ns > 0.0 {
-            let step = remaining_ns.min(self.next_tick_ns - self.clock.now_ns()).max(1.0);
-            self.clock.advance_ns(step);
-            self.win_idle_ns += step;
-            remaining_ns -= step;
+            if self.cfg.idle_skip && remaining_ns > self.tick_period_ns && self.idle_quiescent() {
+                // Fast-forward: advance the whole idle span in one jump and
+                // let the catch-up loop below meter it as a single
+                // all-idle window (the empty-window guard in `tick`
+                // swallows the overshot periods). The quiescence gate
+                // guarantees the skipped control ticks would all have been
+                // no-ops, so the only coarsening is metering granularity:
+                // one power/thermal sample over the span instead of one
+                // per period. Sound for lock-step fleet topologies, where
+                // manager traffic only arrives at epoch barriers.
+                self.bmc.obs_mut().metrics.inc("machine.idle_skips");
+                self.clock.advance_ns(remaining_ns);
+                self.win_idle_ns += remaining_ns;
+                remaining_ns = 0.0;
+            } else {
+                let step = remaining_ns.min(self.next_tick_ns - self.clock.now_ns()).max(1.0);
+                self.clock.advance_ns(step);
+                self.win_idle_ns += step;
+                remaining_ns -= step;
+            }
             while self.clock.now_ns() >= self.next_tick_ns {
                 self.tick();
             }
         }
+    }
+
+    /// True when nothing in the machine or its BMC can act before more
+    /// work (or manager traffic at an epoch barrier) arrives, so an idle
+    /// span may be fast-forwarded without changing any control decision.
+    /// Injected faults, frozen telemetry and an attached trace all force
+    /// the slow path — those features want per-tick sampling.
+    fn idle_quiescent(&self) -> bool {
+        self.sensor_fault.is_none()
+            && !self.stale_telemetry
+            && self.trace.is_none()
+            && self.bmc.control_quiescent(self.meter.window_avg_w())
     }
 
     // ------------------------------------------------------ epoch stepping
@@ -786,6 +868,13 @@ impl Machine {
     /// Whether the BMC firmware is currently crashed.
     pub fn bmc_crashed(&self) -> bool {
         self.bmc.is_crashed()
+    }
+
+    /// Would a DCMI power-reading poll of this node's BMC repeat its last
+    /// answer byte for byte? See [`Bmc::poll_would_repeat`] — lock-step
+    /// managers use this to elide redundant polls.
+    pub fn bmc_poll_would_repeat(&self) -> bool {
+        self.bmc.poll_would_repeat()
     }
 
     /// Replace the BMC guardrail tunables (`None` disables guardrails —

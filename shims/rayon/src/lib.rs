@@ -1,20 +1,68 @@
 //! Offline stand-in for `rayon`.
 //!
 //! The build environment cannot fetch crates.io, so this shim provides
-//! the small parallel-iterator surface capsim's sweep runner uses:
-//! `into_par_iter()` / `par_iter()` followed by `.map(...).collect()`.
-//! Work really does run in parallel — items are distributed over
-//! `std::thread::scope` workers (one per available core, capped by the
-//! item count) and results are returned in input order, so it is a
-//! drop-in replacement for deterministic fan-out workloads.
+//! the small parallel-iterator surface capsim's sweep runner and fleet
+//! engine use: `into_par_iter()` / `par_iter()` followed by
+//! `.map(...).collect()`.
+//!
+//! Work really does run in parallel, scheduled by **chunked work
+//! stealing**: the item index space is split into contiguous chunks, one
+//! per worker, held in per-worker deques. A worker drains its own deque
+//! from the front; when it runs dry it steals the *back half* of a
+//! victim's deque (round-robin scan), so one slow item — a node on a deep
+//! throttle rung, a chaos-faulted link burning its retry budget — no
+//! longer leaves the other workers idle behind a static partition.
+//! Results are written into per-index slots and collected in input order,
+//! so the schedule never shows: the shim stays a drop-in replacement for
+//! deterministic fan-out workloads.
+//!
+//! The worker count comes from `CAPSIM_THREADS` when set (≥ 1), else
+//! `std::thread::available_parallelism()`; either way it is resolved once
+//! and cached, not re-queried per call.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+
+/// Resolve the worker-pool size from an optional `CAPSIM_THREADS` value
+/// and the machine's core count. Pure, for testability; the cached entry
+/// point is [`current_num_threads`].
+fn resolve_workers(env: Option<&str>, cores: usize) -> usize {
+    match env.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => cores.max(1),
+    }
+}
+
+/// The configured worker-pool size: `CAPSIM_THREADS` if set, else the
+/// number of available cores. Resolved once per process.
+pub fn current_num_threads() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+        resolve_workers(std::env::var("CAPSIM_THREADS").ok().as_deref(), cores)
+    })
+}
 
 /// Number of worker threads for `n` items.
 fn workers_for(n: usize) -> usize {
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
-    cores.min(n).max(1)
+    current_num_threads().min(n).max(1)
+}
+
+/// Steal the back half (⌈len/2⌉ items) of the first non-empty victim
+/// deque, scanning round-robin from `thief + 1`.
+fn steal_half(queues: &[Mutex<VecDeque<usize>>], thief: usize) -> Option<VecDeque<usize>> {
+    let nw = queues.len();
+    for off in 1..nw {
+        let victim = (thief + off) % nw;
+        let mut q = queues[victim].lock().unwrap();
+        let len = q.len();
+        if len > 0 {
+            // Keep the victim's front half; take the back half. Both
+            // sides stay contiguous index runs, preserving locality.
+            return Some(q.split_off(len - len.div_ceil(2)));
+        }
+    }
+    None
 }
 
 /// Order-preserving parallel map: the engine under `collect()`.
@@ -25,19 +73,51 @@ where
     F: Fn(T) -> O + Sync,
 {
     let n = items.len();
-    if n <= 1 {
+    let nw = workers_for(n);
+    if n <= 1 || nw == 1 {
         return items.into_iter().map(f).collect();
     }
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
     let results: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
+    // Contiguous initial chunks, one deque per worker (the first `n % nw`
+    // chunks are one longer).
+    let queues: Vec<Mutex<VecDeque<usize>>> = {
+        let base = n / nw;
+        let extra = n % nw;
+        let mut start = 0;
+        (0..nw)
+            .map(|w| {
+                let len = base + usize::from(w < extra);
+                let q = (start..start + len).collect();
+                start += len;
+                Mutex::new(q)
+            })
+            .collect()
+    };
     std::thread::scope(|scope| {
-        for _ in 0..workers_for(n) {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
+        for w in 0..nw {
+            let queues = &queues;
+            let slots = &slots;
+            let results = &results;
+            scope.spawn(move || loop {
+                let idx = queues[w].lock().unwrap().pop_front();
+                let idx = match idx {
+                    Some(i) => i,
+                    None => match steal_half(queues, w) {
+                        Some(mut stolen) => {
+                            let first = stolen.pop_front().expect("stolen deque is non-empty");
+                            if !stolen.is_empty() {
+                                queues[w].lock().unwrap().extend(stolen);
+                            }
+                            first
+                        }
+                        // Every deque observed empty: all remaining items
+                        // are claimed and will be finished by their
+                        // claimants. A racing steal can only cost
+                        // parallelism, never drop work.
+                        None => break,
+                    },
+                };
                 let item = slots[idx].lock().unwrap().take().expect("each slot taken once");
                 let out = f(item);
                 *results[idx].lock().unwrap() = Some(out);
@@ -137,6 +217,9 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{resolve_workers, steal_half};
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -153,8 +236,9 @@ mod tests {
 
     #[test]
     fn really_runs_on_multiple_threads() {
-        // With >1 core, at least two distinct thread ids should appear for
-        // a slow-enough workload. On a 1-core box this degenerates safely.
+        // With >1 worker, at least two distinct thread ids should appear
+        // for a slow-enough workload. On a 1-core box this degenerates
+        // safely.
         let ids: Vec<std::thread::ThreadId> = (0..16u64)
             .into_par_iter()
             .map(|_| {
@@ -162,7 +246,7 @@ mod tests {
                 std::thread::current().id()
             })
             .collect();
-        if std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1) > 1 {
+        if super::current_num_threads() > 1 {
             let first = ids[0];
             assert!(ids.iter().any(|&i| i != first), "expected parallel execution");
         }
@@ -174,5 +258,46 @@ mod tests {
         assert!(v.is_empty());
         let v: Vec<u64> = vec![7u64].into_par_iter().map(|x| x + 1).collect();
         assert_eq!(v, vec![8]);
+    }
+
+    #[test]
+    fn skewed_workloads_still_collect_in_order() {
+        // One pathologically slow item at the front: with static chunks
+        // its whole chunk would stall, with stealing the tail is shared.
+        // Either way, the result must be in input order.
+        let v: Vec<u64> = (0..64u64)
+            .into_par_iter()
+            .map(|x| {
+                if x == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                x
+            })
+            .collect();
+        assert_eq!(v, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn env_override_resolution() {
+        assert_eq!(resolve_workers(None, 8), 8);
+        assert_eq!(resolve_workers(Some("3"), 8), 3);
+        assert_eq!(resolve_workers(Some(" 12 "), 1), 12);
+        assert_eq!(resolve_workers(Some("0"), 8), 8, "zero is ignored");
+        assert_eq!(resolve_workers(Some("lots"), 8), 8, "garbage is ignored");
+        assert_eq!(resolve_workers(None, 0), 1, "at least one worker");
+    }
+
+    #[test]
+    fn steal_takes_back_half_and_keeps_victim_front() {
+        let queues =
+            vec![Mutex::new(VecDeque::new()), Mutex::new((10..15).collect::<VecDeque<usize>>())];
+        let stolen = steal_half(&queues, 0).expect("victim has work");
+        assert_eq!(stolen, VecDeque::from(vec![12, 13, 14]), "back half (ceil) stolen");
+        assert_eq!(*queues[1].lock().unwrap(), VecDeque::from(vec![10, 11]));
+        assert!(steal_half(&queues, 0).is_some(), "victim still has its front");
+        let mut q1 = queues[1].lock().unwrap();
+        q1.clear();
+        drop(q1);
+        assert!(steal_half(&queues, 0).is_none(), "all empty: nothing to steal");
     }
 }
