@@ -30,8 +30,11 @@ CAPSIM_SCALE=test cargo run -q --release -p capsim-bench --bin telemetry /tmp/BE
 echo "== chaos smoke (CAPSIM_SCALE=test: scripted scenario, soak, guardrail budget)"
 CAPSIM_SCALE=test cargo run -q --release -p capsim-bench --bin chaos /tmp/BENCH_chaos_ci.json >/dev/null
 
+echo "== policy smoke (CAPSIM_SCALE=test: RL training replay, frontier, chaos per backend)"
+CAPSIM_SCALE=test cargo run -q --release -p capsim-bench --bin policy /tmp/BENCH_policy_ci.json >/dev/null
+
 echo "== bench trajectory files parse and carry their required keys"
-cargo run -q --release -p capsim-bench --bin bench_check -- BENCH_*.json /tmp/BENCH_fleet_ci.json /tmp/BENCH_obs_ci.json /tmp/BENCH_chaos_ci.json
+cargo run -q --release -p capsim-bench --bin bench_check -- BENCH_*.json /tmp/BENCH_fleet_ci.json /tmp/BENCH_obs_ci.json /tmp/BENCH_chaos_ci.json /tmp/BENCH_policy_ci.json
 
 echo "== cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

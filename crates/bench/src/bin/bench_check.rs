@@ -18,7 +18,12 @@
 //!   `overhead_pct`, `within_budget` — and `within_budget` must be true,
 //! * `BENCH_chaos*`: `soak_scenarios_per_sec` positive,
 //!   `guardrail_overhead_pct` numeric, `invariant_violations` exactly 0,
-//!   `within_budget` true.
+//!   `within_budget` true,
+//! * `BENCH_policy*`: `deterministic` true (RL training replayed to the
+//!   same Q-table digest), `invariant_violations` exactly 0 (every
+//!   backend survived scripted chaos), `frontier` a non-empty array of
+//!   per-policy points, each with a non-empty `policy` string and
+//!   positive `energy_j` and `avg_freq_mhz`.
 //!
 //! Unknown `BENCH_*` files only need to parse. Exits non-zero listing
 //! every problem found, so CI catches a bin that wrote garbage.
@@ -266,6 +271,58 @@ fn check_file(path: &str, errors: &mut Vec<String>) {
             }
             None => errors.push(format!("{path}: missing required key \"within_budget\"")),
         }
+    } else if name.starts_with("BENCH_policy") {
+        match map.get("deterministic") {
+            Some(Val::Bool(true)) => {}
+            Some(Val::Bool(false)) => {
+                errors.push(format!("{path}: deterministic is false — RL training replay diverged"))
+            }
+            Some(other) => {
+                errors.push(format!("{path}: deterministic must be a bool, got {other:?}"))
+            }
+            None => errors.push(format!("{path}: missing required key \"deterministic\"")),
+        }
+        match map.get("invariant_violations") {
+            Some(Val::Num(v)) if *v == 0.0 => {}
+            Some(Val::Num(v)) => errors.push(format!(
+                "{path}: invariant_violations must be 0, got {v} — a policy broke chaos invariants"
+            )),
+            Some(other) => {
+                errors.push(format!("{path}: invariant_violations must be a number, got {other:?}"))
+            }
+            None => errors.push(format!("{path}: missing required key \"invariant_violations\"")),
+        }
+        match map.get("frontier") {
+            Some(Val::Arr(points)) if points.is_empty() => {
+                errors.push(format!("{path}: frontier must not be empty"))
+            }
+            Some(Val::Arr(points)) => {
+                for (i, point) in points.iter().enumerate() {
+                    match point.get("policy") {
+                        Some(Val::Str(s)) if !s.is_empty() => {}
+                        Some(other) => errors.push(format!(
+                            "{path}: frontier[{i}].policy must be a non-empty string, got {other:?}"
+                        )),
+                        None => errors
+                            .push(format!("{path}: frontier[{i}] missing required key \"policy\"")),
+                    }
+                    for key in ["energy_j", "avg_freq_mhz"] {
+                        match point.get(key) {
+                            Some(Val::Num(v)) if *v > 0.0 => {}
+                            Some(other) => errors.push(format!(
+                                "{path}: frontier[{i}].{key} must be a positive number, got {other:?}"
+                            )),
+                            None => errors
+                                .push(format!("{path}: frontier[{i}] missing required key {key:?}")),
+                        }
+                    }
+                }
+            }
+            Some(other) => errors.push(format!(
+                "{path}: frontier must be an array of per-policy points, got {other:?}"
+            )),
+            None => errors.push(format!("{path}: missing required key \"frontier\"")),
+        }
     }
 }
 
@@ -379,6 +436,33 @@ mod tests {
         check_file(fleet.to_str().unwrap(), &mut errors);
         assert!(errors.iter().any(|e| e.contains("deterministic is false")), "{errors:?}");
         assert!(errors.iter().any(|e| e.contains("curve")), "{errors:?}");
+
+        let policy = dir.join("BENCH_policy.json");
+        std::fs::write(
+            &policy,
+            "{\"deterministic\": true, \"invariant_violations\": 0, \
+             \"frontier\": [{\"policy\": \"ladder\", \"energy_j\": 1.5, \
+             \"avg_freq_mhz\": 2000.0}]}",
+        )
+        .unwrap();
+        let mut errors = Vec::new();
+        check_file(policy.to_str().unwrap(), &mut errors);
+        assert!(errors.is_empty(), "{errors:?}");
+        std::fs::write(
+            &policy,
+            "{\"deterministic\": false, \"invariant_violations\": 2, \
+             \"frontier\": [{\"policy\": \"rl\", \"energy_j\": -1, \"avg_freq_mhz\": 2000.0}]}",
+        )
+        .unwrap();
+        let mut errors = Vec::new();
+        check_file(policy.to_str().unwrap(), &mut errors);
+        assert!(errors.iter().any(|e| e.contains("deterministic is false")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("invariant_violations")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("frontier[0].energy_j")), "{errors:?}");
+        std::fs::write(&policy, "{\"deterministic\": true, \"invariant_violations\": 0}").unwrap();
+        let mut errors = Vec::new();
+        check_file(policy.to_str().unwrap(), &mut errors);
+        assert!(errors.iter().any(|e| e.contains("frontier")), "{errors:?}");
 
         let unknown = dir.join("BENCH_custom.json");
         std::fs::write(&unknown, "{\"anything\": 1}").unwrap();

@@ -12,6 +12,7 @@
 use capsim_dcm::fleet::{Fleet, FleetBuilder, FleetReport, LoadKind};
 use capsim_ipmi::sel::SelEntry;
 use capsim_node::{Machine, MachineConfig, SensorFault};
+use capsim_policy::CapPolicySpec;
 
 use crate::invariant::{check_outcome, InvariantConfig, Violation};
 use crate::plan::{FaultKind, FaultPlan};
@@ -35,6 +36,10 @@ pub struct ChaosScenario {
     pub plan: FaultPlan,
     pub observe: bool,
     pub invariants: InvariantConfig,
+    /// Pluggable capping policy for every node + the group planner
+    /// (None: the fleet's stock ladder + `AllocationPolicy` path). Lets
+    /// the fault plans double as an adversarial eval for policy backends.
+    pub policy: Option<CapPolicySpec>,
 }
 
 impl ChaosScenario {
@@ -63,6 +68,7 @@ impl ChaosScenario {
             ),
             observe: true,
             invariants: InvariantConfig::default(),
+            policy: None,
         }
     }
 
@@ -83,7 +89,15 @@ impl ChaosScenario {
             plan: FaultPlan::none(),
             observe: false,
             invariants: InvariantConfig::default(),
+            policy: None,
         }
+    }
+
+    /// Run the scenario under a policy backend instead of the stock
+    /// ladder path.
+    pub fn with_policy(mut self, spec: CapPolicySpec) -> ChaosScenario {
+        self.policy = Some(spec);
+        self
     }
 
     /// Simulated length of the run.
@@ -109,6 +123,9 @@ impl ChaosScenario {
         if let Some(kind) = self.load {
             b = b.uniform_load(kind);
         }
+        if let Some(spec) = &self.policy {
+            b = b.cap_policy(spec.build());
+        }
         b.build()
     }
 
@@ -116,7 +133,7 @@ impl ChaosScenario {
         format!(
             "{{\"name\":\"{}\",\"nodes\":{},\"epochs\":{},\"epoch_s\":{},\"seed\":{},\
              \"budget_w\":{},\"load\":{},\"control_period_us\":{},\"meter_window_s\":{},\
-             \"plan\":{}}}",
+             \"policy\":{},\"plan\":{}}}",
             self.name,
             self.nodes,
             self.epochs,
@@ -126,6 +143,7 @@ impl ChaosScenario {
             self.load.map_or("null".into(), |l| format!("\"{l:?}\"")),
             self.control_period_us,
             self.meter_window_s,
+            self.policy.as_ref().map_or("null".into(), |p| format!("\"{}\"", p.name())),
             self.plan.to_json()
         )
     }

@@ -55,6 +55,7 @@ use capsim_node::{CodeBlock, EpochWorkload, Machine, MachineConfig, Region, RunS
 use capsim_obs::{
     events_to_csv, events_to_jsonl, merge_streams, Event, EventKind, MetricsSnapshot,
 };
+use capsim_policy::CapPolicy;
 use rayon::prelude::*;
 
 use crate::manager::{CapPushOutcome, Dcm, NodeHealth, NodeId};
@@ -501,6 +502,7 @@ pub struct FleetBuilder {
     shards: Option<usize>,
     violation_margin_w: f64,
     violation_after: u32,
+    cap_policy: Option<Box<dyn CapPolicy>>,
 }
 
 impl FleetBuilder {
@@ -534,6 +536,7 @@ impl FleetBuilder {
             shards: None,
             violation_margin_w: 10.0,
             violation_after: 3,
+            cap_policy: None,
         }
     }
 
@@ -564,6 +567,18 @@ impl FleetBuilder {
     /// Budget allocation policy.
     pub fn policy(mut self, p: AllocationPolicy) -> Self {
         self.policy = p;
+        self
+    }
+
+    /// Install a pluggable capping policy spanning both layers: every
+    /// node's BMC gets a per-node clone (reseeded from the fleet seed)
+    /// for its control loop, and the root plans group budgets through the
+    /// policy's group half instead of [`FleetBuilder::policy`].
+    ///
+    /// Without this call the fleet runs exactly as before the policy
+    /// layer existed (ladder walk + the configured `AllocationPolicy`).
+    pub fn cap_policy(mut self, policy: Box<dyn CapPolicy>) -> Self {
+        self.cap_policy = Some(policy);
         self
     }
 
@@ -689,6 +704,13 @@ impl FleetBuilder {
                 machine.enable_obs(cap);
             }
             machine.attach_bmc_port(bmc_port);
+            if let Some(policy) = &self.cap_policy {
+                // Per-node instance with its own random stream, derived
+                // from the node seed so replays stay byte-identical.
+                let mut p = policy.clone_box();
+                p.reseed(mix(node_seed, 0xca9_0110));
+                machine.set_cap_policy(p);
+            }
             let kind = self.load.unwrap_or_else(|| {
                 if self.datacenter_mix {
                     LoadKind::datacenter_for_index(i)
@@ -732,6 +754,7 @@ impl FleetBuilder {
             epoch_s: self.epoch_s,
             budget_w,
             policy: self.policy,
+            cap_policy: self.cap_policy,
             parallel: self.parallel,
             polls_per_attempt: self.polls_per_attempt,
             audit_sel: self.audit_sel,
@@ -767,6 +790,7 @@ pub struct Fleet {
     epoch_s: f64,
     budget_w: f64,
     policy: AllocationPolicy,
+    cap_policy: Option<Box<dyn CapPolicy>>,
     parallel: bool,
     polls_per_attempt: u32,
     audit_sel: bool,
@@ -821,6 +845,13 @@ impl Fleet {
     /// epochs).
     pub fn machine_mut(&mut self, index: usize) -> &mut Machine {
         &mut self.nodes[index].machine
+    }
+
+    /// A node's installed cap policy, by registration index. The RL
+    /// trainer uses this after a run to harvest per-node Q-tables (via
+    /// [`CapPolicy::as_any`] downcasts).
+    pub fn node_policy(&self, index: usize) -> &dyn CapPolicy {
+        self.nodes[index].machine.cap_policy()
     }
 
     /// Epoch records accumulated so far.
@@ -986,7 +1017,24 @@ impl Fleet {
         // Reallocate and plan the pushes. A push is elided when the last
         // push fully succeeded (Set *and* Activate) and landed exactly
         // this cap — then the BMC is provably already enforcing it.
-        let caps = self.dcm.plan_allocation(self.budget_w, &self.policy, &demand);
+        let caps = match &self.cap_policy {
+            Some(p) => {
+                let caps = self.dcm.plan_with(self.budget_w, p.as_ref(), &demand);
+                if self.observe {
+                    self.dcm.obs.events.record(
+                        barrier_t_s,
+                        EventKind::PolicyPlan {
+                            policy: p.name(),
+                            epoch,
+                            answered: demand.len() as u32,
+                            granted_w: caps.iter().map(|&(_, c)| c).sum(),
+                        },
+                    );
+                }
+                caps
+            }
+            None => self.dcm.plan_allocation(self.budget_w, &self.policy, &demand),
+        };
         self.ctrl.planned.fill(None);
         let mut pushes_skipped = 0u64;
         for &(id, cap) in &caps {

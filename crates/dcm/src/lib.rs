@@ -17,9 +17,11 @@ pub mod fleet;
 pub mod manager;
 pub mod monitor;
 pub mod policy;
+pub mod train;
 
 pub use error::DcmError;
 pub use fleet::{EpochRecord, Fleet, FleetBuilder, FleetReport, LoadKind, NodeSummary, PumpedLink};
 pub use manager::{CapPushOutcome, Dcm, NodeHealth, NodeId};
 pub use monitor::{read_sel, read_sel_via, violation_count, FleetMonitor, PowerHistory};
 pub use policy::AllocationPolicy;
+pub use train::{train_rl, EpisodeScore, RlTrainConfig, RlTrainReport};

@@ -26,6 +26,7 @@ use capsim_obs::{EventKind, Obs};
 
 use crate::error::DcmError;
 use crate::policy::{allocate, AllocationPolicy};
+use capsim_policy::{CapPolicy, GroupDemand};
 
 fn health_label(h: NodeHealth) -> &'static str {
     match h {
@@ -591,13 +592,36 @@ impl Dcm {
         let demand_w: Vec<f64> = demand.iter().map(|&(_, w)| w).collect();
         let policy = match policy {
             // Priority vectors are fleet-wide; project onto the answering
-            // subset so the allocator sees one priority per node.
-            AllocationPolicy::Priority(p) => {
-                AllocationPolicy::Priority(demand.iter().map(|&(id, _)| p[id.index()]).collect())
-            }
+            // subset so the allocator sees one priority per node. Nodes
+            // past the end of the table rank last — a table that lags a
+            // node join degrades instead of panicking.
+            AllocationPolicy::Priority(p) => AllocationPolicy::Priority(
+                demand
+                    .iter()
+                    .map(|&(id, _)| p.get(id.index()).copied().unwrap_or(u8::MAX))
+                    .collect(),
+            ),
             other => other.clone(),
         };
         let caps = allocate(&policy, budget_w, &demand_w, self.floor_w);
+        demand.iter().map(|&(id, _)| id).zip(caps).collect()
+    }
+
+    /// Like [`Dcm::plan_allocation`], but through a pluggable
+    /// [`CapPolicy`]'s group-level half. The policy sees fleet-wide node
+    /// indices alongside the demand, so identity-keyed schemes project
+    /// correctly onto a partial answering set.
+    pub fn plan_with(
+        &self,
+        budget_w: f64,
+        policy: &dyn CapPolicy,
+        demand: &[(NodeId, f64)],
+    ) -> Vec<(NodeId, f64)> {
+        let group: Vec<GroupDemand> = demand
+            .iter()
+            .map(|&(id, w)| GroupDemand { node: id.index() as u32, demand_w: w })
+            .collect();
+        let caps = policy.group_allocate(budget_w, &group, self.floor_w);
         demand.iter().map(|&(id, _)| id).zip(caps).collect()
     }
 
@@ -670,7 +694,7 @@ mod tests {
                 max_w: power_w,
                 die_temp_c: 60.0,
                 inlet_temp_c: 27.0,
-                now_ms: 0.0,
+                ..BmcTelemetry::default()
             });
             while !stop.load(Ordering::Relaxed) {
                 if bmc.serve(&port).is_err() {

@@ -1,163 +1,9 @@
-//! Group power-budget allocation policies.
+//! Group power-budget allocation policies (re-exported).
 //!
-//! Given a total budget and each node's current demand (its measured
-//! power), a policy returns per-node caps in watts. All policies respect a
-//! per-node floor — capping a node below its idle power is useless, as the
-//! paper's Table II floor (~124 W vs the 120 W cap) demonstrates.
+//! The allocation math moved to `capsim-policy` when the pluggable
+//! [`capsim_policy::CapPolicy`] layer was extracted — the same rules now
+//! double as the group-level half of the default ladder backend. The DCM
+//! re-exports them so existing paths (`capsim_dcm::AllocationPolicy`,
+//! `capsim_dcm::policy::allocate`) keep working unchanged.
 
-/// How a group budget is divided across nodes.
-#[derive(Clone, Debug, PartialEq)]
-pub enum AllocationPolicy {
-    /// Everyone gets `budget / n`.
-    Uniform,
-    /// Caps proportional to current demand: busy nodes get more headroom.
-    ProportionalToDemand,
-    /// Nodes are served in priority order (lower number = higher
-    /// priority): each gets its full demand until the budget runs out;
-    /// the rest get the floor.
-    Priority(Vec<u8>),
-}
-
-/// Compute per-node caps.
-///
-/// * `budget_w` — group budget.
-/// * `demand_w` — current measured power per node.
-/// * `floor_w` — minimum useful cap (≈ the node's throttle floor).
-///
-/// The returned caps sum to ≤ `max(budget_w, n × floor_w)`; if the budget
-/// cannot cover the floors, every node gets the floor (the group is
-/// over-committed, mirroring DCM's behaviour of throttling everything to
-/// the bone and raising alerts).
-pub fn allocate(
-    policy: &AllocationPolicy,
-    budget_w: f64,
-    demand_w: &[f64],
-    floor_w: f64,
-) -> Vec<f64> {
-    let n = demand_w.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let min_total = floor_w * n as f64;
-    if budget_w <= min_total {
-        return vec![floor_w; n];
-    }
-    match policy {
-        AllocationPolicy::Uniform => vec![budget_w / n as f64; n],
-        AllocationPolicy::ProportionalToDemand => {
-            let total: f64 = demand_w.iter().sum();
-            if total <= 0.0 {
-                return vec![budget_w / n as f64; n];
-            }
-            // Proportional share, but never below the floor; the excess a
-            // floored node frees up is redistributed proportionally.
-            //
-            // The floor redistribution is computed in closed form from
-            // aggregate sums rather than by mutating caps in input order:
-            //
-            //   deficit  = n_f·floor − B·S_f/S   (shortfall of floored set)
-            //   flexible = B·S_x/S − n_x·floor   (headroom above the floor)
-            //   cap_i    = floor + (B·d_i/S − floor)·(flexible−deficit)/flexible
-            //
-            // where S is the total demand and (n_f, S_f)/(n_x, S_x) count
-            // and sum the floored/flexible subsets. Each cap then depends
-            // only on the node's own demand and whole-set aggregates —
-            // with integer-valued demands (DCMI readings are whole watts,
-            // and integer sums below 2^53 are exact in f64) the result is
-            // identical no matter how a fleet partitions the input across
-            // group managers. That is the property the hierarchical fleet
-            // barrier's determinism contract leans on.
-            let floored = |d: &f64| budget_w * d / total < floor_w;
-            let n_f = demand_w.iter().filter(|d| floored(d)).count() as f64;
-            let s_f: f64 = demand_w.iter().filter(|d| floored(d)).sum();
-            let deficit = n_f * floor_w - budget_w * s_f / total;
-            let flexible = budget_w * (total - s_f) / total - (n as f64 - n_f) * floor_w;
-            let scale =
-                if deficit > 0.0 && flexible > 0.0 { (flexible - deficit) / flexible } else { 1.0 };
-            demand_w
-                .iter()
-                .map(|d| {
-                    let raw = budget_w * d / total;
-                    if raw < floor_w {
-                        floor_w
-                    } else if scale == 1.0 {
-                        raw
-                    } else {
-                        floor_w + (raw - floor_w) * scale
-                    }
-                })
-                .collect()
-        }
-        AllocationPolicy::Priority(prio) => {
-            assert_eq!(prio.len(), n, "one priority per node");
-            let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by_key(|&i| prio[i]);
-            let mut caps = vec![floor_w; n];
-            let mut remaining = budget_w - min_total;
-            for &i in &order {
-                let want = (demand_w[i] - floor_w).max(0.0) + 10.0; // headroom
-                let grant = want.min(remaining);
-                caps[i] = floor_w + grant;
-                remaining -= grant;
-            }
-            // Whatever is left goes to the highest-priority node.
-            if remaining > 0.0 {
-                caps[order[0]] += remaining;
-            }
-            caps
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    const FLOOR: f64 = 110.0;
-
-    #[test]
-    fn uniform_splits_evenly() {
-        let caps = allocate(&AllocationPolicy::Uniform, 600.0, &[150.0, 120.0, 130.0], FLOOR);
-        assert_eq!(caps, vec![200.0, 200.0, 200.0]);
-    }
-
-    #[test]
-    fn proportional_gives_busy_nodes_more() {
-        let caps = allocate(&AllocationPolicy::ProportionalToDemand, 300.0, &[160.0, 120.0], FLOOR);
-        assert!(caps[0] > caps[1]);
-        assert!((caps.iter().sum::<f64>() - 300.0).abs() < 1e-9);
-        assert!(caps.iter().all(|&c| c >= FLOOR));
-    }
-
-    #[test]
-    fn proportional_respects_the_floor() {
-        let caps = allocate(&AllocationPolicy::ProportionalToDemand, 280.0, &[250.0, 20.0], FLOOR);
-        assert!(caps[1] >= FLOOR);
-        assert!((caps.iter().sum::<f64>() - 280.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn priority_serves_high_priority_first() {
-        let caps = allocate(
-            &AllocationPolicy::Priority(vec![1, 0, 2]),
-            360.0,
-            &[155.0, 155.0, 155.0],
-            FLOOR,
-        );
-        // Node 1 (priority 0) gets its demand + headroom first.
-        assert!(caps[1] > caps[0]);
-        assert!(caps[0] >= caps[2] - 1e-9);
-        assert!(caps.iter().all(|&c| c >= FLOOR));
-    }
-
-    #[test]
-    fn overcommitted_budget_floors_everyone() {
-        let caps = allocate(&AllocationPolicy::Uniform, 100.0, &[150.0, 150.0], FLOOR);
-        assert_eq!(caps, vec![FLOOR, FLOOR]);
-    }
-
-    #[test]
-    fn empty_group_is_fine() {
-        assert!(allocate(&AllocationPolicy::Uniform, 100.0, &[], FLOOR).is_empty());
-    }
-}
+pub use capsim_policy::{allocate, AllocationPolicy};

@@ -26,6 +26,7 @@ use capsim_ipmi::sel::{
 use capsim_ipmi::sensor::{SensorId, SensorRead, SensorValue, CMD_GET_SENSOR_READING};
 use capsim_ipmi::{BmcPort, CompletionCode, IpmiError, NetFn, Request, Response};
 use capsim_obs::{EventKind, Obs, RungCause};
+use capsim_policy::{CapDecision, CapPolicy, LadderCapPolicy, NodeCapView};
 
 use crate::ladder::{Rung, ThrottleLadder};
 
@@ -124,6 +125,11 @@ pub struct BmcTelemetry {
     pub max_w: f64,
     pub die_temp_c: f64,
     pub inlet_temp_c: f64,
+    /// Fraction of the window the cores were busy (0..=1); input to the
+    /// capping policy, not forwarded over DCMI.
+    pub busy_frac: f64,
+    /// Achieved issue-slot utilization over the window (0..=1).
+    pub issue_frac: f64,
     /// Simulated time of the sample in milliseconds (drives the DCMI
     /// correction-time clock and SEL timestamps).
     pub now_ms: f64,
@@ -177,6 +183,10 @@ pub struct Bmc {
     /// Observability sink for this node (disabled by default: one branch
     /// per site, nothing recorded).
     obs: Obs,
+    /// The capping-policy backend consulted each control period. The
+    /// default [`LadderCapPolicy`] reproduces the pre-trait walk
+    /// bit-for-bit; guardrails run in the BMC regardless of backend.
+    policy: Box<dyn CapPolicy>,
 }
 
 impl Bmc {
@@ -211,7 +221,20 @@ impl Bmc {
             lost_cap_commands: false,
             poll_snapshot: None,
             obs: Obs::disabled(),
+            policy: Box::new(LadderCapPolicy::new()),
         }
+    }
+
+    /// Install a capping-policy backend (default: the ladder walk). The
+    /// policy decides rungs; guardrails, correction time and the SEL
+    /// paper trail stay in the firmware regardless.
+    pub fn set_policy(&mut self, policy: Box<dyn CapPolicy>) {
+        self.policy = policy;
+    }
+
+    /// The installed capping-policy backend.
+    pub fn policy(&self) -> &dyn CapPolicy {
+        self.policy.as_ref()
     }
 
     /// Replace the guardrail tunables; `None` disables all guardrails.
@@ -282,10 +305,11 @@ impl Bmc {
             && self.stale_streak == 0
             && window_avg_w.is_finite()
             && window_avg_w > 0.0
-            && match self.cap() {
-                Some(c) => window_avg_w < c.watts - self.hysteresis_w,
-                None => true,
-            }
+            && self.policy.node_quiescent(
+                window_avg_w,
+                self.cap().map(|c| c.watts),
+                self.hysteresis_w,
+            )
     }
 
     /// Controller fault: when set, `Set Power Limit` and `Activate Power
@@ -536,51 +560,78 @@ impl Bmc {
         };
         let avg = telemetry.window_avg_w;
         let old = self.rung;
-        if avg > cap {
-            if self.rung == self.ladder.deepest() {
-                // Ladder exhausted: count an exception, keep throttling.
-                self.exceptions += 1;
-                self.obs.metrics.inc("bmc.floor_ticks");
-                if !self.floor_logged {
-                    self.floor_logged = true;
-                    self.log_sel(
-                        telemetry.now_ms as u64,
-                        SelEventType::ThrottleFloorReached,
-                        avg.round() as u16,
-                    );
-                    self.obs.events.record(now_s, EventKind::ThrottleFloor { window_w: avg });
+        let view = NodeCapView {
+            cap_w: cap,
+            window_avg_w: avg,
+            hysteresis_w: self.hysteresis_w,
+            rung: self.rung,
+            deepest: self.ladder.deepest(),
+            busy_frac: telemetry.busy_frac,
+            issue_frac: telemetry.issue_frac,
+            now_ms: telemetry.now_ms,
+        };
+        match self.policy.node_decide(&view) {
+            CapDecision::Hold => {}
+            CapDecision::Escalate => {
+                if self.rung == self.ladder.deepest() {
+                    // Ladder exhausted: count an exception, keep throttling.
+                    self.note_throttle_floor(avg, telemetry.now_ms, now_s);
+                } else {
+                    self.move_rung(self.rung + 1, RungCause::OverCap, avg, now_s);
                 }
-            } else {
-                self.rung += 1;
-                self.escalations += 1;
-                self.obs.metrics.inc("bmc.escalations");
-                self.obs.events.record(
-                    now_s,
-                    EventKind::RungChange {
-                        from: old as u32,
-                        to: self.rung as u32,
-                        cause: RungCause::OverCap,
-                        window_w: avg,
-                    },
-                );
             }
-        } else if avg < cap - self.hysteresis_w && self.rung > 0 {
-            self.rung -= 1;
-            self.deescalations += 1;
-            self.obs.metrics.inc("bmc.deescalations");
-            self.obs.events.record(
-                now_s,
-                EventKind::RungChange {
-                    from: old as u32,
-                    to: self.rung as u32,
-                    cause: RungCause::UnderCap,
-                    window_w: avg,
-                },
-            );
+            CapDecision::Deescalate => {
+                if self.rung > 0 {
+                    self.move_rung(self.rung - 1, RungCause::UnderCap, avg, now_s);
+                }
+            }
+            CapDecision::SetRung(target) => {
+                let target = target.min(self.ladder.deepest());
+                if target != self.rung {
+                    self.obs.metrics.inc("policy.jumps");
+                    self.move_rung(target, RungCause::Policy, avg, now_s);
+                }
+                if avg > cap && self.rung == self.ladder.deepest() {
+                    self.note_throttle_floor(avg, telemetry.now_ms, now_s);
+                }
+            }
         }
         self.track_violation(cap, avg, now_s);
         self.track_correction_time(cap, avg, telemetry.now_ms);
         (self.rung != old).then(|| self.current())
+    }
+
+    /// Apply a rung move decided by the policy, with the same counters
+    /// and event stream the inline walk maintained.
+    fn move_rung(&mut self, to: usize, cause: RungCause, window_w: f64, now_s: f64) {
+        let from = self.rung;
+        if to == from {
+            return;
+        }
+        if to > from {
+            self.escalations += 1;
+            self.obs.metrics.inc("bmc.escalations");
+        } else {
+            self.deescalations += 1;
+            self.obs.metrics.inc("bmc.deescalations");
+        }
+        self.rung = to;
+        self.obs.events.record(
+            now_s,
+            EventKind::RungChange { from: from as u32, to: to as u32, cause, window_w },
+        );
+    }
+
+    /// Exhausted-ladder bookkeeping: count the exception and log the
+    /// throttle floor once per episode.
+    fn note_throttle_floor(&mut self, avg: f64, now_ms: f64, now_s: f64) {
+        self.exceptions += 1;
+        self.obs.metrics.inc("bmc.floor_ticks");
+        if !self.floor_logged {
+            self.floor_logged = true;
+            self.log_sel(now_ms as u64, SelEventType::ThrottleFloorReached, avg.round() as u16);
+            self.obs.events.record(now_s, EventKind::ThrottleFloor { window_w: avg });
+        }
     }
 
     /// DCMI correction-time semantics: if the node stays above the cap

@@ -18,6 +18,7 @@
 //! ```
 
 use capsim_ipmi::BmcPort;
+use capsim_policy::CapPolicy;
 
 use crate::bmc::PowerCap;
 use crate::config::MachineConfig;
@@ -32,12 +33,20 @@ pub struct MachineBuilder {
     cap_w: Option<f64>,
     bmc_port: Option<BmcPort>,
     trace_capacity: Option<usize>,
+    cap_policy: Option<Box<dyn CapPolicy>>,
 }
 
 impl MachineBuilder {
     /// Start from an arbitrary configuration.
     pub fn from_config(cfg: MachineConfig) -> Self {
-        MachineBuilder { cfg, ladder: None, cap_w: None, bmc_port: None, trace_capacity: None }
+        MachineBuilder {
+            cfg,
+            ladder: None,
+            cap_w: None,
+            bmc_port: None,
+            trace_capacity: None,
+            cap_policy: None,
+        }
     }
 
     /// The paper's platform: dual Xeon E5-2680 node, turbo off.
@@ -106,6 +115,14 @@ impl MachineBuilder {
         self
     }
 
+    /// Install a capping-policy backend on the BMC. The default is the
+    /// ladder walk ([`capsim_policy::LadderCapPolicy`]); governor and
+    /// tabular-RL backends live in `capsim-policy`.
+    pub fn cap_policy(mut self, policy: Box<dyn CapPolicy>) -> Self {
+        self.cap_policy = Some(policy);
+        self
+    }
+
     /// Apply a power cap at construction (in-band shortcut; management
     /// over IPMI uses [`MachineBuilder::bmc_port`]).
     pub fn cap_w(mut self, watts: f64) -> Self {
@@ -140,6 +157,9 @@ impl MachineBuilder {
         }
         if let Some(cap) = self.trace_capacity {
             m.enable_trace(cap);
+        }
+        if let Some(policy) = self.cap_policy {
+            m.set_cap_policy(policy);
         }
         m
     }

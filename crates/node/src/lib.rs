@@ -16,6 +16,11 @@
 //! every load/store/branch/block is charged through the hierarchy and the
 //! timing model, so counters, time, power and energy all emerge from the
 //! same execution.
+//!
+//! The rung *decision* each control period is pluggable: the BMC consults
+//! a [`capsim_policy::CapPolicy`] backend (re-exported here as
+//! [`policy`]), defaulting to the ladder walk described above. Guardrails
+//! and the SEL paper trail stay in the firmware whatever the backend.
 
 pub mod bmc;
 pub mod builder;
@@ -25,6 +30,8 @@ pub mod machine;
 pub mod powercap;
 pub mod region;
 pub mod trace;
+
+pub use capsim_policy as policy;
 
 pub use bmc::{Bmc, BmcTelemetry, GuardrailConfig, InvalidPowerCap, PowerCap};
 pub use builder::MachineBuilder;

@@ -276,6 +276,17 @@ impl Machine {
         self.bmc.cap()
     }
 
+    /// Install a capping-policy backend on the node's BMC (default: the
+    /// ladder walk).
+    pub fn set_cap_policy(&mut self, policy: Box<dyn capsim_policy::CapPolicy>) {
+        self.bmc.set_policy(policy);
+    }
+
+    /// The BMC's installed capping-policy backend.
+    pub fn cap_policy(&self) -> &dyn capsim_policy::CapPolicy {
+        self.bmc.policy()
+    }
+
     /// Service pending out-of-band requests once, outside the control
     /// loop. Normally the BMC serves during control ticks; after a run
     /// finishes (no more ticks) a management thread can keep the node
@@ -745,6 +756,8 @@ impl Machine {
             max_w: self.max_power_w,
             die_temp_c: self.thermal.temp_c(),
             inlet_temp_c: 27.0,
+            busy_frac,
+            issue_frac: issue_ratio,
             now_ms: now * 1e-6,
         });
         if let Some(rung) = self.bmc.control(telemetry) {

@@ -21,6 +21,9 @@ pub enum RungCause {
     Failsafe,
     /// BMC firmware rebooted; volatile control state (the rung) reset.
     Reboot,
+    /// A non-default capping policy jumped straight to a rung (multi-rung
+    /// governor/RL moves; the ladder walk never emits this).
+    Policy,
 }
 
 impl RungCause {
@@ -31,6 +34,7 @@ impl RungCause {
             RungCause::CapCleared => "cap_cleared",
             RungCause::Failsafe => "failsafe",
             RungCause::Reboot => "reboot",
+            RungCause::Policy => "policy",
         }
     }
 }
@@ -76,6 +80,9 @@ pub enum EventKind {
     CapViolation { cap_w: f64, window_w: f64 },
     /// Cap-violation episode ended (sustained readings back under cap).
     CapViolationEnded { cap_w: f64 },
+    /// A pluggable `CapPolicy` planned the group budget at a barrier
+    /// (recorded only when a non-default policy backend is installed).
+    PolicyPlan { policy: &'static str, epoch: u32, answered: u32, granted_w: f64 },
 }
 
 impl EventKind {
@@ -101,6 +108,7 @@ impl EventKind {
             EventKind::FailsafeReleased => "failsafe_released",
             EventKind::CapViolation { .. } => "cap_violation",
             EventKind::CapViolationEnded { .. } => "cap_violation_ended",
+            EventKind::PolicyPlan { .. } => "policy_plan",
         }
     }
 
@@ -138,6 +146,9 @@ impl EventKind {
                 format!("cap_w={cap_w};window_w={window_w}")
             }
             EventKind::CapViolationEnded { cap_w } => format!("cap_w={cap_w}"),
+            EventKind::PolicyPlan { policy, epoch, answered, granted_w } => {
+                format!("policy={policy};epoch={epoch};answered={answered};granted_w={granted_w}")
+            }
         }
     }
 
@@ -199,6 +210,12 @@ impl EventKind {
             }
             EventKind::CapViolationEnded { cap_w } => {
                 let _ = write!(out, r#","cap_w":{cap_w}"#);
+            }
+            EventKind::PolicyPlan { policy, epoch, answered, granted_w } => {
+                let _ = write!(
+                    out,
+                    r#","policy":"{policy}","epoch":{epoch},"answered":{answered},"granted_w":{granted_w}"#
+                );
             }
         }
     }

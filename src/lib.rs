@@ -31,6 +31,7 @@ pub use capsim_ipmi as ipmi;
 pub use capsim_mem as mem;
 pub use capsim_node as node;
 pub use capsim_obs as obs;
+pub use capsim_policy as policy;
 pub use capsim_power as power;
 
 pub mod error;
@@ -44,10 +45,15 @@ pub mod prelude {
     pub use capsim_chaos::{ChaosScenario, FaultKind, FaultPlan, InvariantConfig, SoakConfig};
     pub use capsim_core::{CapSweep, ExperimentConfig, RunMetrics};
     pub use capsim_dcm::{
-        AllocationPolicy, Dcm, Fleet, FleetBuilder, FleetReport, NodeHealth, NodeId,
+        train_rl, AllocationPolicy, Dcm, Fleet, FleetBuilder, FleetReport, NodeHealth, NodeId,
+        RlTrainConfig, RlTrainReport,
     };
     pub use capsim_ipmi::{FaultSpec, RetryPolicy, Transact};
     pub use capsim_mem::{HierarchyConfig, MemReconfig};
     pub use capsim_node::{Machine, MachineBuilder, MachineConfig, PowerCap};
     pub use capsim_obs::{Event, EventKind, EventLog, Metrics, MetricsSnapshot, Obs};
+    pub use capsim_policy::{
+        CapDecision, CapPolicy, CapPolicySpec, GovernorCapPolicy, GovernorConfig, LadderCapPolicy,
+        NodeCapView, QTable, RlCapPolicy, RlConfig,
+    };
 }

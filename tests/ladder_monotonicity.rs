@@ -1,0 +1,78 @@
+//! The throttle ladder's ordering claim, checked end-to-end: walking the
+//! machine down every rung must never *raise* power and never *shorten*
+//! execution — for both of the paper's applications. The BMC's whole
+//! control design (and every policy backend's action space) leans on this
+//! total order.
+//!
+//! Each rung is profiled with a [`PinnedRungPolicy`], which holds the
+//! machine at exactly that rung for a whole run — a closed-loop policy
+//! could never promise that.
+
+use capsim::apps::{SireRsm, StereoMatching, Workload};
+use capsim::node::{MachineBuilder, RunStats, ThrottleLadder};
+use capsim::policy::PinnedRungPolicy;
+
+/// Adjacent rungs can be near-ties (a deep rung that swaps duty cycling
+/// for memory gating may land within noise of its neighbor); allow a
+/// small relative wobble without letting a real inversion through.
+const REL_TOL: f64 = 0.02;
+
+fn run_at_rung(app: &mut dyn Workload, rung: usize, seed: u64) -> RunStats {
+    let mut m = MachineBuilder::e5_2680()
+        .seed(seed)
+        .fast_control()
+        // Any active cap works: the pinned policy ignores telemetry, the
+        // cap only keeps the BMC consulting it every control period.
+        .cap_w(135.0)
+        .cap_policy(Box::new(PinnedRungPolicy::new(rung)))
+        .build();
+    app.run(&mut m);
+    m.finish_run()
+}
+
+fn ladder_depth() -> usize {
+    let cfg = capsim::node::MachineConfig::e5_2680(0);
+    ThrottleLadder::e5_2680(&cfg.pstates, cfg.full_mem()).deepest()
+}
+
+fn assert_monotone(app_name: &str, mk: &dyn Fn() -> Box<dyn Workload>, seed: u64) {
+    let deepest = ladder_depth();
+    let mut prev: Option<(usize, RunStats)> = None;
+    for rung in 0..=deepest {
+        let stats = run_at_rung(mk().as_mut(), rung, seed);
+        if let Some((prev_rung, prev_stats)) = &prev {
+            assert!(
+                stats.avg_power_w <= prev_stats.avg_power_w * (1.0 + REL_TOL),
+                "{app_name}: power rose walking rung {prev_rung} -> {rung}: {} -> {} W",
+                prev_stats.avg_power_w,
+                stats.avg_power_w
+            );
+            assert!(
+                stats.wall_s >= prev_stats.wall_s * (1.0 - REL_TOL),
+                "{app_name}: run got faster walking rung {prev_rung} -> {rung}: {} -> {} s",
+                prev_stats.wall_s,
+                stats.wall_s
+            );
+        }
+        prev = Some((rung, stats));
+    }
+    // The order must also have range: the deepest rung is materially
+    // slower and cooler than unthrottled, or the ladder does nothing.
+    let top = run_at_rung(mk().as_mut(), 0, seed);
+    let (_, bottom) = prev.expect("at least one rung");
+    assert!(bottom.wall_s > top.wall_s * 2.0, "deepest rung barely throttles");
+    // Deep rungs trade frequency for stalls, so *average* power floors
+    // out well above zero (idle/uncore draw dominates a stalled machine);
+    // a 15 % drop is still far beyond the per-step tolerance.
+    assert!(bottom.avg_power_w < top.avg_power_w * 0.85, "deepest rung barely saves power");
+}
+
+#[test]
+fn sire_rsm_power_and_performance_fall_monotonically_down_the_ladder() {
+    assert_monotone("sire_rsm", &|| Box::new(SireRsm::test_scale(1)), 1);
+}
+
+#[test]
+fn stereo_matching_power_and_performance_fall_monotonically_down_the_ladder() {
+    assert_monotone("stereo", &|| Box::new(StereoMatching::test_scale(1)), 1);
+}
