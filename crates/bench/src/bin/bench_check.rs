@@ -23,7 +23,14 @@
 //!   same Q-table digest), `invariant_violations` exactly 0 (every
 //!   backend survived scripted chaos), `frontier` a non-empty array of
 //!   per-policy points, each with a non-empty `policy` string and
-//!   positive `energy_j` and `avg_freq_mhz`.
+//!   positive `energy_j` and `avg_freq_mhz`,
+//! * `BENCH_traffic*`: `deterministic` true (emergency replay identical
+//!   across thread/shard twins), `invariant_violations` exactly 0,
+//!   positive `throughput_rps`, `p99_ms` and `energy_j`; `ladder` a
+//!   non-empty array of cap rungs with positive `budget_w_per_node` and
+//!   `p99_ms`; `frontier` a non-empty array of per-policy points, each
+//!   with a non-empty `policy` string, positive `energy_j` and numeric
+//!   `slo_viol_per_kj`.
 //!
 //! Unknown `BENCH_*` files only need to parse. Exits non-zero listing
 //! every problem found, so CI catches a bin that wrote garbage.
@@ -323,6 +330,92 @@ fn check_file(path: &str, errors: &mut Vec<String>) {
             )),
             None => errors.push(format!("{path}: missing required key \"frontier\"")),
         }
+    } else if name.starts_with("BENCH_traffic") {
+        for key in ["throughput_rps", "p99_ms", "energy_j"] {
+            require_pos_num(key, errors);
+        }
+        match map.get("deterministic") {
+            Some(Val::Bool(true)) => {}
+            Some(Val::Bool(false)) => {
+                errors.push(format!("{path}: deterministic is false — emergency replay diverged"))
+            }
+            Some(other) => {
+                errors.push(format!("{path}: deterministic must be a bool, got {other:?}"))
+            }
+            None => errors.push(format!("{path}: missing required key \"deterministic\"")),
+        }
+        match map.get("invariant_violations") {
+            Some(Val::Num(v)) if *v == 0.0 => {}
+            Some(Val::Num(v)) => errors.push(format!(
+                "{path}: invariant_violations must be 0, got {v} — emergency broke invariants"
+            )),
+            Some(other) => {
+                errors.push(format!("{path}: invariant_violations must be a number, got {other:?}"))
+            }
+            None => errors.push(format!("{path}: missing required key \"invariant_violations\"")),
+        }
+        match map.get("ladder") {
+            Some(Val::Arr(points)) if points.is_empty() => {
+                errors.push(format!("{path}: ladder must not be empty"))
+            }
+            Some(Val::Arr(points)) => {
+                for (i, point) in points.iter().enumerate() {
+                    for key in ["budget_w_per_node", "p99_ms"] {
+                        match point.get(key) {
+                            Some(Val::Num(v)) if *v > 0.0 => {}
+                            Some(other) => errors.push(format!(
+                                "{path}: ladder[{i}].{key} must be a positive number, got {other:?}"
+                            )),
+                            None => errors
+                                .push(format!("{path}: ladder[{i}] missing required key {key:?}")),
+                        }
+                    }
+                }
+            }
+            Some(other) => {
+                errors.push(format!("{path}: ladder must be an array of cap rungs, got {other:?}"))
+            }
+            None => errors.push(format!("{path}: missing required key \"ladder\"")),
+        }
+        match map.get("frontier") {
+            Some(Val::Arr(points)) if points.is_empty() => {
+                errors.push(format!("{path}: frontier must not be empty"))
+            }
+            Some(Val::Arr(points)) => {
+                for (i, point) in points.iter().enumerate() {
+                    match point.get("policy") {
+                        Some(Val::Str(s)) if !s.is_empty() => {}
+                        Some(other) => errors.push(format!(
+                            "{path}: frontier[{i}].policy must be a non-empty string, got {other:?}"
+                        )),
+                        None => errors
+                            .push(format!("{path}: frontier[{i}] missing required key \"policy\"")),
+                    }
+                    match point.get("energy_j") {
+                        Some(Val::Num(v)) if *v > 0.0 => {}
+                        Some(other) => errors.push(format!(
+                            "{path}: frontier[{i}].energy_j must be a positive number, got {other:?}"
+                        )),
+                        None => errors.push(format!(
+                            "{path}: frontier[{i}] missing required key \"energy_j\""
+                        )),
+                    }
+                    match point.get("slo_viol_per_kj") {
+                        Some(Val::Num(_)) => {}
+                        Some(other) => errors.push(format!(
+                            "{path}: frontier[{i}].slo_viol_per_kj must be a number, got {other:?}"
+                        )),
+                        None => errors.push(format!(
+                            "{path}: frontier[{i}] missing required key \"slo_viol_per_kj\""
+                        )),
+                    }
+                }
+            }
+            Some(other) => errors.push(format!(
+                "{path}: frontier must be an array of per-policy points, got {other:?}"
+            )),
+            None => errors.push(format!("{path}: missing required key \"frontier\"")),
+        }
     }
 }
 
@@ -463,6 +556,35 @@ mod tests {
         let mut errors = Vec::new();
         check_file(policy.to_str().unwrap(), &mut errors);
         assert!(errors.iter().any(|e| e.contains("frontier")), "{errors:?}");
+
+        let traffic = dir.join("BENCH_traffic.json");
+        std::fs::write(
+            &traffic,
+            "{\"throughput_rps\": 5e6, \"p99_ms\": 1.87, \"energy_j\": 17.5, \
+             \"deterministic\": true, \"invariant_violations\": 0, \
+             \"ladder\": [{\"budget_w_per_node\": 118, \"p99_ms\": 1.88}], \
+             \"frontier\": [{\"policy\": \"governor\", \"energy_j\": 5.8, \
+             \"slo_viol_per_kj\": 161285.0}]}",
+        )
+        .unwrap();
+        let mut errors = Vec::new();
+        check_file(traffic.to_str().unwrap(), &mut errors);
+        assert!(errors.is_empty(), "{errors:?}");
+        std::fs::write(
+            &traffic,
+            "{\"throughput_rps\": 5e6, \"p99_ms\": 1.87, \"energy_j\": 17.5, \
+             \"deterministic\": false, \"invariant_violations\": 3, \
+             \"ladder\": [], \
+             \"frontier\": [{\"policy\": \"\", \"energy_j\": 5.8}]}",
+        )
+        .unwrap();
+        let mut errors = Vec::new();
+        check_file(traffic.to_str().unwrap(), &mut errors);
+        assert!(errors.iter().any(|e| e.contains("deterministic is false")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("invariant_violations")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("ladder must not be empty")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("frontier[0].policy")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("slo_viol_per_kj")), "{errors:?}");
 
         let unknown = dir.join("BENCH_custom.json");
         std::fs::write(&unknown, "{\"anything\": 1}").unwrap();

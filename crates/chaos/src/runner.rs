@@ -9,9 +9,9 @@
 //! schedule is the declared schedule quantized to the epoch grid —
 //! deterministically, for any seed.
 
-use capsim_dcm::fleet::{Fleet, FleetBuilder, FleetReport, LoadKind};
+use capsim_dcm::fleet::{Fleet, FleetBuilder, FleetReport};
 use capsim_ipmi::sel::SelEntry;
-use capsim_node::{Machine, MachineConfig, SensorFault};
+use capsim_node::{LoadKind, Machine, MachineConfig, SensorFault, WorkloadSpec};
 use capsim_policy::CapPolicySpec;
 
 use crate::invariant::{check_outcome, InvariantConfig, Violation};
@@ -29,10 +29,15 @@ pub struct ChaosScenario {
     pub seed: u64,
     /// Group budget in watts (None: the fleet default of 135 W/node).
     pub budget_w: Option<f64>,
-    /// Uniform workload for every node (None: round-robin mix).
-    pub load: Option<LoadKind>,
+    /// Workload every node is built with (the fleet's round-robin mix by
+    /// default; [`WorkloadSpec::Custom`] plugs in request-serving traffic).
+    pub workload: WorkloadSpec,
     pub control_period_us: f64,
     pub meter_window_s: f64,
+    /// Explicit group-manager shard count (None: the fleet's automatic
+    /// topology). Any value must produce byte-identical results — the
+    /// traffic bench sweeps this to prove it.
+    pub shards: Option<usize>,
     pub plan: FaultPlan,
     pub observe: bool,
     pub invariants: InvariantConfig,
@@ -57,9 +62,10 @@ impl ChaosScenario {
             epoch_s: 1.0,
             seed: 42,
             budget_w: None,
-            load: Some(LoadKind::Pulse),
+            workload: WorkloadSpec::Uniform(LoadKind::Pulse),
             control_period_us: 20_000.0,
             meter_window_s: 0.1,
+            shards: None,
             plan: FaultPlan::none().window(1, 10.0, 15.0, FaultKind::SensorDropout).window(
                 2,
                 20.0,
@@ -83,9 +89,10 @@ impl ChaosScenario {
             epoch_s: 5e-4,
             seed,
             budget_w: None,
-            load: None,
+            workload: WorkloadSpec::RoundRobin,
             control_period_us: 10.0,
             meter_window_s: 2e-4,
+            shards: None,
             plan: FaultPlan::none(),
             observe: false,
             invariants: InvariantConfig::default(),
@@ -120,8 +127,9 @@ impl ChaosScenario {
         if let Some(w) = self.budget_w {
             b = b.budget_w(w);
         }
-        if let Some(kind) = self.load {
-            b = b.uniform_load(kind);
+        b = b.workload(self.workload.clone());
+        if let Some(k) = self.shards {
+            b = b.shards(k);
         }
         if let Some(spec) = &self.policy {
             b = b.cap_policy(spec.build());
@@ -132,7 +140,7 @@ impl ChaosScenario {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"name\":\"{}\",\"nodes\":{},\"epochs\":{},\"epoch_s\":{},\"seed\":{},\
-             \"budget_w\":{},\"load\":{},\"control_period_us\":{},\"meter_window_s\":{},\
+             \"budget_w\":{},\"workload\":\"{}\",\"control_period_us\":{},\"meter_window_s\":{},\
              \"policy\":{},\"plan\":{}}}",
             self.name,
             self.nodes,
@@ -140,7 +148,7 @@ impl ChaosScenario {
             self.epoch_s,
             self.seed,
             self.budget_w.map_or("null".into(), |w| w.to_string()),
-            self.load.map_or("null".into(), |l| format!("\"{l:?}\"")),
+            self.workload.name(),
             self.control_period_us,
             self.meter_window_s,
             self.policy.as_ref().map_or("null".into(), |p| format!("\"{}\"", p.name())),

@@ -51,7 +51,7 @@ use capsim_ipmi::{
     splitmix64, CompletionCode, FaultSpec, FaultStats, GetPowerReading, IpmiError, LanChannel,
     ManagerPort, PowerLimit, PowerReading, Request, Response, RetryPolicy, Transact, WireOutcome,
 };
-use capsim_node::{CodeBlock, EpochWorkload, Machine, MachineConfig, Region, RunStats};
+use capsim_node::{EpochWorkload, Machine, MachineConfig, RunStats};
 use capsim_obs::{
     events_to_csv, events_to_jsonl, merge_streams, Event, EventKind, MetricsSnapshot,
 };
@@ -117,104 +117,16 @@ impl Transact for PumpedLink<'_> {
     }
 }
 
-/// Synthetic workload mix for a fleet node.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum LoadKind {
-    /// ALU-bound: hot loop out of L1.
-    Compute,
-    /// Memory-bound: strided loads over a working set.
-    Stream,
-    /// Both, plus a mostly-predictable branch.
-    Mixed,
-    /// Bursty: a dense burst of mixed work followed by a ~4 ms idle gap.
-    /// Power swings between near-TDP and idle floor within one epoch —
-    /// the load that stresses guardrail plausibility checks and the
-    /// violation detector's hysteresis.
-    Pulse,
-}
-
-impl LoadKind {
-    fn for_index(i: usize) -> LoadKind {
-        match i % 3 {
-            0 => LoadKind::Compute,
-            1 => LoadKind::Stream,
-            _ => LoadKind::Mixed,
-        }
-    }
-
-    /// Datacenter-shaped duty-cycle assignment: a minority of nodes runs
-    /// sustained Compute/Stream/Mixed work while the majority sits in
-    /// bursty [`LoadKind::Pulse`] loads that are mostly idle — the
-    /// utilization profile the idle fast-forward and poll-elision paths
-    /// are built for. Select with [`FleetBuilder::datacenter_mix`].
-    pub fn datacenter_for_index(i: usize) -> LoadKind {
-        // 3 sustained-busy nodes per 16 (~19% busy) — datacenter fleets
-        // run far below peak on average, which is the premise of group
-        // power capping in the first place.
-        match i % 16 {
-            0 => LoadKind::Compute,
-            1 => LoadKind::Stream,
-            2 => LoadKind::Mixed,
-            _ => LoadKind::Pulse,
-        }
-    }
-}
-
-/// A self-contained epoch workload built from machine primitives.
-struct SyntheticLoad {
-    kind: LoadKind,
-    block: CodeBlock,
-    region: Region,
-    i: u64,
-}
-
-impl SyntheticLoad {
-    fn new(m: &mut Machine, kind: LoadKind) -> Self {
-        let block = m.code_block(96, 24);
-        let region = m.alloc(64 * 1024);
-        SyntheticLoad { kind, block, region, i: 0 }
-    }
-}
-
-impl EpochWorkload for SyntheticLoad {
-    fn quantum(&mut self, m: &mut Machine) {
-        let start = (self.i * 64) % self.region.bytes();
-        match self.kind {
-            LoadKind::Compute => {
-                for _ in 0..4 {
-                    m.exec_block(&self.block);
-                }
-                m.compute(1000);
-            }
-            LoadKind::Stream => {
-                m.exec_block(&self.block);
-                m.load_stream(self.region.base(), self.region.bytes(), start, 64, 64);
-            }
-            LoadKind::Mixed => {
-                for _ in 0..2 {
-                    m.exec_block(&self.block);
-                }
-                m.load_stream(self.region.base(), self.region.bytes(), start, 64, 32);
-                m.branch(&self.block, !self.i.is_multiple_of(7));
-            }
-            LoadKind::Pulse => {
-                for _ in 0..8 {
-                    m.exec_block(&self.block);
-                }
-                m.load_stream(self.region.base(), self.region.bytes(), start, 64, 64);
-                m.compute(2000);
-                m.idle(4e-3);
-            }
-        }
-        self.i += 1;
-    }
-}
+// Workload construction moved to capsim-node's `workload` module (so the
+// chaos and traffic layers can build workloads without depending on the
+// fleet engine); re-exported here to keep historical paths compiling.
+pub use capsim_node::workload::{LoadKind, SyntheticLoad, WorkloadSpec};
 
 struct SimNode {
     id: NodeId,
     port: ManagerPort,
     machine: Machine,
-    load: SyntheticLoad,
+    load: Box<dyn EpochWorkload>,
 }
 
 /// One shard's manager in the hierarchical budget tree: owns the wire
@@ -276,7 +188,7 @@ impl GroupManager {
             skipped: 0,
         };
         for (n, &skip_ok) in nodes.iter_mut().zip(can_skip) {
-            n.machine.step(epoch_s, &mut n.load);
+            n.machine.step(epoch_s, n.load.as_mut());
             if skip_ok && n.machine.bmc_poll_would_repeat() {
                 report.skipped += 1;
                 report.outcomes.push(PollOutcome::Skipped);
@@ -479,6 +391,96 @@ impl FleetReport {
     pub fn responsive(&self) -> usize {
         self.summaries.iter().filter(|n| n.health.is_responsive()).count()
     }
+
+    /// Whole-fleet energy accounting, folded from the per-node summaries.
+    /// Always available — energy is metered ground truth, not telemetry.
+    pub fn energy(&self) -> EnergySummary {
+        let energy_j: f64 = self.summaries.iter().map(|s| s.energy_j).sum();
+        let node_s: f64 = self.summaries.iter().map(|s| s.wall_s).sum();
+        let wall_s = self.summaries.iter().map(|s| s.wall_s).fold(0.0, f64::max);
+        EnergySummary {
+            energy_j,
+            wall_s,
+            avg_node_power_w: if node_s > 0.0 { energy_j / node_s } else { 0.0 },
+        }
+    }
+
+    /// Latency/goodput accounting for request-serving runs. `Some` when
+    /// the fleet ran with observability on and a traffic workload that
+    /// records the [`capsim_node::workload::traffic_keys`] series; `None`
+    /// for batch-kernel fleets. The raw snapshot stays available under
+    /// [`FleetReport::obs`] for export.
+    pub fn traffic(&self) -> Option<TrafficSummary> {
+        use capsim_node::workload::traffic_keys as keys;
+        let m = &self.obs.as_ref()?.metrics;
+        let arrivals = m.counter(keys::ARRIVALS);
+        if arrivals == 0 {
+            return None;
+        }
+        let completed = m.counter(keys::COMPLETED);
+        let (mean_ms, p50_ms, p99_ms, p999_ms) = match m.hist(keys::LATENCY_MS) {
+            Some(h) => (h.mean(), h.quantile(0.50), h.quantile(0.99), h.quantile(0.999)),
+            None => (0.0, 0.0, 0.0, 0.0),
+        };
+        let horizon_s = self.epochs as f64 * self.epoch_s;
+        Some(TrafficSummary {
+            arrivals,
+            completed,
+            shed: m.counter(keys::SHED),
+            slo_violations: m.counter(keys::SLO_VIOLATIONS),
+            mean_ms,
+            p50_ms,
+            p99_ms,
+            p999_ms,
+            goodput_rps: if horizon_s > 0.0 { completed as f64 / horizon_s } else { 0.0 },
+        })
+    }
+
+    /// The power-emergency headline metric: SLO violations per joule of
+    /// fleet energy — how much service pain each unit of spent energy
+    /// bought under the active capping policy. `None` for non-traffic
+    /// runs or zero-energy fleets.
+    pub fn slo_violations_per_joule(&self) -> Option<f64> {
+        let t = self.traffic()?;
+        let e = self.energy().energy_j;
+        (e > 0.0).then(|| t.slo_violations as f64 / e)
+    }
+}
+
+/// Fleet-level energy totals, derived from [`NodeSummary`] ground truth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergySummary {
+    /// Total metered energy across every node, joules.
+    pub energy_j: f64,
+    /// Longest per-node wall time (the fleet's simulated makespan).
+    pub wall_s: f64,
+    /// Mean per-node power: total energy over total node-seconds.
+    pub avg_node_power_w: f64,
+}
+
+/// Fleet-level request-serving summary, read from the merged obs
+/// snapshot's `traffic.*` series (see
+/// [`capsim_node::workload::traffic_keys`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrafficSummary {
+    /// Requests offered fleet-wide (admitted + shed).
+    pub arrivals: u64,
+    /// Requests fully served.
+    pub completed: u64,
+    /// Requests dropped at full queues.
+    pub shed: u64,
+    /// Completions that missed the SLO latency threshold.
+    pub slo_violations: u64,
+    /// Mean completion latency, milliseconds.
+    pub mean_ms: f64,
+    /// Median completion latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile completion latency, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile completion latency, milliseconds.
+    pub p999_ms: f64,
+    /// Completions per simulated second over the configured horizon.
+    pub goodput_rps: f64,
 }
 
 /// Fluent constructor for a [`Fleet`].
@@ -497,8 +499,7 @@ pub struct FleetBuilder {
     dead: Vec<usize>,
     audit_sel: bool,
     observe: Option<usize>,
-    load: Option<LoadKind>,
-    datacenter_mix: bool,
+    workload: WorkloadSpec,
     shards: Option<usize>,
     violation_margin_w: f64,
     violation_after: u32,
@@ -531,8 +532,7 @@ impl FleetBuilder {
             dead: Vec::new(),
             audit_sel: true,
             observe: None,
-            load: None,
-            datacenter_mix: false,
+            workload: WorkloadSpec::RoundRobin,
             shards: None,
             violation_margin_w: 10.0,
             violation_after: 3,
@@ -643,18 +643,33 @@ impl FleetBuilder {
         self
     }
 
-    /// Give every node the same workload kind instead of the default
-    /// round-robin Compute/Stream/Mixed assignment.
-    pub fn uniform_load(mut self, kind: LoadKind) -> Self {
-        self.load = Some(kind);
+    /// Select the workload every node is built with. The default is
+    /// [`WorkloadSpec::RoundRobin`]; [`WorkloadSpec::Custom`] plugs in
+    /// external generators like capsim-traffic's request queues.
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        self.workload = spec;
         self
+    }
+
+    /// Give every node the same workload kind instead of the default
+    /// round-robin Compute/Stream/Mixed assignment. Shorthand for
+    /// [`FleetBuilder::workload`] with [`WorkloadSpec::Uniform`].
+    pub fn uniform_load(self, kind: LoadKind) -> Self {
+        self.workload(WorkloadSpec::Uniform(kind))
     }
 
     /// Assign loads with [`LoadKind::datacenter_for_index`] — a mostly
     /// idle, bursty utilization profile — instead of the round-robin
-    /// busy default. Ignored when [`FleetBuilder::uniform_load`] is set.
+    /// busy default. Ignored when an explicit workload
+    /// ([`FleetBuilder::uniform_load`] / [`FleetBuilder::workload`]) is
+    /// already set; `datacenter_mix(false)` restores the round-robin
+    /// default.
     pub fn datacenter_mix(mut self, on: bool) -> Self {
-        self.datacenter_mix = on;
+        self.workload = match (on, &self.workload) {
+            (true, WorkloadSpec::RoundRobin) => WorkloadSpec::DatacenterMix,
+            (false, WorkloadSpec::DatacenterMix) => WorkloadSpec::RoundRobin,
+            _ => return self,
+        };
         self
     }
 
@@ -711,14 +726,9 @@ impl FleetBuilder {
                 p.reseed(mix(node_seed, 0xca9_0110));
                 machine.set_cap_policy(p);
             }
-            let kind = self.load.unwrap_or_else(|| {
-                if self.datacenter_mix {
-                    LoadKind::datacenter_for_index(i)
-                } else {
-                    LoadKind::for_index(i)
-                }
-            });
-            let load = SyntheticLoad::new(&mut machine, kind);
+            // Per-node workload seed, distinct from the fault and policy
+            // streams so custom generators can't alias either.
+            let load = self.workload.build_for(&mut machine, i, mix(node_seed, 0x10ad_5eed));
             let id = dcm.register(format!("n{i:04}"));
             nodes.push(SimNode { id, port, machine, load });
         }

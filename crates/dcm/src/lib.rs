@@ -20,7 +20,10 @@ pub mod policy;
 pub mod train;
 
 pub use error::DcmError;
-pub use fleet::{EpochRecord, Fleet, FleetBuilder, FleetReport, LoadKind, NodeSummary, PumpedLink};
+pub use fleet::{
+    EnergySummary, EpochRecord, Fleet, FleetBuilder, FleetReport, LoadKind, NodeSummary,
+    PumpedLink, TrafficSummary, WorkloadSpec,
+};
 pub use manager::{CapPushOutcome, Dcm, NodeHealth, NodeId};
 pub use monitor::{read_sel, read_sel_via, violation_count, FleetMonitor, PowerHistory};
 pub use policy::AllocationPolicy;

@@ -30,6 +30,7 @@ pub mod machine;
 pub mod powercap;
 pub mod region;
 pub mod trace;
+pub mod workload;
 
 pub use capsim_policy as policy;
 
@@ -41,3 +42,4 @@ pub use machine::{EpochWorkload, Machine, RunStats, SensorFault};
 pub use powercap::{PowercapError, PowercapFs};
 pub use region::{CodeBlock, Region};
 pub use trace::{RunTrace, TraceSample};
+pub use workload::{LoadKind, SyntheticLoad, WorkloadFactory, WorkloadSpec};

@@ -1002,6 +1002,14 @@ impl Machine {
         self.bmc.obs()
     }
 
+    /// Mutable access to the observability sink, for workloads that
+    /// account their own series (e.g. request latency histograms). Costs
+    /// nothing when observability is disabled — the sink's mutators are
+    /// one-branch no-ops.
+    pub fn obs_mut(&mut self) -> &mut capsim_obs::Obs {
+        self.bmc.obs_mut()
+    }
+
     /// The trace, if enabled.
     pub fn trace(&self) -> Option<&RunTrace> {
         self.trace.as_ref()

@@ -20,7 +20,7 @@ pub mod metrics;
 pub use events::{
     events_to_csv, events_to_jsonl, merge_streams, Event, EventKind, EventLog, RungCause,
 };
-pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use metrics::{Histogram, HistogramSnapshot, LogBuckets, Metrics, MetricsSnapshot};
 
 /// Metrics + events for one observed component (a BMC, a DCM, a fleet).
 #[derive(Clone, Debug, PartialEq)]

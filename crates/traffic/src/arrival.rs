@@ -1,0 +1,197 @@
+//! Seeded open-loop arrival processes.
+//!
+//! Arrivals are *open-loop*: the offered rate is a function of simulated
+//! time alone, never of how the fleet is coping — which is exactly what
+//! makes power emergencies painful. A node that throttles under a deep
+//! cap does not slow its arrivals down; the queue grows and the tail
+//! stretches.
+//!
+//! Every process is reproducible from one splitmix seed: draw `k` of a
+//! process is `splitmix64(seed, k)`, so the sequence is a pure function
+//! of `(curves, seed)` with no hidden RNG state. Inter-arrival gaps are
+//! exponential at the instantaneous rate (a piecewise-inhomogeneous
+//! Poisson approximation evaluated at the previous arrival), so constant
+//! curves yield a textbook Poisson stream.
+
+use capsim_ipmi::splitmix64;
+
+/// Minimum effective rate: a zero-rate curve still yields (astronomically
+/// spaced) arrivals instead of dividing by zero.
+const MIN_RATE_RPS: f64 = 1e-9;
+
+/// One component of an offered-load trace. Rates are per node, in
+/// requests per simulated second; a trace sums its components.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalCurve {
+    /// Flat offered load.
+    Constant { rps: f64 },
+    /// Raised-cosine day/night swing: `base_rps` at the trough,
+    /// `peak_rps` mid-period, repeating every `period_s`.
+    Diurnal { base_rps: f64, peak_rps: f64, period_s: f64 },
+    /// A step spike: `base_rps` outside `[start_s, end_s)`, `spike_rps`
+    /// inside.
+    FlashCrowd { base_rps: f64, spike_rps: f64, start_s: f64, end_s: f64 },
+}
+
+impl ArrivalCurve {
+    /// Instantaneous offered rate at simulated time `t_s`.
+    pub fn rate_at(&self, t_s: f64) -> f64 {
+        match *self {
+            ArrivalCurve::Constant { rps } => rps,
+            ArrivalCurve::Diurnal { base_rps, peak_rps, period_s } => {
+                let phase = (t_s / period_s) * std::f64::consts::TAU;
+                base_rps + (peak_rps - base_rps) * 0.5 * (1.0 - phase.cos())
+            }
+            ArrivalCurve::FlashCrowd { base_rps, spike_rps, start_s, end_s } => {
+                if t_s >= start_s && t_s < end_s {
+                    spike_rps
+                } else {
+                    base_rps
+                }
+            }
+        }
+    }
+
+    /// The same curve with every rate multiplied by `factor` (used for
+    /// per-node hot/cold scaling in datacenter mixes).
+    pub fn scaled(&self, factor: f64) -> ArrivalCurve {
+        match *self {
+            ArrivalCurve::Constant { rps } => ArrivalCurve::Constant { rps: rps * factor },
+            ArrivalCurve::Diurnal { base_rps, peak_rps, period_s } => ArrivalCurve::Diurnal {
+                base_rps: base_rps * factor,
+                peak_rps: peak_rps * factor,
+                period_s,
+            },
+            ArrivalCurve::FlashCrowd { base_rps, spike_rps, start_s, end_s } => {
+                ArrivalCurve::FlashCrowd {
+                    base_rps: base_rps * factor,
+                    spike_rps: spike_rps * factor,
+                    start_s,
+                    end_s,
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic arrival-time generator over a sum of curves.
+#[derive(Clone, Debug)]
+pub struct ArrivalProcess {
+    curves: Vec<ArrivalCurve>,
+    seed: u64,
+    draws: u64,
+    next_s: f64,
+}
+
+/// Map a u64 draw onto `[0, 1)` with 53 bits of precision.
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl ArrivalProcess {
+    /// A process whose first arrival is sampled from `t = 0`.
+    pub fn new(curves: Vec<ArrivalCurve>, seed: u64) -> Self {
+        let mut p = ArrivalProcess { curves, seed, draws: 0, next_s: 0.0 };
+        p.next_s = p.sample_gap(0.0);
+        p
+    }
+
+    /// Summed instantaneous rate at `t_s`, clamped positive.
+    pub fn rate_at(&self, t_s: f64) -> f64 {
+        self.curves.iter().map(|c| c.rate_at(t_s)).sum::<f64>().max(MIN_RATE_RPS)
+    }
+
+    /// Arrival time of the next request (does not consume it).
+    pub fn peek(&self) -> f64 {
+        self.next_s
+    }
+
+    /// Consume and return the next arrival time, sampling its successor.
+    pub fn pop(&mut self) -> f64 {
+        let t = self.next_s;
+        self.next_s = t + self.sample_gap(t);
+        t
+    }
+
+    fn sample_gap(&mut self, from_s: f64) -> f64 {
+        self.draws += 1;
+        let u = unit(splitmix64(self.seed, self.draws));
+        // Inverse-CDF exponential; `1 - u` keeps the argument in (0, 1].
+        // The floor keeps arrival times strictly increasing even on the
+        // 2^-53 draw where `u` is exactly zero.
+        (-(1.0 - u).ln()).max(1e-12) / self.rate_at(from_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let curves = vec![ArrivalCurve::Constant { rps: 1000.0 }];
+        let mut a = ArrivalProcess::new(curves.clone(), 7);
+        let mut b = ArrivalProcess::new(curves, 7);
+        for _ in 0..256 {
+            assert_eq!(a.pop().to_bits(), b.pop().to_bits());
+        }
+    }
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        let mut p = ArrivalProcess::new(
+            vec![
+                ArrivalCurve::Diurnal { base_rps: 100.0, peak_rps: 5000.0, period_s: 0.01 },
+                ArrivalCurve::FlashCrowd {
+                    base_rps: 0.0,
+                    spike_rps: 20_000.0,
+                    start_s: 0.002,
+                    end_s: 0.004,
+                },
+            ],
+            3,
+        );
+        let mut last = -1.0;
+        for _ in 0..1024 {
+            let t = p.pop();
+            assert!(t > last, "arrivals must strictly increase");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_arrivals_in_the_spike() {
+        let mut p = ArrivalProcess::new(
+            vec![ArrivalCurve::FlashCrowd {
+                base_rps: 100.0,
+                spike_rps: 100_000.0,
+                start_s: 0.01,
+                end_s: 0.02,
+            }],
+            11,
+        );
+        let mut in_spike = 0usize;
+        let mut total = 0usize;
+        loop {
+            let t = p.pop();
+            if t > 0.03 {
+                break;
+            }
+            total += 1;
+            if (0.01..0.02).contains(&t) {
+                in_spike += 1;
+            }
+        }
+        assert!(total > 500, "spike produced {total} arrivals");
+        assert!(in_spike as f64 > 0.95 * total as f64, "spike holds {in_spike}/{total} arrivals");
+    }
+
+    #[test]
+    fn diurnal_rate_swings_between_base_and_peak() {
+        let c = ArrivalCurve::Diurnal { base_rps: 10.0, peak_rps: 110.0, period_s: 1.0 };
+        assert!((c.rate_at(0.0) - 10.0).abs() < 1e-9);
+        assert!((c.rate_at(0.5) - 110.0).abs() < 1e-9);
+        assert!((c.rate_at(1.0) - 10.0).abs() < 1e-6);
+        assert!((c.scaled(2.0).rate_at(0.5) - 220.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,325 @@
+//! Bounded request queues mapped onto the machine-stepping API.
+//!
+//! A [`TrafficWorkload`] is an [`EpochWorkload`]: each quantum it (1)
+//! admits every arrival due by the machine's current simulated time into
+//! a bounded FIFO — overflow is *shed*, the open-loop generator never
+//! backs off — then (2) either serves one quantum of the head request's
+//! demand through machine primitives (so service time, power and energy
+//! all emerge from the same throttled execution), or idles toward the
+//! next arrival when the queue is empty. Completion latency is
+//! queueing + service delay, measured on the machine clock and recorded
+//! into the log-spaced `traffic.latency_ms` histogram along with the
+//! completed/shed/SLO counters (see
+//! [`capsim_node::workload::traffic_keys`]).
+//!
+//! Because service demand is charged through `Machine`, a node throttled
+//! to a deep rung serves each quantum more slowly on the *simulated*
+//! clock; queues lengthen and the latency tail stretches — the mechanism
+//! the SLO-per-joule experiment measures.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use capsim_ipmi::splitmix64;
+use capsim_node::workload::traffic_keys as keys;
+use capsim_node::{CodeBlock, EpochWorkload, Machine, Region, WorkloadFactory, WorkloadSpec};
+
+use crate::arrival::{ArrivalCurve, ArrivalProcess};
+
+/// Salt separating the service-demand draw stream from the arrival
+/// stream of the same node.
+const DEMAND_SALT: u64 = 0xdeaa_4d5a_1700_0001;
+
+/// Idle slice when the queue is empty: long enough for the machine's
+/// idle fast-forward to matter, short enough that admissions stay
+/// timely relative to sub-millisecond fleet epochs.
+const IDLE_SLICE_S: f64 = 2e-4;
+
+/// How a request exercises the node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ServiceKind {
+    /// ALU-bound quanta.
+    Compute,
+    /// Memory-streaming quanta.
+    Stream,
+    /// Both plus a branch.
+    Mixed,
+}
+
+impl ServiceKind {
+    fn for_request(k: u64) -> ServiceKind {
+        match k % 3 {
+            0 => ServiceKind::Compute,
+            1 => ServiceKind::Stream,
+            _ => ServiceKind::Mixed,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Request {
+    arrival_s: f64,
+    quanta: u32,
+    kind: ServiceKind,
+}
+
+/// Config-driven description of a request-serving workload — the traffic
+/// analogue of `CapPolicySpec`. Clone it into scenarios and benches;
+/// [`TrafficSpec::workload`] turns it into a [`WorkloadSpec`] the fleet
+/// builder accepts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrafficSpec {
+    /// Offered-load components, summed per node (rates are per node).
+    pub curves: Vec<ArrivalCurve>,
+    /// Queue bound; arrivals beyond it are shed.
+    pub queue_bound: usize,
+    /// SLO threshold on completion latency, milliseconds.
+    pub slo_ms: f64,
+    /// Service demand drawn uniformly from `quanta_min..=quanta_max`.
+    pub quanta_min: u32,
+    /// See `quanta_min`.
+    pub quanta_max: u32,
+    /// Scale per-node rates with the datacenter duty-cycle shape: the
+    /// busy minority (3 nodes per 16) takes 4× the rate of the mostly
+    /// idle majority.
+    pub datacenter_mix: bool,
+}
+
+impl TrafficSpec {
+    /// Flat offered load of `rps` requests per node-second.
+    pub fn constant(rps: f64) -> TrafficSpec {
+        TrafficSpec {
+            curves: vec![ArrivalCurve::Constant { rps }],
+            queue_bound: 64,
+            slo_ms: 0.25,
+            quanta_min: 1,
+            quanta_max: 4,
+            datacenter_mix: false,
+        }
+    }
+
+    /// A trace built from explicit curve components.
+    pub fn from_curves(curves: Vec<ArrivalCurve>) -> TrafficSpec {
+        TrafficSpec { curves, ..TrafficSpec::constant(0.0) }
+    }
+
+    /// Set the queue bound.
+    pub fn queue_bound(mut self, bound: usize) -> TrafficSpec {
+        self.queue_bound = bound.max(1);
+        self
+    }
+
+    /// Set the SLO latency threshold in milliseconds.
+    pub fn slo_ms(mut self, ms: f64) -> TrafficSpec {
+        self.slo_ms = ms;
+        self
+    }
+
+    /// Enable datacenter hot/cold rate scaling.
+    pub fn datacenter_mix(mut self, on: bool) -> TrafficSpec {
+        self.datacenter_mix = on;
+        self
+    }
+
+    /// The node-index rate multiplier for this spec.
+    fn scale_for(&self, index: usize) -> f64 {
+        if !self.datacenter_mix {
+            return 1.0;
+        }
+        // Mirror `LoadKind::datacenter_for_index`: 3 hot nodes per 16.
+        if index % 16 < 3 {
+            4.0
+        } else {
+            1.0
+        }
+    }
+
+    /// Wrap this spec as a [`WorkloadSpec`] for `FleetBuilder::workload`
+    /// or `ChaosScenario`.
+    pub fn workload(self) -> WorkloadSpec {
+        WorkloadSpec::Custom(Arc::new(TrafficFactory { spec: self }))
+    }
+}
+
+/// [`WorkloadFactory`] adapter: builds one [`TrafficWorkload`] per node,
+/// with arrival and demand streams derived from the node's fleet seed.
+#[derive(Clone, Debug)]
+pub struct TrafficFactory {
+    spec: TrafficSpec,
+}
+
+impl WorkloadFactory for TrafficFactory {
+    fn name(&self) -> &'static str {
+        "traffic"
+    }
+
+    fn build(&self, m: &mut Machine, index: usize, seed: u64) -> Box<dyn EpochWorkload> {
+        let scale = self.spec.scale_for(index);
+        let curves = self.spec.curves.iter().map(|c| c.scaled(scale)).collect();
+        Box::new(TrafficWorkload::new(m, &self.spec, curves, seed))
+    }
+}
+
+/// The per-node request server. See the module docs for semantics.
+pub struct TrafficWorkload {
+    arrivals: ArrivalProcess,
+    queue: VecDeque<Request>,
+    bound: usize,
+    slo_ms: f64,
+    quanta_min: u32,
+    quanta_span: u32,
+    demand_seed: u64,
+    /// Requests admitted or shed so far (indexes the demand stream).
+    offered: u64,
+    /// Service quanta executed so far (strides the working set).
+    served: u64,
+    queue_peak: usize,
+    block: CodeBlock,
+    region: Region,
+}
+
+impl TrafficWorkload {
+    fn new(m: &mut Machine, spec: &TrafficSpec, curves: Vec<ArrivalCurve>, seed: u64) -> Self {
+        let block = m.code_block(64, 16);
+        let region = m.alloc(32 * 1024);
+        TrafficWorkload {
+            arrivals: ArrivalProcess::new(curves, seed),
+            queue: VecDeque::new(),
+            bound: spec.queue_bound.max(1),
+            slo_ms: spec.slo_ms,
+            quanta_min: spec.quanta_min.max(1),
+            quanta_span: spec.quanta_max.max(spec.quanta_min).max(1) - spec.quanta_min.max(1) + 1,
+            demand_seed: splitmix64(seed, DEMAND_SALT),
+            offered: 0,
+            served: 0,
+            queue_peak: 0,
+            block,
+            region,
+        }
+    }
+
+    fn draw_quanta(&self, k: u64) -> u32 {
+        self.quanta_min + (splitmix64(self.demand_seed, k) % self.quanta_span as u64) as u32
+    }
+
+    fn admit_due(&mut self, m: &mut Machine) {
+        let now = m.now_s();
+        while self.arrivals.peek() <= now {
+            let arrival_s = self.arrivals.pop();
+            let k = self.offered;
+            self.offered += 1;
+            m.obs_mut().metrics.inc(keys::ARRIVALS);
+            if self.queue.len() < self.bound {
+                self.queue.push_back(Request {
+                    arrival_s,
+                    quanta: self.draw_quanta(k),
+                    kind: ServiceKind::for_request(k),
+                });
+                if self.queue.len() > self.queue_peak {
+                    self.queue_peak = self.queue.len();
+                    m.obs_mut().metrics.set_gauge(keys::QUEUE_PEAK, self.queue_peak as f64);
+                }
+            } else {
+                m.obs_mut().metrics.inc(keys::SHED);
+            }
+        }
+    }
+}
+
+impl EpochWorkload for TrafficWorkload {
+    fn quantum(&mut self, m: &mut Machine) {
+        self.admit_due(m);
+        let Some(req) = self.queue.front_mut() else {
+            // Empty queue: idle toward the next arrival, in slices small
+            // enough that admission stays timely. A gap is always charged
+            // so the epoch loop never treats this quantum as a stall.
+            let now = m.now_s();
+            let gap = (self.arrivals.peek() - now).clamp(1e-6, IDLE_SLICE_S);
+            m.idle(gap);
+            return;
+        };
+        // One quantum of the head request's service demand, charged
+        // through the machine so throttling stretches it.
+        let start = (self.served * 64) % self.region.bytes();
+        match req.kind {
+            ServiceKind::Compute => {
+                for _ in 0..3 {
+                    m.exec_block(&self.block);
+                }
+                m.compute(4000);
+            }
+            ServiceKind::Stream => {
+                m.exec_block(&self.block);
+                m.load_stream(self.region.base(), self.region.bytes(), start, 64, 128);
+            }
+            ServiceKind::Mixed => {
+                for _ in 0..2 {
+                    m.exec_block(&self.block);
+                }
+                m.load_stream(self.region.base(), self.region.bytes(), start, 64, 64);
+                m.compute(1500);
+                m.branch(&self.block, !self.served.is_multiple_of(7));
+            }
+        }
+        self.served += 1;
+        req.quanta -= 1;
+        if req.quanta == 0 {
+            let latency_ms = (m.now_s() - req.arrival_s) * 1e3;
+            let slo_miss = latency_ms > self.slo_ms;
+            let metrics = &mut m.obs_mut().metrics;
+            metrics.inc(keys::COMPLETED);
+            metrics.observe_log(keys::LATENCY_MS, keys::LATENCY_BUCKETS, latency_ms);
+            if slo_miss {
+                metrics.inc(keys::SLO_VIOLATIONS);
+            }
+            self.queue.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsim_node::MachineBuilder;
+
+    fn run_spec(spec: TrafficSpec, seed: u64, epochs: u32) -> capsim_obs::MetricsSnapshot {
+        let mut m = MachineBuilder::tiny().seed(seed).build();
+        m.enable_obs(256);
+        let mut w = spec.workload().build_for(&mut m, 0, seed);
+        for _ in 0..epochs {
+            m.step(5e-4, w.as_mut());
+        }
+        m.obs().metrics.snapshot()
+    }
+
+    #[test]
+    fn requests_complete_and_account() {
+        let s = run_spec(TrafficSpec::constant(40_000.0), 9, 20);
+        let arrivals = s.counter(keys::ARRIVALS);
+        let completed = s.counter(keys::COMPLETED);
+        let shed = s.counter(keys::SHED);
+        assert!(arrivals > 100, "arrivals {arrivals}");
+        assert!(completed > 0, "completed {completed}");
+        assert!(completed + shed <= arrivals, "conservation");
+        let h = s.hist(keys::LATENCY_MS).expect("latency histogram recorded");
+        assert_eq!(h.count, completed);
+        assert!(h.quantile(0.99) >= h.quantile(0.50));
+    }
+
+    #[test]
+    fn overload_sheds_at_the_queue_bound() {
+        let spec = TrafficSpec::constant(2_000_000.0).queue_bound(4);
+        let s = run_spec(spec, 5, 10);
+        assert!(s.counter(keys::SHED) > 0, "overload must shed");
+        assert!(s.gauge(keys::QUEUE_PEAK) <= Some(4.0), "queue bound respected");
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical_different_seed_is_not() {
+        let a = run_spec(TrafficSpec::constant(50_000.0), 21, 12);
+        let b = run_spec(TrafficSpec::constant(50_000.0), 21, 12);
+        let c = run_spec(TrafficSpec::constant(50_000.0), 22, 12);
+        assert_eq!(a, b, "same seed, same series");
+        assert_ne!(a, c, "different seed diverges");
+    }
+}

@@ -33,6 +33,7 @@ pub use capsim_node as node;
 pub use capsim_obs as obs;
 pub use capsim_policy as policy;
 pub use capsim_power as power;
+pub use capsim_traffic as traffic;
 
 pub mod error;
 
@@ -56,4 +57,5 @@ pub mod prelude {
         CapDecision, CapPolicy, CapPolicySpec, GovernorCapPolicy, GovernorConfig, LadderCapPolicy,
         NodeCapView, QTable, RlCapPolicy, RlConfig,
     };
+    pub use capsim_traffic::{ArrivalCurve, EmergencyConfig, TrafficSpec};
 }

@@ -1,0 +1,200 @@
+//! The traffic layer's determinism and accounting contracts:
+//!
+//! - arrival processes are pure functions of `(curves, seed)` (proptest),
+//! - a request-serving fleet run is byte-identical serial vs parallel and
+//!   across shard counts (thread-count invariance is asserted
+//!   cross-process by the traffic bench, which re-execs itself under
+//!   different `CAPSIM_THREADS`),
+//! - the scripted flash-crowd scenario is pinned by a committed golden
+//!   file (`CAPSIM_BLESS=1 cargo test --test traffic_determinism` to
+//!   regenerate),
+//! - `FleetReport`'s typed traffic/energy accessors agree with the raw
+//!   obs snapshot they summarize.
+
+use std::path::PathBuf;
+
+use capsim::chaos::{run_scenario, ChaosScenario, FaultPlan, InvariantConfig};
+use capsim::dcm::fleet::{FleetBuilder, FleetReport};
+use capsim::traffic::{ArrivalCurve, ArrivalProcess, TrafficSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For ANY seed and curve mix, two processes built from the same
+    /// inputs emit bit-identical, strictly increasing arrival times, and
+    /// a different seed diverges.
+    #[test]
+    fn arrival_processes_are_seed_deterministic(
+        seed in 0u64..u64::MAX / 2,
+        rps in 1.0f64..1e6,
+        peak in 1.0f64..1e6,
+        period_us in 100.0f64..10_000.0,
+    ) {
+        let curves = vec![
+            ArrivalCurve::Constant { rps },
+            ArrivalCurve::Diurnal { base_rps: rps, peak_rps: peak, period_s: period_us * 1e-6 },
+            ArrivalCurve::FlashCrowd { base_rps: 0.0, spike_rps: peak, start_s: 1e-3, end_s: 2e-3 },
+        ];
+        let mut a = ArrivalProcess::new(curves.clone(), seed);
+        let mut b = ArrivalProcess::new(curves.clone(), seed);
+        let mut c = ArrivalProcess::new(curves, seed + 1);
+        let mut last = -1.0;
+        let mut diverged = false;
+        for _ in 0..200 {
+            let t = a.pop();
+            prop_assert_eq!(t.to_bits(), b.pop().to_bits(), "same seed must replay");
+            prop_assert!(t > last, "arrivals must strictly increase");
+            diverged |= t.to_bits() != c.pop().to_bits();
+            last = t;
+        }
+        prop_assert!(diverged, "a different seed must shift the schedule");
+    }
+}
+
+/// A small observed request-serving fleet: datacenter rate mix, hot
+/// nodes genuinely backlogged, cold nodes mostly idle.
+fn traffic_report(parallel: bool, shards: Option<usize>) -> FleetReport {
+    let spec = TrafficSpec::constant(30_000.0).datacenter_mix(true);
+    let mut b = FleetBuilder::new()
+        .nodes(9)
+        .epochs(4)
+        .seed(11)
+        .parallel(parallel)
+        .observe(true)
+        .workload(spec.workload());
+    if let Some(k) = shards {
+        b = b.shards(k);
+    }
+    b.build().run()
+}
+
+#[test]
+fn traffic_fleet_is_byte_identical_serial_parallel_and_any_shard_count() {
+    let serial = traffic_report(false, None);
+    let serial_events = serial.obs.as_ref().expect("observed").events_jsonl();
+    assert!(serial.traffic().expect("traffic series recorded").completed > 0);
+    for k in [None, Some(1), Some(2), Some(7), Some(9)] {
+        let parallel = traffic_report(true, k);
+        let events = parallel.obs.as_ref().expect("observed").events_jsonl();
+        assert_eq!(parallel, serial, "shards={k:?} changed the report");
+        assert_eq!(events, serial_events, "shards={k:?} changed the event stream");
+    }
+}
+
+/// The scripted flash-crowd scenario: a constant trickle with a hard
+/// mid-run spike against an oversubscribed budget. Pinned below by a
+/// committed golden file.
+fn flash_crowd_scenario() -> ChaosScenario {
+    let spec = TrafficSpec::from_curves(vec![
+        ArrivalCurve::Constant { rps: 10_000.0 },
+        ArrivalCurve::FlashCrowd {
+            base_rps: 0.0,
+            spike_rps: 1_500_000.0,
+            start_s: 1.5e-3,
+            end_s: 2.5e-3,
+        },
+    ])
+    .queue_bound(32)
+    .slo_ms(0.05);
+    ChaosScenario {
+        name: "flash_crowd".into(),
+        nodes: 3,
+        epochs: 8,
+        epoch_s: 5e-4,
+        seed: 42,
+        budget_w: Some(3.0 * 118.0),
+        workload: spec.workload(),
+        control_period_us: 10.0,
+        meter_window_s: 2e-4,
+        shards: None,
+        plan: FaultPlan::none(),
+        observe: true,
+        invariants: InvariantConfig::default(),
+        policy: None,
+    }
+}
+
+/// Golden digest: the metrics snapshot (latency histogram, traffic
+/// counters) followed by the merged event stream.
+fn flash_crowd_digest() -> String {
+    let outcome = run_scenario(&flash_crowd_scenario(), true);
+    let obs = outcome.report.obs.as_ref().expect("scenario observes");
+    format!("{}{}", obs.metrics.render(), obs.events_jsonl())
+}
+
+#[test]
+fn flash_crowd_scenario_matches_the_committed_golden_file() {
+    let actual = flash_crowd_digest();
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/traffic_events.jsonl");
+    if std::env::var("CAPSIM_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("blessed flash-crowd digest at {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); generate with CAPSIM_BLESS=1 cargo test --test traffic_determinism",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let diff_line = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map(|i| format!("first differing line: {}", i + 1))
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: {} vs {}",
+                    expected.lines().count(),
+                    actual.lines().count()
+                )
+            });
+        panic!(
+            "flash-crowd digest diverged from the committed golden file ({diff_line}).\n\
+             If this change is intentional, re-bless with CAPSIM_BLESS=1."
+        );
+    }
+}
+
+#[test]
+fn flash_crowd_sheds_during_the_spike_and_replays_identically() {
+    let scenario = flash_crowd_scenario();
+    let parallel = run_scenario(&scenario, true);
+    let serial = run_scenario(&scenario, false);
+    assert_eq!(parallel.fingerprint(), serial.fingerprint());
+    let t = parallel.report.traffic().expect("traffic series recorded");
+    assert!(t.arrivals > 200, "spike offered load, got {}", t.arrivals);
+    assert!(t.shed > 0, "a 15× spike against a 32-deep queue must shed");
+    assert!(t.completed > 0, "the fleet still served requests");
+}
+
+#[test]
+fn typed_accessors_agree_with_the_raw_snapshot() {
+    use capsim::node::workload::traffic_keys as keys;
+    let report = traffic_report(true, None);
+    let m = &report.obs.as_ref().expect("observed").metrics;
+    let t = report.traffic().expect("traffic summary");
+    assert_eq!(t.arrivals, m.counter(keys::ARRIVALS));
+    assert_eq!(t.completed, m.counter(keys::COMPLETED));
+    assert_eq!(t.shed, m.counter(keys::SHED));
+    assert_eq!(t.slo_violations, m.counter(keys::SLO_VIOLATIONS));
+    assert!(t.completed + t.shed <= t.arrivals, "requests are conserved");
+    assert!(t.p50_ms <= t.p99_ms && t.p99_ms <= t.p999_ms, "quantiles are ordered");
+    assert!(t.goodput_rps > 0.0);
+
+    let e = report.energy();
+    assert!(e.energy_j > 0.0 && e.wall_s > 0.0 && e.avg_node_power_w > 0.0);
+    let per_node: f64 = report.summaries.iter().map(|s| s.energy_j).sum();
+    assert!((e.energy_j - per_node).abs() < 1e-9);
+
+    let spj = report.slo_violations_per_joule().expect("headline metric");
+    assert!((spj - t.slo_violations as f64 / e.energy_j).abs() < 1e-12);
+
+    // Batch fleets (no traffic series) report None, not zeros.
+    let batch = FleetBuilder::new().nodes(3).epochs(2).seed(4).observe(true).build().run();
+    assert!(batch.traffic().is_none());
+    assert!(batch.slo_violations_per_joule().is_none());
+}
