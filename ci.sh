@@ -33,8 +33,12 @@ CAPSIM_SCALE=test cargo run -q --release -p capsim-bench --bin chaos /tmp/BENCH_
 echo "== policy smoke (CAPSIM_SCALE=test: RL training replay, frontier, chaos per backend)"
 CAPSIM_SCALE=test cargo run -q --release -p capsim-bench --bin policy /tmp/BENCH_policy_ci.json >/dev/null
 
-echo "== traffic smoke (CAPSIM_SCALE=test: emergency replay twins, cap ladder, SLO/J frontier)"
+echo "== traffic smoke (CAPSIM_SCALE=test: emergency replay twins, cap ladder, SLO/J frontier,"
+echo "   retry storm with closed-loop clients + failover)"
 CAPSIM_SCALE=test cargo run -q --release -p capsim-bench --bin traffic /tmp/BENCH_traffic_ci.json >/dev/null
+
+echo "== closed-loop smoke (retry-storm fleet, serial vs parallel byte-compared inline)"
+cargo run -q --release --example closed_loop >/dev/null
 
 echo "== bench trajectory files parse and carry their required keys"
 cargo run -q --release -p capsim-bench --bin bench_check -- BENCH_*.json /tmp/BENCH_fleet_ci.json /tmp/BENCH_obs_ci.json /tmp/BENCH_chaos_ci.json /tmp/BENCH_policy_ci.json /tmp/BENCH_traffic_ci.json

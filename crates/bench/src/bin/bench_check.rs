@@ -28,9 +28,11 @@
 //!   across thread/shard twins), `invariant_violations` exactly 0,
 //!   positive `throughput_rps`, `p99_ms` and `energy_j`; `ladder` a
 //!   non-empty array of cap rungs with positive `budget_w_per_node` and
-//!   `p99_ms`; `frontier` a non-empty array of per-policy points, each
-//!   with a non-empty `policy` string, positive `energy_j` and numeric
-//!   `slo_viol_per_kj`.
+//!   `p99_ms`; `frontier` a non-empty array of per-policy points — one
+//!   of which must be the `"slo"` backend — each with a non-empty
+//!   `policy` string, positive `energy_j` and numeric `slo_viol_per_kj`;
+//!   `retry_storm` a non-empty array of closed-loop points with positive
+//!   `retries` and numeric `failover`.
 //!
 //! Unknown `BENCH_*` files only need to parse. Exits non-zero listing
 //! every problem found, so CI catches a bin that wrote garbage.
@@ -410,11 +412,50 @@ fn check_file(path: &str, errors: &mut Vec<String>) {
                         )),
                     }
                 }
+                let has_slo = points
+                    .iter()
+                    .any(|p| matches!(p.get("policy"), Some(Val::Str(s)) if s == "slo"));
+                if !has_slo {
+                    errors.push(format!(
+                        "{path}: frontier must include the \"slo\" (tail-aware) policy row"
+                    ));
+                }
             }
             Some(other) => errors.push(format!(
                 "{path}: frontier must be an array of per-policy points, got {other:?}"
             )),
             None => errors.push(format!("{path}: missing required key \"frontier\"")),
+        }
+        match map.get("retry_storm") {
+            Some(Val::Arr(points)) if points.is_empty() => {
+                errors.push(format!("{path}: retry_storm must not be empty"))
+            }
+            Some(Val::Arr(points)) => {
+                for (i, point) in points.iter().enumerate() {
+                    match point.get("retries") {
+                        Some(Val::Num(v)) if *v > 0.0 => {}
+                        Some(other) => errors.push(format!(
+                            "{path}: retry_storm[{i}].retries must be a positive number, got {other:?}"
+                        )),
+                        None => errors.push(format!(
+                            "{path}: retry_storm[{i}] missing required key \"retries\""
+                        )),
+                    }
+                    match point.get("failover") {
+                        Some(Val::Num(_)) => {}
+                        Some(other) => errors.push(format!(
+                            "{path}: retry_storm[{i}].failover must be a number, got {other:?}"
+                        )),
+                        None => errors.push(format!(
+                            "{path}: retry_storm[{i}] missing required key \"failover\""
+                        )),
+                    }
+                }
+            }
+            Some(other) => errors.push(format!(
+                "{path}: retry_storm must be an array of closed-loop points, got {other:?}"
+            )),
+            None => errors.push(format!("{path}: missing required key \"retry_storm\"")),
         }
     }
 }
@@ -564,7 +605,9 @@ mod tests {
              \"deterministic\": true, \"invariant_violations\": 0, \
              \"ladder\": [{\"budget_w_per_node\": 118, \"p99_ms\": 1.88}], \
              \"frontier\": [{\"policy\": \"governor\", \"energy_j\": 5.8, \
-             \"slo_viol_per_kj\": 161285.0}]}",
+             \"slo_viol_per_kj\": 161285.0}, {\"policy\": \"slo\", \"energy_j\": 5.7, \
+             \"slo_viol_per_kj\": 150001.0}], \
+             \"retry_storm\": [{\"retries\": 120, \"failover\": 43}]}",
         )
         .unwrap();
         let mut errors = Vec::new();
@@ -575,7 +618,8 @@ mod tests {
             "{\"throughput_rps\": 5e6, \"p99_ms\": 1.87, \"energy_j\": 17.5, \
              \"deterministic\": false, \"invariant_violations\": 3, \
              \"ladder\": [], \
-             \"frontier\": [{\"policy\": \"\", \"energy_j\": 5.8}]}",
+             \"frontier\": [{\"policy\": \"\", \"energy_j\": 5.8}], \
+             \"retry_storm\": [{\"retries\": 0}]}",
         )
         .unwrap();
         let mut errors = Vec::new();
@@ -585,6 +629,12 @@ mod tests {
         assert!(errors.iter().any(|e| e.contains("ladder must not be empty")), "{errors:?}");
         assert!(errors.iter().any(|e| e.contains("frontier[0].policy")), "{errors:?}");
         assert!(errors.iter().any(|e| e.contains("slo_viol_per_kj")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("must include the \"slo\"")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("retry_storm[0].retries")), "{errors:?}");
+        assert!(
+            errors.iter().any(|e| e.contains("retry_storm[0]") && e.contains("failover")),
+            "{errors:?}"
+        );
 
         let unknown = dir.join("BENCH_custom.json");
         std::fs::write(&unknown, "{\"anything\": 1}").unwrap();

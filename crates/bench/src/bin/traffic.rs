@@ -16,10 +16,15 @@
 //! * **the cap ladder** — the same served trace at progressively deeper
 //!   node budgets; each rung contributes (p99 latency, goodput, energy):
 //!   the paper's performance-vs-cap trade re-measured on tail latency.
-//! * **the policy frontier** — ladder vs governor vs trained-RL backends
-//!   drive identical emergencies; each contributes SLO violations,
-//!   energy and SLO-violations-per-kilojoule, with chaos invariants
-//!   required green.
+//! * **the policy frontier** — ladder vs governor vs trained-RL vs
+//!   SLO-aware backends drive identical emergencies; each contributes
+//!   SLO violations, energy and SLO-violations-per-kilojoule, with chaos
+//!   invariants required green.
+//! * **the retry storm** — the same emergency with closed-loop clients
+//!   (timeout → capped-backoff retries) and barrier failover; replayed
+//!   serial vs threaded in a re-exec'd child, with exact request
+//!   conservation (`arrivals == completed + shed + in_flight`) asserted
+//!   fleet-wide.
 
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::time::Instant;
@@ -43,10 +48,21 @@ fn emergency(nodes: usize, epochs: u32) -> EmergencyConfig {
     EmergencyConfig::headline(nodes, epochs, 42)
 }
 
-/// Run one twin in-process; prints nothing. Returns (fingerprint,
-/// traffic, energy_j, slo/J, wall_s).
-fn measure(nodes: usize, epochs: u32, twin: Twin) -> (u64, TrafficSummary, f64, f64, f64) {
-    let mut scenario = emergency(nodes, epochs).scenario();
+/// Run one twin in-process; prints nothing. `storm` selects the
+/// closed-loop retry-storm variant of the emergency. Returns
+/// (fingerprint, traffic, energy_j, slo/J, wall_s).
+fn measure(
+    nodes: usize,
+    epochs: u32,
+    twin: Twin,
+    storm: bool,
+) -> (u64, TrafficSummary, f64, f64, f64) {
+    let cfg = if storm {
+        EmergencyConfig::retry_storm(nodes, epochs, 42)
+    } else {
+        emergency(nodes, epochs)
+    };
+    let mut scenario = cfg.scenario();
     if twin.shards > 0 {
         scenario.shards = Some(twin.shards);
     }
@@ -61,17 +77,17 @@ fn measure(nodes: usize, epochs: u32, twin: Twin) -> (u64, TrafficSummary, f64, 
     (h.finish(), traffic, energy, spj, wall)
 }
 
-/// Child entry: argv = --measure nodes epochs threads shards parallel.
-/// Prints `<fingerprint> <completed> <p99_ms> <wall_s>`.
+/// Child entry: argv = --measure nodes epochs threads shards parallel
+/// storm. Prints `<fingerprint> <completed> <p99_ms> <wall_s>`.
 fn run_child(args: &[String]) {
     let num = |i: usize| args[i].parse::<usize>().expect("numeric arg");
     let twin = Twin { threads: num(2), shards: num(3), parallel: num(4) != 0 };
-    let (fp, traffic, _, _, wall) = measure(num(0), num(1) as u32, twin);
+    let (fp, traffic, _, _, wall) = measure(num(0), num(1) as u32, twin, num(5) != 0);
     println!("{fp} {} {} {wall}", traffic.completed, traffic.p99_ms);
 }
 
 /// Re-exec this binary so `CAPSIM_THREADS` genuinely resizes the pool.
-fn measure_in_child(nodes: usize, epochs: u32, twin: Twin) -> (u64, f64) {
+fn measure_in_child(nodes: usize, epochs: u32, twin: Twin, storm: bool) -> (u64, f64) {
     let exe = std::env::current_exe().expect("own path");
     let out = std::process::Command::new(exe)
         .env("CAPSIM_THREADS", twin.threads.to_string())
@@ -82,6 +98,7 @@ fn measure_in_child(nodes: usize, epochs: u32, twin: Twin) -> (u64, f64) {
             &twin.threads.to_string(),
             &twin.shards.to_string(),
             &u8::from(twin.parallel).to_string(),
+            &u8::from(storm).to_string(),
         ])
         .output()
         .expect("spawn measurement child");
@@ -153,7 +170,7 @@ fn main() {
     // --- Headline emergency + determinism twins -------------------------
     eprintln!("traffic: headline emergency ({nodes} nodes x {epochs} epochs) …");
     let serial = Twin { threads: 1, shards: 1, parallel: false };
-    let (fp0, traffic, energy_j, spj, wall0) = measure(nodes, epochs, serial);
+    let (fp0, traffic, energy_j, spj, wall0) = measure(nodes, epochs, serial, false);
     eprintln!(
         "  serial          : {:>10.1} s wall, {} completed, {} shed, p99 {:.4} ms",
         wall0, traffic.completed, traffic.shed, traffic.p99_ms
@@ -165,7 +182,7 @@ fn main() {
     ];
     let mut deterministic = true;
     for twin in twins {
-        let (fp, wall) = measure_in_child(nodes, epochs, twin);
+        let (fp, wall) = measure_in_child(nodes, epochs, twin, false);
         let ok = fp == fp0;
         deterministic &= ok;
         eprintln!(
@@ -194,6 +211,7 @@ fn main() {
         CapPolicySpec::Ladder(capsim_dcm::AllocationPolicy::Uniform),
         CapPolicySpec::Governor(capsim_policy::GovernorConfig::default()),
         CapPolicySpec::Rl(trained.q.clone()),
+        CapPolicySpec::Slo(capsim_policy::SloConfig::default()),
     ];
     let mut frontier = Vec::new();
     let mut violations = 0usize;
@@ -222,6 +240,46 @@ fn main() {
         ));
     }
 
+    // --- Retry storm: closed-loop clients + barrier failover ------------
+    let storm_nodes = frontier_nodes;
+    eprintln!("traffic: retry storm ({storm_nodes} nodes) …");
+    let (storm_fp, storm, _, _, storm_wall) =
+        measure(storm_nodes, epochs, Twin { threads: 1, shards: 1, parallel: false }, true);
+    eprintln!(
+        "  serial          : {storm_wall:>10.1} s wall, {} retries, {} timeouts, \
+         {} failover, {} shed",
+        storm.retries, storm.client_timeouts, storm.failover, storm.shed
+    );
+    let storm_twin = Twin { threads: 4, shards: 4, parallel: true };
+    let (storm_fp_child, storm_child_wall) =
+        measure_in_child(storm_nodes, epochs, storm_twin, true);
+    let storm_ok = storm_fp_child == storm_fp;
+    deterministic &= storm_ok;
+    eprintln!(
+        "  threads=4 shards=4: {storm_child_wall:>10.1} s wall, fingerprint {}",
+        if storm_ok { "identical" } else { "DIVERGED" }
+    );
+    assert!(storm_ok, "retry-storm replay diverged across thread/shard twins");
+    assert!(storm.retries > 0, "the throttled emergency must ignite retries");
+    assert!(storm.failover > 0, "full queues must re-home work at the barrier");
+    assert_eq!(
+        storm.arrivals,
+        storm.completed + storm.shed + storm.in_flight,
+        "retry-storm books must close exactly"
+    );
+    let retry_storm = format!(
+        "{{\"retries\": {}, \"client_timeouts\": {}, \"failover\": {}, \"arrivals\": {}, \
+         \"completed\": {}, \"shed\": {}, \"in_flight\": {}, \"p99_ms\": {:.6}}}",
+        storm.retries,
+        storm.client_timeouts,
+        storm.failover,
+        storm.arrivals,
+        storm.completed,
+        storm.shed,
+        storm.in_flight,
+        storm.p99_ms
+    );
+
     let json = format!(
         "{{\n  \"scale\": \"{scale_name}\",\n  \"nodes\": {nodes},\n  \"epochs\": {epochs},\n  \
          \"deterministic\": {deterministic},\n  \"throughput_rps\": {:.1},\n  \
@@ -229,7 +287,8 @@ fn main() {
          \"completed\": {},\n  \"shed\": {},\n  \"slo_violations\": {},\n  \
          \"energy_j\": {energy_j:.4},\n  \"slo_violations_per_joule\": {spj:.6},\n  \
          \"invariant_violations\": {violations},\n  \
-         \"ladder\": [\n    {}\n  ],\n  \"frontier\": [\n    {}\n  ]\n}}\n",
+         \"ladder\": [\n    {}\n  ],\n  \"frontier\": [\n    {}\n  ],\n  \
+         \"retry_storm\": [\n    {retry_storm}\n  ]\n}}\n",
         traffic.goodput_rps,
         traffic.p99_ms,
         traffic.p999_ms,

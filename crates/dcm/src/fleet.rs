@@ -51,7 +51,8 @@ use capsim_ipmi::{
     splitmix64, CompletionCode, FaultSpec, FaultStats, GetPowerReading, IpmiError, LanChannel,
     ManagerPort, PowerLimit, PowerReading, Request, Response, RetryPolicy, Transact, WireOutcome,
 };
-use capsim_node::{EpochWorkload, Machine, MachineConfig, RunStats};
+use capsim_node::workload::traffic_keys;
+use capsim_node::{EpochWorkload, Machine, MachineConfig, QueueRoom, RunStats};
 use capsim_obs::{
     events_to_csv, events_to_jsonl, merge_streams, Event, EventKind, MetricsSnapshot,
 };
@@ -428,6 +429,10 @@ impl FleetReport {
             completed,
             shed: m.counter(keys::SHED),
             slo_violations: m.counter(keys::SLO_VIOLATIONS),
+            retries: m.counter(keys::RETRIES),
+            client_timeouts: m.counter(keys::CLIENT_TIMEOUTS),
+            failover: m.counter(keys::FAILOVER_IN),
+            in_flight: m.counter(keys::IN_FLIGHT),
             mean_ms,
             p50_ms,
             p99_ms,
@@ -471,6 +476,17 @@ pub struct TrafficSummary {
     pub shed: u64,
     /// Completions that missed the SLO latency threshold.
     pub slo_violations: u64,
+    /// Client retry attempts that re-entered the arrival stream
+    /// (closed-loop runs only; each also counts in `arrivals`).
+    pub retries: u64,
+    /// Completions slower than the client timeout.
+    pub client_timeouts: u64,
+    /// Requests re-homed onto another node by barrier failover.
+    pub failover: u64,
+    /// Requests still queued when the run ended. With these four the
+    /// fleet-wide books close exactly:
+    /// `arrivals == completed + shed + in_flight`.
+    pub in_flight: u64,
     /// Mean completion latency, milliseconds.
     pub mean_ms: f64,
     /// Median completion latency, milliseconds.
@@ -1024,12 +1040,52 @@ impl Fleet {
             }
         }
 
+        // Cross-node failover (serial, root-only): failover-mode serving
+        // workloads export the requests they could not queue this epoch;
+        // the root re-offers each to the node with the most queue headroom
+        // (shallowest queue, lowest index on ties). Routing reads only
+        // workload queue state through the `queue_room` hook — never
+        // observability — and runs in registration order at the barrier,
+        // so the outcome cannot depend on shard count or thread count.
+        let (failover_moved, failover_dropped) = self.route_failover();
+        if self.observe && failover_moved + failover_dropped > 0 {
+            self.dcm.obs.metrics.add("fleet.failover_moved", failover_moved);
+            self.dcm.obs.metrics.add("fleet.failover_dropped", failover_dropped);
+            self.dcm.obs.events.record(
+                barrier_t_s,
+                EventKind::FailoverRouted {
+                    epoch,
+                    moved: failover_moved as u32,
+                    dropped: failover_dropped as u32,
+                },
+            );
+        }
+
         // Reallocate and plan the pushes. A push is elided when the last
         // push fully succeeded (Set *and* Activate) and landed exactly
         // this cap — then the BMC is provably already enforcing it.
         let caps = match &self.cap_policy {
             Some(p) => {
-                let caps = self.dcm.plan_with(self.budget_w, p.as_ref(), &demand);
+                // Tail-aware policies (and only those) get the per-node
+                // p99 completion latency alongside demand; latency-blind
+                // backends never touch observability state, so their
+                // plans stay byte-identical with obs on or off.
+                let tails: Vec<f64> = if p.wants_tail() {
+                    demand
+                        .iter()
+                        .map(|&(id, _)| {
+                            self.nodes[id.index()]
+                                .machine
+                                .obs()
+                                .metrics
+                                .hist_quantile(traffic_keys::LATENCY_MS, 0.99)
+                                .unwrap_or(0.0)
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let caps = self.dcm.plan_with(self.budget_w, p.as_ref(), &demand, &tails);
                 if self.observe {
                     self.dcm.obs.events.record(
                         barrier_t_s,
@@ -1140,6 +1196,84 @@ impl Fleet {
         }
     }
 
+    /// Serial root half of cross-node failover: drain every node's
+    /// exported overflow in registration order and re-offer each request
+    /// to the least-loaded node that still advertises queue room.
+    /// Returns `(moved, dropped)`.
+    ///
+    /// Target selection is a min-heap over `(queue depth, node index)`
+    /// with lazy deletion: depths change as requests land, so entries are
+    /// re-validated against the live depth at pop time. Requests that
+    /// find no node with room — the whole group is saturated — are shed
+    /// at their origin, which keeps per-origin accounting honest
+    /// (`arrivals == completed + shed + in_flight` fleet-wide).
+    fn route_failover(&mut self) -> (u64, u64) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let n = self.nodes.len();
+        let rooms: Vec<Option<QueueRoom>> =
+            self.nodes.iter().map(|s| s.load.queue_room()).collect();
+        if rooms.iter().all(Option::is_none) {
+            return (0, 0);
+        }
+        let mut depth = vec![0usize; n];
+        let mut free = vec![0usize; n];
+        let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
+        for (i, room) in rooms.iter().enumerate() {
+            if let Some(r) = room {
+                depth[i] = r.depth;
+                free[i] = r.free;
+                if r.free > 0 {
+                    heap.push(Reverse((r.depth, i)));
+                }
+            }
+        }
+        let (mut moved, mut dropped) = (0u64, 0u64);
+        for (i, room) in rooms.iter().enumerate() {
+            if room.is_none() {
+                continue;
+            }
+            for req in self.nodes[i].load.drain_shed() {
+                // Skim stale heap entries until the top reflects a live
+                // (depth, index) pair with room.
+                let target = loop {
+                    match heap.peek() {
+                        None => break None,
+                        Some(&Reverse((d, j))) if free[j] == 0 || d != depth[j] => {
+                            heap.pop();
+                        }
+                        Some(&Reverse((_, j))) => break Some(j),
+                    }
+                };
+                let accepted = target.is_some_and(|j| {
+                    let t = &mut self.nodes[j];
+                    t.load.accept_failover(&mut t.machine, req)
+                });
+                if let (Some(j), true) = (target, accepted) {
+                    heap.pop();
+                    depth[j] += 1;
+                    free[j] -= 1;
+                    if free[j] > 0 {
+                        heap.push(Reverse((depth[j], j)));
+                    }
+                    moved += 1;
+                    self.nodes[i].machine.obs_mut().metrics.inc(traffic_keys::FAILOVER_OUT);
+                } else {
+                    if let Some(j) = target {
+                        // The workload refused despite advertised room;
+                        // trust the refusal and stop offering it work.
+                        free[j] = 0;
+                        heap.pop();
+                    }
+                    dropped += 1;
+                    self.nodes[i].machine.obs_mut().metrics.inc(traffic_keys::SHED);
+                }
+            }
+        }
+        (moved, dropped)
+    }
+
     /// Summarize a (possibly manually stepped) fleet: final per-node
     /// stats, SEL audit, merged observability.
     pub fn finish(mut self) -> FleetReport {
@@ -1176,6 +1310,10 @@ impl Fleet {
         }
         let mut summaries = Vec::with_capacity(self.nodes.len());
         for n in &mut self.nodes {
+            // End-of-run workload accounting (undrained failover exports
+            // fold into the shed counter; still-queued requests are
+            // recorded as in-flight) before the machine's books close.
+            n.load.finish(&mut n.machine);
             let stats: RunStats = n.machine.finish_run();
             let sel_violations = if audit {
                 let mut link = PumpedLink::new(&mut n.port, &mut n.machine, polls);

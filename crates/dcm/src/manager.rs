@@ -610,16 +610,26 @@ impl Dcm {
     /// Like [`Dcm::plan_allocation`], but through a pluggable
     /// [`CapPolicy`]'s group-level half. The policy sees fleet-wide node
     /// indices alongside the demand, so identity-keyed schemes project
-    /// correctly onto a partial answering set.
+    /// correctly onto a partial answering set. `tails` carries the
+    /// per-node p99 completion latency aligned with `demand` — callers
+    /// pass an empty slice (or zeros) unless the policy asked for tails
+    /// via [`CapPolicy::wants_tail`], so latency-blind backends never see
+    /// (or depend on) observability state.
     pub fn plan_with(
         &self,
         budget_w: f64,
         policy: &dyn CapPolicy,
         demand: &[(NodeId, f64)],
+        tails: &[f64],
     ) -> Vec<(NodeId, f64)> {
         let group: Vec<GroupDemand> = demand
             .iter()
-            .map(|&(id, w)| GroupDemand { node: id.index() as u32, demand_w: w })
+            .enumerate()
+            .map(|(i, &(id, w))| GroupDemand {
+                node: id.index() as u32,
+                demand_w: w,
+                tail_ms: tails.get(i).copied().unwrap_or(0.0),
+            })
             .collect();
         let caps = policy.group_allocate(budget_w, &group, self.floor_w);
         demand.iter().map(|&(id, _)| id).zip(caps).collect()

@@ -38,7 +38,7 @@ pub use bmc::{Bmc, BmcTelemetry, GuardrailConfig, InvalidPowerCap, PowerCap};
 pub use builder::MachineBuilder;
 pub use config::MachineConfig;
 pub use ladder::{Rung, ThrottleLadder};
-pub use machine::{EpochWorkload, Machine, RunStats, SensorFault};
+pub use machine::{EpochWorkload, FailoverRequest, Machine, QueueRoom, RunStats, SensorFault};
 pub use powercap::{PowercapError, PowercapFs};
 pub use region::{CodeBlock, Region};
 pub use trace::{RunTrace, TraceSample};

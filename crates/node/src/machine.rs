@@ -52,6 +52,33 @@ use crate::trace::{RunTrace, TraceSample};
 /// idle floor (~100 W) through the uncapped Table I band (~160 W).
 static POWER_W_BOUNDS: [f64; 8] = [100.0, 110.0, 120.0, 125.0, 130.0, 140.0, 150.0, 170.0];
 
+/// A request a serving workload could not admit, exported for cross-node
+/// failover at the fleet barrier. Plain data so the fleet engine can
+/// route requests between nodes without depending on any particular
+/// workload implementation; `kind` is a workload-defined service-class
+/// discriminant and `quanta` the remaining service demand.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FailoverRequest {
+    /// Original arrival time on the shedding node's clock (latency keeps
+    /// accruing across the failover hop).
+    pub arrival_s: f64,
+    /// Remaining service demand in workload quanta.
+    pub quanta: u32,
+    /// Workload-defined service-class discriminant.
+    pub kind: u8,
+}
+
+/// A serving workload's queue occupancy, reported to the fleet barrier so
+/// failover routing can pick the least-loaded node (`None` from batch
+/// workloads, which take no part in routing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueRoom {
+    /// Requests currently queued.
+    pub depth: usize,
+    /// Admissions the bounded queue can still take.
+    pub free: usize,
+}
+
 /// A workload that can be driven in epoch quanta by [`Machine::step`].
 ///
 /// Each call performs one small slice of work (a few microseconds of
@@ -59,11 +86,47 @@ static POWER_W_BOUNDS: [f64; 8] = [100.0, 110.0, 120.0, 125.0, 130.0, 140.0, 150
 /// epoch's simulated-time budget is consumed. Implementations own their
 /// own progress state (indices, regions, phase), so a node can be stepped,
 /// handed to another thread, and stepped again.
+///
+/// The remaining methods are serving-workload hooks with batch-friendly
+/// defaults: the fleet barrier uses them to route shed requests between
+/// nodes ([`EpochWorkload::drain_shed`] / [`EpochWorkload::queue_room`] /
+/// [`EpochWorkload::accept_failover`]) and to let a workload flush
+/// end-of-run accounting ([`EpochWorkload::finish`]). Batch kernels
+/// implement none of them.
 pub trait EpochWorkload: Send {
     /// Execute one quantum of work. Must advance simulated time (charge
     /// at least one instruction or memory access); a quantum that charges
     /// nothing idles the node for the rest of the epoch.
     fn quantum(&mut self, m: &mut Machine);
+
+    /// Current queue occupancy, for failover routing. `None` (the batch
+    /// default) keeps the node out of routing entirely.
+    fn queue_room(&self) -> Option<QueueRoom> {
+        None
+    }
+
+    /// Drain the requests shed at a full queue since the last barrier.
+    /// Only called (and only non-empty) when the workload defers its shed
+    /// decisions to the fleet; the caller owns the final fate of every
+    /// drained request — re-offered elsewhere or counted shed.
+    fn drain_shed(&mut self) -> Vec<FailoverRequest> {
+        Vec::new()
+    }
+
+    /// Accept a request re-offered by the fleet barrier. Returns `false`
+    /// (the batch default) when the workload cannot take it; the caller
+    /// then counts the request shed at its origin.
+    fn accept_failover(&mut self, m: &mut Machine, req: FailoverRequest) -> bool {
+        let _ = (m, req);
+        false
+    }
+
+    /// End-of-run hook, called once before the machine's own
+    /// `finish_run`: flush accounting that only settles when the run ends
+    /// (e.g. the `traffic.in_flight` conservation counter).
+    fn finish(&mut self, m: &mut Machine) {
+        let _ = m;
+    }
 }
 
 /// Summary of one completed run.

@@ -39,6 +39,24 @@ pub mod traffic_keys {
     pub const LATENCY_MS: &str = "traffic.latency_ms";
     /// High-water queue depth (gauge; fleet merge keeps the max).
     pub const QUEUE_PEAK: &str = "traffic.queue_peak";
+    /// Requests still queued when the run ended. Recorded once from the
+    /// workload `finish` hook — as a *counter*, not a gauge, because the
+    /// fleet merge sums counters and maxes gauges, and exact fleet-wide
+    /// conservation (`arrivals == completed + shed + in_flight`) needs
+    /// the per-node values summed.
+    pub const IN_FLIGHT: &str = "traffic.in_flight";
+    /// Client retry attempts re-entering the arrival stream (closed-loop
+    /// clients only). Every retry also counts as an arrival.
+    pub const RETRIES: &str = "traffic.retries";
+    /// Completions the client gave up on: latency exceeded the client
+    /// timeout (each such completion schedules a retry until the retry
+    /// budget runs out).
+    pub const CLIENT_TIMEOUTS: &str = "traffic.client_timeouts";
+    /// Requests this node shed that the fleet barrier re-homed onto
+    /// another node's queue.
+    pub const FAILOVER_OUT: &str = "traffic.failover_out";
+    /// Requests this node accepted on behalf of an overloaded peer.
+    pub const FAILOVER_IN: &str = "traffic.failover_in";
 
     /// Latency bucket layout: 1 µs up to ~34 s in ×2 steps. Log spacing
     /// keeps p999 meaningful at millisecond scale — a linear layout wide

@@ -83,6 +83,9 @@ pub enum EventKind {
     /// A pluggable `CapPolicy` planned the group budget at a barrier
     /// (recorded only when a non-default policy backend is installed).
     PolicyPlan { policy: &'static str, epoch: u32, answered: u32, granted_w: f64 },
+    /// Cross-node failover at a fleet barrier: requests shed at full
+    /// queues were re-offered to the least-loaded nodes in the group.
+    FailoverRouted { epoch: u32, moved: u32, dropped: u32 },
 }
 
 impl EventKind {
@@ -109,6 +112,7 @@ impl EventKind {
             EventKind::CapViolation { .. } => "cap_violation",
             EventKind::CapViolationEnded { .. } => "cap_violation_ended",
             EventKind::PolicyPlan { .. } => "policy_plan",
+            EventKind::FailoverRouted { .. } => "failover_routed",
         }
     }
 
@@ -148,6 +152,9 @@ impl EventKind {
             EventKind::CapViolationEnded { cap_w } => format!("cap_w={cap_w}"),
             EventKind::PolicyPlan { policy, epoch, answered, granted_w } => {
                 format!("policy={policy};epoch={epoch};answered={answered};granted_w={granted_w}")
+            }
+            EventKind::FailoverRouted { epoch, moved, dropped } => {
+                format!("epoch={epoch};moved={moved};dropped={dropped}")
             }
         }
     }
@@ -216,6 +223,9 @@ impl EventKind {
                     out,
                     r#","policy":"{policy}","epoch":{epoch},"answered":{answered},"granted_w":{granted_w}"#
                 );
+            }
+            EventKind::FailoverRouted { epoch, moved, dropped } => {
+                let _ = write!(out, r#","epoch":{epoch},"moved":{moved},"dropped":{dropped}"#);
             }
         }
     }

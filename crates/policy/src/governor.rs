@@ -130,6 +130,7 @@ mod tests {
             busy_frac: busy,
             issue_frac: busy,
             now_ms: 0.0,
+            tail_ms: 0.0,
         }
     }
 

@@ -30,10 +30,12 @@
 mod governor;
 mod group;
 mod rl;
+mod slo;
 
 pub use governor::{GovernorCapPolicy, GovernorConfig};
 pub use group::{allocate, AllocationPolicy};
 pub use rl::{splitmix64, QTable, RlCapPolicy, RlConfig, ACTIONS, STATES};
+pub use slo::{SloCapPolicy, SloConfig};
 
 /// What the BMC shows the node-level half of a policy each control period.
 ///
@@ -60,6 +62,11 @@ pub struct NodeCapView {
     pub issue_frac: f64,
     /// Simulated time of the sample in milliseconds.
     pub now_ms: f64,
+    /// Tail (p99) completion latency of the node's request-serving
+    /// workload in milliseconds, read from the `traffic.latency_ms`
+    /// histogram. 0.0 when the node serves no traffic, observability is
+    /// off, or the policy did not ask for it ([`CapPolicy::wants_tail`]).
+    pub tail_ms: f64,
 }
 
 /// A node-level policy decision for one control period.
@@ -89,6 +96,11 @@ pub struct GroupDemand {
     pub node: u32,
     /// Measured power in watts.
     pub demand_w: f64,
+    /// Tail (p99) completion latency in milliseconds, gathered serially
+    /// at the barrier from the node's `traffic.latency_ms` histogram.
+    /// 0.0 for batch nodes or policies that never asked
+    /// ([`CapPolicy::wants_tail`]).
+    pub tail_ms: f64,
 }
 
 /// A capping policy spanning the BMC (node level) and the DCM (group
@@ -110,6 +122,14 @@ pub trait CapPolicy: std::fmt::Debug + Send + Sync {
     /// one cap per entry of `demand`, in order. Caps must respect
     /// `floor_w` (capping a node below its idle power is useless).
     fn group_allocate(&self, budget_w: f64, demand: &[GroupDemand], floor_w: f64) -> Vec<f64>;
+
+    /// Does this policy read tail latency? When `false` (the default)
+    /// neither the BMC nor the fleet barrier touches the observability
+    /// registry to fill `tail_ms` — the existing backends keep their
+    /// obs-independent fast paths bit-for-bit.
+    fn wants_tail(&self) -> bool {
+        false
+    }
 
     /// Would a steady under-cap sample at rung 0 leave this policy inert?
     ///
@@ -274,6 +294,9 @@ pub enum CapPolicySpec {
     Governor(GovernorConfig),
     /// A frozen tabular-RL policy (greedy over the carried Q-table).
     Rl(QTable),
+    /// SLO-aware capping: spends the group budget where the latency tail
+    /// is longest (requires observability — see [`SloCapPolicy`]).
+    Slo(SloConfig),
 }
 
 impl CapPolicySpec {
@@ -282,6 +305,7 @@ impl CapPolicySpec {
             CapPolicySpec::Ladder(_) => "ladder",
             CapPolicySpec::Governor(_) => "governor",
             CapPolicySpec::Rl(_) => "rl",
+            CapPolicySpec::Slo(_) => "slo",
         }
     }
 
@@ -291,6 +315,7 @@ impl CapPolicySpec {
             CapPolicySpec::Ladder(group) => Box::new(LadderCapPolicy::with_group(group.clone())),
             CapPolicySpec::Governor(cfg) => Box::new(GovernorCapPolicy::with_config(*cfg)),
             CapPolicySpec::Rl(q) => Box::new(RlCapPolicy::frozen(q.clone())),
+            CapPolicySpec::Slo(cfg) => Box::new(SloCapPolicy::with_config(*cfg)),
         }
     }
 }
@@ -309,6 +334,7 @@ mod tests {
             busy_frac: 1.0,
             issue_frac: 0.5,
             now_ms: 1000.0,
+            tail_ms: 0.0,
         }
     }
 
@@ -335,8 +361,10 @@ mod tests {
     #[test]
     fn ladder_group_half_matches_allocate() {
         let p = LadderCapPolicy::with_group(AllocationPolicy::ProportionalToDemand);
-        let demand =
-            [GroupDemand { node: 0, demand_w: 160.0 }, GroupDemand { node: 1, demand_w: 120.0 }];
+        let demand = [
+            GroupDemand { node: 0, demand_w: 160.0, tail_ms: 0.0 },
+            GroupDemand { node: 1, demand_w: 120.0, tail_ms: 0.0 },
+        ];
         let caps = p.group_allocate(300.0, &demand, 110.0);
         assert_eq!(
             caps,
@@ -349,8 +377,10 @@ mod tests {
         // Node 2 answered, node 1 did not: the priority table must follow
         // node *identity*, not position in the answering set.
         let p = LadderCapPolicy::with_group(AllocationPolicy::Priority(vec![2, 0, 1]));
-        let demand =
-            [GroupDemand { node: 0, demand_w: 155.0 }, GroupDemand { node: 2, demand_w: 155.0 }];
+        let demand = [
+            GroupDemand { node: 0, demand_w: 155.0, tail_ms: 0.0 },
+            GroupDemand { node: 2, demand_w: 155.0, tail_ms: 0.0 },
+        ];
         let caps = p.group_allocate(300.0, &demand, 110.0);
         // Node 2 (priority 1) beats node 0 (priority 2).
         assert!(caps[1] > caps[0]);
@@ -361,6 +391,7 @@ mod tests {
         assert_eq!(CapPolicySpec::Ladder(AllocationPolicy::Uniform).build().name(), "ladder");
         assert_eq!(CapPolicySpec::Governor(GovernorConfig::default()).build().name(), "governor");
         assert_eq!(CapPolicySpec::Rl(QTable::zeroed()).build().name(), "rl");
+        assert_eq!(CapPolicySpec::Slo(SloConfig::default()).build().name(), "slo");
     }
 
     #[test]

@@ -8,10 +8,15 @@
 //!
 //! Every process is reproducible from one splitmix seed: draw `k` of a
 //! process is `splitmix64(seed, k)`, so the sequence is a pure function
-//! of `(curves, seed)` with no hidden RNG state. Inter-arrival gaps are
-//! exponential at the instantaneous rate (a piecewise-inhomogeneous
-//! Poisson approximation evaluated at the previous arrival), so constant
-//! curves yield a textbook Poisson stream.
+//! of `(curves, seed)` with no hidden RNG state. Arrivals are sampled by
+//! Lewis–Shedler thinning against a piecewise-constant majorant of the
+//! summed rate: propose exponential gaps at the local upper bound,
+//! accept each proposal with probability `rate(t) / bound`, and restart
+//! at the boundary whenever a proposal crosses a segment where the bound
+//! changes (valid by the exponential's memorylessness). Thinning samples
+//! the inhomogeneous process exactly — the old scheme froze the rate at
+//! the previous arrival, so a zero-base flash crowd drew one ~1e9 s gap
+//! off the minimum rate and skipped its own spike.
 
 use capsim_ipmi::splitmix64;
 
@@ -84,7 +89,7 @@ pub struct ArrivalProcess {
 }
 
 /// Map a u64 draw onto `[0, 1)` with 53 bits of precision.
-fn unit(x: u64) -> f64 {
+pub(crate) fn unit(x: u64) -> f64 {
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
@@ -113,13 +118,63 @@ impl ArrivalProcess {
         t
     }
 
+    /// Piecewise-constant majorant of the summed rate on `[t_s, until)`:
+    /// an upper bound that holds up to the returned boundary (the next
+    /// flash-crowd edge after `t_s`, or forever). Diurnal components are
+    /// bounded by their extremes, so the bound is valid everywhere; flash
+    /// crowds are the only discontinuities and contribute the segment
+    /// boundaries.
+    fn majorant_after(&self, t_s: f64) -> (f64, f64) {
+        let mut bound = 0.0;
+        let mut until = f64::INFINITY;
+        for c in &self.curves {
+            match *c {
+                ArrivalCurve::Constant { rps } => bound += rps,
+                ArrivalCurve::Diurnal { base_rps, peak_rps, .. } => {
+                    bound += base_rps.max(peak_rps);
+                }
+                ArrivalCurve::FlashCrowd { base_rps, spike_rps, start_s, end_s } => {
+                    if t_s < start_s {
+                        bound += base_rps;
+                        until = until.min(start_s);
+                    } else if t_s < end_s {
+                        bound += base_rps.max(spike_rps);
+                        until = until.min(end_s);
+                    } else {
+                        bound += base_rps;
+                    }
+                }
+            }
+        }
+        (bound.max(MIN_RATE_RPS), until)
+    }
+
+    /// Lewis–Shedler thinning. Each iteration draws a proposal gap at the
+    /// segment's majorant rate; a proposal that crosses the segment
+    /// boundary restarts there (memorylessness — and it keeps a zero-base
+    /// pre-spike segment from swallowing the spike in one astronomically
+    /// long gap), otherwise a second draw accepts it with probability
+    /// `rate(t) / bound`. Still a pure function of `(curves, seed,
+    /// draws)`; the 1e-12 floor keeps arrivals strictly increasing even
+    /// on the 2^-53 draw where `u` is exactly zero.
     fn sample_gap(&mut self, from_s: f64) -> f64 {
-        self.draws += 1;
-        let u = unit(splitmix64(self.seed, self.draws));
-        // Inverse-CDF exponential; `1 - u` keeps the argument in (0, 1].
-        // The floor keeps arrival times strictly increasing even on the
-        // 2^-53 draw where `u` is exactly zero.
-        (-(1.0 - u).ln()).max(1e-12) / self.rate_at(from_s)
+        let mut t = from_s;
+        loop {
+            let (bound, until) = self.majorant_after(t);
+            self.draws += 1;
+            let u = unit(splitmix64(self.seed, self.draws));
+            let gap = (-(1.0 - u).ln()).max(1e-12) / bound;
+            if t + gap >= until {
+                t = until;
+                continue;
+            }
+            t += gap;
+            self.draws += 1;
+            let v = unit(splitmix64(self.seed, self.draws));
+            if v * bound <= self.rate_at(t) {
+                return t - from_s;
+            }
+        }
     }
 }
 
@@ -184,6 +239,72 @@ mod tests {
         }
         assert!(total > 500, "spike produced {total} arrivals");
         assert!(in_spike as f64 > 0.95 * total as f64, "spike holds {in_spike}/{total} arrivals");
+    }
+
+    #[test]
+    fn zero_base_flash_crowd_still_produces_its_spike() {
+        // Regression: the pre-thinning sampler froze the rate at the
+        // previous arrival, so a standalone zero-base flash crowd drew
+        // one ~1e9 s gap off MIN_RATE_RPS at t = 0 and skipped the spike
+        // entirely. Thinning restarts at the spike edge instead.
+        for seed in [1u64, 7, 42, 1234] {
+            let mut p = ArrivalProcess::new(
+                vec![ArrivalCurve::FlashCrowd {
+                    base_rps: 0.0,
+                    spike_rps: 100_000.0,
+                    start_s: 0.01,
+                    end_s: 0.02,
+                }],
+                seed,
+            );
+            let mut in_spike = 0usize;
+            let mut total = 0usize;
+            loop {
+                let t = p.pop();
+                if t > 0.03 {
+                    break;
+                }
+                total += 1;
+                if (0.01..0.02).contains(&t) {
+                    in_spike += 1;
+                }
+            }
+            // ~1000 expected in the 10 ms spike window; the sampler used
+            // to produce zero.
+            assert!(total > 500, "seed {seed}: spike produced {total} arrivals");
+            assert!(
+                in_spike as f64 > 0.95 * total as f64,
+                "seed {seed}: spike holds {in_spike}/{total} arrivals"
+            );
+        }
+    }
+
+    #[test]
+    fn thinning_tracks_the_diurnal_rate() {
+        // Arrival counts in the trough vs the peak half of a diurnal
+        // cycle must reflect the instantaneous rate, not the rate at the
+        // previous arrival: with a 10:1 swing, the peak half holds the
+        // overwhelming majority of arrivals.
+        let mut p = ArrivalProcess::new(
+            vec![ArrivalCurve::Diurnal { base_rps: 1_000.0, peak_rps: 100_000.0, period_s: 0.1 }],
+            19,
+        );
+        let (mut near_peak, mut total) = (0usize, 0usize);
+        loop {
+            let t = p.pop();
+            if t >= 0.1 {
+                break;
+            }
+            total += 1;
+            if (0.025..0.075).contains(&t) {
+                near_peak += 1;
+            }
+        }
+        assert!(total > 1_000, "diurnal cycle produced {total} arrivals");
+        assert!(
+            near_peak as f64 > 0.8 * total as f64,
+            "peak half holds {near_peak}/{total} arrivals"
+        );
     }
 
     #[test]

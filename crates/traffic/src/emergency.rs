@@ -14,7 +14,7 @@ use capsim_chaos::runner::ChaosScenario;
 use capsim_policy::CapPolicySpec;
 
 use crate::arrival::ArrivalCurve;
-use crate::workload::TrafficSpec;
+use crate::workload::{ClientSpec, TrafficSpec};
 
 /// Shape of a power-emergency run. Defaults model a datacenter-mix fleet
 /// at the engine's native sub-millisecond epochs.
@@ -72,6 +72,18 @@ impl EmergencyConfig {
         }
     }
 
+    /// The closed-loop variant of [`EmergencyConfig::headline`]: the same
+    /// oversubscribed budget and fault plan, but clients time out and
+    /// retry with capped backoff, and full queues hand overflow to the
+    /// fleet barrier for cross-node failover. Throttled nodes now amplify
+    /// their own load — the retry storm — while the group sheds work
+    /// toward whoever has headroom.
+    pub fn retry_storm(nodes: usize, epochs: u32, seed: u64) -> EmergencyConfig {
+        let mut cfg = EmergencyConfig::headline(nodes, epochs, seed);
+        cfg.traffic = cfg.traffic.closed_loop(ClientSpec::default()).failover(true);
+        cfg
+    }
+
     /// Swap in a policy backend.
     pub fn with_policy(mut self, spec: CapPolicySpec) -> EmergencyConfig {
         self.policy = Some(spec);
@@ -98,8 +110,9 @@ impl EmergencyConfig {
         } else {
             FaultPlan::none()
         };
+        let name = if self.traffic.clients.is_some() { "retry_storm" } else { "power_emergency" };
         ChaosScenario {
-            name: "power_emergency".into(),
+            name: name.into(),
             nodes: self.nodes,
             epochs: self.epochs,
             epoch_s: self.epoch_s,
@@ -139,5 +152,27 @@ mod tests {
         let e = serial.report.energy();
         assert!(e.energy_j > 0.0, "energy metered");
         assert!(serial.report.slo_violations_per_joule().is_some(), "headline metric computable");
+    }
+
+    #[test]
+    fn retry_storm_amplifies_load_and_replays() {
+        let cfg = EmergencyConfig::retry_storm(8, 8, 42);
+        let scenario = cfg.scenario();
+        assert_eq!(scenario.name, "retry_storm");
+        let serial = run_scenario(&scenario, false);
+        let parallel = run_scenario(&scenario, true);
+        assert_eq!(
+            serial.fingerprint(),
+            parallel.fingerprint(),
+            "retry storm must replay byte-identically"
+        );
+        let t = serial.report.traffic().expect("storm records traffic series");
+        assert!(t.retries > 0, "throttled fleet ignites retries");
+        assert!(t.client_timeouts >= t.retries, "every retry follows a timeout");
+        assert_eq!(
+            t.arrivals,
+            t.completed + t.shed + t.in_flight,
+            "fleet-wide books close exactly under retries and failover"
+        );
     }
 }

@@ -24,4 +24,4 @@ pub mod workload;
 
 pub use arrival::{ArrivalCurve, ArrivalProcess};
 pub use emergency::EmergencyConfig;
-pub use workload::{TrafficFactory, TrafficSpec, TrafficWorkload};
+pub use workload::{ClientSpec, TrafficFactory, TrafficSpec, TrafficWorkload};

@@ -16,19 +16,44 @@
 //! to a deep rung serves each quantum more slowly on the *simulated*
 //! clock; queues lengthen and the latency tail stretches — the mechanism
 //! the SLO-per-joule experiment measures.
+//!
+//! Two optional layers close the loop the open-loop generator leaves
+//! open:
+//!
+//! * **Closed-loop clients** ([`TrafficSpec::closed_loop`]): when a
+//!   completion's latency exceeds the client timeout, the seeded client
+//!   population re-issues the request after a capped exponential backoff
+//!   with deterministic jitter. Retries re-enter through the same
+//!   admission path (each counts as a fresh arrival *and* a
+//!   `traffic.retries` tick), so a throttled node amplifies its own load
+//!   — the retry storm. The retry stream is a pure function of
+//!   `(spec, seed)`, like everything else.
+//! * **Fleet failover** ([`TrafficSpec::failover`]): instead of shedding
+//!   at a full queue, the workload exports the overflow through
+//!   [`EpochWorkload::drain_shed`]; the fleet barrier re-offers each
+//!   request to the least-loaded node in the group (serially, at the
+//!   root, so shard count cannot change the routing) and counts the
+//!   leftovers shed at their origin.
 
-use std::collections::VecDeque;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use capsim_ipmi::splitmix64;
 use capsim_node::workload::traffic_keys as keys;
-use capsim_node::{CodeBlock, EpochWorkload, Machine, Region, WorkloadFactory, WorkloadSpec};
+use capsim_node::{
+    CodeBlock, EpochWorkload, FailoverRequest, LoadKind, Machine, QueueRoom, Region,
+    WorkloadFactory, WorkloadSpec,
+};
 
-use crate::arrival::{ArrivalCurve, ArrivalProcess};
+use crate::arrival::{unit, ArrivalCurve, ArrivalProcess};
 
 /// Salt separating the service-demand draw stream from the arrival
 /// stream of the same node.
 const DEMAND_SALT: u64 = 0xdeaa_4d5a_1700_0001;
+
+/// Salt separating the client retry-jitter stream from both.
+const RETRY_SALT: u64 = 0xc10e_4e75_0b0f_f001;
 
 /// Idle slice when the queue is empty: long enough for the machine's
 /// idle fast-forward to matter, short enough that admissions stay
@@ -54,13 +79,91 @@ impl ServiceKind {
             _ => ServiceKind::Mixed,
         }
     }
+
+    /// Wire form for [`FailoverRequest::kind`].
+    fn as_u8(self) -> u8 {
+        match self {
+            ServiceKind::Compute => 0,
+            ServiceKind::Stream => 1,
+            ServiceKind::Mixed => 2,
+        }
+    }
+
+    fn from_u8(k: u8) -> ServiceKind {
+        match k {
+            0 => ServiceKind::Compute,
+            1 => ServiceKind::Stream,
+            _ => ServiceKind::Mixed,
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
 struct Request {
     arrival_s: f64,
+    /// Remaining service demand.
     quanta: u32,
+    /// Original service demand (a client retry re-issues the same work).
+    demand: u32,
     kind: ServiceKind,
+    /// Client attempt index: 0 for first tries, n for the n-th retry.
+    attempt: u32,
+}
+
+/// A scheduled client retry, ordered by due time (ties broken by issue
+/// sequence, so the heap order is deterministic).
+#[derive(Clone, Copy, Debug)]
+struct RetryEntry {
+    due_s: f64,
+    demand: u32,
+    kind: ServiceKind,
+    attempt: u32,
+    seq: u64,
+}
+
+impl PartialEq for RetryEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for RetryEntry {}
+impl PartialOrd for RetryEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RetryEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Due times are non-negative finite, so the IEEE bit pattern
+        // orders exactly like the value — a total order without any f64
+        // comparison caveats. BinaryHeap is a max-heap; reverse so the
+        // earliest retry surfaces first.
+        (other.due_s.to_bits(), other.seq).cmp(&(self.due_s.to_bits(), self.seq))
+    }
+}
+
+/// Closed-loop client behaviour: how the seeded client population reacts
+/// to observed completion latency.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClientSpec {
+    /// Client-side timeout on completion latency, milliseconds. A
+    /// completion slower than this counts a `traffic.client_timeouts`
+    /// tick and (while the retry budget lasts) schedules a retry.
+    pub timeout_ms: f64,
+    /// Retries per original request before the client gives up.
+    pub max_retries: u32,
+    /// Backoff before the first retry, seconds; doubles per attempt.
+    pub backoff_s: f64,
+    /// Cap on the exponential backoff, seconds.
+    pub backoff_cap_s: f64,
+}
+
+impl Default for ClientSpec {
+    fn default() -> Self {
+        // Timeout at 2× the emergency SLO; backoff on the order of one
+        // fleet epoch so a storm builds within a few barriers.
+        ClientSpec { timeout_ms: 0.1, max_retries: 3, backoff_s: 2e-4, backoff_cap_s: 2e-3 }
+    }
 }
 
 /// Config-driven description of a request-serving workload — the traffic
@@ -83,6 +186,11 @@ pub struct TrafficSpec {
     /// busy minority (3 nodes per 16) takes 4× the rate of the mostly
     /// idle majority.
     pub datacenter_mix: bool,
+    /// Closed-loop client behaviour (`None`: pure open loop).
+    pub clients: Option<ClientSpec>,
+    /// Defer full-queue sheds to the fleet barrier for cross-node
+    /// failover instead of dropping locally.
+    pub failover: bool,
 }
 
 impl TrafficSpec {
@@ -95,6 +203,8 @@ impl TrafficSpec {
             quanta_min: 1,
             quanta_max: 4,
             datacenter_mix: false,
+            clients: None,
+            failover: false,
         }
     }
 
@@ -121,13 +231,27 @@ impl TrafficSpec {
         self
     }
 
-    /// The node-index rate multiplier for this spec.
+    /// Enable closed-loop clients (timeout → capped-backoff retries).
+    pub fn closed_loop(mut self, clients: ClientSpec) -> TrafficSpec {
+        self.clients = Some(clients);
+        self
+    }
+
+    /// Enable cross-node failover at the fleet barrier.
+    pub fn failover(mut self, on: bool) -> TrafficSpec {
+        self.failover = on;
+        self
+    }
+
+    /// The node-index rate multiplier for this spec: hot nodes are
+    /// exactly the sustained-busy minority of
+    /// [`LoadKind::datacenter_for_index`], so the traffic hot set can
+    /// never drift from the workload hot set.
     fn scale_for(&self, index: usize) -> f64 {
         if !self.datacenter_mix {
             return 1.0;
         }
-        // Mirror `LoadKind::datacenter_for_index`: 3 hot nodes per 16.
-        if index % 16 < 3 {
+        if LoadKind::datacenter_for_index(index) != LoadKind::Pulse {
             4.0
         } else {
             1.0
@@ -169,6 +293,15 @@ pub struct TrafficWorkload {
     quanta_min: u32,
     quanta_span: u32,
     demand_seed: u64,
+    clients: Option<ClientSpec>,
+    failover: bool,
+    /// Scheduled client retries, earliest due first.
+    retries: BinaryHeap<RetryEntry>,
+    /// Retry issue counter (jitter draw index and heap tie-breaker).
+    retry_seq: u64,
+    retry_seed: u64,
+    /// Overflow awaiting barrier routing (failover mode only).
+    shed_pending: Vec<FailoverRequest>,
     /// Requests admitted or shed so far (indexes the demand stream).
     offered: u64,
     /// Service quanta executed so far (strides the working set).
@@ -190,6 +323,12 @@ impl TrafficWorkload {
             quanta_min: spec.quanta_min.max(1),
             quanta_span: spec.quanta_max.max(spec.quanta_min).max(1) - spec.quanta_min.max(1) + 1,
             demand_seed: splitmix64(seed, DEMAND_SALT),
+            clients: spec.clients,
+            failover: spec.failover,
+            retries: BinaryHeap::new(),
+            retry_seq: 0,
+            retry_seed: splitmix64(seed, RETRY_SALT),
+            shed_pending: Vec::new(),
             offered: 0,
             served: 0,
             queue_peak: 0,
@@ -202,27 +341,99 @@ impl TrafficWorkload {
         self.quanta_min + (splitmix64(self.demand_seed, k) % self.quanta_span as u64) as u32
     }
 
+    /// One request through the admission gate: queued, deferred to the
+    /// barrier, or shed. Every offer — first try or retry — is an
+    /// arrival; that is what keeps `arrivals == completed + shed +
+    /// in_flight` exact.
+    fn offer(&mut self, m: &mut Machine, req: Request) {
+        m.obs_mut().metrics.inc(keys::ARRIVALS);
+        if self.queue.len() < self.bound {
+            self.queue.push_back(req);
+            if self.queue.len() > self.queue_peak {
+                self.queue_peak = self.queue.len();
+                m.obs_mut().metrics.set_gauge(keys::QUEUE_PEAK, self.queue_peak as f64);
+            }
+        } else if self.failover {
+            self.shed_pending.push(FailoverRequest {
+                arrival_s: req.arrival_s,
+                quanta: req.quanta,
+                kind: req.kind.as_u8(),
+            });
+        } else {
+            m.obs_mut().metrics.inc(keys::SHED);
+        }
+    }
+
     fn admit_due(&mut self, m: &mut Machine) {
         let now = m.now_s();
-        while self.arrivals.peek() <= now {
-            let arrival_s = self.arrivals.pop();
-            let k = self.offered;
-            self.offered += 1;
-            m.obs_mut().metrics.inc(keys::ARRIVALS);
-            if self.queue.len() < self.bound {
-                self.queue.push_back(Request {
-                    arrival_s,
-                    quanta: self.draw_quanta(k),
-                    kind: ServiceKind::for_request(k),
-                });
-                if self.queue.len() > self.queue_peak {
-                    self.queue_peak = self.queue.len();
-                    m.obs_mut().metrics.set_gauge(keys::QUEUE_PEAK, self.queue_peak as f64);
-                }
+        loop {
+            let next_arrival = self.arrivals.peek();
+            let next_retry = self.retries.peek().map(|r| r.due_s);
+            let arrival_due = next_arrival <= now;
+            let retry_due = next_retry.is_some_and(|d| d <= now);
+            if !arrival_due && !retry_due {
+                return;
+            }
+            // Earliest event first; the open-loop stream wins exact ties
+            // so interleaving is well-defined.
+            if arrival_due && next_retry.is_none_or(|d| next_arrival <= d) {
+                let arrival_s = self.arrivals.pop();
+                let k = self.offered;
+                self.offered += 1;
+                let demand = self.draw_quanta(k);
+                self.offer(
+                    m,
+                    Request {
+                        arrival_s,
+                        quanta: demand,
+                        demand,
+                        kind: ServiceKind::for_request(k),
+                        attempt: 0,
+                    },
+                );
             } else {
-                m.obs_mut().metrics.inc(keys::SHED);
+                let e = self.retries.pop().expect("retry_due implies a head entry");
+                m.obs_mut().metrics.inc(keys::RETRIES);
+                self.offer(
+                    m,
+                    Request {
+                        arrival_s: e.due_s,
+                        quanta: e.demand,
+                        demand: e.demand,
+                        kind: e.kind,
+                        attempt: e.attempt,
+                    },
+                );
             }
         }
+    }
+
+    /// Client reaction to a completion: a latency past the timeout costs
+    /// a `client_timeouts` tick and, while the retry budget lasts,
+    /// schedules a re-issue after capped exponential backoff with
+    /// deterministic jitter (draw `retry_seq` of the node's retry
+    /// stream).
+    fn client_observe(&mut self, m: &mut Machine, latency_ms: f64, req: Request) {
+        let Some(c) = self.clients else {
+            return;
+        };
+        if latency_ms <= c.timeout_ms {
+            return;
+        }
+        m.obs_mut().metrics.inc(keys::CLIENT_TIMEOUTS);
+        if req.attempt >= c.max_retries {
+            return;
+        }
+        let backoff = (c.backoff_s * f64::powi(2.0, req.attempt as i32)).min(c.backoff_cap_s);
+        self.retry_seq += 1;
+        let jitter = 1.0 + 0.5 * unit(splitmix64(self.retry_seed, self.retry_seq));
+        self.retries.push(RetryEntry {
+            due_s: m.now_s() + backoff * jitter,
+            demand: req.demand,
+            kind: req.kind,
+            attempt: req.attempt + 1,
+            seq: self.retry_seq,
+        });
     }
 }
 
@@ -230,11 +441,16 @@ impl EpochWorkload for TrafficWorkload {
     fn quantum(&mut self, m: &mut Machine) {
         self.admit_due(m);
         let Some(req) = self.queue.front_mut() else {
-            // Empty queue: idle toward the next arrival, in slices small
-            // enough that admission stays timely. A gap is always charged
-            // so the epoch loop never treats this quantum as a stall.
+            // Empty queue: idle toward the next arrival (open-loop or
+            // scheduled retry), in slices small enough that admission
+            // stays timely. A gap is always charged so the epoch loop
+            // never treats this quantum as a stall.
             let now = m.now_s();
-            let gap = (self.arrivals.peek() - now).clamp(1e-6, IDLE_SLICE_S);
+            let mut next = self.arrivals.peek();
+            if let Some(r) = self.retries.peek() {
+                next = next.min(r.due_s);
+            }
+            let gap = (next - now).clamp(1e-6, IDLE_SLICE_S);
             m.idle(gap);
             return;
         };
@@ -264,7 +480,8 @@ impl EpochWorkload for TrafficWorkload {
         self.served += 1;
         req.quanta -= 1;
         if req.quanta == 0 {
-            let latency_ms = (m.now_s() - req.arrival_s) * 1e3;
+            let done = *req;
+            let latency_ms = (m.now_s() - done.arrival_s) * 1e3;
             let slo_miss = latency_ms > self.slo_ms;
             let metrics = &mut m.obs_mut().metrics;
             metrics.inc(keys::COMPLETED);
@@ -273,7 +490,57 @@ impl EpochWorkload for TrafficWorkload {
                 metrics.inc(keys::SLO_VIOLATIONS);
             }
             self.queue.pop_front();
+            self.client_observe(m, latency_ms, done);
         }
+    }
+
+    fn queue_room(&self) -> Option<QueueRoom> {
+        // Only failover-mode servers take part in barrier routing;
+        // open-loop specs keep the barrier entirely out of the data path
+        // (and their goldens byte-identical).
+        self.failover
+            .then(|| QueueRoom { depth: self.queue.len(), free: self.bound - self.queue.len() })
+    }
+
+    fn drain_shed(&mut self) -> Vec<FailoverRequest> {
+        std::mem::take(&mut self.shed_pending)
+    }
+
+    fn accept_failover(&mut self, m: &mut Machine, req: FailoverRequest) -> bool {
+        if self.queue.len() >= self.bound {
+            return false;
+        }
+        // Latency keeps accruing from the original arrival — the
+        // failover hop is part of the request's story. The client retry
+        // budget restarts: the re-homed request is a fresh attempt from
+        // the target's point of view.
+        self.queue.push_back(Request {
+            arrival_s: req.arrival_s,
+            quanta: req.quanta,
+            demand: req.quanta,
+            kind: ServiceKind::from_u8(req.kind),
+            attempt: 0,
+        });
+        if self.queue.len() > self.queue_peak {
+            self.queue_peak = self.queue.len();
+            m.obs_mut().metrics.set_gauge(keys::QUEUE_PEAK, self.queue_peak as f64);
+        }
+        m.obs_mut().metrics.inc(keys::FAILOVER_IN);
+        true
+    }
+
+    fn finish(&mut self, m: &mut Machine) {
+        // Overflow the barrier never drained (standalone runs, or sheds
+        // after the last barrier) is shed after all.
+        let pending = self.shed_pending.len() as u64;
+        if pending > 0 {
+            m.obs_mut().metrics.add(keys::SHED, pending);
+            self.shed_pending.clear();
+        }
+        // Conservation remainder: everything admitted but not yet
+        // completed. Scheduled retries are *not* in flight — they have
+        // not re-arrived yet, so they are not arrivals either.
+        m.obs_mut().metrics.add(keys::IN_FLIGHT, self.queue.len() as u64);
     }
 }
 
@@ -282,36 +549,56 @@ mod tests {
     use super::*;
     use capsim_node::MachineBuilder;
 
-    fn run_spec(spec: TrafficSpec, seed: u64, epochs: u32) -> capsim_obs::MetricsSnapshot {
+    fn run_workload(
+        spec: TrafficSpec,
+        seed: u64,
+        epochs: u32,
+    ) -> (capsim_obs::MetricsSnapshot, Box<dyn EpochWorkload>) {
         let mut m = MachineBuilder::tiny().seed(seed).build();
         m.enable_obs(256);
         let mut w = spec.workload().build_for(&mut m, 0, seed);
         for _ in 0..epochs {
             m.step(5e-4, w.as_mut());
         }
-        m.obs().metrics.snapshot()
+        w.finish(&mut m);
+        (m.obs().metrics.snapshot(), w)
+    }
+
+    fn run_spec(spec: TrafficSpec, seed: u64, epochs: u32) -> capsim_obs::MetricsSnapshot {
+        run_workload(spec, seed, epochs).0
     }
 
     #[test]
-    fn requests_complete_and_account() {
+    fn requests_complete_and_account_exactly() {
         let s = run_spec(TrafficSpec::constant(40_000.0), 9, 20);
         let arrivals = s.counter(keys::ARRIVALS);
         let completed = s.counter(keys::COMPLETED);
         let shed = s.counter(keys::SHED);
+        let in_flight = s.counter(keys::IN_FLIGHT);
         assert!(arrivals > 100, "arrivals {arrivals}");
         assert!(completed > 0, "completed {completed}");
-        assert!(completed + shed <= arrivals, "conservation");
+        assert_eq!(
+            arrivals,
+            completed + shed + in_flight,
+            "exact conservation: {arrivals} arrivals vs {completed} completed + {shed} shed \
+             + {in_flight} in flight"
+        );
         let h = s.hist(keys::LATENCY_MS).expect("latency histogram recorded");
         assert_eq!(h.count, completed);
         assert!(h.quantile(0.99) >= h.quantile(0.50));
     }
 
     #[test]
-    fn overload_sheds_at_the_queue_bound() {
+    fn overload_sheds_at_the_queue_bound_and_conserves() {
         let spec = TrafficSpec::constant(2_000_000.0).queue_bound(4);
         let s = run_spec(spec, 5, 10);
         assert!(s.counter(keys::SHED) > 0, "overload must shed");
         assert!(s.gauge(keys::QUEUE_PEAK) <= Some(4.0), "queue bound respected");
+        assert_eq!(
+            s.counter(keys::ARRIVALS),
+            s.counter(keys::COMPLETED) + s.counter(keys::SHED) + s.counter(keys::IN_FLIGHT),
+            "conservation holds under overload"
+        );
     }
 
     #[test]
@@ -321,5 +608,103 @@ mod tests {
         let c = run_spec(TrafficSpec::constant(50_000.0), 22, 12);
         assert_eq!(a, b, "same seed, same series");
         assert_ne!(a, c, "different seed diverges");
+    }
+
+    #[test]
+    fn slow_completions_ignite_retries() {
+        // An impossible timeout makes every completion late: the client
+        // layer must retry each one until the budget runs out, and every
+        // retry must re-enter as an arrival (keeping conservation exact).
+        let clients =
+            ClientSpec { timeout_ms: 0.0, max_retries: 2, backoff_s: 1e-5, backoff_cap_s: 1e-4 };
+        let closed = run_spec(TrafficSpec::constant(20_000.0).closed_loop(clients), 13, 20);
+        let open = run_spec(TrafficSpec::constant(20_000.0), 13, 20);
+        let retries = closed.counter(keys::RETRIES);
+        assert!(retries > 0, "late completions must retry");
+        assert_eq!(
+            closed.counter(keys::CLIENT_TIMEOUTS),
+            closed.counter(keys::COMPLETED),
+            "zero timeout: every completion is late"
+        );
+        assert!(
+            closed.counter(keys::ARRIVALS) > open.counter(keys::ARRIVALS),
+            "retries amplify offered load"
+        );
+        assert_eq!(
+            closed.counter(keys::ARRIVALS),
+            closed.counter(keys::COMPLETED)
+                + closed.counter(keys::SHED)
+                + closed.counter(keys::IN_FLIGHT),
+            "conservation holds under retry amplification"
+        );
+    }
+
+    #[test]
+    fn closed_loop_replays_bit_identically() {
+        let spec = TrafficSpec::constant(80_000.0).queue_bound(8).closed_loop(ClientSpec {
+            timeout_ms: 0.05,
+            max_retries: 3,
+            backoff_s: 5e-5,
+            backoff_cap_s: 5e-4,
+        });
+        let a = run_spec(spec.clone(), 31, 16);
+        let b = run_spec(spec, 31, 16);
+        assert_eq!(a, b, "retry storms replay byte-identically");
+    }
+
+    #[test]
+    fn failover_mode_defers_sheds_to_the_drain() {
+        let spec = TrafficSpec::constant(2_000_000.0).queue_bound(4).failover(true);
+        let mut m = MachineBuilder::tiny().seed(5).build();
+        m.enable_obs(256);
+        let mut w = spec.workload().build_for(&mut m, 0, 5);
+        for _ in 0..10 {
+            m.step(5e-4, w.as_mut());
+        }
+        assert_eq!(m.obs().metrics.counter(keys::SHED), 0, "failover defers local sheds");
+        let room = w.queue_room().expect("failover servers report queue room");
+        assert_eq!(room.depth + room.free, 4, "room accounts for the whole bound");
+        let drained = w.drain_shed();
+        assert!(!drained.is_empty(), "overload exported overflow for routing");
+        assert!(w.drain_shed().is_empty(), "drain consumes the export buffer");
+        // Re-offer drained requests back: the workload accepts exactly as
+        // much as the room it advertised, then refuses at the bound.
+        let mut accepted = 0u64;
+        while w.accept_failover(&mut m, drained[0]) {
+            accepted += 1;
+            assert!(accepted <= room.free as u64, "acceptance must stop at the queue bound");
+        }
+        assert_eq!(accepted, room.free as u64, "advertised room is exactly what fits");
+        // We drained the whole buffer above, so finish() has nothing to
+        // fold back into SHED; accepted failovers sit in flight without
+        // counting as local arrivals, so the books balance once they are
+        // added back — the fleet-wide shape of exact conservation.
+        w.finish(&mut m);
+        let s = m.obs().metrics.snapshot();
+        assert_eq!(s.counter(keys::SHED), 0, "drained exports are not shed");
+        assert_eq!(s.counter(keys::FAILOVER_IN), accepted);
+        assert_eq!(
+            s.counter(keys::ARRIVALS) + accepted,
+            s.counter(keys::COMPLETED) + drained.len() as u64 + s.counter(keys::IN_FLIGHT),
+            "drained exports are the only unaccounted arrivals"
+        );
+    }
+
+    #[test]
+    fn datacenter_scale_tracks_the_workload_hot_set() {
+        // The hot minority must be exactly `datacenter_for_index`'s
+        // sustained-busy set — swept well past one 16-node period.
+        let spec = TrafficSpec::constant(1000.0).datacenter_mix(true);
+        for i in 0..64 {
+            let hot = LoadKind::datacenter_for_index(i) != LoadKind::Pulse;
+            let scale = spec.scale_for(i);
+            assert_eq!(
+                scale,
+                if hot { 4.0 } else { 1.0 },
+                "node {i}: scale {scale} disagrees with datacenter_for_index"
+            );
+        }
+        let flat = TrafficSpec::constant(1000.0);
+        assert_eq!(flat.scale_for(0), 1.0, "no mix, no scaling");
     }
 }

@@ -1,0 +1,53 @@
+//! Closed-loop tour: clients that time out and retry, queues that fail
+//! over across the fleet, and the SLO-aware cap policy — with the
+//! serial-vs-parallel byte-equality check run inline.
+//!
+//! Run with `cargo run --example closed_loop --release`.
+
+use capsim::chaos::run_scenario;
+use capsim::policy::{CapPolicySpec, SloConfig};
+use capsim::traffic::EmergencyConfig;
+
+fn main() {
+    println!("== the retry storm: the power emergency with closed-loop clients");
+    println!("   (timeout -> capped-backoff retries) and barrier failover");
+    let cfg = EmergencyConfig::retry_storm(8, 8, 42);
+    let scenario = cfg.scenario();
+
+    let serial = run_scenario(&scenario, false);
+    let parallel = run_scenario(&scenario, true);
+    assert_eq!(
+        serial.fingerprint(),
+        parallel.fingerprint(),
+        "retry storm must replay byte-identically serial vs parallel"
+    );
+    println!("   serial and parallel runs are byte-identical");
+
+    let t = serial.report.traffic().expect("traffic series");
+    println!(
+        "   {} arrivals ({} retries after {} client timeouts), {} completed",
+        t.arrivals, t.retries, t.client_timeouts, t.completed
+    );
+    println!(
+        "   {} shed, {} re-homed by failover, {} still in flight",
+        t.shed, t.failover, t.in_flight
+    );
+    assert_eq!(
+        t.arrivals,
+        t.completed + t.shed + t.in_flight,
+        "every arrival completes, is shed, or is in flight"
+    );
+    println!("   books close exactly: arrivals == completed + shed + in_flight");
+
+    println!("\n== the same storm under the SLO-aware cap policy");
+    println!("   (group budget flows toward the longest latency tail)");
+    let slo = EmergencyConfig::retry_storm(8, 8, 42)
+        .with_policy(CapPolicySpec::Slo(SloConfig::default()));
+    let outcome = run_scenario(&slo.scenario(), true);
+    let t2 = outcome.report.traffic().expect("traffic series");
+    let spj = outcome.report.slo_violations_per_joule().expect("headline metric");
+    println!(
+        "   {} completed (p99 {:.4} ms), {} SLO violations, {spj:.2} violations/J",
+        t2.completed, t2.p99_ms, t2.slo_violations
+    );
+}

@@ -15,7 +15,7 @@ use std::path::PathBuf;
 
 use capsim::chaos::{run_scenario, ChaosScenario, FaultPlan, InvariantConfig};
 use capsim::dcm::fleet::{FleetBuilder, FleetReport};
-use capsim::traffic::{ArrivalCurve, ArrivalProcess, TrafficSpec};
+use capsim::traffic::{ArrivalCurve, ArrivalProcess, ClientSpec, TrafficSpec};
 use proptest::prelude::*;
 
 proptest! {
@@ -123,14 +123,14 @@ fn flash_crowd_digest() -> String {
     format!("{}{}", obs.metrics.render(), obs.events_jsonl())
 }
 
-#[test]
-fn flash_crowd_scenario_matches_the_committed_golden_file() {
-    let actual = flash_crowd_digest();
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/traffic_events.jsonl");
+/// Compare a digest against its committed golden file (or regenerate it
+/// under `CAPSIM_BLESS=1`).
+fn assert_matches_golden(name: &str, file: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(file);
     if std::env::var("CAPSIM_BLESS").is_ok() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, &actual).unwrap();
-        eprintln!("blessed flash-crowd digest at {}", path.display());
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("blessed {name} digest at {}", path.display());
         return;
     }
     let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -153,9 +153,108 @@ fn flash_crowd_scenario_matches_the_committed_golden_file() {
                 )
             });
         panic!(
-            "flash-crowd digest diverged from the committed golden file ({diff_line}).\n\
+            "{name} digest diverged from the committed golden file ({diff_line}).\n\
              If this change is intentional, re-bless with CAPSIM_BLESS=1."
         );
+    }
+}
+
+#[test]
+fn flash_crowd_scenario_matches_the_committed_golden_file() {
+    assert_matches_golden("flash-crowd", "traffic_events.jsonl", &flash_crowd_digest());
+}
+
+/// The scripted retry-storm scenario: the flash-crowd trace with
+/// closed-loop clients (timeouts, capped-backoff retries) and barrier
+/// failover. Pinned by its own golden file.
+fn retry_storm_scenario(shards: Option<usize>) -> ChaosScenario {
+    let spec = TrafficSpec::from_curves(vec![
+        ArrivalCurve::Constant { rps: 10_000.0 },
+        ArrivalCurve::FlashCrowd {
+            base_rps: 0.0,
+            spike_rps: 1_500_000.0,
+            start_s: 1.5e-3,
+            end_s: 2.5e-3,
+        },
+    ])
+    .queue_bound(32)
+    .slo_ms(0.05)
+    .closed_loop(ClientSpec::default())
+    .failover(true);
+    ChaosScenario {
+        name: "retry_storm_scripted".into(),
+        nodes: 3,
+        epochs: 8,
+        epoch_s: 5e-4,
+        seed: 42,
+        budget_w: Some(3.0 * 118.0),
+        workload: spec.workload(),
+        control_period_us: 10.0,
+        meter_window_s: 2e-4,
+        shards,
+        plan: FaultPlan::none(),
+        observe: true,
+        invariants: InvariantConfig::default(),
+        policy: None,
+    }
+}
+
+#[test]
+fn retry_storm_scenario_matches_the_committed_golden_file() {
+    let outcome = run_scenario(&retry_storm_scenario(None), true);
+    let obs = outcome.report.obs.as_ref().expect("scenario observes");
+    let digest = format!("{}{}", obs.metrics.render(), obs.events_jsonl());
+    assert_matches_golden("retry-storm", "retry_storm_events.jsonl", &digest);
+}
+
+#[test]
+fn retry_storm_is_byte_identical_across_engines_and_shard_counts() {
+    let serial = run_scenario(&retry_storm_scenario(None), false);
+    let serial_events = serial.report.obs.as_ref().expect("observed").events_jsonl();
+    for k in [None, Some(1), Some(2), Some(3)] {
+        let parallel = run_scenario(&retry_storm_scenario(k), true);
+        let events = parallel.report.obs.as_ref().expect("observed").events_jsonl();
+        assert_eq!(
+            parallel.fingerprint(),
+            serial.fingerprint(),
+            "shards={k:?} changed the retry-storm outcome"
+        );
+        assert_eq!(events, serial_events, "shards={k:?} changed the event stream");
+    }
+    let t = serial.report.traffic().expect("traffic series recorded");
+    assert!(t.retries > 0, "the throttled spike must ignite retries");
+    assert!(t.client_timeouts > 0, "retries imply client timeouts");
+    assert!(t.failover > 0, "full queues must re-home work at the barrier");
+    assert_eq!(
+        t.arrivals,
+        t.completed + t.shed + t.in_flight,
+        "fleet-wide books close exactly under retries and failover"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For ANY seed, a closed-loop retry storm with failover replays
+    /// bit-identically serial vs parallel at an arbitrary shard count,
+    /// and its request books close exactly.
+    #[test]
+    fn retry_storms_replay_bit_identically_for_any_seed(
+        seed in 0u64..u64::MAX / 2,
+        shards in 1usize..=3,
+    ) {
+        let mut scenario = retry_storm_scenario(Some(shards));
+        scenario.seed = seed;
+        scenario.epochs = 6;
+        let serial = run_scenario(&scenario, false);
+        let parallel = run_scenario(&scenario, true);
+        prop_assert_eq!(
+            serial.fingerprint(),
+            parallel.fingerprint(),
+            "seed {} shards {} must replay", seed, shards
+        );
+        let t = serial.report.traffic().expect("traffic series recorded");
+        prop_assert_eq!(t.arrivals, t.completed + t.shed + t.in_flight);
     }
 }
 
@@ -181,7 +280,15 @@ fn typed_accessors_agree_with_the_raw_snapshot() {
     assert_eq!(t.completed, m.counter(keys::COMPLETED));
     assert_eq!(t.shed, m.counter(keys::SHED));
     assert_eq!(t.slo_violations, m.counter(keys::SLO_VIOLATIONS));
-    assert!(t.completed + t.shed <= t.arrivals, "requests are conserved");
+    assert_eq!(t.retries, m.counter(keys::RETRIES));
+    assert_eq!(t.client_timeouts, m.counter(keys::CLIENT_TIMEOUTS));
+    assert_eq!(t.failover, m.counter(keys::FAILOVER_IN));
+    assert_eq!(t.in_flight, m.counter(keys::IN_FLIGHT));
+    assert_eq!(
+        t.arrivals,
+        t.completed + t.shed + t.in_flight,
+        "requests are conserved exactly: every arrival completes, is shed, or is in flight"
+    );
     assert!(t.p50_ms <= t.p99_ms && t.p99_ms <= t.p999_ms, "quantiles are ordered");
     assert!(t.goodput_rps > 0.0);
 
