@@ -40,6 +40,10 @@ CAPSIM_SCALE=test cargo run -q --release -p capsim-bench --bin traffic /tmp/BENC
 echo "== closed-loop smoke (retry-storm fleet, serial vs parallel byte-compared inline)"
 cargo run -q --release --example closed_loop >/dev/null
 
+echo "== backpressure smoke (retry-only vs AIMD+brownout twins, per-class conservation,"
+echo "   CAPSIM_THREADS {1,4} re-exec fingerprints compared)"
+cargo run -q --release --example backpressure >/dev/null
+
 echo "== bench trajectory files parse and carry their required keys"
 cargo run -q --release -p capsim-bench --bin bench_check -- BENCH_*.json /tmp/BENCH_fleet_ci.json /tmp/BENCH_obs_ci.json /tmp/BENCH_chaos_ci.json /tmp/BENCH_policy_ci.json /tmp/BENCH_traffic_ci.json
 

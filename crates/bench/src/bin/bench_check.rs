@@ -32,7 +32,11 @@
 //!   of which must be the `"slo"` backend — each with a non-empty
 //!   `policy` string, positive `energy_j` and numeric `slo_viol_per_kj`;
 //!   `retry_storm` a non-empty array of closed-loop points with positive
-//!   `retries` and numeric `failover`.
+//!   `retries` and numeric `failover`; `backpressure` a non-empty array
+//!   of per-mode points — one of which must be the `"aimd_brownout"`
+//!   (robustness stack) row — each with a non-empty `mode` string,
+//!   positive `energy_j` and numeric `slo_viol_per_kj` and
+//!   `rate_multiplier`.
 //!
 //! Unknown `BENCH_*` files only need to parse. Exits non-zero listing
 //! every problem found, so CI catches a bin that wrote garbage.
@@ -457,6 +461,57 @@ fn check_file(path: &str, errors: &mut Vec<String>) {
             )),
             None => errors.push(format!("{path}: missing required key \"retry_storm\"")),
         }
+        match map.get("backpressure") {
+            Some(Val::Arr(points)) if points.is_empty() => {
+                errors.push(format!("{path}: backpressure must not be empty"))
+            }
+            Some(Val::Arr(points)) => {
+                for (i, point) in points.iter().enumerate() {
+                    match point.get("mode") {
+                        Some(Val::Str(s)) if !s.is_empty() => {}
+                        Some(other) => errors.push(format!(
+                            "{path}: backpressure[{i}].mode must be a non-empty string, got {other:?}"
+                        )),
+                        None => errors.push(format!(
+                            "{path}: backpressure[{i}] missing required key \"mode\""
+                        )),
+                    }
+                    match point.get("energy_j") {
+                        Some(Val::Num(v)) if *v > 0.0 => {}
+                        Some(other) => errors.push(format!(
+                            "{path}: backpressure[{i}].energy_j must be a positive number, got {other:?}"
+                        )),
+                        None => errors.push(format!(
+                            "{path}: backpressure[{i}] missing required key \"energy_j\""
+                        )),
+                    }
+                    for key in ["slo_viol_per_kj", "rate_multiplier"] {
+                        match point.get(key) {
+                            Some(Val::Num(_)) => {}
+                            Some(other) => errors.push(format!(
+                                "{path}: backpressure[{i}].{key} must be a number, got {other:?}"
+                            )),
+                            None => errors.push(format!(
+                                "{path}: backpressure[{i}] missing required key {key:?}"
+                            )),
+                        }
+                    }
+                }
+                let has_stack = points
+                    .iter()
+                    .any(|p| matches!(p.get("mode"), Some(Val::Str(s)) if s == "aimd_brownout"));
+                if !has_stack {
+                    errors.push(format!(
+                        "{path}: backpressure must include the \"aimd_brownout\" \
+                         (robustness stack) row"
+                    ));
+                }
+            }
+            Some(other) => errors.push(format!(
+                "{path}: backpressure must be an array of per-mode points, got {other:?}"
+            )),
+            None => errors.push(format!("{path}: missing required key \"backpressure\"")),
+        }
     }
 }
 
@@ -607,7 +662,11 @@ mod tests {
              \"frontier\": [{\"policy\": \"governor\", \"energy_j\": 5.8, \
              \"slo_viol_per_kj\": 161285.0}, {\"policy\": \"slo\", \"energy_j\": 5.7, \
              \"slo_viol_per_kj\": 150001.0}], \
-             \"retry_storm\": [{\"retries\": 120, \"failover\": 43}]}",
+             \"retry_storm\": [{\"retries\": 120, \"failover\": 43}], \
+             \"backpressure\": [{\"mode\": \"retry_only\", \"energy_j\": 5.8, \
+             \"slo_viol_per_kj\": 161285.0, \"rate_multiplier\": 1.0}, \
+             {\"mode\": \"aimd_brownout\", \"energy_j\": 5.5, \
+             \"slo_viol_per_kj\": 98000.0, \"rate_multiplier\": 0.25}]}",
         )
         .unwrap();
         let mut errors = Vec::new();
@@ -619,7 +678,9 @@ mod tests {
              \"deterministic\": false, \"invariant_violations\": 3, \
              \"ladder\": [], \
              \"frontier\": [{\"policy\": \"\", \"energy_j\": 5.8}], \
-             \"retry_storm\": [{\"retries\": 0}]}",
+             \"retry_storm\": [{\"retries\": 0}], \
+             \"backpressure\": [{\"mode\": \"retry_only\", \"energy_j\": -2, \
+             \"slo_viol_per_kj\": 161285.0}]}",
         )
         .unwrap();
         let mut errors = Vec::new();
@@ -633,6 +694,31 @@ mod tests {
         assert!(errors.iter().any(|e| e.contains("retry_storm[0].retries")), "{errors:?}");
         assert!(
             errors.iter().any(|e| e.contains("retry_storm[0]") && e.contains("failover")),
+            "{errors:?}"
+        );
+        assert!(errors.iter().any(|e| e.contains("backpressure[0].energy_j")), "{errors:?}");
+        assert!(
+            errors.iter().any(|e| e.contains("backpressure[0]") && e.contains("rate_multiplier")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("must include the \"aimd_brownout\"")),
+            "{errors:?}"
+        );
+        std::fs::write(
+            &traffic,
+            "{\"throughput_rps\": 5e6, \"p99_ms\": 1.87, \"energy_j\": 17.5, \
+             \"deterministic\": true, \"invariant_violations\": 0, \
+             \"ladder\": [{\"budget_w_per_node\": 118, \"p99_ms\": 1.88}], \
+             \"frontier\": [{\"policy\": \"slo\", \"energy_j\": 5.7, \
+             \"slo_viol_per_kj\": 150001.0}], \
+             \"retry_storm\": [{\"retries\": 120, \"failover\": 43}]}",
+        )
+        .unwrap();
+        let mut errors = Vec::new();
+        check_file(traffic.to_str().unwrap(), &mut errors);
+        assert!(
+            errors.iter().any(|e| e.contains("missing required key \"backpressure\"")),
             "{errors:?}"
         );
 

@@ -25,6 +25,11 @@
 //!   serial vs threaded in a re-exec'd child, with exact request
 //!   conservation (`arrivals == completed + shed + in_flight`) asserted
 //!   fleet-wide.
+//! * **the backpressure frontier** — the retry storm served twice: once
+//!   retry-only, once with the full robustness stack (AIMD client
+//!   backoff + priority brownout + circuit breakers). Each mode
+//!   contributes SLO violations, energy and SLO-violations-per-kJ; the
+//!   robustness stack must win the frontier.
 
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::time::Instant;
@@ -280,6 +285,52 @@ fn main() {
         storm.p99_ms
     );
 
+    // --- Backpressure frontier: retry-only vs the robustness stack ------
+    // Fixed shape at both scales: the storm needs a horizon long enough
+    // for the retry-only amplification loop to feed on itself (and for
+    // AIMD to converge), which the 6-epoch headline shape is too short
+    // to show.
+    let (bp_nodes, bp_epochs) = (4, 16);
+    eprintln!("traffic: backpressure frontier ({bp_nodes} nodes x {bp_epochs} epochs) …");
+    let mut backpressure = Vec::new();
+    let mut damped_spj = f64::MAX;
+    let mut retry_only_spj = 0.0;
+    for (mode, damped) in [("retry_only", false), ("aimd_brownout", true)] {
+        let cfg = if damped {
+            EmergencyConfig::backpressure_storm(bp_nodes, bp_epochs, 42)
+        } else {
+            EmergencyConfig::retry_storm(bp_nodes, bp_epochs, 42)
+        };
+        let report = run_scenario(&cfg.scenario(), true).report;
+        let t = report.traffic().expect("traffic series");
+        let e = report.energy().energy_j;
+        let per_kj = 1e3 * t.slo_violations as f64 / e;
+        // Retry-only clients carry no controller; their offered rate is
+        // pinned at the full multiplier.
+        let m = report.final_rate_multiplier().unwrap_or(1.0);
+        if damped {
+            damped_spj = per_kj;
+        } else {
+            retry_only_spj = per_kj;
+        }
+        eprintln!(
+            "  {mode:<13}   : {:>8} slo viol, {e:>10.4} J, {per_kj:>8.2} viol/kJ, \
+             {} retries, rate x{m:.3}",
+            t.slo_violations, t.retries
+        );
+        backpressure.push(format!(
+            "{{\"mode\": \"{mode}\", \"retries\": {}, \"slo_violations\": {}, \
+             \"energy_j\": {e:.6}, \"slo_viol_per_kj\": {per_kj:.4}, \"p99_ms\": {:.6}, \
+             \"rate_multiplier\": {m:.4}}}",
+            t.retries, t.slo_violations, t.p99_ms
+        ));
+    }
+    assert!(
+        damped_spj < retry_only_spj,
+        "the robustness stack must win the SLO-per-joule frontier: \
+         {damped_spj:.2} vs {retry_only_spj:.2} viol/kJ"
+    );
+
     let json = format!(
         "{{\n  \"scale\": \"{scale_name}\",\n  \"nodes\": {nodes},\n  \"epochs\": {epochs},\n  \
          \"deterministic\": {deterministic},\n  \"throughput_rps\": {:.1},\n  \
@@ -288,7 +339,8 @@ fn main() {
          \"energy_j\": {energy_j:.4},\n  \"slo_violations_per_joule\": {spj:.6},\n  \
          \"invariant_violations\": {violations},\n  \
          \"ladder\": [\n    {}\n  ],\n  \"frontier\": [\n    {}\n  ],\n  \
-         \"retry_storm\": [\n    {retry_storm}\n  ]\n}}\n",
+         \"retry_storm\": [\n    {retry_storm}\n  ],\n  \
+         \"backpressure\": [\n    {}\n  ]\n}}\n",
         traffic.goodput_rps,
         traffic.p99_ms,
         traffic.p999_ms,
@@ -297,7 +349,8 @@ fn main() {
         traffic.shed,
         traffic.slo_violations,
         ladder.join(",\n    "),
-        frontier.join(",\n    ")
+        frontier.join(",\n    "),
+        backpressure.join(",\n    ")
     );
     std::fs::write(&out_path, &json).expect("write json");
     println!("{json}");

@@ -234,6 +234,35 @@ impl GroupManager {
     }
 }
 
+/// Per-node circuit-breaker state at the fleet barrier. Breakers guard
+/// *failover routing only*: an `Open` breaker removes the node from the
+/// re-offer heap, `HalfOpen` re-admits it for a single probe request
+/// after the cooldown, and a clean barrier closes it again. The state
+/// machine is driven purely by control state (poll-timeout and
+/// cap-violation streaks) in the serial root section, so observability
+/// can never perturb routing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation: the node is a failover target.
+    Closed,
+    /// Tripped: no failover work until epoch `until`.
+    Open { until: u32 },
+    /// Cooldown expired: admit one probe request; the next barrier
+    /// decides between `Closed` (clean) and `Open` (still failing).
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable wire/event name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
 /// Root-side per-node control state as struct-of-arrays: the hot data
 /// the serial barrier sweeps every epoch, kept in parallel `Vec`s
 /// indexed by registration order instead of scattered across node
@@ -254,6 +283,12 @@ struct FleetCtrl {
     push_ok: Vec<bool>,
     /// Fleet-side cap-violation streaks (epochs over cap + margin).
     viol_streak: Vec<u32>,
+    /// Consecutive barriers whose poll attempt failed (reset on any
+    /// successful or elided poll). Feeds the circuit breakers.
+    timeout_streak: Vec<u32>,
+    /// Per-node failover circuit breakers (only ticked for fleets that
+    /// actually route failover work).
+    breaker: Vec<BreakerState>,
     /// Scratch: root clearance for the poll fast path this epoch.
     can_skip: Vec<bool>,
     /// Scratch: planned wire pushes this epoch.
@@ -268,6 +303,8 @@ impl FleetCtrl {
             poll_ok: vec![false; n],
             push_ok: vec![false; n],
             viol_streak: vec![0; n],
+            timeout_streak: vec![0; n],
+            breaker: vec![BreakerState::Closed; n],
             can_skip: vec![false; n],
             planned: vec![None; n],
         }
@@ -450,6 +487,63 @@ impl FleetReport {
         let e = self.energy().energy_j;
         (e > 0.0).then(|| t.slo_violations as f64 / e)
     }
+
+    /// Per-priority-class request accounting. `Some` exactly when
+    /// [`FleetReport::traffic`] is (batch fleets return `None`); each
+    /// class balances its own books:
+    /// `arrivals[c] == completed[c] + shed[c] + in_flight[c]`.
+    pub fn priority(&self) -> Option<PriorityTraffic> {
+        self.traffic()?;
+        let m = &self.obs.as_ref()?.metrics;
+        let col = |names: &[&'static str; traffic_keys::CLASSES]| {
+            let mut out = [0u64; traffic_keys::CLASSES];
+            for (o, name) in out.iter_mut().zip(names) {
+                *o = m.counter(name);
+            }
+            out
+        };
+        Some(PriorityTraffic {
+            arrivals: col(&traffic_keys::ARRIVALS_BY_CLASS),
+            completed: col(&traffic_keys::COMPLETED_BY_CLASS),
+            shed: col(&traffic_keys::SHED_BY_CLASS),
+            in_flight: col(&traffic_keys::IN_FLIGHT_BY_CLASS),
+            brownout_shed: m.counter(traffic_keys::BROWNOUT_SHED),
+        })
+    }
+
+    /// Final AIMD offered-rate multiplier, merged across nodes. Gauges
+    /// merge by max, so this is the *least backed-off* client population
+    /// — the fleet-wide ceiling on offered rate. `None` for batch fleets
+    /// or when no client population ran an AIMD controller.
+    pub fn final_rate_multiplier(&self) -> Option<f64> {
+        self.traffic()?;
+        self.obs.as_ref()?.metrics.gauge(traffic_keys::RATE_MULTIPLIER)
+    }
+
+    /// Circuit-breaker transitions recorded at the fleet barrier over the
+    /// whole run. `None` for batch fleets (mirroring
+    /// [`FleetReport::traffic`]); zero means no breaker ever moved.
+    pub fn breaker_transitions(&self) -> Option<u64> {
+        self.traffic()?;
+        Some(self.obs.as_ref()?.metrics.counter("fleet.breaker_transitions"))
+    }
+}
+
+/// Per-priority-class fleet accounting, read from the merged obs
+/// snapshot's `traffic.*_p<class>` series. Class 0 is most critical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PriorityTraffic {
+    /// Requests offered per class (admitted + shed, retries included).
+    pub arrivals: [u64; traffic_keys::CLASSES],
+    /// Requests fully served per class.
+    pub completed: [u64; traffic_keys::CLASSES],
+    /// Requests dropped per class (queue overflow, failover leftovers
+    /// and brownout sheds).
+    pub shed: [u64; traffic_keys::CLASSES],
+    /// Requests still queued at the end of the run, per class.
+    pub in_flight: [u64; traffic_keys::CLASSES],
+    /// The subset of sheds caused by the brownout admission gate.
+    pub brownout_shed: u64,
 }
 
 /// Fleet-level energy totals, derived from [`NodeSummary`] ground truth.
@@ -519,6 +613,8 @@ pub struct FleetBuilder {
     shards: Option<usize>,
     violation_margin_w: f64,
     violation_after: u32,
+    breaker_trip_after: u32,
+    breaker_cooldown: u32,
     cap_policy: Option<Box<dyn CapPolicy>>,
 }
 
@@ -552,6 +648,8 @@ impl FleetBuilder {
             shards: None,
             violation_margin_w: 10.0,
             violation_after: 3,
+            breaker_trip_after: 2,
+            breaker_cooldown: 2,
             cap_policy: None,
         }
     }
@@ -710,6 +808,18 @@ impl FleetBuilder {
         self
     }
 
+    /// Tune the per-node failover circuit breakers: `trip_after`
+    /// consecutive poll timeouts (or a cap-violation streak at the
+    /// violation detector's threshold) opens a node's breaker, removing
+    /// it from failover routing; after `cooldown_epochs` barriers the
+    /// breaker goes half-open and re-admits a single probe request, and a
+    /// clean barrier closes it. Defaults: trip after 2, cool down for 2.
+    pub fn breaker(mut self, trip_after: u32, cooldown_epochs: u32) -> Self {
+        self.breaker_trip_after = trip_after.max(1);
+        self.breaker_cooldown = cooldown_epochs.max(1);
+        self
+    }
+
     /// Build the fleet: per-node machines (seeded from the fleet seed),
     /// management links (faulty if configured) and the DCM registry.
     pub fn build(self) -> Fleet {
@@ -787,6 +897,8 @@ impl FleetBuilder {
             observe: self.observe.is_some(),
             violation_margin_w: self.violation_margin_w,
             violation_after: self.violation_after,
+            breaker_trip_after: self.breaker_trip_after,
+            breaker_cooldown: self.breaker_cooldown,
             ctrl: FleetCtrl::new(n),
             groups,
             next_epoch: 0,
@@ -823,6 +935,8 @@ pub struct Fleet {
     observe: bool,
     violation_margin_w: f64,
     violation_after: u32,
+    breaker_trip_after: u32,
+    breaker_cooldown: u32,
     ctrl: FleetCtrl,
     groups: Vec<GroupManager>,
     next_epoch: u32,
@@ -997,6 +1111,7 @@ impl Fleet {
                         // The cached reading is guaranteed equal to what
                         // a fresh poll would have returned.
                         polls_skipped += 1;
+                        self.ctrl.timeout_streak[i] = 0;
                         demand.push((id, self.ctrl.demand_w[i]));
                     }
                     PollOutcome::Polled(out) => match self.dcm.absorb_power_poll(id, out) {
@@ -1005,11 +1120,15 @@ impl Fleet {
                             self.ctrl.demand_w[i] = w;
                             self.ctrl.demand_valid[i] = true;
                             self.ctrl.poll_ok[i] = true;
+                            self.ctrl.timeout_streak[i] = 0;
                             fresh_w += w;
                             fresh_n += 1;
                             demand.push((id, w));
                         }
-                        Err(_) => self.ctrl.poll_ok[i] = false,
+                        Err(_) => {
+                            self.ctrl.poll_ok[i] = false;
+                            self.ctrl.timeout_streak[i] += 1;
+                        }
                     },
                 }
             }
@@ -1044,10 +1163,19 @@ impl Fleet {
         // workloads export the requests they could not queue this epoch;
         // the root re-offers each to the node with the most queue headroom
         // (shallowest queue, lowest index on ties). Routing reads only
-        // workload queue state through the `queue_room` hook — never
-        // observability — and runs in registration order at the barrier,
-        // so the outcome cannot depend on shard count or thread count.
-        let (failover_moved, failover_dropped) = self.route_failover();
+        // workload/control state through the `queue_room` hook and the
+        // breaker columns — never observability — and runs in
+        // registration order at the barrier, so the outcome cannot depend
+        // on shard count or thread count. Circuit breakers tick first:
+        // they read this barrier's poll and violation streaks, so a node
+        // that just went dark is out of the routing heap in the same
+        // epoch its first poll fails.
+        let rooms: Vec<Option<QueueRoom>> =
+            self.nodes.iter().map(|s| s.load.queue_room()).collect();
+        if rooms.iter().any(Option::is_some) {
+            self.update_breakers(epoch, barrier_t_s);
+        }
+        let (failover_moved, failover_dropped) = self.route_failover(&rooms);
         if self.observe && failover_moved + failover_dropped > 0 {
             self.dcm.obs.metrics.add("fleet.failover_moved", failover_moved);
             self.dcm.obs.metrics.add("fleet.failover_dropped", failover_dropped);
@@ -1196,24 +1324,81 @@ impl Fleet {
         }
     }
 
+    /// Tick the per-node failover circuit breakers at the root barrier
+    /// (called only for fleets that route failover work). Trips on a
+    /// poll-timeout streak of `breaker_trip_after` or a cap-violation
+    /// streak at the violation detector's threshold; after
+    /// `breaker_cooldown` epochs the breaker goes half-open (one probe),
+    /// and a clean barrier closes it. Transitions are typed obs events
+    /// with node attribution; recording is obs-gated, the state machine
+    /// itself never reads observability.
+    fn update_breakers(&mut self, epoch: u32, barrier_t_s: f64) {
+        for i in 0..self.nodes.len() {
+            let tripping = self.ctrl.timeout_streak[i] >= self.breaker_trip_after
+                || self.ctrl.viol_streak[i] >= self.violation_after;
+            let cur = self.ctrl.breaker[i];
+            let next = match cur {
+                BreakerState::Closed => {
+                    if tripping {
+                        BreakerState::Open { until: epoch.saturating_add(self.breaker_cooldown) }
+                    } else {
+                        cur
+                    }
+                }
+                BreakerState::Open { until } => {
+                    if epoch >= until {
+                        BreakerState::HalfOpen
+                    } else {
+                        cur
+                    }
+                }
+                // Half-open resolves strictly: any failure or violation
+                // at this barrier re-opens, a fully clean barrier closes.
+                BreakerState::HalfOpen => {
+                    if self.ctrl.timeout_streak[i] > 0 || self.ctrl.viol_streak[i] > 0 {
+                        BreakerState::Open { until: epoch.saturating_add(self.breaker_cooldown) }
+                    } else {
+                        BreakerState::Closed
+                    }
+                }
+            };
+            if next != cur {
+                self.ctrl.breaker[i] = next;
+                if self.observe {
+                    self.dcm.obs.metrics.inc("fleet.breaker_transitions");
+                    self.dcm.obs.events.record_for(
+                        barrier_t_s,
+                        Some(i as u32),
+                        EventKind::BreakerTransition { epoch, from: cur.name(), to: next.name() },
+                    );
+                }
+            }
+        }
+    }
+
     /// Serial root half of cross-node failover: drain every node's
     /// exported overflow in registration order and re-offer each request
     /// to the least-loaded node that still advertises queue room.
     /// Returns `(moved, dropped)`.
+    ///
+    /// A node is a routing target only while the DCM holds it `Healthy`
+    /// *and* its circuit breaker admits work — `Open` breakers are
+    /// excluded outright and `HalfOpen` breakers are capped at a single
+    /// probe request. Quarantined (`Degraded`/`Unresponsive`) nodes never
+    /// receive failover work, no matter how much room they advertise.
     ///
     /// Target selection is a min-heap over `(queue depth, node index)`
     /// with lazy deletion: depths change as requests land, so entries are
     /// re-validated against the live depth at pop time. Requests that
     /// find no node with room — the whole group is saturated — are shed
     /// at their origin, which keeps per-origin accounting honest
-    /// (`arrivals == completed + shed + in_flight` fleet-wide).
-    fn route_failover(&mut self) -> (u64, u64) {
+    /// (`arrivals == completed + shed + in_flight` fleet-wide, per
+    /// priority class).
+    fn route_failover(&mut self, rooms: &[Option<QueueRoom>]) -> (u64, u64) {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
         let n = self.nodes.len();
-        let rooms: Vec<Option<QueueRoom>> =
-            self.nodes.iter().map(|s| s.load.queue_room()).collect();
         if rooms.iter().all(Option::is_none) {
             return (0, 0);
         }
@@ -1223,8 +1408,16 @@ impl Fleet {
         for (i, room) in rooms.iter().enumerate() {
             if let Some(r) = room {
                 depth[i] = r.depth;
-                free[i] = r.free;
-                if r.free > 0 {
+                // Health gate first: the DCM's word overrides any amount
+                // of advertised room. Then the breaker: open means no
+                // work at all, half-open means exactly one probe.
+                let admissible = self.dcm.health(self.nodes[i].id) == NodeHealth::Healthy;
+                free[i] = match (admissible, self.ctrl.breaker[i]) {
+                    (false, _) | (_, BreakerState::Open { .. }) => 0,
+                    (true, BreakerState::HalfOpen) => r.free.min(1),
+                    (true, BreakerState::Closed) => r.free,
+                };
+                if free[i] > 0 {
                     heap.push(Reverse((r.depth, i)));
                 }
             }
@@ -1267,7 +1460,11 @@ impl Fleet {
                         heap.pop();
                     }
                     dropped += 1;
-                    self.nodes[i].machine.obs_mut().metrics.inc(traffic_keys::SHED);
+                    let metrics = &mut self.nodes[i].machine.obs_mut().metrics;
+                    metrics.inc(traffic_keys::SHED);
+                    metrics.inc(
+                        traffic_keys::SHED_BY_CLASS[req.class as usize % traffic_keys::CLASSES],
+                    );
                 }
             }
         }

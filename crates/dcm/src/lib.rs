@@ -21,8 +21,8 @@ pub mod train;
 
 pub use error::DcmError;
 pub use fleet::{
-    EnergySummary, EpochRecord, Fleet, FleetBuilder, FleetReport, LoadKind, NodeSummary,
-    PumpedLink, TrafficSummary, WorkloadSpec,
+    BreakerState, EnergySummary, EpochRecord, Fleet, FleetBuilder, FleetReport, LoadKind,
+    NodeSummary, PriorityTraffic, PumpedLink, TrafficSummary, WorkloadSpec,
 };
 pub use manager::{CapPushOutcome, Dcm, NodeHealth, NodeId};
 pub use monitor::{read_sel, read_sel_via, violation_count, FleetMonitor, PowerHistory};

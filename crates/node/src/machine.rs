@@ -66,6 +66,9 @@ pub struct FailoverRequest {
     pub quanta: u32,
     /// Workload-defined service-class discriminant.
     pub kind: u8,
+    /// Priority class (0 = most critical); preserved across the hop so
+    /// per-class conservation accounting stays exact fleet-wide.
+    pub class: u8,
 }
 
 /// A serving workload's queue occupancy, reported to the fleet barrier so

@@ -58,6 +58,36 @@ pub mod traffic_keys {
     /// Requests this node accepted on behalf of an overloaded peer.
     pub const FAILOVER_IN: &str = "traffic.failover_in";
 
+    /// Number of request priority classes. Class 0 is the most critical;
+    /// brownout sheds from the highest class downward.
+    pub const CLASSES: usize = 3;
+    /// Per-priority-class arrivals. Indexed by class; sums to `ARRIVALS`.
+    pub const ARRIVALS_BY_CLASS: [&str; CLASSES] =
+        ["traffic.arrivals_p0", "traffic.arrivals_p1", "traffic.arrivals_p2"];
+    /// Per-priority-class completions. Sums to `COMPLETED`.
+    pub const COMPLETED_BY_CLASS: [&str; CLASSES] =
+        ["traffic.completed_p0", "traffic.completed_p1", "traffic.completed_p2"];
+    /// Per-priority-class sheds (queue overflow + brownout). Sums to
+    /// `SHED`. Conservation holds per class:
+    /// `arrivals_pC == completed_pC + shed_pC + in_flight_pC`.
+    pub const SHED_BY_CLASS: [&str; CLASSES] =
+        ["traffic.shed_p0", "traffic.shed_p1", "traffic.shed_p2"];
+    /// Per-priority-class in-flight remainder at end of run. Counter for
+    /// the same summing reason as `IN_FLIGHT`.
+    pub const IN_FLIGHT_BY_CLASS: [&str; CLASSES] =
+        ["traffic.in_flight_p0", "traffic.in_flight_p1", "traffic.in_flight_p2"];
+
+    /// AIMD offered-rate multiplier gauge in `(0, 1]`. The fleet merge
+    /// keeps the max, so the fleet-wide value is the *least* backed-off
+    /// client population's multiplier.
+    pub const RATE_MULTIPLIER: &str = "traffic.rate_multiplier";
+    /// Arrivals deliberately shed by the brownout controller (every one
+    /// also counts in `SHED` and the class's shed counter).
+    pub const BROWNOUT_SHED: &str = "traffic.brownout_shed";
+    /// Highest priority class currently admitted (gauge; `CLASSES - 1`
+    /// means no brownout in effect).
+    pub const BROWNOUT_MAX_CLASS: &str = "traffic.brownout_max_class";
+
     /// Latency bucket layout: 1 µs up to ~34 s in ×2 steps. Log spacing
     /// keeps p999 meaningful at millisecond scale — a linear layout wide
     /// enough for the tail would quantize the body into one bucket.

@@ -86,6 +86,16 @@ pub enum EventKind {
     /// Cross-node failover at a fleet barrier: requests shed at full
     /// queues were re-offered to the least-loaded nodes in the group.
     FailoverRouted { epoch: u32, moved: u32, dropped: u32 },
+    /// A client population's AIMD controller moved its offered-rate
+    /// multiplier: `timeouts` cut it multiplicatively, `recovery` raised
+    /// it additively after a timeout-free control period.
+    RateAdjusted { multiplier: f64, cause: &'static str },
+    /// A per-node circuit breaker at the fleet barrier changed state
+    /// (`closed` / `open` / `half_open`).
+    BreakerTransition { epoch: u32, from: &'static str, to: &'static str },
+    /// A node's brownout controller moved the highest admitted priority
+    /// class (`shed` under pressure, `restore` with hysteresis).
+    BrownoutShift { from_class: u32, to_class: u32, cause: &'static str },
 }
 
 impl EventKind {
@@ -113,6 +123,9 @@ impl EventKind {
             EventKind::CapViolationEnded { .. } => "cap_violation_ended",
             EventKind::PolicyPlan { .. } => "policy_plan",
             EventKind::FailoverRouted { .. } => "failover_routed",
+            EventKind::RateAdjusted { .. } => "rate_adjusted",
+            EventKind::BreakerTransition { .. } => "breaker_transition",
+            EventKind::BrownoutShift { .. } => "brownout_shift",
         }
     }
 
@@ -155,6 +168,15 @@ impl EventKind {
             }
             EventKind::FailoverRouted { epoch, moved, dropped } => {
                 format!("epoch={epoch};moved={moved};dropped={dropped}")
+            }
+            EventKind::RateAdjusted { multiplier, cause } => {
+                format!("multiplier={multiplier};cause={cause}")
+            }
+            EventKind::BreakerTransition { epoch, from, to } => {
+                format!("epoch={epoch};from={from};to={to}")
+            }
+            EventKind::BrownoutShift { from_class, to_class, cause } => {
+                format!("from_class={from_class};to_class={to_class};cause={cause}")
             }
         }
     }
@@ -226,6 +248,18 @@ impl EventKind {
             }
             EventKind::FailoverRouted { epoch, moved, dropped } => {
                 let _ = write!(out, r#","epoch":{epoch},"moved":{moved},"dropped":{dropped}"#);
+            }
+            EventKind::RateAdjusted { multiplier, cause } => {
+                let _ = write!(out, r#","multiplier":{multiplier},"cause":"{cause}""#);
+            }
+            EventKind::BreakerTransition { epoch, from, to } => {
+                let _ = write!(out, r#","epoch":{epoch},"from":"{from}","to":"{to}""#);
+            }
+            EventKind::BrownoutShift { from_class, to_class, cause } => {
+                let _ = write!(
+                    out,
+                    r#","from_class":{from_class},"to_class":{to_class},"cause":"{cause}""#
+                );
             }
         }
     }

@@ -86,6 +86,11 @@ pub struct ArrivalProcess {
     seed: u64,
     draws: u64,
     next_s: f64,
+    /// Offered-rate multiplier in `(0, 1]`, applied inside the thinning
+    /// acceptance test. 1.0 (the default) reproduces the unscaled
+    /// process draw-for-draw; an AIMD client controller lowers it to
+    /// model a population genuinely backing off.
+    multiplier: f64,
 }
 
 /// Map a u64 draw onto `[0, 1)` with 53 bits of precision.
@@ -96,14 +101,31 @@ pub(crate) fn unit(x: u64) -> f64 {
 impl ArrivalProcess {
     /// A process whose first arrival is sampled from `t = 0`.
     pub fn new(curves: Vec<ArrivalCurve>, seed: u64) -> Self {
-        let mut p = ArrivalProcess { curves, seed, draws: 0, next_s: 0.0 };
+        let mut p = ArrivalProcess { curves, seed, draws: 0, next_s: 0.0, multiplier: 1.0 };
         p.next_s = p.sample_gap(0.0);
         p
     }
 
-    /// Summed instantaneous rate at `t_s`, clamped positive.
+    /// Summed instantaneous rate at `t_s` (before any backpressure
+    /// multiplier), clamped positive.
     pub fn rate_at(&self, t_s: f64) -> f64 {
         self.curves.iter().map(|c| c.rate_at(t_s)).sum::<f64>().max(MIN_RATE_RPS)
+    }
+
+    /// Current offered-rate multiplier.
+    pub fn rate_multiplier(&self) -> f64 {
+        self.multiplier
+    }
+
+    /// Set the offered-rate multiplier (clamped to `(0, 1]`). Because the
+    /// multiplier only *lowers* the accepted rate, the piecewise-constant
+    /// majorant stays a valid upper bound and thinning remains exact. The
+    /// already-sampled next arrival is not resampled — the new multiplier
+    /// takes effect from the following gap, a deterministic one-arrival
+    /// lag. Consumes no draws, so a process held at 1.0 is draw-for-draw
+    /// identical to one with no controller at all.
+    pub fn set_rate_multiplier(&mut self, m: f64) {
+        self.multiplier = m.clamp(1e-6, 1.0);
     }
 
     /// Arrival time of the next request (does not consume it).
@@ -171,7 +193,9 @@ impl ArrivalProcess {
             t += gap;
             self.draws += 1;
             let v = unit(splitmix64(self.seed, self.draws));
-            if v * bound <= self.rate_at(t) {
+            // Backpressure thins here: the accepted rate is the curve sum
+            // scaled by the client multiplier, never above the majorant.
+            if v * bound <= self.rate_at(t) * self.multiplier {
                 return t - from_s;
             }
         }
@@ -304,6 +328,39 @@ mod tests {
         assert!(
             near_peak as f64 > 0.8 * total as f64,
             "peak half holds {near_peak}/{total} arrivals"
+        );
+    }
+
+    #[test]
+    fn unit_multiplier_is_draw_identical_and_backpressure_thins() {
+        let curves = vec![ArrivalCurve::Constant { rps: 50_000.0 }];
+        let mut plain = ArrivalProcess::new(curves.clone(), 9);
+        let mut unit_m = ArrivalProcess::new(curves.clone(), 9);
+        unit_m.set_rate_multiplier(1.0);
+        for _ in 0..256 {
+            assert_eq!(plain.pop().to_bits(), unit_m.pop().to_bits());
+        }
+        // A quartered multiplier thins the accepted stream to roughly a
+        // quarter of the arrivals over the same horizon, reproducibly.
+        let count_to = |p: &mut ArrivalProcess, horizon: f64| {
+            let mut n = 0usize;
+            while p.pop() < horizon {
+                n += 1;
+            }
+            n
+        };
+        let mut full = ArrivalProcess::new(curves.clone(), 9);
+        let mut thinned = ArrivalProcess::new(curves.clone(), 9);
+        thinned.set_rate_multiplier(0.25);
+        let mut replay = ArrivalProcess::new(curves, 9);
+        replay.set_rate_multiplier(0.25);
+        let n_full = count_to(&mut full, 0.1);
+        let n_thin = count_to(&mut thinned, 0.1);
+        let n_replay = count_to(&mut replay, 0.1);
+        assert_eq!(n_thin, n_replay, "thinned stream replays");
+        assert!(
+            (n_thin as f64) < 0.35 * n_full as f64 && (n_thin as f64) > 0.15 * n_full as f64,
+            "0.25 multiplier kept {n_thin}/{n_full} arrivals"
         );
     }
 

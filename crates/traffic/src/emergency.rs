@@ -14,7 +14,7 @@ use capsim_chaos::runner::ChaosScenario;
 use capsim_policy::CapPolicySpec;
 
 use crate::arrival::ArrivalCurve;
-use crate::workload::{ClientSpec, TrafficSpec};
+use crate::workload::{AimdSpec, BrownoutSpec, ClientSpec, TrafficSpec};
 
 /// Shape of a power-emergency run. Defaults model a datacenter-mix fleet
 /// at the engine's native sub-millisecond epochs.
@@ -84,6 +84,24 @@ impl EmergencyConfig {
         cfg
     }
 
+    /// The graceful-degradation twin of [`EmergencyConfig::retry_storm`]:
+    /// the same flash crowd, oversubscribed budget, and fault plan, but
+    /// clients run AIMD backpressure and the admission gate browns out
+    /// low-priority work under pressure (tail trigger at the SLO bound —
+    /// the scenario always observes, per the tail-aware carve-out). This
+    /// is the configuration that must *converge* where the retry-only
+    /// storm collapses.
+    pub fn backpressure_storm(nodes: usize, epochs: u32, seed: u64) -> EmergencyConfig {
+        let mut cfg = EmergencyConfig::retry_storm(nodes, epochs, seed);
+        let clients = ClientSpec::default().aimd(AimdSpec::default());
+        let tail_ms = cfg.traffic.slo_ms;
+        cfg.traffic = cfg
+            .traffic
+            .closed_loop(clients)
+            .brownout(BrownoutSpec { p99_ms: tail_ms, ..BrownoutSpec::default() });
+        cfg
+    }
+
     /// Swap in a policy backend.
     pub fn with_policy(mut self, spec: CapPolicySpec) -> EmergencyConfig {
         self.policy = Some(spec);
@@ -110,7 +128,13 @@ impl EmergencyConfig {
         } else {
             FaultPlan::none()
         };
-        let name = if self.traffic.clients.is_some() { "retry_storm" } else { "power_emergency" };
+        let name = if self.traffic.clients.is_some_and(|c| c.aimd.is_some()) {
+            "backpressure_storm"
+        } else if self.traffic.clients.is_some() {
+            "retry_storm"
+        } else {
+            "power_emergency"
+        };
         ChaosScenario {
             name: name.into(),
             nodes: self.nodes,

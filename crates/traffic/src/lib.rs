@@ -24,4 +24,7 @@ pub mod workload;
 
 pub use arrival::{ArrivalCurve, ArrivalProcess};
 pub use emergency::EmergencyConfig;
-pub use workload::{ClientSpec, TrafficFactory, TrafficSpec, TrafficWorkload};
+pub use workload::{
+    AimdSpec, BrownoutSpec, ClientSpec, InvalidClientSpec, TrafficFactory, TrafficSpec,
+    TrafficWorkload,
+};

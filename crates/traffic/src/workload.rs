@@ -34,9 +34,24 @@
 //!   request to the least-loaded node in the group (serially, at the
 //!   root, so shard count cannot change the routing) and counts the
 //!   leftovers shed at their origin.
+//!
+//! Two robustness layers ride on top (see DESIGN.md §15):
+//!
+//! * **AIMD backpressure** ([`ClientSpec::aimd`]): sustained client
+//!   timeouts multiplicatively cut the population's offered-rate
+//!   multiplier; timeout-free control periods additively restore it. The
+//!   multiplier thins the arrival stream inside the Lewis–Shedler
+//!   acceptance test without consuming draws, so determinism and
+//!   bit-replay are untouched.
+//! * **Priority brownout** ([`TrafficSpec::brownout`]): every request
+//!   carries a seeded priority class (0 critical … 2 background); under
+//!   pressure the admission gate sheds the lowest class first and
+//!   restores classes with hysteresis. Conservation holds per class:
+//!   `arrivals_pC == completed_pC + shed_pC + in_flight_pC` exactly.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
 use std::sync::Arc;
 
 use capsim_ipmi::splitmix64;
@@ -45,6 +60,7 @@ use capsim_node::{
     CodeBlock, EpochWorkload, FailoverRequest, LoadKind, Machine, QueueRoom, Region,
     WorkloadFactory, WorkloadSpec,
 };
+use capsim_obs::EventKind;
 
 use crate::arrival::{unit, ArrivalCurve, ArrivalProcess};
 
@@ -54,6 +70,11 @@ const DEMAND_SALT: u64 = 0xdeaa_4d5a_1700_0001;
 
 /// Salt separating the client retry-jitter stream from both.
 const RETRY_SALT: u64 = 0xc10e_4e75_0b0f_f001;
+
+/// Salt separating the priority-class draw stream. Classes are drawn by
+/// request index `k` from their own stream, so adding priorities did not
+/// shift the arrival-time or service-demand draws of earlier PRs.
+const PRIORITY_SALT: u64 = 0x9b10_12c1_a550_0001;
 
 /// Idle slice when the queue is empty: long enough for the machine's
 /// idle fast-forward to matter, short enough that admissions stay
@@ -108,6 +129,10 @@ struct Request {
     kind: ServiceKind,
     /// Client attempt index: 0 for first tries, n for the n-th retry.
     attempt: u32,
+    /// Priority class, 0 most critical; see `traffic_keys::CLASSES`.
+    /// Drawn once per original request and preserved across retries and
+    /// failover hops.
+    class: u8,
 }
 
 /// A scheduled client retry, ordered by due time (ties broken by issue
@@ -118,6 +143,7 @@ struct RetryEntry {
     demand: u32,
     kind: ServiceKind,
     attempt: u32,
+    class: u8,
     seq: u64,
 }
 
@@ -142,6 +168,85 @@ impl Ord for RetryEntry {
     }
 }
 
+/// AIMD backpressure for the closed-loop client population: sustained
+/// timeouts multiplicatively cut the offered-rate multiplier, timeout-free
+/// control periods additively restore it. The multiplier is applied
+/// inside the thinning acceptance test of [`ArrivalProcess`], which
+/// consumes no extra draws — a controller that never adjusts is
+/// draw-for-draw identical to no controller at all, so bit-replay and
+/// serial ≡ parallel determinism are preserved (see DESIGN.md §15).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AimdSpec {
+    /// Control period on the node's simulated clock, seconds.
+    pub control_period_s: f64,
+    /// Client timeouts within one control period that trigger a cut.
+    pub timeout_threshold: u32,
+    /// Multiplicative decrease factor applied on a cut, in (0, 1).
+    pub decrease: f64,
+    /// Additive increase per timeout-free control period.
+    pub increase: f64,
+    /// Floor on the rate multiplier, in (0, 1].
+    pub floor: f64,
+}
+
+impl Default for AimdSpec {
+    fn default() -> Self {
+        // One fleet epoch per control decision: cut by half on a bad
+        // window, claw back 5 points per clean one — classic AIMD
+        // asymmetry, scaled to sub-millisecond epochs.
+        AimdSpec {
+            control_period_s: 5e-4,
+            timeout_threshold: 8,
+            decrease: 0.5,
+            increase: 0.05,
+            floor: 0.1,
+        }
+    }
+}
+
+/// Why a [`ClientSpec`] was rejected by [`ClientSpec::validate`].
+///
+/// `max_retries == 0` is deliberately *legal*: it describes a client
+/// population that observes timeouts (feeding AIMD backpressure) but
+/// never re-issues work.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InvalidClientSpec {
+    /// `timeout_ms` must be positive and finite; a non-positive timeout
+    /// would mark every completion late and a NaN poisons comparisons.
+    NonPositiveTimeout { timeout_ms: f64 },
+    /// `backoff_s` must be positive and finite.
+    NonPositiveBackoff { backoff_s: f64 },
+    /// `backoff_cap_s` must be at least `backoff_s`, else the cap
+    /// silently rewrites the base backoff.
+    BackoffCapBelowBase { backoff_s: f64, backoff_cap_s: f64 },
+    /// An AIMD parameter is out of range; `field` names the offender.
+    InvalidAimd { field: &'static str },
+}
+
+impl fmt::Display for InvalidClientSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidClientSpec::NonPositiveTimeout { timeout_ms } => {
+                write!(f, "client timeout_ms must be positive and finite, got {timeout_ms}")
+            }
+            InvalidClientSpec::NonPositiveBackoff { backoff_s } => {
+                write!(f, "client backoff_s must be positive and finite, got {backoff_s}")
+            }
+            InvalidClientSpec::BackoffCapBelowBase { backoff_s, backoff_cap_s } => {
+                write!(
+                    f,
+                    "client backoff_cap_s ({backoff_cap_s}) must be >= backoff_s ({backoff_s})"
+                )
+            }
+            InvalidClientSpec::InvalidAimd { field } => {
+                write!(f, "client aimd spec has out-of-range {field}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidClientSpec {}
+
 /// Closed-loop client behaviour: how the seeded client population reacts
 /// to observed completion latency.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -150,19 +255,105 @@ pub struct ClientSpec {
     /// completion slower than this counts a `traffic.client_timeouts`
     /// tick and (while the retry budget lasts) schedules a retry.
     pub timeout_ms: f64,
-    /// Retries per original request before the client gives up.
+    /// Retries per original request before the client gives up. Zero is
+    /// legal: a timeout-only client that backs off but never retries.
     pub max_retries: u32,
     /// Backoff before the first retry, seconds; doubles per attempt.
     pub backoff_s: f64,
     /// Cap on the exponential backoff, seconds.
     pub backoff_cap_s: f64,
+    /// AIMD offered-rate backpressure (`None`: clients retry at full
+    /// offered rate forever — the retry-storm baseline).
+    pub aimd: Option<AimdSpec>,
 }
 
 impl Default for ClientSpec {
     fn default() -> Self {
         // Timeout at 2× the emergency SLO; backoff on the order of one
         // fleet epoch so a storm builds within a few barriers.
-        ClientSpec { timeout_ms: 0.1, max_retries: 3, backoff_s: 2e-4, backoff_cap_s: 2e-3 }
+        ClientSpec {
+            timeout_ms: 0.1,
+            max_retries: 3,
+            backoff_s: 2e-4,
+            backoff_cap_s: 2e-3,
+            aimd: None,
+        }
+    }
+}
+
+impl ClientSpec {
+    /// Enable AIMD backpressure on this client population.
+    pub fn aimd(mut self, spec: AimdSpec) -> ClientSpec {
+        self.aimd = Some(spec);
+        self
+    }
+
+    /// Check every parameter for range errors. All construction paths
+    /// that accept a `ClientSpec` funnel through this (and the facade
+    /// surfaces the error as `CapsimError::Traffic`).
+    pub fn validate(&self) -> Result<(), InvalidClientSpec> {
+        if !(self.timeout_ms > 0.0 && self.timeout_ms.is_finite()) {
+            return Err(InvalidClientSpec::NonPositiveTimeout { timeout_ms: self.timeout_ms });
+        }
+        if !(self.backoff_s > 0.0 && self.backoff_s.is_finite()) {
+            return Err(InvalidClientSpec::NonPositiveBackoff { backoff_s: self.backoff_s });
+        }
+        if self.backoff_cap_s < self.backoff_s || !self.backoff_cap_s.is_finite() {
+            return Err(InvalidClientSpec::BackoffCapBelowBase {
+                backoff_s: self.backoff_s,
+                backoff_cap_s: self.backoff_cap_s,
+            });
+        }
+        if let Some(a) = self.aimd {
+            if !(a.control_period_s > 0.0 && a.control_period_s.is_finite()) {
+                return Err(InvalidClientSpec::InvalidAimd { field: "control_period_s" });
+            }
+            if a.timeout_threshold == 0 {
+                return Err(InvalidClientSpec::InvalidAimd { field: "timeout_threshold" });
+            }
+            if !(a.decrease > 0.0 && a.decrease < 1.0) {
+                return Err(InvalidClientSpec::InvalidAimd { field: "decrease" });
+            }
+            if !(a.increase > 0.0 && a.increase.is_finite()) {
+                return Err(InvalidClientSpec::InvalidAimd { field: "increase" });
+            }
+            if !(a.floor > 0.0 && a.floor <= 1.0) {
+                return Err(InvalidClientSpec::InvalidAimd { field: "floor" });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Priority-tiered brownout: under pressure the admission gate sheds the
+/// lowest-priority class first and restores classes with hysteresis.
+/// Pressure is queue depth against the bound and, optionally, the node's
+/// own observed p99 completion latency (which requires observability —
+/// the same carve-out the tail-aware `Slo` policy documents).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BrownoutSpec {
+    /// Queue-depth fraction of the bound at or above which the next
+    /// (lowest-priority) admitted class is shed.
+    pub high_watermark: f64,
+    /// Fraction at or below which a shed class is restored. Must sit
+    /// well below `high_watermark`; the gap is the hysteresis band.
+    pub low_watermark: f64,
+    /// p99 completion-latency threshold, milliseconds, that also counts
+    /// as pressure. `0.0` disables the tail trigger, keeping the default
+    /// path free of any observability dependence.
+    pub p99_ms: f64,
+    /// Evaluation period on the node's simulated clock, seconds.
+    pub control_period_s: f64,
+}
+
+impl Default for BrownoutSpec {
+    fn default() -> Self {
+        BrownoutSpec {
+            high_watermark: 0.75,
+            low_watermark: 0.375,
+            p99_ms: 0.0,
+            control_period_s: 5e-4,
+        }
     }
 }
 
@@ -191,6 +382,9 @@ pub struct TrafficSpec {
     /// Defer full-queue sheds to the fleet barrier for cross-node
     /// failover instead of dropping locally.
     pub failover: bool,
+    /// Priority-tiered brownout at the admission gate (`None`: all
+    /// classes admitted regardless of pressure).
+    pub brownout: Option<BrownoutSpec>,
 }
 
 impl TrafficSpec {
@@ -205,6 +399,7 @@ impl TrafficSpec {
             datacenter_mix: false,
             clients: None,
             failover: false,
+            brownout: None,
         }
     }
 
@@ -232,14 +427,35 @@ impl TrafficSpec {
     }
 
     /// Enable closed-loop clients (timeout → capped-backoff retries).
-    pub fn closed_loop(mut self, clients: ClientSpec) -> TrafficSpec {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`ClientSpec::validate`]; use
+    /// [`TrafficSpec::try_closed_loop`] to handle the error.
+    pub fn closed_loop(self, clients: ClientSpec) -> TrafficSpec {
+        self.try_closed_loop(clients).expect("invalid ClientSpec")
+    }
+
+    /// Enable closed-loop clients, surfacing parameter errors as a typed
+    /// [`InvalidClientSpec`] instead of panicking.
+    pub fn try_closed_loop(
+        mut self,
+        clients: ClientSpec,
+    ) -> Result<TrafficSpec, InvalidClientSpec> {
+        clients.validate()?;
         self.clients = Some(clients);
-        self
+        Ok(self)
     }
 
     /// Enable cross-node failover at the fleet barrier.
     pub fn failover(mut self, on: bool) -> TrafficSpec {
         self.failover = on;
+        self
+    }
+
+    /// Enable priority-tiered brownout at the admission gate.
+    pub fn brownout(mut self, spec: BrownoutSpec) -> TrafficSpec {
+        self.brownout = Some(spec);
         self
     }
 
@@ -284,6 +500,23 @@ impl WorkloadFactory for TrafficFactory {
     }
 }
 
+/// Live AIMD controller state for one client population.
+struct AimdState {
+    spec: AimdSpec,
+    multiplier: f64,
+    /// Client timeouts observed in the current control window.
+    window_timeouts: u32,
+    next_control_s: f64,
+}
+
+/// Live brownout controller state for one admission gate.
+struct BrownoutState {
+    spec: BrownoutSpec,
+    /// Highest priority class currently admitted (0 = only critical).
+    max_class: u8,
+    next_eval_s: f64,
+}
+
 /// The per-node request server. See the module docs for semantics.
 pub struct TrafficWorkload {
     arrivals: ArrivalProcess,
@@ -293,8 +526,11 @@ pub struct TrafficWorkload {
     quanta_min: u32,
     quanta_span: u32,
     demand_seed: u64,
+    priority_seed: u64,
     clients: Option<ClientSpec>,
     failover: bool,
+    aimd: Option<AimdState>,
+    brownout: Option<BrownoutState>,
     /// Scheduled client retries, earliest due first.
     retries: BinaryHeap<RetryEntry>,
     /// Retry issue counter (jitter draw index and heap tie-breaker).
@@ -315,6 +551,14 @@ impl TrafficWorkload {
     fn new(m: &mut Machine, spec: &TrafficSpec, curves: Vec<ArrivalCurve>, seed: u64) -> Self {
         let block = m.code_block(64, 16);
         let region = m.alloc(32 * 1024);
+        if spec.clients.is_some_and(|c| c.aimd.is_some()) {
+            // Publish the starting multiplier so the gauge is defined
+            // even for runs the controller never has to touch.
+            m.obs_mut().metrics.set_gauge(keys::RATE_MULTIPLIER, 1.0);
+        }
+        if spec.brownout.is_some() {
+            m.obs_mut().metrics.set_gauge(keys::BROWNOUT_MAX_CLASS, (keys::CLASSES - 1) as f64);
+        }
         TrafficWorkload {
             arrivals: ArrivalProcess::new(curves, seed),
             queue: VecDeque::new(),
@@ -323,8 +567,20 @@ impl TrafficWorkload {
             quanta_min: spec.quanta_min.max(1),
             quanta_span: spec.quanta_max.max(spec.quanta_min).max(1) - spec.quanta_min.max(1) + 1,
             demand_seed: splitmix64(seed, DEMAND_SALT),
+            priority_seed: splitmix64(seed, PRIORITY_SALT),
             clients: spec.clients,
             failover: spec.failover,
+            aimd: spec.clients.and_then(|c| c.aimd).map(|a| AimdState {
+                spec: a,
+                multiplier: 1.0,
+                window_timeouts: 0,
+                next_control_s: a.control_period_s,
+            }),
+            brownout: spec.brownout.map(|b| BrownoutState {
+                spec: b,
+                max_class: (keys::CLASSES - 1) as u8,
+                next_eval_s: b.control_period_s,
+            }),
             retries: BinaryHeap::new(),
             retry_seq: 0,
             retry_seed: splitmix64(seed, RETRY_SALT),
@@ -341,12 +597,107 @@ impl TrafficWorkload {
         self.quanta_min + (splitmix64(self.demand_seed, k) % self.quanta_span as u64) as u32
     }
 
+    /// Priority class for request index `k`: 20% critical (0), 30%
+    /// standard (1), 50% background (2) — drawn from the dedicated
+    /// priority stream so the arrival/demand/retry streams of earlier
+    /// PRs are untouched.
+    fn draw_class(&self, k: u64) -> u8 {
+        match splitmix64(self.priority_seed, k) % 10 {
+            0 | 1 => 0,
+            2..=4 => 1,
+            _ => 2,
+        }
+    }
+
+    /// Run the AIMD and brownout controllers up to the machine's current
+    /// simulated time. Decisions happen only at fixed control-period
+    /// boundaries on the node's own clock and read only node-local state,
+    /// so they are identical under any shard count or thread count.
+    fn control_tick(&mut self, m: &mut Machine) {
+        let now = m.now_s();
+        if let Some(a) = &mut self.aimd {
+            while now >= a.next_control_s {
+                a.next_control_s += a.spec.control_period_s;
+                let (next, cause) = if a.window_timeouts >= a.spec.timeout_threshold {
+                    ((a.multiplier * a.spec.decrease).max(a.spec.floor), "timeouts")
+                } else if a.window_timeouts == 0 {
+                    (f64::min(a.multiplier + a.spec.increase, 1.0), "recovery")
+                } else {
+                    (a.multiplier, "hold")
+                };
+                a.window_timeouts = 0;
+                if next != a.multiplier {
+                    a.multiplier = next;
+                    self.arrivals.set_rate_multiplier(next);
+                    let obs = m.obs_mut();
+                    obs.metrics.set_gauge(keys::RATE_MULTIPLIER, next);
+                    obs.events.record(now, EventKind::RateAdjusted { multiplier: next, cause });
+                }
+            }
+        }
+        if let Some(b) = &mut self.brownout {
+            while now >= b.next_eval_s {
+                b.next_eval_s += b.spec.control_period_s;
+                let depth = self.queue.len() as f64;
+                let high = b.spec.high_watermark * self.bound as f64;
+                let low = b.spec.low_watermark * self.bound as f64;
+                // Reading the node's own latency tail requires obs; with
+                // obs off (or p99_ms == 0) the trigger is inert and the
+                // controller is queue-depth only.
+                let tail_hot = b.spec.p99_ms > 0.0
+                    && m.obs()
+                        .metrics
+                        .hist_quantile(keys::LATENCY_MS, 0.99)
+                        .is_some_and(|p99| p99 > b.spec.p99_ms);
+                let cur = b.max_class;
+                let next = if (depth >= high || tail_hot) && cur > 0 {
+                    cur - 1
+                } else if depth <= low && !tail_hot && (cur as usize) < keys::CLASSES - 1 {
+                    cur + 1
+                } else {
+                    cur
+                };
+                if next != cur {
+                    b.max_class = next;
+                    let cause = if next < cur { "pressure" } else { "recovery" };
+                    let obs = m.obs_mut();
+                    obs.metrics.set_gauge(keys::BROWNOUT_MAX_CLASS, next as f64);
+                    obs.events.record(
+                        now,
+                        EventKind::BrownoutShift {
+                            from_class: cur as u32,
+                            to_class: next as u32,
+                            cause,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
     /// One request through the admission gate: queued, deferred to the
     /// barrier, or shed. Every offer — first try or retry — is an
     /// arrival; that is what keeps `arrivals == completed + shed +
     /// in_flight` exact.
     fn offer(&mut self, m: &mut Machine, req: Request) {
-        m.obs_mut().metrics.inc(keys::ARRIVALS);
+        let class = req.class as usize % keys::CLASSES;
+        {
+            let metrics = &mut m.obs_mut().metrics;
+            metrics.inc(keys::ARRIVALS);
+            metrics.inc(keys::ARRIVALS_BY_CLASS[class]);
+        }
+        // Brownout gate: a browned-out class is shed at the door — never
+        // queued, never deferred to failover. It still counted as an
+        // arrival above, so per-class conservation stays exact.
+        if let Some(b) = &self.brownout {
+            if req.class > b.max_class {
+                let metrics = &mut m.obs_mut().metrics;
+                metrics.inc(keys::SHED);
+                metrics.inc(keys::SHED_BY_CLASS[class]);
+                metrics.inc(keys::BROWNOUT_SHED);
+                return;
+            }
+        }
         if self.queue.len() < self.bound {
             self.queue.push_back(req);
             if self.queue.len() > self.queue_peak {
@@ -358,9 +709,12 @@ impl TrafficWorkload {
                 arrival_s: req.arrival_s,
                 quanta: req.quanta,
                 kind: req.kind.as_u8(),
+                class: req.class,
             });
         } else {
-            m.obs_mut().metrics.inc(keys::SHED);
+            let metrics = &mut m.obs_mut().metrics;
+            metrics.inc(keys::SHED);
+            metrics.inc(keys::SHED_BY_CLASS[class]);
         }
     }
 
@@ -381,6 +735,7 @@ impl TrafficWorkload {
                 let k = self.offered;
                 self.offered += 1;
                 let demand = self.draw_quanta(k);
+                let class = self.draw_class(k);
                 self.offer(
                     m,
                     Request {
@@ -389,6 +744,7 @@ impl TrafficWorkload {
                         demand,
                         kind: ServiceKind::for_request(k),
                         attempt: 0,
+                        class,
                     },
                 );
             } else {
@@ -402,6 +758,7 @@ impl TrafficWorkload {
                         demand: e.demand,
                         kind: e.kind,
                         attempt: e.attempt,
+                        class: e.class,
                     },
                 );
             }
@@ -421,6 +778,12 @@ impl TrafficWorkload {
             return;
         }
         m.obs_mut().metrics.inc(keys::CLIENT_TIMEOUTS);
+        if let Some(a) = &mut self.aimd {
+            // Every timeout feeds the AIMD window, including ones past
+            // the retry budget — backpressure reacts to pain, not to
+            // whether the client still retries.
+            a.window_timeouts += 1;
+        }
         if req.attempt >= c.max_retries {
             return;
         }
@@ -432,6 +795,7 @@ impl TrafficWorkload {
             demand: req.demand,
             kind: req.kind,
             attempt: req.attempt + 1,
+            class: req.class,
             seq: self.retry_seq,
         });
     }
@@ -439,6 +803,7 @@ impl TrafficWorkload {
 
 impl EpochWorkload for TrafficWorkload {
     fn quantum(&mut self, m: &mut Machine) {
+        self.control_tick(m);
         self.admit_due(m);
         let Some(req) = self.queue.front_mut() else {
             // Empty queue: idle toward the next arrival (open-loop or
@@ -485,6 +850,7 @@ impl EpochWorkload for TrafficWorkload {
             let slo_miss = latency_ms > self.slo_ms;
             let metrics = &mut m.obs_mut().metrics;
             metrics.inc(keys::COMPLETED);
+            metrics.inc(keys::COMPLETED_BY_CLASS[done.class as usize % keys::CLASSES]);
             metrics.observe_log(keys::LATENCY_MS, keys::LATENCY_BUCKETS, latency_ms);
             if slo_miss {
                 metrics.inc(keys::SLO_VIOLATIONS);
@@ -520,6 +886,7 @@ impl EpochWorkload for TrafficWorkload {
             demand: req.quanta,
             kind: ServiceKind::from_u8(req.kind),
             attempt: 0,
+            class: req.class.min((keys::CLASSES - 1) as u8),
         });
         if self.queue.len() > self.queue_peak {
             self.queue_peak = self.queue.len();
@@ -532,15 +899,18 @@ impl EpochWorkload for TrafficWorkload {
     fn finish(&mut self, m: &mut Machine) {
         // Overflow the barrier never drained (standalone runs, or sheds
         // after the last barrier) is shed after all.
-        let pending = self.shed_pending.len() as u64;
-        if pending > 0 {
-            m.obs_mut().metrics.add(keys::SHED, pending);
-            self.shed_pending.clear();
+        let metrics = &mut m.obs_mut().metrics;
+        for req in self.shed_pending.drain(..) {
+            metrics.inc(keys::SHED);
+            metrics.inc(keys::SHED_BY_CLASS[req.class as usize % keys::CLASSES]);
         }
         // Conservation remainder: everything admitted but not yet
         // completed. Scheduled retries are *not* in flight — they have
         // not re-arrived yet, so they are not arrivals either.
-        m.obs_mut().metrics.add(keys::IN_FLIGHT, self.queue.len() as u64);
+        metrics.add(keys::IN_FLIGHT, self.queue.len() as u64);
+        for req in &self.queue {
+            metrics.inc(keys::IN_FLIGHT_BY_CLASS[req.class as usize % keys::CLASSES]);
+        }
     }
 }
 
@@ -615,8 +985,15 @@ mod tests {
         // An impossible timeout makes every completion late: the client
         // layer must retry each one until the budget runs out, and every
         // retry must re-enter as an arrival (keeping conservation exact).
-        let clients =
-            ClientSpec { timeout_ms: 0.0, max_retries: 2, backoff_s: 1e-5, backoff_cap_s: 1e-4 };
+        // `timeout_ms: 0.0` is rejected by validation, so use the
+        // smallest positive timeout — every real completion beats it.
+        let clients = ClientSpec {
+            timeout_ms: f64::MIN_POSITIVE,
+            max_retries: 2,
+            backoff_s: 1e-5,
+            backoff_cap_s: 1e-4,
+            ..ClientSpec::default()
+        };
         let closed = run_spec(TrafficSpec::constant(20_000.0).closed_loop(clients), 13, 20);
         let open = run_spec(TrafficSpec::constant(20_000.0), 13, 20);
         let retries = closed.counter(keys::RETRIES);
@@ -624,7 +1001,7 @@ mod tests {
         assert_eq!(
             closed.counter(keys::CLIENT_TIMEOUTS),
             closed.counter(keys::COMPLETED),
-            "zero timeout: every completion is late"
+            "epsilon timeout: every completion is late"
         );
         assert!(
             closed.counter(keys::ARRIVALS) > open.counter(keys::ARRIVALS),
@@ -646,6 +1023,7 @@ mod tests {
             max_retries: 3,
             backoff_s: 5e-5,
             backoff_cap_s: 5e-4,
+            ..ClientSpec::default()
         });
         let a = run_spec(spec.clone(), 31, 16);
         let b = run_spec(spec, 31, 16);
@@ -688,6 +1066,123 @@ mod tests {
             s.counter(keys::COMPLETED) + drained.len() as u64 + s.counter(keys::IN_FLIGHT),
             "drained exports are the only unaccounted arrivals"
         );
+    }
+
+    /// Per-class conservation: each priority class balances its own
+    /// books, and the classes partition the totals exactly.
+    fn assert_class_conservation(s: &capsim_obs::MetricsSnapshot) {
+        let mut sums = [0u64; 4];
+        for c in 0..keys::CLASSES {
+            let arrivals = s.counter(keys::ARRIVALS_BY_CLASS[c]);
+            let completed = s.counter(keys::COMPLETED_BY_CLASS[c]);
+            let shed = s.counter(keys::SHED_BY_CLASS[c]);
+            let in_flight = s.counter(keys::IN_FLIGHT_BY_CLASS[c]);
+            assert_eq!(
+                arrivals,
+                completed + shed + in_flight,
+                "class {c}: {arrivals} arrivals vs {completed} + {shed} + {in_flight}"
+            );
+            sums[0] += arrivals;
+            sums[1] += completed;
+            sums[2] += shed;
+            sums[3] += in_flight;
+        }
+        assert_eq!(sums[0], s.counter(keys::ARRIVALS), "classes partition arrivals");
+        assert_eq!(sums[1], s.counter(keys::COMPLETED), "classes partition completions");
+        assert_eq!(sums[2], s.counter(keys::SHED), "classes partition sheds");
+        assert_eq!(sums[3], s.counter(keys::IN_FLIGHT), "classes partition in-flight");
+    }
+
+    #[test]
+    fn client_spec_validation_is_typed_and_zero_retries_is_legal() {
+        let bad_timeout = ClientSpec { timeout_ms: 0.0, ..ClientSpec::default() };
+        assert_eq!(
+            bad_timeout.validate(),
+            Err(InvalidClientSpec::NonPositiveTimeout { timeout_ms: 0.0 })
+        );
+        let bad_cap = ClientSpec { backoff_s: 1e-3, backoff_cap_s: 1e-4, ..ClientSpec::default() };
+        assert!(matches!(bad_cap.validate(), Err(InvalidClientSpec::BackoffCapBelowBase { .. })));
+        let bad_aimd = ClientSpec::default().aimd(AimdSpec { floor: 0.0, ..AimdSpec::default() });
+        assert_eq!(bad_aimd.validate(), Err(InvalidClientSpec::InvalidAimd { field: "floor" }));
+        let bad_cut = ClientSpec::default().aimd(AimdSpec { decrease: 1.5, ..AimdSpec::default() });
+        assert_eq!(bad_cut.validate(), Err(InvalidClientSpec::InvalidAimd { field: "decrease" }));
+        // Zero retries is the documented timeout-only client.
+        let zero_retries = ClientSpec { max_retries: 0, ..ClientSpec::default() };
+        assert_eq!(zero_retries.validate(), Ok(()));
+        let err = TrafficSpec::constant(1000.0).try_closed_loop(bad_timeout).unwrap_err();
+        assert!(err.to_string().contains("timeout_ms"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ClientSpec")]
+    fn closed_loop_panics_on_invalid_spec() {
+        let _ = TrafficSpec::constant(1000.0)
+            .closed_loop(ClientSpec { timeout_ms: f64::NAN, ..ClientSpec::default() });
+    }
+
+    #[test]
+    fn aimd_backpressure_thins_the_storm_and_conserves_per_class() {
+        // Impossible timeout: every completion is late, so the retry
+        // storm is sustained and the AIMD window trips every period.
+        let clients = ClientSpec {
+            timeout_ms: f64::MIN_POSITIVE,
+            max_retries: 2,
+            backoff_s: 1e-5,
+            backoff_cap_s: 1e-4,
+            ..ClientSpec::default()
+        };
+        let aimd = AimdSpec { timeout_threshold: 4, ..AimdSpec::default() };
+        let base = TrafficSpec::constant(120_000.0).queue_bound(16);
+        let stormy = run_spec(base.clone().closed_loop(clients), 17, 24);
+        let damped = run_spec(base.closed_loop(clients.aimd(aimd)), 17, 24);
+        let gauge = damped.gauge(keys::RATE_MULTIPLIER).expect("multiplier gauge published");
+        assert!(gauge < 1.0, "sustained timeouts must cut the multiplier, got {gauge}");
+        assert!(
+            damped.counter(keys::ARRIVALS) < stormy.counter(keys::ARRIVALS),
+            "backpressure thins the offered stream: {} vs {}",
+            damped.counter(keys::ARRIVALS),
+            stormy.counter(keys::ARRIVALS)
+        );
+        assert_class_conservation(&stormy);
+        assert_class_conservation(&damped);
+    }
+
+    #[test]
+    fn brownout_sheds_background_first_and_restores_after_the_spike() {
+        let spec = TrafficSpec::from_curves(vec![ArrivalCurve::FlashCrowd {
+            base_rps: 1_000.0,
+            spike_rps: 1_500_000.0,
+            start_s: 0.0,
+            end_s: 0.004,
+        }])
+        .queue_bound(32)
+        .brownout(BrownoutSpec::default());
+        let s = run_spec(spec, 23, 60);
+        assert!(s.counter(keys::BROWNOUT_SHED) > 0, "the spike must trip the brownout gate");
+        assert!(
+            s.counter(keys::SHED_BY_CLASS[2]) > s.counter(keys::SHED_BY_CLASS[0]),
+            "background sheds before critical: p2 {} vs p0 {}",
+            s.counter(keys::SHED_BY_CLASS[2]),
+            s.counter(keys::SHED_BY_CLASS[0])
+        );
+        assert_eq!(
+            s.gauge(keys::BROWNOUT_MAX_CLASS),
+            Some((keys::CLASSES - 1) as f64),
+            "all classes restored once the spike passes"
+        );
+        assert_class_conservation(&s);
+    }
+
+    #[test]
+    fn robustness_stack_replays_bit_identically() {
+        let spec = TrafficSpec::constant(150_000.0)
+            .queue_bound(16)
+            .closed_loop(ClientSpec::default().aimd(AimdSpec::default()))
+            .brownout(BrownoutSpec::default());
+        let a = run_spec(spec.clone(), 41, 20);
+        let b = run_spec(spec, 41, 20);
+        assert_eq!(a, b, "AIMD + brownout replay byte-identically");
+        assert_class_conservation(&a);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Backpressure tour: the same overload emergency served twice — once by
+//! retry-only clients that amplify their own storm, once by the full
+//! robustness stack (AIMD rate backoff + priority brownout + circuit
+//! breakers) — with determinism checked inline: serial vs parallel in
+//! process, then re-exec'd under `CAPSIM_THREADS` ∈ {1, 4} (the rayon
+//! shim resolves its pool once per process, so thread-count invariance
+//! needs a child process per point).
+//!
+//! Run with `cargo run --example backpressure --release`.
+
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+use capsim::chaos::run_scenario;
+use capsim::node::workload::traffic_keys as keys;
+use capsim::traffic::EmergencyConfig;
+
+const NODES: usize = 4;
+const EPOCHS: u32 = 12;
+const SEED: u64 = 42;
+
+fn scenario(backpressure: bool) -> capsim::chaos::ChaosScenario {
+    if backpressure {
+        EmergencyConfig::backpressure_storm(NODES, EPOCHS, SEED).scenario()
+    } else {
+        EmergencyConfig::retry_storm(NODES, EPOCHS, SEED).scenario()
+    }
+}
+
+/// The fingerprint is a multi-line digest; hash it to one token so a
+/// child process can hand it back on stdout.
+fn digest(fingerprint: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    fingerprint.hash(&mut h);
+    h.finish()
+}
+
+/// Child entry: print the hashed parallel-run fingerprint of the
+/// backpressure scenario and exit. The parent sets `CAPSIM_THREADS`
+/// before spawning.
+fn run_child() {
+    let outcome = run_scenario(&scenario(true), true);
+    println!("{}", digest(&outcome.fingerprint()));
+}
+
+/// Re-exec this example with `CAPSIM_THREADS` set and read back the
+/// child's hashed fingerprint.
+fn fingerprint_with_threads(threads: usize) -> u64 {
+    let exe = std::env::current_exe().expect("own path");
+    let out = std::process::Command::new(exe)
+        .env("CAPSIM_THREADS", threads.to_string())
+        .arg("--fingerprint")
+        .output()
+        .expect("spawn fingerprint child");
+    assert!(
+        out.status.success(),
+        "fingerprint child failed (threads={threads}): {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("child output").trim().parse().expect("hashed fingerprint")
+}
+
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some("--fingerprint") {
+        run_child();
+        return;
+    }
+
+    println!("== the same emergency, twice: retry-only vs the robustness stack");
+    let retry_only = run_scenario(&scenario(false), true).report;
+    let damped = run_scenario(&scenario(true), true).report;
+
+    let rt = retry_only.traffic().expect("retry-only records traffic");
+    let dt = damped.traffic().expect("backpressure records traffic");
+    println!(
+        "   retry-only  : {} arrivals, {} retries, {} shed, p99 {:.4} ms",
+        rt.arrivals, rt.retries, rt.shed, rt.p99_ms
+    );
+    println!(
+        "   backpressure: {} arrivals, {} retries, {} shed, p99 {:.4} ms",
+        dt.arrivals, dt.retries, dt.shed, dt.p99_ms
+    );
+    assert!(
+        dt.arrivals < rt.arrivals && dt.retries < rt.retries,
+        "the AIMD population must thin its own offered load"
+    );
+    let m = damped.final_rate_multiplier().expect("AIMD gauge recorded");
+    println!("   AIMD multiplier converged at {m:.3}");
+
+    let p = damped.priority().expect("per-class accounting");
+    println!(
+        "   brownout shed {} requests; per-class shed [{}, {}, {}] (critical → background)",
+        p.brownout_shed, p.shed[0], p.shed[1], p.shed[2]
+    );
+    for report in [&retry_only, &damped] {
+        let p = report.priority().expect("per-class accounting");
+        for c in 0..keys::CLASSES {
+            assert_eq!(
+                p.arrivals[c],
+                p.completed[c] + p.shed[c] + p.in_flight[c],
+                "class {c} books must close exactly"
+            );
+        }
+    }
+    println!("   per-class books close exactly in both fleets");
+
+    println!("\n== determinism: serial vs parallel, then CAPSIM_THREADS twins");
+    let serial = run_scenario(&scenario(true), false);
+    let parallel = run_scenario(&scenario(true), true);
+    assert_eq!(
+        serial.fingerprint(),
+        parallel.fingerprint(),
+        "backpressure storm must replay byte-identically serial vs parallel"
+    );
+    println!("   serial and parallel runs are byte-identical");
+    let fp1 = fingerprint_with_threads(1);
+    let fp4 = fingerprint_with_threads(4);
+    assert_eq!(fp1, fp4, "thread count must not change the replay");
+    assert_eq!(
+        fp1,
+        digest(&parallel.fingerprint()),
+        "child fingerprints must match the in-process run"
+    );
+    println!("   CAPSIM_THREADS=1 and =4 children land on the same fingerprint");
+}

@@ -11,6 +11,7 @@ use std::fmt;
 use capsim_dcm::DcmError;
 use capsim_ipmi::IpmiError;
 use capsim_node::{InvalidPowerCap, PowercapError};
+use capsim_traffic::InvalidClientSpec;
 
 /// Any failure surfaced by the capsim stack.
 #[derive(Clone, Debug, PartialEq)]
@@ -24,6 +25,9 @@ pub enum CapsimError {
     Powercap(PowercapError),
     /// A rejected power-cap value (non-finite or non-positive watts).
     InvalidCap(InvalidPowerCap),
+    /// A rejected closed-loop client configuration (bad timeout, backoff
+    /// or AIMD parameters).
+    Traffic(InvalidClientSpec),
 }
 
 impl fmt::Display for CapsimError {
@@ -33,6 +37,7 @@ impl fmt::Display for CapsimError {
             CapsimError::Dcm(e) => write!(f, "dcm: {e}"),
             CapsimError::Powercap(e) => write!(f, "powercap: {e}"),
             CapsimError::InvalidCap(e) => write!(f, "cap: {e}"),
+            CapsimError::Traffic(e) => write!(f, "traffic: {e}"),
         }
     }
 }
@@ -44,6 +49,7 @@ impl std::error::Error for CapsimError {
             CapsimError::Dcm(e) => Some(e),
             CapsimError::Powercap(e) => Some(e),
             CapsimError::InvalidCap(e) => Some(e),
+            CapsimError::Traffic(e) => Some(e),
         }
     }
 }
@@ -69,5 +75,11 @@ impl From<PowercapError> for CapsimError {
 impl From<InvalidPowerCap> for CapsimError {
     fn from(e: InvalidPowerCap) -> Self {
         CapsimError::InvalidCap(e)
+    }
+}
+
+impl From<InvalidClientSpec> for CapsimError {
+    fn from(e: InvalidClientSpec) -> Self {
+        CapsimError::Traffic(e)
     }
 }

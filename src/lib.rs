@@ -57,5 +57,8 @@ pub mod prelude {
         CapDecision, CapPolicy, CapPolicySpec, GovernorCapPolicy, GovernorConfig, LadderCapPolicy,
         NodeCapView, QTable, RlCapPolicy, RlConfig,
     };
-    pub use capsim_traffic::{ArrivalCurve, EmergencyConfig, TrafficSpec};
+    pub use capsim_traffic::{
+        AimdSpec, ArrivalCurve, BrownoutSpec, ClientSpec, EmergencyConfig, InvalidClientSpec,
+        TrafficSpec,
+    };
 }

@@ -300,8 +300,31 @@ fn typed_accessors_agree_with_the_raw_snapshot() {
     let spj = report.slo_violations_per_joule().expect("headline metric");
     assert!((spj - t.slo_violations as f64 / e.energy_j).abs() < 1e-12);
 
+    // Per-priority accessors agree with the raw per-class counters and
+    // close their books class by class.
+    let p = report.priority().expect("priority summary");
+    for c in 0..keys::CLASSES {
+        assert_eq!(p.arrivals[c], m.counter(keys::ARRIVALS_BY_CLASS[c]));
+        assert_eq!(p.completed[c], m.counter(keys::COMPLETED_BY_CLASS[c]));
+        assert_eq!(p.shed[c], m.counter(keys::SHED_BY_CLASS[c]));
+        assert_eq!(p.in_flight[c], m.counter(keys::IN_FLIGHT_BY_CLASS[c]));
+        assert_eq!(
+            p.arrivals[c],
+            p.completed[c] + p.shed[c] + p.in_flight[c],
+            "class {c} books close exactly"
+        );
+    }
+    assert_eq!(p.arrivals.iter().sum::<u64>(), t.arrivals, "classes partition arrivals");
+    // No AIMD clients ran, so there is no rate-multiplier gauge; no
+    // breaker moved in a clean fleet.
+    assert!(report.final_rate_multiplier().is_none());
+    assert_eq!(report.breaker_transitions(), Some(0));
+
     // Batch fleets (no traffic series) report None, not zeros.
     let batch = FleetBuilder::new().nodes(3).epochs(2).seed(4).observe(true).build().run();
     assert!(batch.traffic().is_none());
     assert!(batch.slo_violations_per_joule().is_none());
+    assert!(batch.priority().is_none());
+    assert!(batch.final_rate_multiplier().is_none());
+    assert!(batch.breaker_transitions().is_none());
 }
